@@ -1,0 +1,38 @@
+"""Extension ablations beyond the paper: fill-ratio and device sweeps."""
+
+from repro.experiments import ablation_alpha, ablation_devices
+
+
+def test_alpha_sensitivity_sweep(benchmark, emit):
+    result = benchmark(ablation_alpha.run)
+    emit(ablation_alpha.format_result(result))
+    assert result.gains_monotone_decreasing()
+    benchmark.extra_info.update(
+        gains={
+            f"{p.alpha:.1f}": round(p.gain_vs_baseline, 3)
+            for p in result.points
+        }
+    )
+
+
+def test_device_sensitivity_sweep(benchmark, emit):
+    result = benchmark(ablation_devices.run)
+    emit(ablation_devices.format_result(result))
+    assert result.wins_everywhere()
+    benchmark.extra_info["devices"] = sorted(
+        {p.device for p in result.points}
+    )
+
+
+def test_decode_kv_cache_sweep(benchmark, emit):
+    from repro.experiments import ablation_decode
+
+    result = benchmark(ablation_decode.run)
+    emit(ablation_decode.format_result(result))
+    assert result.gain_shrinks_with_alpha()
+    for p in result.points:
+        assert p.step_gain > 0.0
+        assert p.traffic_ratio > 1.0
+    benchmark.extra_info.update(
+        step_gains={f"{p.alpha:.1f}": round(p.step_gain, 3) for p in result.points}
+    )

@@ -1,0 +1,16 @@
+"""Extension — FlashAttention's variable-length waste (§II-B claim)."""
+
+from repro.experiments import ablation_flash
+
+
+def test_flash_varlen_waste(benchmark, emit):
+    result = benchmark(ablation_flash.run)
+    emit(ablation_flash.format_result(result))
+    assert result.flash_cost_alpha_independent()
+    assert result.gap_widens_as_alpha_falls()
+    # at the paper's alpha the padding-free kernel must win clearly
+    at_06 = next(p for p in result.points if abs(p.alpha - 0.6) < 1e-9)
+    assert at_06.byte_gain > 0.3
+    benchmark.extra_info.update(
+        gains={f"{p.alpha:.2f}": round(p.byte_gain, 3) for p in result.points}
+    )

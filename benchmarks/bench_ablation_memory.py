@@ -1,0 +1,15 @@
+"""Extension — activation-memory footprint, padded vs packed."""
+
+from repro.experiments import ablation_memory
+
+
+def test_memory_footprint_sweep(benchmark, emit):
+    result = benchmark(ablation_memory.run)
+    emit(ablation_memory.format_result(result))
+    assert result.reduction_grows_within_short_regime()
+    assert result.reduction_substantial(1.5)
+    benchmark.extra_info.update(
+        peak_reduction={
+            p.max_seq_len: round(p.peak_reduction, 2) for p in result.points
+        }
+    )

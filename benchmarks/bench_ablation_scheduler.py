@@ -1,0 +1,20 @@
+"""§III-E.2 ablations — warp-prefetch scheduler and full-reduction share."""
+
+from repro.experiments import ablation_scheduler
+
+
+def test_scheduler_and_full_reduction_ablation(benchmark, emit):
+    result = benchmark(ablation_scheduler.run)
+    emit(ablation_scheduler.format_result(result))
+    assert 0.04 <= result.average_gain <= 0.2  # paper: ~10%
+    assert result.average_full_reduction_share <= 0.06  # paper: ~2%
+    benchmark.extra_info.update(
+        scheduler_gain=round(result.average_gain, 4),
+        full_reduction_share=round(
+            result.average_full_reduction_share, 4
+        ),
+        paper_scheduler_gain=ablation_scheduler.PAPER_SCHEDULER_GAIN,
+        paper_full_reduction_share=(
+            ablation_scheduler.PAPER_FULL_REDUCTION_SHARE
+        ),
+    )

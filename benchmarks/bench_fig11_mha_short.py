@@ -1,0 +1,19 @@
+"""Figure 11 — fused MHA for short sequences."""
+
+from repro.experiments import fig11_mha_short
+
+
+def test_fig11_fused_mha_short(benchmark, emit):
+    result = benchmark(fig11_mha_short.run)
+    emit(fig11_mha_short.format_result(result))
+    # shape assertions mirroring the paper's claims
+    assert 4.0 <= result.average_gain("pytorch") <= 9.0  # paper: 6.17
+    assert result.average_gain("cublas") > 0.2  # paper: 0.42
+    assert result.average_gain("zeropad") > 0.1  # paper: 0.30
+    benchmark.extra_info.update(
+        {
+            f"gain_vs_{variant}": round(result.average_gain(variant), 3)
+            for variant in ("pytorch", "cublas", "zeropad")
+        }
+    )
+    benchmark.extra_info["paper_gains"] = fig11_mha_short.PAPER_GAINS

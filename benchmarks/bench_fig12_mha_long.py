@@ -1,0 +1,20 @@
+"""Figure 12 — fused MHA for long sequences (grouped-GEMM FMHA)."""
+
+from repro.experiments import fig11_mha_short, fig12_mha_long
+
+
+def test_fig12_fused_mha_long(benchmark, emit):
+    result = benchmark(fig12_mha_long.run)
+    emit(fig12_mha_long.format_result(result))
+    assert result.average_gain("cublas") > 0.6  # paper: 1.10
+    assert 0.4 <= result.average_gain("zeropad") <= 1.3  # paper: 0.79
+    # the fused advantage must be larger here than in the short regime
+    short = fig11_mha_short.run(seq_lens=(128, 256))
+    assert result.average_gain("cublas") > short.average_gain("cublas")
+    benchmark.extra_info.update(
+        {
+            f"gain_vs_{variant}": round(result.average_gain(variant), 3)
+            for variant in ("pytorch", "cublas", "zeropad")
+        }
+    )
+    benchmark.extra_info["paper_gains"] = fig12_mha_long.PAPER_GAINS

@@ -1,0 +1,20 @@
+"""Figure 13 — single-layer BERT with step-wise optimisations."""
+
+from repro.experiments import fig13_stepwise
+
+
+def test_fig13_stepwise_optimisations(benchmark, emit):
+    result = benchmark(fig13_stepwise.run)
+    emit(fig13_stepwise.format_result(result))
+    # the ladder improves at every step on average, and lands near +60%
+    for step in range(1, 5):
+        assert result.average_step_gain(step) > 0.0
+    assert 0.4 <= result.average_total_gain <= 1.1  # paper: 0.60
+    benchmark.extra_info.update(
+        step_gains=[
+            round(result.average_step_gain(step), 4) for step in range(1, 5)
+        ],
+        total_gain=round(result.average_total_gain, 4),
+        paper_step_gains=list(fig13_stepwise.PAPER_STEP_GAINS),
+        paper_total_gain=fig13_stepwise.PAPER_TOTAL_GAIN,
+    )

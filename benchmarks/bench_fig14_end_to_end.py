@@ -1,0 +1,49 @@
+"""Figure 14 — end-to-end 12-layer BERT across all five frameworks."""
+
+import pytest
+
+from repro.experiments import fig14_end_to_end
+
+
+@pytest.mark.parametrize("batch", fig14_end_to_end.BATCH_GRID)
+def test_fig14_end_to_end(benchmark, emit, batch):
+    result = benchmark(
+        fig14_end_to_end.run,
+        batches=(batch,),
+        seq_lens=fig14_end_to_end.SEQ_GRID,
+    )
+    emit(fig14_end_to_end.format_result(result))
+    for p in result.points:
+        bt = p.times_us["ByteTransformer"]
+        for name, t in p.times_us.items():
+            if name != "ByteTransformer":
+                assert bt <= t * 1.02, (p.batch, p.max_seq_len, name)
+    benchmark.extra_info["batch"] = batch
+    benchmark.extra_info.update(
+        {
+            f"gain_vs_{name.replace(' ', '_')}": round(
+                result.average_gain(name), 3
+            )
+            for name in fig14_end_to_end.PAPER_GAINS
+        }
+    )
+
+
+def test_fig14_average_gains_full_sweep(benchmark, emit):
+    """The headline numbers: averages over the full batch x seqlen grid."""
+    result = benchmark(fig14_end_to_end.run)
+    lines = ["== Figure 14 headline averages =="]
+    for comp in fig14_end_to_end.comparisons(result):
+        lines.append(comp.render())
+    emit("\n".join(lines))
+    gains = {
+        name: result.average_gain(name)
+        for name in fig14_end_to_end.PAPER_GAINS
+    }
+    # paper ordering: Turbo and XLA worst, then PyTorch, FT closest
+    assert gains["TurboTransformer"] > gains["PyTorch JIT"]
+    assert gains["TensorFlow XLA"] > gains["PyTorch JIT"]
+    assert gains["PyTorch JIT"] > gains["FasterTransformer"] > 0.1
+    benchmark.extra_info.update(
+        {k.replace(" ", "_"): round(v, 3) for k, v in gains.items()}
+    )

@@ -1,0 +1,23 @@
+"""Figure 3 — single-layer BERT profiling breakdown (seq 256 and 1024)."""
+
+import pytest
+
+from repro.experiments import fig3_breakdown
+
+
+@pytest.mark.parametrize("seq_len", fig3_breakdown.PROFILED_SEQS)
+def test_fig3_single_layer_breakdown(benchmark, emit, seq_len):
+    result = benchmark(fig3_breakdown.run, seq_len)
+    emit(result.report.to_table(f"Figure 3, seq_len={seq_len}"))
+
+    paper_gemm, paper_attn, paper_mem = fig3_breakdown.PAPER_SHARES[seq_len]
+    assert result.gemm_share == pytest.approx(paper_gemm, abs=0.10)
+    assert result.attention_share == pytest.approx(paper_attn, abs=0.10)
+    benchmark.extra_info.update(
+        gemm_share=round(result.gemm_share, 3),
+        attention_share=round(result.attention_share, 3),
+        memory_bound_share=round(result.memory_bound_share, 3),
+        paper_gemm_share=paper_gemm,
+        paper_attention_share=paper_attn,
+        paper_memory_share=paper_mem,
+    )

@@ -1,0 +1,16 @@
+"""Figure 9 — add-bias + layernorm kernel fusion."""
+
+from repro.experiments import fig9_layernorm_fusion
+
+
+def test_fig9_layernorm_fusion(benchmark, emit):
+    result = benchmark(fig9_layernorm_fusion.run)
+    emit(fig9_layernorm_fusion.format_result(result))
+    assert 0.45 <= result.average_gain <= 0.95  # paper: ~69%
+    benchmark.extra_info.update(
+        average_gain=round(result.average_gain, 3),
+        paper_gain=fig9_layernorm_fusion.PAPER_AVG_GAIN,
+        per_seq={
+            p.seq_len: round(p.gain, 3) for p in result.points
+        },
+    )

@@ -1,0 +1,10 @@
+"""Table I — framework feature matrix."""
+
+from repro.experiments import table1_features
+
+
+def test_table1_feature_matrix(benchmark, emit):
+    result = benchmark(table1_features.run)
+    assert result.matches_paper
+    emit(table1_features.format_result(result))
+    benchmark.extra_info["matches_paper"] = result.matches_paper

@@ -1,0 +1,22 @@
+"""Table II — FLOP counts under the zero-padding algorithm."""
+
+import pytest
+
+from repro.experiments import table2_flops
+
+
+def test_table2_flop_counts(benchmark, emit):
+    result = benchmark(
+        table2_flops.run, batch=16, max_seq_len=1024, alpha=0.6
+    )
+    emit(table2_flops.format_result(result))
+    base = result.columns["Baseline"]
+    packed = result.columns["Zero Padding"]
+    fused = result.columns["Zero Padding + fused MHA"]
+    assert packed.gemm0 / base.gemm0 == pytest.approx(0.6)
+    assert fused.mha / base.mha == pytest.approx(0.36)
+    benchmark.extra_info.update(
+        baseline_gflops=round(base.total / 1e9, 2),
+        zero_padding_gflops=round(packed.total / 1e9, 2),
+        fused_mha_gflops=round(fused.total / 1e9, 2),
+    )

@@ -1,0 +1,32 @@
+"""Benchmark-suite configuration.
+
+Each benchmark file regenerates one table or figure of the paper.  The
+benchmarked callable runs the experiment harness (simulator sweeps, not
+wall-clock GPU time); the figure's data — the rows/series the paper
+plots — is attached to ``benchmark.extra_info`` and printed once per
+bench so ``pytest benchmarks/ --benchmark-only`` reproduces the paper's
+evaluation section end to end.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--print-figures",
+        action="store_true",
+        default=True,
+        help="print each regenerated figure/table to stdout",
+    )
+
+
+@pytest.fixture()
+def emit(request, capsys):
+    """Print a regenerated figure outside of captured output."""
+
+    def _emit(text: str) -> None:
+        if request.config.getoption("--print-figures"):
+            with capsys.disabled():
+                print(f"\n{text}")
+
+    return _emit

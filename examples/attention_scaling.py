@@ -1,0 +1,107 @@
+"""How each MHA implementation scales with sequence length.
+
+Sweeps the full 128-1024 range for all four MHA variants of Figures
+11/12 plus two FlashAttention-style kernels — the paper-era fixed-shape
+one (padded work) and the later varlen one (packed, cu_seqlens) — showing
+the crossover behaviour the paper's §III-E designs around: the short
+fused kernel until shared memory runs out (~384), then the grouped-GEMM
+kernel, both padding-free.
+
+Run:  python examples/attention_scaling.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attention.flash_varlen import flash_varlen_launch
+from repro.core.config import FUSED_MHA, BertConfig
+from repro.core.estimator import (
+    estimate_byte_mha,
+    estimate_standard_mha,
+    estimate_unfused_cublas_mha,
+    estimate_zeropad_mha,
+)
+from repro.gpusim import ExecutionContext, KernelLaunch
+from repro.gpusim.memory import BYTES_PER_ELEMENT
+from repro.gpusim.kernel import ComputeUnit
+from repro.workloads.generator import uniform_lengths
+
+BATCH = 16
+CONFIG = BertConfig(num_layers=1)
+
+
+def flash_style_time(seq_len: int) -> float:
+    """A FlashAttention-style kernel: one CTA per attention unit, padded
+    FLOPs (identical shapes assumed), no intermediate-matrix traffic."""
+    from repro.attention.flash import _FLASH_EFFICIENCY
+
+    heads = CONFIG.num_heads
+    hs = CONFIG.head_size
+    ctx = ExecutionContext()
+    ctx.launch(
+        KernelLaunch(
+            name="flash_mha",
+            category="attention",
+            grid=BATCH * heads,
+            block_threads=128,
+            flops=4.0 * BATCH * heads * seq_len * seq_len * hs,
+            dram_bytes=4.0 * BATCH * heads * seq_len * hs * BYTES_PER_ELEMENT,
+            compute_unit=ComputeUnit.TENSOR_FP16,
+            compute_efficiency=_FLASH_EFFICIENCY,
+            regs_per_thread=128,
+        )
+    )
+    return ctx.elapsed_us()
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    print(
+        f"{'max_seq':>8}{'PyTorch':>12}{'cuBLAS':>12}{'cuBLAS+zp':>12}"
+        f"{'flash(pad)':>12}{'flash(vl)':>12}{'ByteTx':>12}{'kernel':>10}"
+    )
+    for seq in (128, 192, 256, 320, 384, 512, 640, 768, 896, 1024):
+        lens = uniform_lengths(BATCH, seq, 0.6, rng)
+        times = {}
+        ctx = ExecutionContext()
+        estimate_standard_mha(ctx, BATCH, seq, CONFIG)
+        times["pt"] = ctx.elapsed_us()
+        ctx = ExecutionContext()
+        estimate_unfused_cublas_mha(ctx, BATCH, seq, CONFIG)
+        times["cu"] = ctx.elapsed_us()
+        ctx = ExecutionContext()
+        estimate_zeropad_mha(ctx, lens, seq, CONFIG)
+        times["zp"] = ctx.elapsed_us()
+        times["flash"] = flash_style_time(seq)
+        ctx = ExecutionContext()
+        ctx.launch(
+            flash_varlen_launch(lens, CONFIG.num_heads, CONFIG.head_size)
+        )
+        times["flash_vl"] = ctx.elapsed_us()
+        ctx = ExecutionContext()
+        estimate_byte_mha(ctx, lens, CONFIG, FUSED_MHA)
+        times["bt"] = ctx.elapsed_us()
+        kernel = (
+            "short" if ctx.records[0].launch.name == "fused_mha_short"
+            else "grouped"
+        )
+        print(
+            f"{seq:>8}"
+            f"{times['pt']:>12.1f}{times['cu']:>12.1f}{times['zp']:>12.1f}"
+            f"{times['flash']:>12.1f}{times['flash_vl']:>12.1f}"
+            f"{times['bt']:>12.1f}{kernel:>10}"
+        )
+    print(
+        "\nByteTransformer switches from the shared-memory kernel to the "
+        "grouped-GEMM kernel past seq 384\n(Algorithm III.1 -> §III-E.2) "
+        "and stays fastest among its 2022 contemporaries at every length.\n"
+        "flash(vl) is the retrospective varlen-FlashAttention design the "
+        "field adopted later: already\ncompetitive at short lengths even "
+        "at 2022-era kernel efficiency, behind the grouped FMHA at long "
+        "ones."
+    )
+
+
+if __name__ == "__main__":
+    main()

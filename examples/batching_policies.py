@@ -1,0 +1,69 @@
+"""Online batching policies x inference engines.
+
+Serving-side batching interacts with the padding story: FIFO batches mix
+lengths (maximal padding for padded engines), length-bucketed batching
+makes batches homogeneous at the cost of queueing delay, and a packed
+engine like ByteTransformer is largely indifferent — it only ever pays
+for valid tokens.  This example replays one dense request trace under
+three policies against a padded engine (PyTorch JIT) and the packed
+engine, reporting latency percentiles and GPU busy time.
+
+Run:  python examples/batching_policies.py
+"""
+
+from __future__ import annotations
+
+from repro.core.config import BertConfig
+from repro.frameworks import ByteTransformer, PyTorchJIT
+from repro.workloads.batching import (
+    BucketBatcher,
+    FifoBatcher,
+    TimeoutBatcher,
+    replay,
+)
+from repro.workloads.serving import make_trace
+
+
+def main() -> None:
+    config = BertConfig()  # 12 layers
+    trace = make_trace(
+        200, 384, alpha=0.6, mean_interarrival_us=250.0, seed=11
+    )
+    policies = [
+        FifoBatcher(batch_size=8),
+        TimeoutBatcher(batch_size=8, timeout_us=2000.0),
+        BucketBatcher(batch_size=8, bucket_width=64, timeout_us=4000.0),
+    ]
+    engines = [PyTorchJIT(), ByteTransformer()]
+
+    print(
+        f"trace: {trace.num_requests} requests, max seq {trace.max_seq_len}, "
+        f"mean interarrival 250 us\n"
+    )
+    print(
+        f"{'engine':<18}{'policy':<10}{'mean_ms':>9}{'p99_ms':>9}"
+        f"{'gpu_busy_ms':>13}{'batches':>9}"
+    )
+    for engine in engines:
+        for policy in policies:
+            result = replay(trace, policy, engine, config)
+            batches = len(policy.plan(trace))
+            print(
+                f"{engine.name:<18}{result.policy:<10}"
+                f"{result.mean_ms:>9.2f}{result.p99_ms:>9.2f}"
+                f"{result.gpu_busy_us / 1000:>13.1f}{batches:>9}"
+            )
+        print()
+    print(
+        "Bucketing tries to do at the scheduler level what the zero-\n"
+        "padding algorithm does at the kernel level.  At this arrival\n"
+        "rate the buckets rarely fill, so bucketing mostly fragments the\n"
+        "batches (more, smaller launches) — it roughly breaks even for\n"
+        "the padded engine and strictly hurts the packed one, which was\n"
+        "already padding-free under plain FIFO.  The packed engine wins\n"
+        "every policy, with its best case being the simplest one."
+    )
+
+
+if __name__ == "__main__":
+    main()

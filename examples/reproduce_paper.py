@@ -1,0 +1,37 @@
+"""Regenerate every table and figure of the paper in one run.
+
+Prints Table I, Figure 3's breakdown, Figures 9-14 and the §III-E.2
+ablations with paper-vs-measured comparison lines — the data behind
+EXPERIMENTS.md.
+
+Run:  python examples/reproduce_paper.py          # everything (~1 min)
+      python examples/reproduce_paper.py fig13    # a single experiment
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def main() -> None:
+    requested = sys.argv[1:] or list(ALL_EXPERIMENTS)
+    unknown = [name for name in requested if name not in ALL_EXPERIMENTS]
+    if unknown:
+        raise SystemExit(
+            f"unknown experiment(s) {unknown}; "
+            f"choose from {sorted(ALL_EXPERIMENTS)}"
+        )
+    for name in requested:
+        module = ALL_EXPERIMENTS[name]
+        start = time.perf_counter()
+        print(f"\n{'=' * 72}\n[{name}] {module.__doc__.splitlines()[0]}")
+        print("=" * 72)
+        module.main()
+        print(f"[{name}] done in {time.perf_counter() - start:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Extension: the paper's strategies on an encoder-decoder Transformer.
+
+The paper optimises encoder-only BERT and notes the techniques "easily
+extend to other transformers that contain the decoder part".  This
+example runs the packed seq2seq model: causal self-attention via the
+grouped-GEMM causal row-strip decomposition, cross-attention over two
+*independently* packed batches (source and target lengths differ), and
+verifies the whole thing against a plain NumPy oracle.
+
+Run:  python examples/seq2seq_decoder.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import FUSED_MHA, BertConfig
+from repro.core.reference import reference_encoder
+from repro.core.weights import init_model_weights
+from repro.decoder import Seq2SeqModel, init_decoder_weights, reference_decoder
+from repro.gpusim import ExecutionContext, ProfileReport
+from repro.workloads.generator import make_batch
+
+
+def main() -> None:
+    config = BertConfig(num_layers=2)
+    enc_w = init_model_weights(config, seed=0)
+    dec_w = init_decoder_weights(config, seed=1)
+
+    # translation-style workload: long sources, shorter targets
+    src = make_batch(6, 96, config.hidden_size, alpha=0.6, seed=2)
+    tgt = make_batch(6, 64, config.hidden_size, alpha=0.7, seed=3)
+    print(
+        f"source lengths {src.seq_lens.tolist()} (max {src.max_seq_len}), "
+        f"target lengths {tgt.seq_lens.tolist()} (max {tgt.max_seq_len})"
+    )
+
+    model = Seq2SeqModel(
+        config, FUSED_MHA, encoder_weights=enc_w, decoder_weights=dec_w
+    )
+    ctx = ExecutionContext()
+    out = model.forward(src.x, src.mask, tgt.x, tgt.mask, ctx=ctx)
+    print(
+        f"\npacked seq2seq forward: {ctx.elapsed_us():.1f} us modelled, "
+        f"{ctx.kernel_count()} kernels"
+    )
+
+    # oracle check
+    memory = reference_encoder(src.x, enc_w, config, src.mask)
+    memory *= src.mask[:, :, None]
+    oracle = reference_decoder(tgt.x, memory, dec_w, config, tgt.mask, src.mask)
+    valid = tgt.mask.astype(bool)
+    err = np.abs(out[valid] - oracle[valid]).max()
+    print(f"max |error| vs oracle: {err:.2e}")
+    assert err < 1e-2
+
+    # causal work accounting: the strip decomposition spends roughly half
+    # the square attention's FLOPs
+    causal_flops = sum(
+        r.launch.flops
+        for r in ctx.records
+        if r.launch.name.startswith("causal_grouped")
+    )
+    cross_flops = sum(
+        r.launch.flops
+        for r in ctx.records
+        if r.launch.name.startswith("cross_grouped")
+    )
+    print(
+        f"causal self-attention GEMM work {causal_flops / 1e9:.2f} GFLOP, "
+        f"cross-attention {cross_flops / 1e9:.2f} GFLOP"
+    )
+    print("\n" + ProfileReport.from_context(ctx).to_table("seq2seq"))
+
+
+if __name__ == "__main__":
+    main()

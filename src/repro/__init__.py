@@ -1,0 +1,57 @@
+"""ByteTransformer reproduction.
+
+A padding-free variable-length Transformer inference engine (Zhai et al.,
+IPDPS 2023) rebuilt in Python: numerically exact NumPy kernels paired with
+an analytical A100 execution model, the zero-padding algorithm, fused MHA
+for short and long sequences, grouped GEMM with scheduler variants, and
+framework models of the paper's four baselines.
+
+Quick start::
+
+    from repro import BertEncoderModel, FUSED_MHA, make_batch
+    from repro.gpusim import ExecutionContext
+
+    batch = make_batch(16, 256, 768, alpha=0.6, seed=0)
+    model = BertEncoderModel(opt=FUSED_MHA)
+    ctx = ExecutionContext()
+    out = model.forward(batch.x, batch.mask, ctx=ctx)
+    print(f"modelled latency: {ctx.elapsed_us():.0f} us")
+"""
+
+from repro.core import (
+    BASELINE,
+    FUSED_MHA,
+    GELU_FUSION,
+    LAYERNORM_FUSION,
+    RM_PADDING,
+    STANDARD_BERT,
+    STEPWISE_PRESETS,
+    BertConfig,
+    BertEncoderModel,
+    OptimizationConfig,
+    PackedSeqs,
+    packing_from_lengths,
+    packing_from_mask,
+)
+from repro.workloads import VariableLengthBatch, make_batch
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BASELINE",
+    "FUSED_MHA",
+    "GELU_FUSION",
+    "LAYERNORM_FUSION",
+    "RM_PADDING",
+    "STANDARD_BERT",
+    "STEPWISE_PRESETS",
+    "BertConfig",
+    "BertEncoderModel",
+    "OptimizationConfig",
+    "PackedSeqs",
+    "packing_from_lengths",
+    "packing_from_mask",
+    "VariableLengthBatch",
+    "make_batch",
+    "__version__",
+]

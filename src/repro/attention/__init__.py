@@ -1,0 +1,38 @@
+"""The attention zoo: every MHA implementation compared in the paper.
+
+All variants are numerically equivalent on valid tokens (validated against
+:func:`repro.core.reference.reference_mha`); they differ in kernel
+structure, padded work and DRAM traffic — which is the paper's point.
+"""
+
+from repro.attention.dispatch import byte_mha
+from repro.attention.flash import flash_mha_padded, online_softmax_attention
+from repro.attention.flash_varlen import flash_varlen_launch, flash_varlen_mha
+from repro.attention.fused_long import fused_long_mha
+from repro.attention.fused_short import (
+    DEFAULT_SPLIT_SEQ_LEN,
+    SHORT_KERNEL_MAX_SEQ,
+    fused_short_mha,
+    short_kernel_shared_mem,
+    supports,
+)
+from repro.attention.standard import standard_mha
+from repro.attention.unfused_cublas import unfused_cublas_mha
+from repro.attention.zeropad_softmax_mha import zeropad_softmax_mha
+
+__all__ = [
+    "byte_mha",
+    "flash_mha_padded",
+    "online_softmax_attention",
+    "flash_varlen_launch",
+    "flash_varlen_mha",
+    "fused_long_mha",
+    "DEFAULT_SPLIT_SEQ_LEN",
+    "SHORT_KERNEL_MAX_SEQ",
+    "fused_short_mha",
+    "short_kernel_shared_mem",
+    "supports",
+    "standard_mha",
+    "unfused_cublas_mha",
+    "zeropad_softmax_mha",
+]

@@ -1,0 +1,49 @@
+"""Short/long dispatch for ByteTransformer's fused MHA.
+
+The short kernel (Algorithm III.1) is fastest when its shared-memory and
+register budget fits the maximal sequence length; beyond that the
+grouped-GEMM kernel (§III-E.2) takes over.  This mirrors the "explicit
+design for both short and long sequences" the paper concludes with.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attention.fused_long import fused_long_mha
+from repro.attention.fused_short import fused_short_mha, supports
+from repro.core.padding import PackedSeqs
+from repro.gpusim.stream import ExecutionContext, resolve_context
+from repro.kernels.grouped_gemm import SchedulerKind
+
+
+def byte_mha(
+    qkv_packed: np.ndarray,
+    qkv_bias: np.ndarray,
+    packing: PackedSeqs,
+    num_heads: int,
+    *,
+    short_max_seq: int = 384,
+    scheduler: SchedulerKind = SchedulerKind.WARP_PREFETCH,
+    ctx: ExecutionContext | None = None,
+    category: str = "attention",
+) -> np.ndarray:
+    """ByteTransformer's fused MHA: pick the short or long kernel.
+
+    Packed ``[T, 3H]`` in, packed ``[T, H]`` out; bias fused either way.
+    """
+    hidden = qkv_packed.shape[1] // 3
+    head_size = hidden // num_heads
+    max_len = int(packing.seq_lens.max())
+    context = resolve_context(ctx)
+    if max_len <= short_max_seq and supports(
+        max_len, head_size, context.device.max_shared_mem_per_block
+    ):
+        return fused_short_mha(
+            qkv_packed, qkv_bias, packing, num_heads, ctx=context,
+            category=category,
+        )
+    return fused_long_mha(
+        qkv_packed, qkv_bias, packing, num_heads,
+        scheduler=scheduler, ctx=context, category=category,
+    )

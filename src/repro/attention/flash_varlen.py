@@ -1,0 +1,123 @@
+"""Variable-length FlashAttention — the road not taken in the paper.
+
+The paper dismisses FlashAttention for variable-length inputs because its
+published kernel assumed identical shapes (§II-B).  Later releases added
+exactly what ByteTransformer's zero-padding algorithm provides: a
+``cu_seqlens`` offset vector indexing a *packed* QKV tensor, one CTA per
+(sequence, head, row-tile) over valid rows only.  This module implements
+that retrospective variant so the two padding-free designs can be
+compared on equal footing:
+
+* like the paper's **short** kernel, it never materialises the score
+  matrix in DRAM (online softmax in registers/shared memory);
+* unlike the short kernel, it scales to any length (the K/V tiles are
+  streamed, not held resident), so it needs no short/long dispatch and
+  no grouped-GEMM statistics round-trip.
+
+Numerics reuse the tested online-softmax recurrence; the cost descriptor
+differs from the paper's grouped FMHA in exactly one structural way: zero
+intermediate-matrix traffic.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.attention.flash import online_softmax_attention
+from repro.core.padding import PackedSeqs
+from repro.gpusim.kernel import ComputeUnit, KernelLaunch
+from repro.gpusim.memory import BYTES_PER_ELEMENT, BYTES_PER_FP32
+from repro.gpusim.stream import ExecutionContext, resolve_context
+
+#: query-row tile per CTA
+VARLEN_TILE_Q = 64
+#: sustained efficiency of a 2022-era (FlashAttention-1) kernel, kept at
+#: the same calibration point as the other hand-written fused kernels
+FA1_EFFICIENCY = 0.10
+#: sustained efficiency FlashAttention-2-class kernels later reached on
+#: these shapes (~110 TFLOPS) — used to show the design's headroom
+FA2_EFFICIENCY = 0.35
+
+
+def flash_varlen_launch(
+    seq_lens: np.ndarray,
+    num_heads: int,
+    head_size: int,
+    *,
+    category: str = "attention",
+    efficiency: float = FA1_EFFICIENCY,
+) -> KernelLaunch:
+    """Cost descriptor: valid-only FLOPs, packed QKV traffic, no scores."""
+    lens = [int(v) for v in seq_lens]
+    hidden = num_heads * head_size
+    tokens = sum(lens)
+    grid = sum(
+        num_heads * math.ceil(length / VARLEN_TILE_Q) for length in lens
+    )
+    flops = sum(
+        num_heads * (4.0 * length * length * head_size + 8.0 * length * length)
+        for length in lens
+    )
+    return KernelLaunch(
+        name="flash_varlen_mha",
+        category=category,
+        grid=max(1, grid),
+        block_threads=128,
+        flops=flops,
+        dram_bytes=tokens * hidden * BYTES_PER_ELEMENT
+        + (len(lens) + 1) * BYTES_PER_FP32,
+        hot_bytes=3.0 * tokens * hidden * BYTES_PER_ELEMENT,
+        compute_unit=ComputeUnit.TENSOR_FP16,
+        compute_efficiency=efficiency,
+        shared_mem_per_block=4 * VARLEN_TILE_Q * (head_size + 8)
+        * BYTES_PER_ELEMENT,
+        regs_per_thread=128,
+    )
+
+
+def flash_varlen_mha(
+    qkv_packed: np.ndarray,
+    qkv_bias: np.ndarray,
+    packing: PackedSeqs,
+    num_heads: int,
+    *,
+    ctx: ExecutionContext | None = None,
+    category: str = "attention",
+) -> np.ndarray:
+    """Packed varlen FlashAttention: ``[T, 3H]`` in, ``[T, H]`` out."""
+    tokens, three_hidden = qkv_packed.shape
+    if tokens != packing.total_tokens:
+        raise ValueError(
+            f"{tokens} packed rows != packing total {packing.total_tokens}"
+        )
+    if qkv_bias.shape != (three_hidden,):
+        raise ValueError(f"bias shape {qkv_bias.shape} != ({three_hidden},)")
+    hidden = three_hidden // 3
+    if hidden % num_heads != 0:
+        raise ValueError(f"hidden {hidden} not divisible by {num_heads} heads")
+    head_size = hidden // num_heads
+    scale = 1.0 / math.sqrt(head_size)
+
+    biased = qkv_packed + qkv_bias
+    q_all = biased[:, :hidden]
+    k_all = biased[:, hidden : 2 * hidden]
+    v_all = biased[:, 2 * hidden :]
+
+    out = np.empty((tokens, hidden), dtype=qkv_packed.dtype)
+    for b in range(packing.batch):
+        rows = packing.rows_of(b)
+        for h in range(num_heads):
+            cols = slice(h * head_size, (h + 1) * head_size)
+            out[rows, cols] = online_softmax_attention(
+                q_all[rows, cols], k_all[rows, cols], v_all[rows, cols],
+                scale,
+            )
+
+    resolve_context(ctx).launch(
+        flash_varlen_launch(
+            packing.seq_lens, num_heads, head_size, category=category
+        )
+    )
+    return out

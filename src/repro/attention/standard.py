@@ -1,0 +1,153 @@
+"""Standard PyTorch-style MHA — the slow baseline of Figures 11/12.
+
+Models ``torch.nn.MultiheadAttention`` as deployed in FP32 eager mode (the
+framework default the paper benchmarks against): a long chain of small
+kernels, each round-tripping the *padded* tensors — including the
+quadratic ``seq_len x seq_len`` score matrix — through DRAM in FP32.
+
+Kernel chain per call (8 launches):
+
+1. add QKV bias (one pass over the padded ``[B*S, 3H]`` tensor);
+2-4. three reshape/transpose copies materialising contiguous Q, K, V;
+5. batched GEMM ``Q @ K^T`` on FP32 CUDA cores (no tensor cores);
+6. additive mask kernel (read + write the full score tensor);
+7. softmax kernel (read + write the full score tensor);
+8. batched GEMM ``P @ V`` + a final transpose copy.
+
+The scale ``1/sqrt(d)`` is applied in a separate pass over Q, as eager
+PyTorch does.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.gpusim.kernel import ComputeUnit, KernelLaunch
+from repro.gpusim.memory import BYTES_PER_FP32
+from repro.gpusim.stream import ExecutionContext, resolve_context
+from repro.kernels.softmax import MASK_VALUE, softmax_reference
+
+#: sustained fraction of FP32 peak for cuBLAS SGEMM at these shapes
+_FP32_GEMM_EFF = 0.80
+_ROWS_PER_BLOCK = 4
+
+
+def _fp32_elementwise(
+    name: str, rows: int, cols: int, passes: float, category: str
+) -> KernelLaunch:
+    return KernelLaunch(
+        name=name,
+        category=category,
+        grid=max(1, math.ceil(rows / _ROWS_PER_BLOCK)),
+        block_threads=256,
+        flops=float(rows) * cols,
+        dram_bytes=(passes - 1.0) * rows * cols * BYTES_PER_FP32,
+        hot_bytes=rows * cols * BYTES_PER_FP32,
+        compute_unit=ComputeUnit.FP32,
+        compute_efficiency=0.5,
+        regs_per_thread=24,
+    )
+
+
+def _fp32_batched_gemm(
+    name: str, batch_count: int, m: int, n: int, k: int, category: str
+) -> KernelLaunch:
+    tiles = math.ceil(m / 64) * math.ceil(n / 64)
+    return KernelLaunch(
+        name=name,
+        category=category,
+        grid=batch_count * tiles,
+        block_threads=128,
+        flops=2.0 * batch_count * m * n * k,
+        dram_bytes=batch_count * m * n * BYTES_PER_FP32,
+        hot_bytes=batch_count * (m * k + k * n) * BYTES_PER_FP32,
+        compute_unit=ComputeUnit.FP32,
+        compute_efficiency=_FP32_GEMM_EFF * (k / (k + 48.0)),
+        shared_mem_per_block=2 * (64 + 64) * 16 * 4,
+        regs_per_thread=96,
+    )
+
+
+def standard_mha_launches(
+    batch: int,
+    seq_len: int,
+    num_heads: int,
+    hidden: int,
+    category: str = "attention",
+) -> list[KernelLaunch]:
+    """The full kernel chain eager PyTorch MHA launches, in order."""
+    rows = batch * seq_len
+    three_hidden = 3 * hidden
+    head_size = hidden // num_heads
+    score_rows = batch * num_heads * seq_len
+    return [
+        _fp32_elementwise("pt_add_bias", rows, three_hidden, 2.0, category),
+        _fp32_elementwise("pt_transpose_q", rows, hidden, 2.0, category),
+        _fp32_elementwise("pt_transpose_k", rows, hidden, 2.0, category),
+        _fp32_elementwise("pt_transpose_v", rows, hidden, 2.0, category),
+        _fp32_elementwise("pt_scale_q", rows, hidden, 2.0, category),
+        _fp32_batched_gemm(
+            "pt_bmm_qk", batch * num_heads, seq_len, seq_len, head_size,
+            category,
+        ),
+        _fp32_elementwise("pt_add_mask", score_rows, seq_len, 2.0, category),
+        _fp32_elementwise("pt_softmax", score_rows, seq_len, 2.0, category),
+        _fp32_batched_gemm(
+            "pt_bmm_pv", batch * num_heads, seq_len, head_size, seq_len,
+            category,
+        ),
+        _fp32_elementwise("pt_transpose_out", rows, hidden, 2.0, category),
+    ]
+
+
+def standard_mha(
+    qkv: np.ndarray,
+    qkv_bias: np.ndarray,
+    batch: int,
+    seq_len: int,
+    num_heads: int,
+    mask: np.ndarray,
+    *,
+    ctx: ExecutionContext | None = None,
+    category: str = "attention",
+) -> np.ndarray:
+    """PyTorch-eager MHA over a padded ``[B*S, 3H]`` QKV tensor.
+
+    Returns the padded ``[B*S, H]`` attention output (heads merged).
+    Numerically identical to every other variant on valid rows; the
+    difference is the kernel chain it records — which comes verbatim from
+    :func:`standard_mha_launches` so the shape-only estimator stays in
+    lock-step with this numeric path.
+    """
+    rows, three_hidden = qkv.shape
+    if rows != batch * seq_len:
+        raise ValueError(f"{rows} rows != batch {batch} * seq {seq_len}")
+    if qkv_bias.shape != (three_hidden,):
+        raise ValueError(f"bias shape {qkv_bias.shape} != ({three_hidden},)")
+    if mask.shape != (batch, seq_len):
+        raise ValueError(f"mask shape {mask.shape} != ({batch}, {seq_len})")
+    hidden = three_hidden // 3
+    head_size = hidden // num_heads
+    context = resolve_context(ctx)
+
+    for launch in standard_mha_launches(
+        batch, seq_len, num_heads, hidden, category
+    ):
+        context.launch(launch)
+
+    biased = qkv + qkv_bias
+    q, k, v = (
+        biased[:, i * hidden : (i + 1) * hidden]
+        .reshape(batch, seq_len, num_heads, head_size)
+        .transpose(0, 2, 1, 3)
+        .copy()
+        for i in range(3)
+    )
+    q = q / math.sqrt(head_size)
+    scores = q @ np.swapaxes(k, -1, -2)
+    scores = scores + (1.0 - mask[:, None, None, :]) * MASK_VALUE
+    probs = softmax_reference(scores)
+    attn = probs @ v
+    return attn.transpose(0, 2, 1, 3).reshape(rows, hidden).copy()

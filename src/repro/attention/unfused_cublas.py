@@ -1,0 +1,69 @@
+"""Unfused FP16 MHA on cuBLAS batched GEMM — the ``cuBLAS`` variant.
+
+The first serious baseline of Figures 11/12: tensor-core batched GEMMs
+with the ``1/sqrt(d)`` scale folded into the GEMM alpha, one fused
+masked-softmax kernel, and fused bias+transpose kernels around the GEMMs.
+Still *padded*: every batch computes at the maximal sequence length.
+
+Kernel chain (5 launches): fused bias+QKV-split, bmm ``Q K^T``, masked
+softmax, bmm ``P V``, head merge.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.gpusim.stream import ExecutionContext, resolve_context
+from repro.kernels.batched_gemm import batched_gemm
+from repro.kernels.softmax import masked_softmax
+from repro.kernels.transpose import add_bias_split_heads_qkv, merge_heads
+
+
+def unfused_cublas_mha(
+    qkv: np.ndarray,
+    qkv_bias: np.ndarray,
+    batch: int,
+    seq_len: int,
+    num_heads: int,
+    mask: np.ndarray,
+    *,
+    ctx: ExecutionContext | None = None,
+    category: str = "attention",
+) -> np.ndarray:
+    """cuBLAS batched-GEMM MHA over a padded ``[B*S, 3H]`` QKV tensor.
+
+    Returns the padded ``[B*S, H]`` attention output.
+    """
+    rows, three_hidden = qkv.shape
+    if rows != batch * seq_len:
+        raise ValueError(f"{rows} rows != batch {batch} * seq {seq_len}")
+    if mask.shape != (batch, seq_len):
+        raise ValueError(f"mask shape {mask.shape} != ({batch}, {seq_len})")
+    hidden = three_hidden // 3
+    head_size = hidden // num_heads
+    context = resolve_context(ctx)
+
+    q, k, v = add_bias_split_heads_qkv(
+        qkv, qkv_bias, batch, seq_len, num_heads, ctx=context, category=category
+    )
+
+    # scale folded into the GEMM alpha: no extra kernel, no extra cost
+    scores = batched_gemm(
+        q / math.sqrt(head_size),
+        k,
+        transpose_b=True,
+        ctx=context,
+        name="cublas_bmm_qk",
+        category=category,
+    )
+
+    probs = masked_softmax(
+        scores, mask[:, None, None, :], ctx=context, category=category
+    )
+
+    attn = batched_gemm(
+        probs, v, ctx=context, name="cublas_bmm_pv", category=category
+    )
+    return merge_heads(attn, ctx=context, category=category)

@@ -1,0 +1,225 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``experiments`` — list or run the paper's experiment harnesses;
+* ``profile`` — run one configuration and print the kernel breakdown,
+  optionally dumping a chrome://tracing JSON;
+* ``compare`` — one-line end-to-end framework comparison for a shape;
+* ``devices`` — show the simulated device presets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.config import STEPWISE_PRESETS, BertConfig
+from repro.core.estimator import estimate_model
+from repro.experiments import ALL_EXPERIMENTS
+from repro.frameworks import all_frameworks
+from repro.gpusim import A10_SPEC, A100_SPEC, V100_SPEC, ExecutionContext, ProfileReport
+from repro.gpusim.roofline import roofline_report
+from repro.gpusim.trace import write_chrome_trace
+from repro.workloads.generator import uniform_lengths
+
+DEVICES = {spec.name: spec for spec in (A100_SPEC, V100_SPEC, A10_SPEC)}
+PRESETS = {preset.label: preset for preset in STEPWISE_PRESETS}
+
+
+def _add_shape_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--batch", type=int, default=16)
+    parser.add_argument("--max-seq-len", type=int, default=256)
+    parser.add_argument("--alpha", type=float, default=0.6)
+    parser.add_argument("--layers", type=int, default=12)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--device", choices=sorted(DEVICES), default=A100_SPEC.name
+    )
+
+
+def _workload(args: argparse.Namespace) -> tuple[BertConfig, np.ndarray]:
+    config = BertConfig(num_layers=args.layers)
+    rng = np.random.default_rng(args.seed)
+    lens = uniform_lengths(args.batch, args.max_seq_len, args.alpha, rng)
+    return config, lens
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    """List or run the experiment harnesses."""
+    if args.summary:
+        from repro.experiments.report import collect
+
+        report = collect(fast=args.fast)
+        print(
+            report.render_markdown() if args.markdown
+            else report.render_text()
+        )
+        return 0
+    if args.list or not args.names:
+        print("available experiments:")
+        for name, module in ALL_EXPERIMENTS.items():
+            print(f"  {name:<12} {module.__doc__.splitlines()[0]}")
+        return 0
+    unknown = [n for n in args.names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}", file=sys.stderr)
+        return 2
+    for name in args.names:
+        ALL_EXPERIMENTS[name].main()
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Profile one pipeline configuration on one device."""
+    config, lens = _workload(args)
+    preset = PRESETS[args.preset]
+    ctx = ExecutionContext(DEVICES[args.device])
+    total = estimate_model(ctx, config, preset, lens, args.max_seq_len)
+    print(
+        f"{preset.label!r} on {args.device}: {total:.1f} us, "
+        f"{ctx.kernel_count()} kernels, "
+        f"{ctx.total_flops() / 1e9:.2f} GFLOP, "
+        f"{ctx.total_dram_bytes() / 1e6:.1f} MB DRAM"
+    )
+    print(ProfileReport.from_context(ctx).to_table("breakdown"))
+    if args.roofline:
+        print(roofline_report(ctx).to_table())
+    if args.trace:
+        path = write_chrome_trace(ctx, args.trace)
+        print(f"chrome trace written to {path}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Compare every framework model on one shape."""
+    config, lens = _workload(args)
+    device = DEVICES[args.device]
+    print(
+        f"end-to-end BERT ({config.num_layers} layers), batch {args.batch}, "
+        f"max seq {args.max_seq_len}, alpha {args.alpha}, {args.device}"
+    )
+    rows = []
+    for fw in all_frameworks():
+        if not fw.supports(args.max_seq_len):
+            rows.append((fw.name, None))
+            continue
+        ctx = ExecutionContext(device)
+        fw.estimate(ctx, config, lens, args.max_seq_len)
+        rows.append((fw.name, ctx.elapsed_us()))
+    best = min(t for _, t in rows if t is not None)
+    for name, t in rows:
+        if t is None:
+            print(f"  {name:<20} unsupported shape")
+        else:
+            print(f"  {name:<20} {t / 1000:9.2f} ms   ({t / best:4.2f}x)")
+    return 0
+
+
+def cmd_selftest(args: argparse.Namespace) -> int:
+    """Quick numerical cross-validation: every pipeline == the oracle."""
+    del args
+    from repro.core.config import STEPWISE_PRESETS
+    from repro.core.model import BertEncoderModel
+    from repro.core.reference import reference_encoder
+    from repro.core.weights import init_model_weights
+    from repro.workloads.generator import make_batch
+
+    config = BertConfig(num_heads=4, head_size=16, num_layers=2)
+    weights = init_model_weights(config, seed=0)
+    batch = make_batch(4, 48, config.hidden_size, alpha=0.6, seed=1)
+    oracle = reference_encoder(batch.x, weights, config, batch.mask)
+    valid = batch.mask.astype(bool)
+    failed = False
+    for preset in STEPWISE_PRESETS:
+        model = BertEncoderModel(config, preset, weights=weights)
+        out = model.forward(batch.x, batch.mask)
+        err = float(np.abs(out[valid] - oracle[valid]).max())
+        ok = err < 1e-3
+        failed |= not ok
+        print(
+            f"  {preset.label:<26} max|err| vs oracle = {err:.2e}  "
+            f"{'ok' if ok else 'FAIL'}"
+        )
+    print("selftest " + ("FAILED" if failed else "passed"))
+    return 1 if failed else 0
+
+
+def cmd_devices(args: argparse.Namespace) -> int:
+    """Print the simulated device presets."""
+    del args
+    header = (
+        f"{'device':<18}{'SMs':>5}{'TC TFLOPS':>11}{'DRAM GB/s':>11}"
+        f"{'L2 MB':>7}{'smem/SM KB':>12}"
+    )
+    print(header)
+    for spec in DEVICES.values():
+        print(
+            f"{spec.name:<18}{spec.num_sms:>5}"
+            f"{spec.tensor_fp16_tflops:>11.0f}"
+            f"{spec.dram_bandwidth_gbs:>11.0f}"
+            f"{spec.l2_bytes / 1e6:>7.0f}"
+            f"{spec.shared_mem_per_sm / 1024:>12.0f}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ByteTransformer reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("experiments", help="list or run experiment harnesses")
+    p.add_argument("names", nargs="*", help="experiment ids (empty = list)")
+    p.add_argument("--list", action="store_true")
+    p.add_argument(
+        "--summary",
+        action="store_true",
+        help="one consolidated paper-vs-measured table",
+    )
+    p.add_argument("--fast", action="store_true", help="smaller sweeps")
+    p.add_argument("--markdown", action="store_true")
+    p.set_defaults(func=cmd_experiments)
+
+    p = sub.add_parser("profile", help="profile one pipeline configuration")
+    _add_shape_args(p)
+    p.add_argument(
+        "--preset", choices=sorted(PRESETS), default="fused MHA"
+    )
+    p.add_argument("--trace", help="write a chrome://tracing JSON here")
+    p.add_argument(
+        "--roofline",
+        action="store_true",
+        help="classify each kernel as compute/memory/launch bound",
+    )
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("compare", help="compare all frameworks on a shape")
+    _add_shape_args(p)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("devices", help="show device presets")
+    p.set_defaults(func=cmd_devices)
+
+    p = sub.add_parser(
+        "selftest",
+        help="numerically validate every pipeline against the oracle",
+    )
+    p.set_defaults(func=cmd_selftest)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,74 @@
+"""ByteTransformer core: configuration, packing, pipelines, model."""
+
+from repro.core.config import (
+    BASELINE,
+    FUSED_MHA,
+    GELU_FUSION,
+    LAYERNORM_FUSION,
+    RM_PADDING,
+    STANDARD_BERT,
+    STEPWISE_PRESETS,
+    BertConfig,
+    OptimizationConfig,
+)
+from repro.core.flops import (
+    LayerFlops,
+    baseline_flops,
+    exact_variable_length_flops,
+    fused_mha_flops,
+    table2,
+    zero_padding_flops,
+)
+from repro.core.model import BertEncoderModel, ForwardResult
+from repro.core.padding import (
+    PackedSeqs,
+    pack,
+    packing_from_lengths,
+    packing_from_mask,
+    unpack,
+)
+from repro.core.reference import (
+    reference_attention,
+    reference_encoder,
+    reference_encoder_layer,
+    reference_mha,
+)
+from repro.core.weights import (
+    LayerWeights,
+    ModelWeights,
+    init_layer_weights,
+    init_model_weights,
+)
+
+__all__ = [
+    "BASELINE",
+    "FUSED_MHA",
+    "GELU_FUSION",
+    "LAYERNORM_FUSION",
+    "RM_PADDING",
+    "STANDARD_BERT",
+    "STEPWISE_PRESETS",
+    "BertConfig",
+    "OptimizationConfig",
+    "LayerFlops",
+    "baseline_flops",
+    "exact_variable_length_flops",
+    "fused_mha_flops",
+    "table2",
+    "zero_padding_flops",
+    "BertEncoderModel",
+    "ForwardResult",
+    "PackedSeqs",
+    "pack",
+    "packing_from_lengths",
+    "packing_from_mask",
+    "unpack",
+    "reference_attention",
+    "reference_encoder",
+    "reference_encoder_layer",
+    "reference_mha",
+    "LayerWeights",
+    "ModelWeights",
+    "init_layer_weights",
+    "init_model_weights",
+]

@@ -1,0 +1,116 @@
+"""Model and optimisation configuration.
+
+:class:`BertConfig` captures the architecture shape (defaults are the
+standard BERT-base configuration used throughout the paper: 12 heads,
+head size 64, 12 layers).  :class:`OptimizationConfig` captures which of
+the paper's step-wise optimisations are enabled — the presets correspond
+one-to-one to the variants of Figure 13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class BertConfig:
+    """Architecture of a BERT-style encoder stack."""
+
+    num_heads: int = 12
+    head_size: int = 64
+    num_layers: int = 12
+    #: FFN expansion factor (the ``scale`` of Figure 10)
+    ffn_scale: int = 4
+    layernorm_eps: float = 1e-12
+
+    def __post_init__(self) -> None:
+        for name in ("num_heads", "head_size", "num_layers", "ffn_scale"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    @property
+    def hidden_size(self) -> int:
+        return self.num_heads * self.head_size
+
+    @property
+    def ffn_size(self) -> int:
+        return self.hidden_size * self.ffn_scale
+
+    def single_layer(self) -> "BertConfig":
+        """The same architecture with one encoder layer (for Figs 3/13)."""
+        return BertConfig(
+            num_heads=self.num_heads,
+            head_size=self.head_size,
+            num_layers=1,
+            ffn_scale=self.ffn_scale,
+            layernorm_eps=self.layernorm_eps,
+        )
+
+
+#: the standard configuration used in the paper's evaluation
+STANDARD_BERT = BertConfig()
+
+
+@dataclass(frozen=True)
+class OptimizationConfig:
+    """Which ByteTransformer optimisations are active.
+
+    Flags accumulate exactly as the step-wise study of Figure 13 does:
+    each figure variant enables all previous flags plus one more.
+    """
+
+    #: fuse add-bias + residual + layernorm into one kernel (§III-C.1)
+    fuse_layernorm: bool = False
+    #: fuse add-bias + GELU into the FFN GEMM epilogue (§III-C.2)
+    fuse_gelu: bool = False
+    #: the zero-padding algorithm: pack all non-MHA ops (§III-D)
+    remove_padding: bool = False
+    #: the padding-free fused MHA (§III-E); implies remove_padding paths
+    fused_mha: bool = False
+    #: sequence-length cutover between the short fused MHA kernel and the
+    #: grouped-GEMM long kernel (the paper uses 384/512 as the boundary)
+    fused_mha_short_max_seq: int = 384
+    #: grouped-GEMM scheduler: warp-prefetch visitor unless disabled
+    warp_prefetch_scheduler: bool = True
+
+    def __post_init__(self) -> None:
+        if self.fused_mha and not self.remove_padding:
+            raise ValueError(
+                "fused_mha requires remove_padding: the fused kernels index "
+                "packed tensors through the prefix-sum offsets"
+            )
+        if self.fused_mha_short_max_seq <= 0:
+            raise ValueError("fused_mha_short_max_seq must be positive")
+
+    @property
+    def label(self) -> str:
+        if self.fused_mha:
+            return "fused MHA"
+        if self.remove_padding:
+            return "rm padding"
+        if self.fuse_gelu:
+            return "add bias & GELU fusion"
+        if self.fuse_layernorm:
+            return "layernorm fusion"
+        return "baseline"
+
+
+#: Figure 13 presets, in the paper's cumulative order.
+BASELINE = OptimizationConfig()
+LAYERNORM_FUSION = OptimizationConfig(fuse_layernorm=True)
+GELU_FUSION = OptimizationConfig(fuse_layernorm=True, fuse_gelu=True)
+RM_PADDING = OptimizationConfig(
+    fuse_layernorm=True, fuse_gelu=True, remove_padding=True
+)
+FUSED_MHA = OptimizationConfig(
+    fuse_layernorm=True, fuse_gelu=True, remove_padding=True, fused_mha=True
+)
+
+#: the step-wise ladder of Figure 13, in presentation order
+STEPWISE_PRESETS: tuple[OptimizationConfig, ...] = (
+    BASELINE,
+    LAYERNORM_FUSION,
+    GELU_FUSION,
+    RM_PADDING,
+    FUSED_MHA,
+)

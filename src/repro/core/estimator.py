@@ -1,0 +1,345 @@
+"""Shape-only cost estimation: the numeric pipelines without the numerics.
+
+Full-scale NumPy numerics at BERT shapes cost seconds per forward pass;
+the end-to-end sweeps of Figure 14 need hundreds of forwards.  The
+estimator replays, for a given batch shape, the *exact* kernel-launch
+sequence the numeric pipelines record — built from the same public
+``*_launch`` descriptor builders — into an execution context, without
+touching any tensor.
+
+Consistency is enforced by tests: for small shapes, running the numeric
+model and the estimator must record identical kernel sequences (same
+names, grids, FLOPs, bytes) and therefore identical modelled times.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attention.fused_long import FMHA_GROUPED_EFFICIENCY
+from repro.attention.fused_short import fused_short_launch, supports
+from repro.attention.standard import standard_mha_launches
+from repro.core.config import BertConfig, OptimizationConfig
+from repro.gpusim.stream import ExecutionContext
+from repro.kernels.activation import add_bias_gelu_launch
+from repro.kernels.batched_gemm import batched_gemm_launch
+from repro.kernels.gemm import gemm_launch
+from repro.kernels.grouped_gemm import (
+    GemmProblem,
+    SchedulerKind,
+    grouped_gemm_launch,
+)
+from repro.kernels.layernorm import (
+    add_bias_residual_launch,
+    fused_layernorm_launch,
+    layernorm_launch,
+)
+from repro.gpusim.memory import tensor_bytes
+from repro.kernels.packing import pack_launch, unpack_launch
+from repro.kernels.prefix_sum import prefix_sum_launch
+from repro.kernels.reduction import (
+    full_reduction_launch,
+    partial_stats_flops,
+    partial_stats_store_bytes,
+)
+from repro.kernels.softmax import softmax_launch, zeropad_softmax_launch
+from repro.kernels.transpose import (
+    add_bias_split_heads_qkv_launch,
+    add_bias_unpack_split_heads_qkv_launch,
+    pack_merge_heads_launch,
+    split_heads_launch,
+)
+
+
+def estimate_standard_mha(
+    ctx: ExecutionContext,
+    batch: int,
+    seq_len: int,
+    config: BertConfig,
+) -> None:
+    """PyTorch-eager MHA launch chain (see ``standard_mha``)."""
+    for launch in standard_mha_launches(
+        batch, seq_len, config.num_heads, config.hidden_size
+    ):
+        ctx.launch(launch)
+
+
+def estimate_unfused_cublas_mha(
+    ctx: ExecutionContext,
+    batch: int,
+    seq_len: int,
+    config: BertConfig,
+) -> None:
+    """cuBLAS batched-GEMM MHA launch chain (see ``unfused_cublas_mha``)."""
+    rows = batch * seq_len
+    hidden = config.hidden_size
+    ctx.launch(add_bias_split_heads_qkv_launch(rows, 3 * hidden))
+    ctx.launch(
+        batched_gemm_launch(
+            batch * config.num_heads,
+            seq_len,
+            seq_len,
+            config.head_size,
+            name="cublas_bmm_qk",
+        )
+    )
+    ctx.launch(
+        softmax_launch(
+            batch * config.num_heads * seq_len,
+            seq_len,
+            name="masked_softmax",
+        )
+    )
+    ctx.launch(
+        batched_gemm_launch(
+            batch * config.num_heads,
+            seq_len,
+            config.head_size,
+            seq_len,
+            name="cublas_bmm_pv",
+        )
+    )
+    ctx.launch(split_heads_launch(rows, hidden, name="merge_heads"))
+
+
+def estimate_zeropad_mha(
+    ctx: ExecutionContext,
+    seq_lens: np.ndarray,
+    max_seq_len: int,
+    config: BertConfig,
+) -> None:
+    """Zero-padding-softmax MHA launch chain (see ``zeropad_softmax_mha``)."""
+    batch = len(seq_lens)
+    tokens = int(np.sum(seq_lens))
+    hidden = config.hidden_size
+    padded_rows = batch * max_seq_len
+    ctx.launch(
+        add_bias_unpack_split_heads_qkv_launch(
+            tokens, padded_rows, 3 * hidden
+        )
+    )
+    ctx.launch(
+        batched_gemm_launch(
+            batch * config.num_heads,
+            max_seq_len,
+            max_seq_len,
+            config.head_size,
+            name="cublas_bmm_qk",
+        )
+    )
+    ctx.launch(
+        zeropad_softmax_launch(
+            [int(l) for l in seq_lens], config.num_heads
+        )
+    )
+    ctx.launch(
+        batched_gemm_launch(
+            batch * config.num_heads,
+            max_seq_len,
+            config.head_size,
+            max_seq_len,
+            name="cublas_bmm_pv",
+        )
+    )
+    ctx.launch(pack_merge_heads_launch(tokens, hidden))
+
+
+def estimate_fused_long_mha(
+    ctx: ExecutionContext,
+    seq_lens: np.ndarray,
+    config: BertConfig,
+    scheduler: SchedulerKind = SchedulerKind.WARP_PREFETCH,
+) -> None:
+    """Grouped-GEMM fused-MHA launch chain (see ``fused_long_mha``)."""
+    lens = [int(l) for l in seq_lens]
+    heads = config.num_heads
+    head_size = config.head_size
+
+    problems_qk = [
+        GemmProblem(m=length, n=length, k=head_size)
+        for length in lens
+        for _ in range(heads)
+    ]
+    ctx.launch(
+        grouped_gemm_launch(
+            problems_qk,
+            ctx.device,
+            scheduler=scheduler,
+            name="fmha_grouped_qk",
+            extra_bytes=partial_stats_store_bytes(lens, heads),
+            extra_flops=partial_stats_flops(lens, heads),
+            base_efficiency=FMHA_GROUPED_EFFICIENCY,
+        )
+    )
+
+    # full reduction sees one entry per attention unit (heads per batch)
+    unit_lens = [length for length in lens for _ in range(heads)]
+    ctx.launch(full_reduction_launch(unit_lens, heads=1))
+
+    problems_pv = [
+        GemmProblem(m=length, n=head_size, k=length)
+        for length in lens
+        for _ in range(heads)
+    ]
+    transform_flops = sum(2.0 * length * length * heads for length in lens)
+    stats_bytes = sum(2.0 * length * heads * 4 for length in lens)
+    ctx.launch(
+        grouped_gemm_launch(
+            problems_pv,
+            ctx.device,
+            scheduler=scheduler,
+            name="fmha_grouped_pv",
+            extra_bytes=float(stats_bytes),
+            extra_flops=float(transform_flops),
+            base_efficiency=FMHA_GROUPED_EFFICIENCY,
+        )
+    )
+
+
+def estimate_byte_mha(
+    ctx: ExecutionContext,
+    seq_lens: np.ndarray,
+    config: BertConfig,
+    opt: OptimizationConfig,
+) -> None:
+    """ByteTransformer fused-MHA dispatch (see ``byte_mha``)."""
+    max_len = int(np.max(seq_lens))
+    if max_len <= opt.fused_mha_short_max_seq and supports(
+        max_len, config.head_size, ctx.device.max_shared_mem_per_block
+    ):
+        ctx.launch(
+            fused_short_launch(
+                np.asarray(seq_lens), config.num_heads, config.head_size
+            )
+        )
+        return
+    scheduler = (
+        SchedulerKind.WARP_PREFETCH
+        if opt.warp_prefetch_scheduler
+        else SchedulerKind.PER_THREAD
+    )
+    estimate_fused_long_mha(ctx, seq_lens, config, scheduler)
+
+
+def _estimate_layernorm(
+    ctx: ExecutionContext, rows: int, hidden: int, fused: bool, category: str
+) -> None:
+    if fused:
+        ctx.launch(fused_layernorm_launch(rows, hidden, category))
+    else:
+        ctx.launch(add_bias_residual_launch(rows, hidden, category))
+        ctx.launch(layernorm_launch(rows, hidden, category))
+
+
+def _estimate_ffn(
+    ctx: ExecutionContext,
+    rows: int,
+    config: BertConfig,
+    fuse_gelu: bool,
+    name_prefix: str = "",
+) -> None:
+    hidden = config.hidden_size
+    ffn = config.ffn_size
+    if fuse_gelu:
+        ctx.launch(
+            gemm_launch(
+                rows,
+                ffn,
+                hidden,
+                name=f"{name_prefix}gemm2_fused_bias_gelu",
+                category="gemm2",
+                epilogue_bytes=tensor_bytes(ffn),
+            )
+        )
+    else:
+        ctx.launch(
+            gemm_launch(
+                rows, ffn, hidden, name=f"{name_prefix}gemm2",
+                category="gemm2",
+            )
+        )
+        ctx.launch(add_bias_gelu_launch(rows, ffn))
+
+
+def estimate_encoder_layer(
+    ctx: ExecutionContext,
+    config: BertConfig,
+    opt: OptimizationConfig,
+    seq_lens: np.ndarray,
+    max_seq_len: int,
+    *,
+    mha: str | None = None,
+) -> None:
+    """One encoder layer's launch chain for either pipeline.
+
+    ``mha`` overrides the attention implementation: ``"standard"``,
+    ``"cublas"``, ``"zeropad"`` or ``"fused"``; by default it follows
+    ``opt`` exactly as the numeric pipelines do.
+    """
+    batch = len(seq_lens)
+    hidden = config.hidden_size
+    if opt.remove_padding:
+        rows = int(np.sum(seq_lens))
+    else:
+        rows = batch * max_seq_len
+
+    ctx.launch(
+        gemm_launch(rows, 3 * hidden, hidden, name="gemm0_qkv", category="gemm0")
+    )
+
+    if mha is None:
+        if opt.fused_mha:
+            mha = "fused"
+        elif opt.remove_padding:
+            mha = "zeropad"
+        else:
+            mha = "cublas"
+    if mha == "standard":
+        estimate_standard_mha(ctx, batch, max_seq_len, config)
+    elif mha == "cublas":
+        estimate_unfused_cublas_mha(ctx, batch, max_seq_len, config)
+    elif mha == "zeropad":
+        estimate_zeropad_mha(ctx, seq_lens, max_seq_len, config)
+    elif mha == "fused":
+        estimate_byte_mha(ctx, seq_lens, config, opt)
+    else:
+        raise ValueError(f"unknown mha override {mha!r}")
+
+    ctx.launch(
+        gemm_launch(
+            rows, hidden, hidden, name="gemm1_attn_out", category="gemm1"
+        )
+    )
+    _estimate_layernorm(ctx, rows, hidden, opt.fuse_layernorm, "layernorm0")
+    _estimate_ffn(ctx, rows, config, opt.fuse_gelu)
+    ctx.launch(
+        gemm_launch(
+            rows, hidden, config.ffn_size, name="gemm3_ffn_out",
+            category="gemm3",
+        )
+    )
+    _estimate_layernorm(ctx, rows, hidden, opt.fuse_layernorm, "layernorm1")
+
+
+def estimate_model(
+    ctx: ExecutionContext,
+    config: BertConfig,
+    opt: OptimizationConfig,
+    seq_lens: np.ndarray,
+    max_seq_len: int,
+) -> float:
+    """The full model's launch chain; returns the modelled time in us."""
+    batch = len(seq_lens)
+    hidden = config.hidden_size
+    before = ctx.elapsed_us()
+    if opt.remove_padding:
+        tokens = int(np.sum(seq_lens))
+        ctx.launch(prefix_sum_launch(batch, max_seq_len))
+        ctx.launch(pack_launch(tokens, hidden))
+        for _ in range(config.num_layers):
+            estimate_encoder_layer(ctx, config, opt, seq_lens, max_seq_len)
+        ctx.launch(unpack_launch(tokens, batch * max_seq_len, hidden))
+    else:
+        for _ in range(config.num_layers):
+            estimate_encoder_layer(ctx, config, opt, seq_lens, max_seq_len)
+    return ctx.elapsed_us() - before

@@ -1,0 +1,156 @@
+"""Analytic FLOP counts of a single-layer BERT Transformer (Table II).
+
+Notation follows the paper: ``m = batch_size * max_seq_len`` (padded token
+count), ``k = head_num * head_size`` (hidden dimension), ``bs`` the batch
+size, and ``α`` the ratio of average to maximum sequence length.  The
+table's three columns are the padded baseline, the zero-padding algorithm
+(all GEMMs packed except MHA), and zero-padding plus fused MHA (MHA
+quadratic term also shrinks to the valid tokens).
+
+These formulas are verified in the tests against the FLOPs metered by the
+simulator when running the corresponding pipelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.config import BertConfig
+
+#: the compute-bound modules Table II counts, in pipeline order
+TABLE2_MODULES = ("GEMM0", "MHA", "GEMM1", "GEMM2", "GEMM3")
+
+
+@dataclass(frozen=True)
+class LayerFlops:
+    """FLOPs per compute-bound module of one encoder layer."""
+
+    gemm0: float
+    mha: float
+    gemm1: float
+    gemm2: float
+    gemm3: float
+
+    @property
+    def total(self) -> float:
+        return self.gemm0 + self.mha + self.gemm1 + self.gemm2 + self.gemm3
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "GEMM0": self.gemm0,
+            "MHA": self.mha,
+            "GEMM1": self.gemm1,
+            "GEMM2": self.gemm2,
+            "GEMM3": self.gemm3,
+        }
+
+
+def baseline_flops(m: int, k: int, bs: int, config: BertConfig | None = None) -> LayerFlops:
+    """Padded baseline column of Table II.
+
+    ``GEMM0`` is the packed-QKV projection (``m x k`` times ``k x 3k``),
+    MHA is the two batched GEMMs (``4 m^2 k / bs`` because each of the
+    ``bs`` batches does ``2 * 2 * (m/bs)^2 * k`` work), GEMM1 the attention
+    output projection, GEMM2/GEMM3 the FFN up/down projections with the
+    standard 4x expansion.
+    """
+    scale = config.ffn_scale if config is not None else 4
+    return LayerFlops(
+        gemm0=6.0 * m * k**2,
+        mha=4.0 * m**2 * k / bs,
+        gemm1=2.0 * m * k**2,
+        gemm2=2.0 * scale * m * k**2,
+        gemm3=2.0 * scale * m * k**2,
+    )
+
+
+def zero_padding_flops(
+    m: int, k: int, bs: int, alpha: float, config: BertConfig | None = None
+) -> LayerFlops:
+    """Zero-padding column: every GEMM shrinks by α except batched MHA."""
+    if not (0.0 < alpha <= 1.0):
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    base = baseline_flops(m, k, bs, config)
+    return LayerFlops(
+        gemm0=alpha * base.gemm0,
+        mha=base.mha,
+        gemm1=alpha * base.gemm1,
+        gemm2=alpha * base.gemm2,
+        gemm3=alpha * base.gemm3,
+    )
+
+
+def fused_mha_flops(
+    m: int, k: int, bs: int, alpha: float, config: BertConfig | None = None
+) -> LayerFlops:
+    """Zero-padding + fused MHA column: the quadratic MHA term shrinks to
+    ``4 (α m)^2 k / bs``."""
+    packed = zero_padding_flops(m, k, bs, alpha, config)
+    return LayerFlops(
+        gemm0=packed.gemm0,
+        mha=4.0 * (alpha * m) ** 2 * k / bs,
+        gemm1=packed.gemm1,
+        gemm2=packed.gemm2,
+        gemm3=packed.gemm3,
+    )
+
+
+def exact_variable_length_flops(
+    seq_lens: Sequence[int], config: BertConfig
+) -> LayerFlops:
+    """Exact per-module FLOPs for a concrete variable-length batch.
+
+    Table II's α-formulas assume every sequence has the average length; the
+    MHA term is exact only in that case (``sum len_i^2 != (sum len_i)^2/bs``
+    in general).  This helper computes the exact counts the simulator
+    should meter for a real batch, used to cross-check both.
+    """
+    lens = np.asarray(seq_lens, dtype=np.float64)
+    if lens.size == 0 or (lens <= 0).any():
+        raise ValueError("need positive sequence lengths")
+    k = config.hidden_size
+    tokens = float(lens.sum())
+    sq = float((lens**2).sum())
+    return LayerFlops(
+        gemm0=6.0 * tokens * k**2,
+        mha=4.0 * sq * k,
+        gemm1=2.0 * tokens * k**2,
+        gemm2=2.0 * config.ffn_scale * tokens * k**2,
+        gemm3=2.0 * config.ffn_scale * tokens * k**2,
+    )
+
+
+def table2(
+    batch: int,
+    max_seq_len: int,
+    alpha: float,
+    config: BertConfig | None = None,
+) -> dict[str, LayerFlops]:
+    """The three columns of Table II for a concrete configuration."""
+    cfg = config or BertConfig()
+    m = batch * max_seq_len
+    k = cfg.hidden_size
+    return {
+        "Baseline": baseline_flops(m, k, batch, cfg),
+        "Zero Padding": zero_padding_flops(m, k, batch, alpha, cfg),
+        "Zero Padding + fused MHA": fused_mha_flops(m, k, batch, alpha, cfg),
+    }
+
+
+def format_table2(columns: dict[str, LayerFlops]) -> str:
+    """Render Table II as text (GFLOPs)."""
+    names = list(columns)
+    lines = [f"{'module':<8}" + "".join(f"{n:>28}" for n in names)]
+    for module in TABLE2_MODULES:
+        row = f"{module:<8}"
+        for name in names:
+            row += f"{columns[name].as_dict()[module] / 1e9:>26.2f} G"
+        lines.append(row)
+    row = f"{'total':<8}"
+    for name in names:
+        row += f"{columns[name].total / 1e9:>26.2f} G"
+    lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""End-to-end BERT encoder model with selectable optimisation preset.
+
+:class:`BertEncoderModel` stacks :data:`BertConfig.num_layers` encoder
+layers.  With ``remove_padding`` enabled, the zero-padding algorithm runs
+*once* per forward pass (prefix-sum kernel + pack), activations stay
+packed across all layers, and the output is unpacked at the very end —
+matching the pipeline of Figure 2 (c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import BertConfig, OptimizationConfig
+from repro.core.encoder import encoder_layer_packed, encoder_layer_padded
+from repro.core.padding import pack, packing_from_mask, unpack
+from repro.core.weights import ModelWeights, init_model_weights
+from repro.gpusim.stream import ExecutionContext, resolve_context
+
+
+@dataclass(frozen=True)
+class ForwardResult:
+    """Output of one forward pass plus cost-model statistics."""
+
+    hidden: np.ndarray
+    time_us: float
+    kernel_count: int
+    flops: float
+    dram_bytes: float
+
+
+class BertEncoderModel:
+    """A BERT encoder stack on the simulated-GPU substrate.
+
+    Parameters
+    ----------
+    config:
+        Architecture (heads, head size, layers, FFN scale).
+    opt:
+        Which ByteTransformer optimisations are active; pick one of the
+        :data:`repro.core.config.STEPWISE_PRESETS` to replicate a Figure
+        13 variant.
+    weights:
+        Shared :class:`ModelWeights`; initialised from ``seed`` when
+        omitted.  Pass the same weights to different presets to assert
+        numerical equivalence.
+    """
+
+    def __init__(
+        self,
+        config: BertConfig | None = None,
+        opt: OptimizationConfig | None = None,
+        weights: ModelWeights | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.config = config or BertConfig()
+        self.opt = opt or OptimizationConfig()
+        if weights is not None and weights.num_layers != self.config.num_layers:
+            raise ValueError(
+                f"weights have {weights.num_layers} layers, config wants "
+                f"{self.config.num_layers}"
+            )
+        self.weights = weights or init_model_weights(self.config, seed)
+        if self.weights.hidden_size != self.config.hidden_size:
+            raise ValueError(
+                f"weights hidden size {self.weights.hidden_size} != config "
+                f"hidden size {self.config.hidden_size}"
+            )
+
+    def forward(
+        self,
+        x: np.ndarray,
+        mask: np.ndarray,
+        *,
+        ctx: ExecutionContext | None = None,
+    ) -> np.ndarray:
+        """Run the stack on a padded ``[B, S, H]`` input with its mask.
+
+        Always returns the padded ``[B, S, H]`` output (zeros on padding
+        when the packed pipeline ran).
+        """
+        if x.ndim != 3:
+            raise ValueError(f"expected [B, S, H] input, got {x.shape}")
+        batch, seq_len, hidden = x.shape
+        if hidden != self.config.hidden_size:
+            raise ValueError(
+                f"hidden {hidden} != config hidden {self.config.hidden_size}"
+            )
+        if mask.shape != (batch, seq_len):
+            raise ValueError(
+                f"mask shape {mask.shape} != ({batch}, {seq_len})"
+            )
+        context = resolve_context(ctx)
+        flat = x.reshape(batch * seq_len, hidden)
+
+        if self.opt.remove_padding:
+            packing = packing_from_mask(mask, ctx=context)
+            hidden_state = pack(flat, packing, ctx=context)
+            for layer in self.weights.layers:
+                hidden_state = encoder_layer_packed(
+                    hidden_state,
+                    layer,
+                    self.config,
+                    self.opt,
+                    packing,
+                    ctx=context,
+                )
+            out = unpack(hidden_state, packing, ctx=context)
+        else:
+            out = flat
+            for layer in self.weights.layers:
+                out = encoder_layer_padded(
+                    out, layer, self.config, self.opt, mask, ctx=context
+                )
+            # zero the padding so padded and packed pipelines agree exactly
+            out = out * mask.reshape(batch * seq_len, 1)
+        return out.reshape(batch, seq_len, hidden)
+
+    def forward_with_stats(
+        self,
+        x: np.ndarray,
+        mask: np.ndarray,
+        *,
+        ctx: ExecutionContext | None = None,
+    ) -> ForwardResult:
+        """Forward pass returning output plus the run's cost statistics."""
+        context = ctx if ctx is not None else ExecutionContext()
+        before_time = context.elapsed_us()
+        before_kernels = context.kernel_count()
+        before_flops = context.total_flops()
+        before_bytes = context.total_dram_bytes()
+        hidden = self.forward(x, mask, ctx=context)
+        return ForwardResult(
+            hidden=hidden,
+            time_us=context.elapsed_us() - before_time,
+            kernel_count=context.kernel_count() - before_kernels,
+            flops=context.total_flops() - before_flops,
+            dram_bytes=context.total_dram_bytes() - before_bytes,
+        )

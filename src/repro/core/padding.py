@@ -1,0 +1,207 @@
+"""The zero-padding algorithm (§III-D, Figure 4).
+
+Given the ``[B, S]`` input mask, a warp-level prefix sum yields, for every
+valid token, its row in the *packed* tensor; the packed tensor has exactly
+``valid_word_cnt`` rows, so every downstream operation that indexes
+through the offsets does zero work on padding.  :class:`PackedSeqs` is the
+positioning structure every other module consumes: gather indices
+(packed row → padded row), per-sentence offsets (prefix of sequence
+lengths) and the valid lengths themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpusim.stream import ExecutionContext
+from repro.kernels.packing import pack_tokens, unpack_tokens
+from repro.kernels.prefix_sum import mask_prefix_sum
+
+
+@dataclass(frozen=True)
+class PackedSeqs:
+    """Positioning information of a packed variable-length batch.
+
+    Attributes
+    ----------
+    batch, max_seq_len:
+        Padded layout this packing came from.
+    seq_lens:
+        ``[B]`` valid token count of each sentence.
+    seq_offsets:
+        ``[B + 1]`` exclusive prefix of ``seq_lens``; sentence ``b``
+        occupies packed rows ``seq_offsets[b] : seq_offsets[b + 1]``.
+    gather_idx:
+        ``[T]`` padded linear row (``b * S + s``) of each packed row —
+        the "position offset vector" the paper's kernels index with.
+    """
+
+    batch: int
+    max_seq_len: int
+    seq_lens: np.ndarray
+    seq_offsets: np.ndarray
+    gather_idx: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.seq_lens.shape != (self.batch,):
+            raise ValueError(
+                f"seq_lens shape {self.seq_lens.shape} != ({self.batch},)"
+            )
+        if self.seq_offsets.shape != (self.batch + 1,):
+            raise ValueError(
+                f"seq_offsets shape {self.seq_offsets.shape} != "
+                f"({self.batch + 1},)"
+            )
+        if self.seq_lens.min() <= 0:
+            raise ValueError("every sentence needs at least one valid token")
+        if self.seq_lens.max() > self.max_seq_len:
+            raise ValueError("a sequence length exceeds max_seq_len")
+        if self.gather_idx.shape != (int(self.seq_lens.sum()),):
+            raise ValueError("gather_idx size != total valid tokens")
+
+    @property
+    def total_tokens(self) -> int:
+        """``valid_word_cnt`` — rows of the packed tensor."""
+        return int(self.seq_offsets[-1])
+
+    @property
+    def padded_rows(self) -> int:
+        return self.batch * self.max_seq_len
+
+    @property
+    def fill_ratio(self) -> float:
+        """Valid fraction of the padded layout (the paper's α on average)."""
+        return self.total_tokens / self.padded_rows
+
+    def rows_of(self, b: int) -> slice:
+        """Packed row range of sentence ``b``."""
+        return slice(int(self.seq_offsets[b]), int(self.seq_offsets[b + 1]))
+
+    def to_mask(self) -> np.ndarray:
+        """Reconstruct the ``[B, S]`` 0/1 mask (left-aligned tokens)."""
+        mask = np.zeros((self.batch, self.max_seq_len), dtype=np.int64)
+        for b, length in enumerate(self.seq_lens):
+            mask[b, :length] = 1
+        return mask
+
+
+def packing_from_mask(
+    mask: np.ndarray, *, ctx: ExecutionContext | None = None
+) -> PackedSeqs:
+    """Run the prefix-sum kernel on ``mask`` and build :class:`PackedSeqs`.
+
+    The paper's serving path assumes left-aligned tokens (a sentence's
+    words occupy positions ``0..len-1``); the mask is validated to be of
+    that form.
+    """
+    if mask.ndim != 2:
+        raise ValueError(f"expected a [B, S] mask, got {mask.shape}")
+    prefix = mask_prefix_sum(mask, ctx=ctx)
+    batch, max_seq_len = mask.shape
+
+    seq_lens = prefix[:, -1].copy()
+    if (seq_lens <= 0).any():
+        raise ValueError("every sentence needs at least one valid token")
+    # left-alignment check: prefix sum at position s must equal s+1 for
+    # all valid positions
+    for b in range(batch):
+        length = int(seq_lens[b])
+        expected = np.arange(1, length + 1)
+        if not np.array_equal(prefix[b, :length], expected):
+            raise ValueError(
+                f"sentence {b} has interior padding; the serving path "
+                "expects left-aligned tokens"
+            )
+
+    seq_offsets = np.zeros(batch + 1, dtype=np.int64)
+    np.cumsum(seq_lens, out=seq_offsets[1:])
+
+    gather = np.empty(int(seq_offsets[-1]), dtype=np.int64)
+    for b in range(batch):
+        length = int(seq_lens[b])
+        gather[seq_offsets[b] : seq_offsets[b + 1]] = (
+            b * max_seq_len + np.arange(length)
+        )
+
+    return PackedSeqs(
+        batch=batch,
+        max_seq_len=max_seq_len,
+        seq_lens=seq_lens,
+        seq_offsets=seq_offsets,
+        gather_idx=gather,
+    )
+
+
+def packing_from_lengths(
+    seq_lens: np.ndarray | list[int], max_seq_len: int
+) -> PackedSeqs:
+    """Build :class:`PackedSeqs` directly from known lengths (no kernel)."""
+    lens = np.asarray(seq_lens, dtype=np.int64)
+    if lens.ndim != 1:
+        raise ValueError(f"seq_lens must be 1-D, got shape {lens.shape}")
+    if lens.size == 0:
+        raise ValueError("need at least one sequence")
+    if lens.min() <= 0 or lens.max() > max_seq_len:
+        raise ValueError(
+            f"lengths must lie in [1, {max_seq_len}], got "
+            f"[{lens.min()}, {lens.max()}]"
+        )
+    batch = lens.shape[0]
+    offsets = np.zeros(batch + 1, dtype=np.int64)
+    np.cumsum(lens, out=offsets[1:])
+    gather = np.empty(int(offsets[-1]), dtype=np.int64)
+    for b in range(batch):
+        gather[offsets[b] : offsets[b + 1]] = (
+            b * max_seq_len + np.arange(lens[b])
+        )
+    return PackedSeqs(
+        batch=batch,
+        max_seq_len=max_seq_len,
+        seq_lens=lens,
+        seq_offsets=offsets,
+        gather_idx=gather,
+    )
+
+
+def pack(
+    x_padded: np.ndarray,
+    packing: PackedSeqs,
+    *,
+    ctx: ExecutionContext | None = None,
+) -> np.ndarray:
+    """Pack a padded ``[B, S, H]`` or ``[B*S, H]`` tensor to ``[T, H]``."""
+    if x_padded.ndim == 3:
+        batch, seq, hidden = x_padded.shape
+        if batch != packing.batch or seq != packing.max_seq_len:
+            raise ValueError(
+                f"tensor layout {x_padded.shape[:2]} does not match packing "
+                f"({packing.batch}, {packing.max_seq_len})"
+            )
+        x_padded = x_padded.reshape(batch * seq, hidden)
+    elif x_padded.ndim == 2:
+        if x_padded.shape[0] != packing.padded_rows:
+            raise ValueError(
+                f"{x_padded.shape[0]} rows != padded layout "
+                f"{packing.padded_rows}"
+            )
+    else:
+        raise ValueError(f"expected 2-D or 3-D tensor, got {x_padded.shape}")
+    return pack_tokens(x_padded, packing.gather_idx, ctx=ctx)
+
+
+def unpack(
+    x_packed: np.ndarray,
+    packing: PackedSeqs,
+    *,
+    ctx: ExecutionContext | None = None,
+) -> np.ndarray:
+    """Unpack ``[T, H]`` back to padded ``[B*S, H]`` (padding zeroed)."""
+    if x_packed.ndim != 2 or x_packed.shape[0] != packing.total_tokens:
+        raise ValueError(
+            f"expected [{packing.total_tokens}, H], got {x_packed.shape}"
+        )
+    return unpack_tokens(
+        x_packed, packing.gather_idx, packing.padded_rows, ctx=ctx
+    )

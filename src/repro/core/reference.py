@@ -1,0 +1,109 @@
+"""Plain-NumPy oracle for the BERT encoder.
+
+No kernels, no cost accounting, no packing — just the math of Figure 2 (a)
+on a padded batch with an attention mask.  Every optimised pipeline and
+every framework model is validated against this implementation on the
+valid (unpadded) region of the output.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.config import BertConfig
+from repro.core.weights import LayerWeights, ModelWeights
+from repro.kernels.activation import gelu_reference
+from repro.kernels.layernorm import layernorm_reference
+from repro.kernels.softmax import MASK_VALUE, softmax_reference
+
+
+def reference_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Scaled dot-product attention oracle.
+
+    ``q``/``k``/``v`` are ``[..., S, head_size]``; ``mask`` (optional) is
+    ``[B, S]`` with 1 for valid key positions, broadcast over heads and
+    query positions.
+    """
+    head_size = q.shape[-1]
+    scores = q @ np.swapaxes(k, -1, -2) / math.sqrt(head_size)
+    if mask is not None:
+        key_mask = mask[:, None, None, :]
+        scores = scores + (1.0 - key_mask) * MASK_VALUE
+    return softmax_reference(scores) @ v
+
+
+def reference_mha(
+    x: np.ndarray,
+    weights: LayerWeights,
+    config: BertConfig,
+    mask: np.ndarray,
+) -> np.ndarray:
+    """Multi-head attention on a padded ``[B, S, H]`` batch (pre-projection
+    output, before the attention output GEMM)."""
+    batch, seq, hidden = x.shape
+    qkv = x.reshape(batch * seq, hidden) @ weights.qkv_weight + weights.qkv_bias
+    q, k, v = (
+        qkv[:, i * hidden : (i + 1) * hidden]
+        .reshape(batch, seq, config.num_heads, config.head_size)
+        .transpose(0, 2, 1, 3)
+        for i in range(3)
+    )
+    attn = reference_attention(q, k, v, mask)
+    return attn.transpose(0, 2, 1, 3).reshape(batch, seq, hidden)
+
+
+def reference_encoder_layer(
+    x: np.ndarray,
+    weights: LayerWeights,
+    config: BertConfig,
+    mask: np.ndarray,
+) -> np.ndarray:
+    """One post-LN BERT encoder layer on a padded ``[B, S, H]`` batch."""
+    batch, seq, hidden = x.shape
+    attn = reference_mha(x, weights, config, mask)
+    flat = attn.reshape(batch * seq, hidden)
+    proj = flat @ weights.attn_out_weight
+
+    x_flat = x.reshape(batch * seq, hidden)
+    ln0 = layernorm_reference(
+        proj + weights.attn_out_bias + x_flat,
+        weights.ln0_gamma,
+        weights.ln0_beta,
+        config.layernorm_eps,
+    )
+
+    ffn = gelu_reference(ln0 @ weights.ffn_in_weight + weights.ffn_in_bias)
+    down = ffn @ weights.ffn_out_weight
+    ln1 = layernorm_reference(
+        down + weights.ffn_out_bias + ln0,
+        weights.ln1_gamma,
+        weights.ln1_beta,
+        config.layernorm_eps,
+    )
+    return ln1.reshape(batch, seq, hidden)
+
+
+def reference_encoder(
+    x: np.ndarray,
+    weights: ModelWeights,
+    config: BertConfig,
+    mask: np.ndarray,
+) -> np.ndarray:
+    """The full encoder stack oracle on a padded ``[B, S, H]`` batch."""
+    if x.ndim != 3:
+        raise ValueError(f"expected [B, S, H], got {x.shape}")
+    if mask.shape != x.shape[:2]:
+        raise ValueError(
+            f"mask shape {mask.shape} != batch layout {x.shape[:2]}"
+        )
+    out = x
+    for layer in weights.layers:
+        out = reference_encoder_layer(out, layer, config, mask)
+    return out

@@ -1,0 +1,129 @@
+"""Weight containers and deterministic initialisation.
+
+All pipeline variants and all framework models share one weight layout so
+numerical equivalence can be asserted across implementations.  QKV
+projection weights are stored *packed* (``[H, 3H]``) — the paper packs the
+three matrices into contiguous memory to launch a single GEMM for the
+positional encoding (§III-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import BertConfig
+
+
+@dataclass(frozen=True)
+class LayerWeights:
+    """Parameters of one BERT encoder layer."""
+
+    #: packed QKV projection: ``[H, 3H]`` (columns are Q | K | V)
+    qkv_weight: np.ndarray
+    qkv_bias: np.ndarray
+    #: attention output projection ``[H, H]``
+    attn_out_weight: np.ndarray
+    attn_out_bias: np.ndarray
+    ln0_gamma: np.ndarray
+    ln0_beta: np.ndarray
+    #: FFN up-projection ``[H, 4H]``
+    ffn_in_weight: np.ndarray
+    ffn_in_bias: np.ndarray
+    #: FFN down-projection ``[4H, H]``
+    ffn_out_weight: np.ndarray
+    ffn_out_bias: np.ndarray
+    ln1_gamma: np.ndarray
+    ln1_beta: np.ndarray
+
+    def __post_init__(self) -> None:
+        hidden = self.qkv_weight.shape[0]
+        expectations = {
+            "qkv_weight": (hidden, 3 * hidden),
+            "qkv_bias": (3 * hidden,),
+            "attn_out_weight": (hidden, hidden),
+            "attn_out_bias": (hidden,),
+            "ln0_gamma": (hidden,),
+            "ln0_beta": (hidden,),
+            "ffn_in_bias": (self.ffn_in_weight.shape[1],),
+            "ffn_out_weight": (self.ffn_in_weight.shape[1], hidden),
+            "ffn_out_bias": (hidden,),
+            "ln1_gamma": (hidden,),
+            "ln1_beta": (hidden,),
+        }
+        for name, shape in expectations.items():
+            actual = getattr(self, name).shape
+            if actual != shape:
+                raise ValueError(f"{name} has shape {actual}, expected {shape}")
+
+    @property
+    def hidden_size(self) -> int:
+        return self.qkv_weight.shape[0]
+
+    def q_weight(self) -> np.ndarray:
+        """View of the Q column block of the packed QKV weight."""
+        h = self.hidden_size
+        return self.qkv_weight[:, :h]
+
+    def k_weight(self) -> np.ndarray:
+        h = self.hidden_size
+        return self.qkv_weight[:, h : 2 * h]
+
+    def v_weight(self) -> np.ndarray:
+        h = self.hidden_size
+        return self.qkv_weight[:, 2 * h :]
+
+
+@dataclass(frozen=True)
+class ModelWeights:
+    """Parameters of the full encoder stack."""
+
+    layers: tuple[LayerWeights, ...]
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ValueError("a model needs at least one layer")
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    @property
+    def hidden_size(self) -> int:
+        return self.layers[0].hidden_size
+
+
+def init_layer_weights(config: BertConfig, rng: np.random.Generator) -> LayerWeights:
+    """Gaussian(0, 0.02) init, the BERT convention, in FP32."""
+    h = config.hidden_size
+    f = config.ffn_size
+    scale = 0.02
+
+    def w(*shape: int) -> np.ndarray:
+        return rng.normal(0.0, scale, size=shape).astype(np.float32)
+
+    return LayerWeights(
+        qkv_weight=w(h, 3 * h),
+        qkv_bias=w(3 * h),
+        attn_out_weight=w(h, h),
+        attn_out_bias=w(h),
+        ln0_gamma=(np.ones(h) + rng.normal(0.0, 0.01, size=h)).astype(np.float32),
+        ln0_beta=w(h),
+        ffn_in_weight=w(h, f),
+        ffn_in_bias=w(f),
+        ffn_out_weight=w(f, h),
+        ffn_out_bias=w(h),
+        ln1_gamma=(np.ones(h) + rng.normal(0.0, 0.01, size=h)).astype(np.float32),
+        ln1_beta=w(h),
+    )
+
+
+def init_model_weights(config: BertConfig, seed: int = 0) -> ModelWeights:
+    """Deterministic weights for the whole stack."""
+    rng = np.random.default_rng(seed)
+    return ModelWeights(
+        layers=tuple(
+            init_layer_weights(config, rng) for _ in range(config.num_layers)
+        )
+    )

@@ -1,0 +1,59 @@
+"""Encoder-decoder extension (§V / §II-A of the paper).
+
+The paper optimises an encoder-only BERT but notes that "one can easily
+extend to other transformers that contain the decoder part using the
+optimizations and algorithm proposed in the paper".  This package is that
+extension: the zero-padding algorithm and the fused-MHA machinery applied
+to a Transformer *decoder* —
+
+* **causal self-attention**, padding-free: the short kernel's triangular
+  work, and a grouped-GEMM formulation where each attention unit's lower
+  triangle is decomposed into row-strip sub-problems (variable shapes —
+  exactly what grouped GEMM exists for);
+* **cross-attention** over *two* packed batches (decoder queries against
+  encoder keys/values of different lengths), again as grouped GEMM with
+  rectangular ``tgt_len x src_len`` sub-problems;
+* a full packed decoder layer and an encoder-decoder model validated
+  against a plain NumPy oracle.
+"""
+
+from repro.decoder.causal import (
+    causal_cross_mha,
+    causal_self_mha,
+    causal_strip_problems,
+    cross_problems,
+)
+from repro.decoder.generation import (
+    PackedKVCache,
+    decode_attention_launch,
+    decode_self_attention_step,
+    generation_traffic_ratio,
+)
+from repro.decoder.layer import decoder_layer_packed
+from repro.decoder.model import Seq2SeqModel
+from repro.decoder.reference import (
+    reference_causal_attention,
+    reference_cross_attention,
+    reference_decoder,
+    reference_decoder_layer,
+)
+from repro.decoder.weights import DecoderLayerWeights, init_decoder_weights
+
+__all__ = [
+    "causal_cross_mha",
+    "causal_self_mha",
+    "causal_strip_problems",
+    "cross_problems",
+    "PackedKVCache",
+    "decode_attention_launch",
+    "decode_self_attention_step",
+    "generation_traffic_ratio",
+    "decoder_layer_packed",
+    "Seq2SeqModel",
+    "reference_causal_attention",
+    "reference_cross_attention",
+    "reference_decoder",
+    "reference_decoder_layer",
+    "DecoderLayerWeights",
+    "init_decoder_weights",
+]

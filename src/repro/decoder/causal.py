@@ -1,0 +1,257 @@
+"""Padding-free causal self-attention and cross-attention.
+
+Both are built on the grouped-GEMM FMHA machinery of
+:mod:`repro.attention.fused_long`:
+
+* **causal self-attention** decomposes each unit's lower-triangular score
+  matrix into *row strips*: query rows ``[i*T, (i+1)*T)`` attend to keys
+  ``[0, (i+1)*T)``, so strip ``i`` is a ``T x (i+1)*T x head_size``
+  GEMM.  The strips have different shapes — which is fine, because
+  grouped GEMM schedules arbitrary shapes — and together they cover
+  exactly the causal work, so no FLOP is spent above the diagonal at
+  tile granularity;
+* **cross-attention** pairs each decoder sequence (length ``t_i``) with
+  its encoder sequence (length ``s_i``): rectangular ``t_i x s_i``
+  sub-problems, padding-free on both sides.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.attention.fused_long import FMHA_GROUPED_EFFICIENCY
+from repro.core.padding import PackedSeqs
+from repro.gpusim.memory import BYTES_PER_FP32
+from repro.gpusim.stream import ExecutionContext, resolve_context
+from repro.kernels.grouped_gemm import (
+    GemmProblem,
+    SchedulerKind,
+    grouped_gemm_launch,
+)
+from repro.kernels.reduction import full_reduction_launch
+from repro.kernels.softmax import softmax_reference
+
+#: row-strip height for the causal decomposition (one CTA tile row)
+CAUSAL_STRIP = 128
+
+
+def causal_strip_problems(
+    seq_lens: Sequence[int],
+    num_heads: int,
+    head_size: int,
+    strip: int = CAUSAL_STRIP,
+) -> list[GemmProblem]:
+    """Grouped-GEMM sub-problems covering each unit's lower triangle.
+
+    For a length-``L`` unit: strips ``i = 0..ceil(L/strip)-1`` of shape
+    ``min(strip, L - i*strip) x min(L, (i+1)*strip) x head_size``.
+    Summed over strips this covers the triangle at strip granularity —
+    roughly half the square's FLOPs for long sequences.
+    """
+    problems = []
+    for length in seq_lens:
+        length = int(length)
+        strips = math.ceil(length / strip)
+        for _ in range(num_heads):
+            for i in range(strips):
+                rows = min(strip, length - i * strip)
+                cols = min(length, (i + 1) * strip)
+                problems.append(GemmProblem(m=rows, n=cols, k=head_size))
+    return problems
+
+
+def cross_problems(
+    tgt_lens: Sequence[int],
+    src_lens: Sequence[int],
+    num_heads: int,
+    head_size: int,
+) -> list[GemmProblem]:
+    """Rectangular ``tgt x src`` sub-problems for cross-attention."""
+    if len(tgt_lens) != len(src_lens):
+        raise ValueError(
+            f"{len(tgt_lens)} target vs {len(src_lens)} source sequences"
+        )
+    return [
+        GemmProblem(m=int(t), n=int(s), k=head_size)
+        for t, s in zip(tgt_lens, src_lens)
+        for _ in range(num_heads)
+    ]
+
+
+def _stats_bytes(seq_lens: Sequence[int], heads: int) -> float:
+    return float(sum(2 * int(l) * heads for l in seq_lens)) * BYTES_PER_FP32
+
+
+def causal_self_mha(
+    qkv_packed: np.ndarray,
+    qkv_bias: np.ndarray,
+    packing: PackedSeqs,
+    num_heads: int,
+    *,
+    scheduler: SchedulerKind = SchedulerKind.WARP_PREFETCH,
+    ctx: ExecutionContext | None = None,
+    category: str = "self_attention",
+) -> np.ndarray:
+    """Padding-free causal MHA on a packed ``[T, 3H]`` QKV tensor.
+
+    Numerically: for every (sequence, head), position ``i`` attends to
+    positions ``0..i`` only.  Cost: two grouped GEMMs over the causal
+    row-strip decomposition plus the lightweight full reduction.
+    """
+    tokens, three_hidden = qkv_packed.shape
+    if tokens != packing.total_tokens:
+        raise ValueError(
+            f"{tokens} packed rows != packing total {packing.total_tokens}"
+        )
+    if qkv_bias.shape != (three_hidden,):
+        raise ValueError(f"bias shape {qkv_bias.shape} != ({three_hidden},)")
+    hidden = three_hidden // 3
+    head_size = hidden // num_heads
+    context = resolve_context(ctx)
+    scale = 1.0 / math.sqrt(head_size)
+
+    biased = qkv_packed + qkv_bias
+    q_all = biased[:, :hidden]
+    k_all = biased[:, hidden : 2 * hidden]
+    v_all = biased[:, 2 * hidden :]
+
+    seq_lens = [int(length) for length in packing.seq_lens]
+    out = np.empty((tokens, hidden), dtype=qkv_packed.dtype)
+    for b in range(packing.batch):
+        rows = packing.rows_of(b)
+        length = seq_lens[b]
+        causal = np.tril(np.ones((length, length), dtype=bool))
+        for h in range(num_heads):
+            cols = slice(h * head_size, (h + 1) * head_size)
+            scores = (q_all[rows, cols] @ k_all[rows, cols].T) * scale
+            scores = np.where(causal, scores, -np.inf)
+            out[rows, cols] = softmax_reference(scores) @ v_all[rows, cols]
+
+    problems = causal_strip_problems(seq_lens, num_heads, head_size)
+    context.launch(
+        grouped_gemm_launch(
+            problems,
+            context.device,
+            scheduler=scheduler,
+            name="causal_grouped_qk",
+            category=category,
+            extra_bytes=_stats_bytes(seq_lens, num_heads),
+            base_efficiency=FMHA_GROUPED_EFFICIENCY,
+        )
+    )
+    unit_lens = [length for length in seq_lens for _ in range(num_heads)]
+    context.launch(full_reduction_launch(unit_lens, heads=1, category=category))
+    # second grouped GEMM: probs (strip rows x covered cols) @ V
+    problems_pv = [
+        GemmProblem(m=p.m, n=head_size, k=p.n) for p in problems
+    ]
+    context.launch(
+        grouped_gemm_launch(
+            problems_pv,
+            context.device,
+            scheduler=scheduler,
+            name="causal_grouped_pv",
+            category=category,
+            extra_bytes=_stats_bytes(seq_lens, num_heads),
+            base_efficiency=FMHA_GROUPED_EFFICIENCY,
+        )
+    )
+    return out
+
+
+def causal_cross_mha(
+    q_packed: np.ndarray,
+    q_bias: np.ndarray,
+    kv_packed: np.ndarray,
+    kv_bias: np.ndarray,
+    tgt_packing: PackedSeqs,
+    src_packing: PackedSeqs,
+    num_heads: int,
+    *,
+    scheduler: SchedulerKind = SchedulerKind.WARP_PREFETCH,
+    ctx: ExecutionContext | None = None,
+    category: str = "cross_attention",
+) -> np.ndarray:
+    """Padding-free cross-attention: packed decoder queries against packed
+    encoder keys/values.
+
+    ``q_packed`` is ``[T_tgt, H]``; ``kv_packed`` is ``[T_src, 2H]``
+    (fused K|V, the encoder-side projection).  Despite the name, cross
+    attention is *not* causally masked — the decoder may see the whole
+    source sentence; the name marks its place in the decoder layer.
+    """
+    if tgt_packing.batch != src_packing.batch:
+        raise ValueError(
+            f"target batch {tgt_packing.batch} != source batch "
+            f"{src_packing.batch}"
+        )
+    t_tokens, hidden = q_packed.shape
+    if t_tokens != tgt_packing.total_tokens:
+        raise ValueError(
+            f"{t_tokens} query rows != target packing "
+            f"{tgt_packing.total_tokens}"
+        )
+    s_tokens, two_hidden = kv_packed.shape
+    if s_tokens != src_packing.total_tokens:
+        raise ValueError(
+            f"{s_tokens} key/value rows != source packing "
+            f"{src_packing.total_tokens}"
+        )
+    if two_hidden != 2 * hidden:
+        raise ValueError(
+            f"KV width {two_hidden} != 2 x query width {hidden}"
+        )
+    head_size = hidden // num_heads
+    context = resolve_context(ctx)
+    scale = 1.0 / math.sqrt(head_size)
+
+    q_all = q_packed + q_bias
+    kv = kv_packed + kv_bias
+    k_all = kv[:, :hidden]
+    v_all = kv[:, hidden:]
+
+    tgt_lens = [int(v) for v in tgt_packing.seq_lens]
+    src_lens = [int(v) for v in src_packing.seq_lens]
+    out = np.empty((t_tokens, hidden), dtype=q_packed.dtype)
+    for b in range(tgt_packing.batch):
+        t_rows = tgt_packing.rows_of(b)
+        s_rows = src_packing.rows_of(b)
+        for h in range(num_heads):
+            cols = slice(h * head_size, (h + 1) * head_size)
+            scores = (q_all[t_rows, cols] @ k_all[s_rows, cols].T) * scale
+            out[t_rows, cols] = (
+                softmax_reference(scores) @ v_all[s_rows, cols]
+            )
+
+    problems = cross_problems(tgt_lens, src_lens, num_heads, head_size)
+    context.launch(
+        grouped_gemm_launch(
+            problems,
+            context.device,
+            scheduler=scheduler,
+            name="cross_grouped_qk",
+            category=category,
+            extra_bytes=_stats_bytes(tgt_lens, num_heads),
+            base_efficiency=FMHA_GROUPED_EFFICIENCY,
+        )
+    )
+    unit_lens = [length for length in tgt_lens for _ in range(num_heads)]
+    context.launch(full_reduction_launch(unit_lens, heads=1, category=category))
+    problems_pv = [
+        GemmProblem(m=p.m, n=head_size, k=p.n) for p in problems
+    ]
+    context.launch(
+        grouped_gemm_launch(
+            problems_pv,
+            context.device,
+            scheduler=scheduler,
+            name="cross_grouped_pv",
+            category=category,
+            extra_bytes=_stats_bytes(tgt_lens, num_heads),
+            base_efficiency=FMHA_GROUPED_EFFICIENCY,
+        )
+    )
+    return out

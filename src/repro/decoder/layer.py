@@ -1,0 +1,192 @@
+"""Packed decoder layer: the zero-padding algorithm applied to Figure 1's
+decoder block (causal self-attention → cross-attention → FFN)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import BertConfig, OptimizationConfig
+from repro.core.padding import PackedSeqs
+from repro.decoder.causal import causal_cross_mha, causal_self_mha
+from repro.decoder.weights import DecoderLayerWeights
+from repro.gpusim.stream import ExecutionContext, resolve_context
+from repro.kernels.activation import add_bias_gelu
+from repro.kernels.gemm import gemm
+from repro.kernels.grouped_gemm import SchedulerKind
+from repro.kernels.layernorm import (
+    add_bias_residual_layernorm,
+    add_bias_residual_layernorm_unfused,
+)
+
+
+def _layernorm(
+    x, bias, residual, gamma, beta, eps, fused, category, ctx
+):
+    if fused:
+        return add_bias_residual_layernorm(
+            x, bias, residual, gamma, beta, eps=eps, ctx=ctx,
+            category=category,
+        )
+    return add_bias_residual_layernorm_unfused(
+        x, bias, residual, gamma, beta, eps=eps, ctx=ctx, category=category
+    )
+
+
+def decoder_layer_packed(
+    tgt_packed: np.ndarray,
+    memory_packed: np.ndarray,
+    weights: DecoderLayerWeights,
+    config: BertConfig,
+    opt: OptimizationConfig,
+    tgt_packing: PackedSeqs,
+    src_packing: PackedSeqs,
+    *,
+    ctx: ExecutionContext | None = None,
+) -> np.ndarray:
+    """One decoder layer on packed activations.
+
+    ``tgt_packed``: ``[T_tgt, H]`` decoder-side activations;
+    ``memory_packed``: ``[T_src, H]`` packed encoder output.  Everything
+    stays packed; the causal and cross attentions are grouped-GEMM FMHA
+    variants, so no padded work exists anywhere in the layer.
+    """
+    if not opt.remove_padding:
+        raise ValueError(
+            "the packed decoder layer requires remove_padding; the padded "
+            "decoder baseline is intentionally not implemented"
+        )
+    if tgt_packed.shape[0] != tgt_packing.total_tokens:
+        raise ValueError(
+            f"{tgt_packed.shape[0]} target rows != packing "
+            f"{tgt_packing.total_tokens}"
+        )
+    if memory_packed.shape[0] != src_packing.total_tokens:
+        raise ValueError(
+            f"{memory_packed.shape[0]} memory rows != packing "
+            f"{src_packing.total_tokens}"
+        )
+    context = resolve_context(ctx)
+    scheduler = (
+        SchedulerKind.WARP_PREFETCH
+        if opt.warp_prefetch_scheduler
+        else SchedulerKind.PER_THREAD
+    )
+    eps = config.layernorm_eps
+
+    # --- causal self-attention ---
+    qkv = gemm(
+        tgt_packed,
+        weights.self_qkv_weight,
+        ctx=context,
+        name="dec_gemm_self_qkv",
+        category="gemm0",
+    )
+    self_attn = causal_self_mha(
+        qkv,
+        weights.self_qkv_bias,
+        tgt_packing,
+        config.num_heads,
+        scheduler=scheduler,
+        ctx=context,
+    )
+    proj = gemm(
+        self_attn,
+        weights.self_out_weight,
+        ctx=context,
+        name="dec_gemm_self_out",
+        category="gemm1",
+    )
+    ln0 = _layernorm(
+        proj,
+        weights.self_out_bias,
+        tgt_packed,
+        weights.ln0_gamma,
+        weights.ln0_beta,
+        eps,
+        opt.fuse_layernorm,
+        "layernorm0",
+        context,
+    )
+
+    # --- cross-attention over the packed encoder memory ---
+    q = gemm(
+        ln0,
+        weights.cross_q_weight,
+        ctx=context,
+        name="dec_gemm_cross_q",
+        category="gemm0",
+    )
+    kv = gemm(
+        memory_packed,
+        weights.cross_kv_weight,
+        ctx=context,
+        name="dec_gemm_cross_kv",
+        category="gemm0",
+    )
+    cross = causal_cross_mha(
+        q,
+        weights.cross_q_bias,
+        kv,
+        weights.cross_kv_bias,
+        tgt_packing,
+        src_packing,
+        config.num_heads,
+        scheduler=scheduler,
+        ctx=context,
+    )
+    proj = gemm(
+        cross,
+        weights.cross_out_weight,
+        ctx=context,
+        name="dec_gemm_cross_out",
+        category="gemm1",
+    )
+    ln1 = _layernorm(
+        proj,
+        weights.cross_out_bias,
+        ln0,
+        weights.ln1_gamma,
+        weights.ln1_beta,
+        eps,
+        opt.fuse_layernorm,
+        "layernorm1",
+        context,
+    )
+
+    # --- FFN ---
+    if opt.fuse_gelu:
+        ffn = gemm(
+            ln1,
+            weights.ffn_in_weight,
+            bias=weights.ffn_in_bias,
+            activation="gelu",
+            ctx=context,
+            name="dec_gemm2_fused_bias_gelu",
+            category="gemm2",
+        )
+    else:
+        ffn = gemm(
+            ln1, weights.ffn_in_weight, ctx=context, name="dec_gemm2",
+            category="gemm2",
+        )
+        ffn = add_bias_gelu(
+            ffn, weights.ffn_in_bias, ctx=context, category="activation"
+        )
+    down = gemm(
+        ffn,
+        weights.ffn_out_weight,
+        ctx=context,
+        name="dec_gemm3",
+        category="gemm3",
+    )
+    return _layernorm(
+        down,
+        weights.ffn_out_bias,
+        ln1,
+        weights.ln2_gamma,
+        weights.ln2_beta,
+        eps,
+        opt.fuse_layernorm,
+        "layernorm2",
+        context,
+    )

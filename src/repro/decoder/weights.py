@@ -1,0 +1,115 @@
+"""Decoder weight containers (Figure 1's decoder block)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import BertConfig
+
+
+@dataclass(frozen=True)
+class DecoderLayerWeights:
+    """Parameters of one decoder layer: causal self-attention,
+    cross-attention, FFN, each followed by layernorm."""
+
+    #: packed QKV for causal self-attention, ``[H, 3H]``
+    self_qkv_weight: np.ndarray
+    self_qkv_bias: np.ndarray
+    self_out_weight: np.ndarray
+    self_out_bias: np.ndarray
+    ln0_gamma: np.ndarray
+    ln0_beta: np.ndarray
+    #: decoder-side query projection for cross-attention, ``[H, H]``
+    cross_q_weight: np.ndarray
+    cross_q_bias: np.ndarray
+    #: encoder-side fused K|V projection, ``[H, 2H]``
+    cross_kv_weight: np.ndarray
+    cross_kv_bias: np.ndarray
+    cross_out_weight: np.ndarray
+    cross_out_bias: np.ndarray
+    ln1_gamma: np.ndarray
+    ln1_beta: np.ndarray
+    ffn_in_weight: np.ndarray
+    ffn_in_bias: np.ndarray
+    ffn_out_weight: np.ndarray
+    ffn_out_bias: np.ndarray
+    ln2_gamma: np.ndarray
+    ln2_beta: np.ndarray
+
+    def __post_init__(self) -> None:
+        hidden = self.self_qkv_weight.shape[0]
+        ffn = self.ffn_in_weight.shape[1]
+        expectations = {
+            "self_qkv_weight": (hidden, 3 * hidden),
+            "self_qkv_bias": (3 * hidden,),
+            "self_out_weight": (hidden, hidden),
+            "self_out_bias": (hidden,),
+            "cross_q_weight": (hidden, hidden),
+            "cross_q_bias": (hidden,),
+            "cross_kv_weight": (hidden, 2 * hidden),
+            "cross_kv_bias": (2 * hidden,),
+            "cross_out_weight": (hidden, hidden),
+            "cross_out_bias": (hidden,),
+            "ffn_in_weight": (hidden, ffn),
+            "ffn_in_bias": (ffn,),
+            "ffn_out_weight": (ffn, hidden),
+            "ffn_out_bias": (hidden,),
+        }
+        for name in ("ln0", "ln1", "ln2"):
+            expectations[f"{name}_gamma"] = (hidden,)
+            expectations[f"{name}_beta"] = (hidden,)
+        for name, shape in expectations.items():
+            actual = getattr(self, name).shape
+            if actual != shape:
+                raise ValueError(
+                    f"{name} has shape {actual}, expected {shape}"
+                )
+
+    @property
+    def hidden_size(self) -> int:
+        return self.self_qkv_weight.shape[0]
+
+
+def init_decoder_weights(
+    config: BertConfig, seed: int = 0
+) -> tuple[DecoderLayerWeights, ...]:
+    """Deterministic decoder stack weights (one entry per layer)."""
+    rng = np.random.default_rng(seed)
+    h = config.hidden_size
+    f = config.ffn_size
+
+    def w(*shape: int) -> np.ndarray:
+        return rng.normal(0.0, 0.02, size=shape).astype(np.float32)
+
+    def gamma() -> np.ndarray:
+        return (1.0 + rng.normal(0.0, 0.01, size=h)).astype(np.float32)
+
+    layers = []
+    for _ in range(config.num_layers):
+        layers.append(
+            DecoderLayerWeights(
+                self_qkv_weight=w(h, 3 * h),
+                self_qkv_bias=w(3 * h),
+                self_out_weight=w(h, h),
+                self_out_bias=w(h),
+                ln0_gamma=gamma(),
+                ln0_beta=w(h),
+                cross_q_weight=w(h, h),
+                cross_q_bias=w(h),
+                cross_kv_weight=w(h, 2 * h),
+                cross_kv_bias=w(2 * h),
+                cross_out_weight=w(h, h),
+                cross_out_bias=w(h),
+                ln1_gamma=gamma(),
+                ln1_beta=w(h),
+                ffn_in_weight=w(h, f),
+                ffn_in_bias=w(f),
+                ffn_out_weight=w(f, h),
+                ffn_out_bias=w(h),
+                ln2_gamma=gamma(),
+                ln2_beta=w(h),
+            )
+        )
+    return tuple(layers)

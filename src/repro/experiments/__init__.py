@@ -1,0 +1,62 @@
+"""Experiment harnesses — one module per table/figure of the paper.
+
+Each module exposes ``run()`` (structured result), ``format_result()``
+(the same rows/series the paper reports, plus paper-vs-measured
+comparison lines) and ``main()``.
+
+| module              | reproduces                                     |
+|---------------------|------------------------------------------------|
+| table1_features     | Table I (framework feature matrix)             |
+| fig3_breakdown      | Figure 3 (single-layer profiling breakdown)    |
+| fig9_layernorm_fusion | Figure 9 (add-bias+layernorm fusion)         |
+| fig10_gelu_fusion   | Figure 10 (GEMM+bias+GELU epilogue fusion)     |
+| table2_flops        | Table II (FLOP counts under zero padding)      |
+| fig11_mha_short     | Figure 11 (fused MHA, short sequences)         |
+| fig12_mha_long      | Figure 12 (fused MHA, long sequences)          |
+| fig13_stepwise      | Figure 13 (step-wise single-layer gains)       |
+| fig14_end_to_end    | Figure 14 (end-to-end framework comparison)    |
+| ablation_scheduler  | §III-E.2 (warp prefetch, full reduction share) |
+| ablation_alpha      | extension: fill-ratio sensitivity              |
+| ablation_devices    | extension: V100/A10 device sensitivity         |
+| ablation_memory     | extension: activation-memory footprint         |
+| ablation_flash      | extension: FlashAttention varlen waste (§II-B) |
+| ablation_decode     | extension: decode-time KV-cache zero padding   |
+"""
+
+from repro.experiments import (
+    ablation_alpha,
+    ablation_decode,
+    ablation_devices,
+    ablation_flash,
+    ablation_memory,
+    ablation_scheduler,
+    fig3_breakdown,
+    fig9_layernorm_fusion,
+    fig10_gelu_fusion,
+    fig11_mha_short,
+    fig12_mha_long,
+    fig13_stepwise,
+    fig14_end_to_end,
+    table1_features,
+    table2_flops,
+)
+
+ALL_EXPERIMENTS = {
+    "table1": table1_features,
+    "fig3": fig3_breakdown,
+    "fig9": fig9_layernorm_fusion,
+    "fig10": fig10_gelu_fusion,
+    "table2": table2_flops,
+    "fig11": fig11_mha_short,
+    "fig12": fig12_mha_long,
+    "fig13": fig13_stepwise,
+    "fig14": fig14_end_to_end,
+    "scheduler": ablation_scheduler,
+    "alpha": ablation_alpha,
+    "devices": ablation_devices,
+    "memory": ablation_memory,
+    "flash": ablation_flash,
+    "decode": ablation_decode,
+}
+
+__all__ = ["ALL_EXPERIMENTS"] + [m.__name__.split(".")[-1] for m in ALL_EXPERIMENTS.values()]

@@ -1,0 +1,109 @@
+"""Extension ablation: device sensitivity (A100 vs V100 vs A10).
+
+The paper evaluates on an A100 only.  This sweep re-runs the end-to-end
+framework comparison on the V100 and A10 device presets to check that
+ByteTransformer's advantage is not an artefact of one balance point —
+the zero-padding and fusion wins are structural, so the ordering should
+hold while absolute latencies scale with each part's throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.runner import (
+    STANDARD_CONFIG,
+    paper_workload,
+    render_table,
+)
+from repro.frameworks import all_frameworks
+from repro.gpusim import A10_SPEC, A100_SPEC, V100_SPEC, DeviceSpec, ExecutionContext
+
+DEVICE_GRID: tuple[DeviceSpec, ...] = (A100_SPEC, V100_SPEC, A10_SPEC)
+
+
+@dataclass(frozen=True)
+class DevicePoint:
+    device: str
+    batch: int
+    max_seq_len: int
+    times_us: dict[str, float]
+
+    def byte_transformer_wins(self) -> bool:
+        bt = self.times_us["ByteTransformer"]
+        return all(
+            bt <= t
+            for name, t in self.times_us.items()
+            if name != "ByteTransformer"
+        )
+
+
+@dataclass(frozen=True)
+class DeviceSweepResult:
+    points: tuple[DevicePoint, ...]
+
+    def wins_everywhere(self) -> bool:
+        return all(p.byte_transformer_wins() for p in self.points)
+
+
+def run(
+    batch: int = 16,
+    seq_lens: tuple[int, ...] = (256, 512, 1024),
+    devices: tuple[DeviceSpec, ...] = DEVICE_GRID,
+    seed: int = 0,
+) -> DeviceSweepResult:
+    """Run the experiment sweep and return its structured result."""
+    points = []
+    for device in devices:
+        for seq in seq_lens:
+            lens = paper_workload(batch, seq, seed)
+            times = {}
+            for fw in all_frameworks():
+                if not fw.supports(seq):
+                    continue
+                ctx = ExecutionContext(device)
+                fw.estimate(ctx, STANDARD_CONFIG, lens, seq)
+                times[fw.name] = ctx.elapsed_us()
+            points.append(
+                DevicePoint(
+                    device=device.name,
+                    batch=batch,
+                    max_seq_len=seq,
+                    times_us=times,
+                )
+            )
+    return DeviceSweepResult(points=tuple(points))
+
+
+def format_result(result: DeviceSweepResult) -> str:
+    """Render the result as the paper-style text block."""
+    names = [fw.name for fw in all_frameworks()]
+    rows = []
+    for p in result.points:
+        rows.append(
+            [p.device, p.max_seq_len]
+            + [
+                f"{p.times_us[n] / 1000:.2f}" if n in p.times_us else "-"
+                for n in names
+            ]
+        )
+    table = render_table(
+        ["device", "max_seq"] + names,
+        rows,
+        title="Device sweep: end-to-end BERT latency (ms), batch 16",
+        col_width=19,
+    )
+    verdict = (
+        "ByteTransformer fastest on every device/shape: "
+        + ("yes" if result.wins_everywhere() else "NO")
+    )
+    return f"{table}\n{verdict}"
+
+
+def main() -> None:
+    """Print the experiment's formatted result."""
+    print(format_result(run()))
+
+
+if __name__ == "__main__":
+    main()

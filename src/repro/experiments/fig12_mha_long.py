@@ -1,0 +1,66 @@
+"""Figure 12 — fused MHA for long sequences.
+
+Same four variants as Figure 11, but with maximal sequence lengths of
+512 and beyond, where ByteTransformer dispatches the grouped-GEMM FMHA
+(§III-E.2) instead of the shared-memory kernel.
+
+Paper reference (average): fused MHA beats PyTorch / cuBLAS /
+cuBLAS+zero-padding by 451%, 110% and 79%; cuBLAS only triples PyTorch
+here (the quadratic score tensor dominates); zero-padding softmax adds
+~17% over cuBLAS.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig11_mha_short import (
+    MhaComparisonResult,
+    format_result as _format_short,
+    measure_point,
+)
+from repro.experiments.runner import LONG_SEQS, Comparison
+
+PAPER_GAINS = {"pytorch": 4.51, "cublas": 1.10, "zeropad": 0.79}
+FIG12_BATCH = 16
+
+from repro.experiments.fig11_mha_short import VARIANTS  # noqa: E402
+
+
+def run(
+    seq_lens: tuple[int, ...] = LONG_SEQS, batch: int = FIG12_BATCH
+) -> MhaComparisonResult:
+    """Run the experiment sweep and return its structured result."""
+    return MhaComparisonResult(
+        points=tuple(measure_point(seq, batch) for seq in seq_lens)
+    )
+
+
+def comparisons(result: MhaComparisonResult) -> list[Comparison]:
+    """Paper-vs-measured comparison lines for EXPERIMENTS.md."""
+    return [
+        Comparison(
+            f"Fig 12: fused MHA vs {VARIANTS[variant]}",
+            f"+{paper:.0%}",
+            f"+{result.average_gain(variant):.0%}",
+        )
+        for variant, paper in PAPER_GAINS.items()
+    ]
+
+
+def format_result(result: MhaComparisonResult) -> str:
+    """Render the result as the paper-style text block."""
+    table = _format_short(
+        result, title="Figure 12: fused MHA, long sequences"
+    )
+    # replace the short-figure comparison block with the long one
+    table_only = table.split("\nFig 11")[0]
+    comp = "\n".join(c.render() for c in comparisons(result))
+    return f"{table_only}\n{comp}"
+
+
+def main() -> None:
+    """Print the experiment's formatted result."""
+    print(format_result(run()))
+
+
+if __name__ == "__main__":
+    main()

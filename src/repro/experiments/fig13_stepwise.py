@@ -1,0 +1,130 @@
+"""Figure 13 — single-layer BERT with step-wise optimisations.
+
+Runs the five cumulative presets (baseline, +layernorm fusion,
++bias&GELU epilogue fusion, +zero padding, +fused MHA) on variable-length
+single-layer workloads (batch 16, α = 0.6) across the sequence grid.
+
+Paper reference (averages): layernorm fusion +3.2%, bias&GELU fusion
++3.8%, zero padding +24%/24.7%, fused MHA +20%; the final version is 60%
+faster than the baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import STEPWISE_PRESETS, OptimizationConfig
+from repro.core.estimator import estimate_model
+from repro.experiments.runner import (
+    SEQ_GRID,
+    SINGLE_LAYER_CONFIG,
+    Comparison,
+    geomean_speedup,
+    paper_workload,
+    render_table,
+)
+from repro.gpusim import ExecutionContext
+
+FIG13_BATCH = 16
+
+PAPER_STEP_GAINS = (0.032, 0.038, 0.247, 0.20)
+PAPER_TOTAL_GAIN = 0.60
+
+
+@dataclass(frozen=True)
+class StepwisePoint:
+    max_seq_len: int
+    #: times in preset order (baseline first)
+    times_us: tuple[float, ...]
+
+    def step_gain(self, step: int) -> float:
+        """Improvement of preset ``step`` over preset ``step - 1``."""
+        return self.times_us[step - 1] / self.times_us[step] - 1.0
+
+    @property
+    def total_gain(self) -> float:
+        return self.times_us[0] / self.times_us[-1] - 1.0
+
+
+@dataclass(frozen=True)
+class StepwiseResult:
+    presets: tuple[OptimizationConfig, ...]
+    points: tuple[StepwisePoint, ...]
+
+    def average_step_gain(self, step: int) -> float:
+        return geomean_speedup(
+            (p.times_us[step - 1], p.times_us[step]) for p in self.points
+        )
+
+    @property
+    def average_total_gain(self) -> float:
+        return geomean_speedup(
+            (p.times_us[0], p.times_us[-1]) for p in self.points
+        )
+
+
+def run(
+    seq_lens: tuple[int, ...] = SEQ_GRID,
+    batch: int = FIG13_BATCH,
+    seed: int = 0,
+) -> StepwiseResult:
+    """Run the experiment sweep and return its structured result."""
+    points = []
+    for seq in seq_lens:
+        lens = paper_workload(batch, seq, seed)
+        times = []
+        for preset in STEPWISE_PRESETS:
+            ctx = ExecutionContext()
+            times.append(
+                estimate_model(ctx, SINGLE_LAYER_CONFIG, preset, lens, seq)
+            )
+        points.append(
+            StepwisePoint(max_seq_len=seq, times_us=tuple(times))
+        )
+    return StepwiseResult(presets=STEPWISE_PRESETS, points=tuple(points))
+
+
+def comparisons(result: StepwiseResult) -> list[Comparison]:
+    """Paper-vs-measured comparison lines for EXPERIMENTS.md."""
+    labels = [p.label for p in result.presets[1:]]
+    out = [
+        Comparison(
+            f"Fig 13: {label} step gain",
+            f"+{paper:.1%}",
+            f"+{result.average_step_gain(i + 1):.1%}",
+        )
+        for i, (label, paper) in enumerate(zip(labels, PAPER_STEP_GAINS))
+    ]
+    out.append(
+        Comparison(
+            "Fig 13: total vs baseline",
+            f"+{PAPER_TOTAL_GAIN:.0%}",
+            f"+{result.average_total_gain:.0%}",
+        )
+    )
+    return out
+
+
+def format_result(result: StepwiseResult) -> str:
+    """Render the result as the paper-style text block."""
+    headers = ["max_seq"] + [p.label for p in result.presets]
+    rows = [
+        [point.max_seq_len, *point.times_us] for point in result.points
+    ]
+    table = render_table(
+        headers,
+        rows,
+        title="Figure 13: single-layer step-wise optimisations (us)",
+        col_width=24,
+    )
+    comp = "\n".join(c.render() for c in comparisons(result))
+    return f"{table}\n{comp}"
+
+
+def main() -> None:
+    """Print the experiment's formatted result."""
+    print(format_result(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,128 @@
+"""Figure 14 — end-to-end 12-layer BERT across frameworks.
+
+Sweeps batch sizes 1/8/16 (sub-figures a/b/c) and sequence lengths
+128-1024 with average length 0.6 x max, timing all five framework models.
+TurboTransformer rows stop at 512, as in the paper ("TurboTransformer
+only supports sequence lengths smaller than 512").
+
+Paper reference (averages over the sweep): ByteTransformer outperforms
+PyTorch JIT, TensorFlow XLA, TurboTransformer and FasterTransformer by
+87%, 131%, 138% and 46%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.runner import (
+    BATCH_GRID,
+    SEQ_GRID,
+    STANDARD_CONFIG,
+    Comparison,
+    geomean_speedup,
+    paper_workload,
+    render_table,
+)
+from repro.frameworks import all_frameworks
+from repro.frameworks.base import Framework
+
+PAPER_GAINS = {
+    "PyTorch JIT": 0.87,
+    "TensorFlow XLA": 1.31,
+    "TurboTransformer": 1.38,
+    "FasterTransformer": 0.46,
+}
+
+
+@dataclass(frozen=True)
+class EndToEndPoint:
+    batch: int
+    max_seq_len: int
+    #: framework name -> latency (us); absent if unsupported
+    times_us: dict[str, float]
+
+
+@dataclass(frozen=True)
+class EndToEndResult:
+    points: tuple[EndToEndPoint, ...]
+
+    def average_gain(self, framework_name: str) -> float:
+        pairs = [
+            (p.times_us[framework_name], p.times_us["ByteTransformer"])
+            for p in self.points
+            if framework_name in p.times_us
+        ]
+        return geomean_speedup(pairs)
+
+    def points_for_batch(self, batch: int) -> list[EndToEndPoint]:
+        return [p for p in self.points if p.batch == batch]
+
+
+def run(
+    batches: tuple[int, ...] = BATCH_GRID,
+    seq_lens: tuple[int, ...] = SEQ_GRID,
+    frameworks: list[Framework] | None = None,
+    seed: int = 0,
+) -> EndToEndResult:
+    """Run the experiment sweep and return its structured result."""
+    fws = frameworks if frameworks is not None else all_frameworks()
+    points = []
+    for batch in batches:
+        for seq in seq_lens:
+            lens = paper_workload(batch, seq, seed)
+            times = {
+                fw.name: fw.latency_us(STANDARD_CONFIG, lens, seq)
+                for fw in fws
+                if fw.supports(seq)
+            }
+            points.append(
+                EndToEndPoint(batch=batch, max_seq_len=seq, times_us=times)
+            )
+    return EndToEndResult(points=tuple(points))
+
+
+def comparisons(result: EndToEndResult) -> list[Comparison]:
+    """Paper-vs-measured comparison lines for EXPERIMENTS.md."""
+    return [
+        Comparison(
+            f"Fig 14: ByteTransformer vs {name}",
+            f"+{paper:.0%}",
+            f"+{result.average_gain(name):.0%}",
+        )
+        for name, paper in PAPER_GAINS.items()
+    ]
+
+
+def format_result(result: EndToEndResult) -> str:
+    """Render the result as the paper-style text block."""
+    blocks = []
+    names = [fw.name for fw in all_frameworks()]
+    for batch in sorted({p.batch for p in result.points}):
+        rows = []
+        for p in result.points_for_batch(batch):
+            rows.append(
+                [p.max_seq_len]
+                + [
+                    f"{p.times_us[n] / 1000:.2f}" if n in p.times_us else "-"
+                    for n in names
+                ]
+            )
+        blocks.append(
+            render_table(
+                ["max_seq"] + names,
+                rows,
+                title=f"Figure 14: end-to-end BERT latency (ms), batch {batch}",
+                col_width=19,
+            )
+        )
+    comp = "\n".join(c.render() for c in comparisons(result))
+    return "\n\n".join(blocks) + "\n" + comp
+
+
+def main() -> None:
+    """Print the experiment's formatted result."""
+    print(format_result(run()))
+
+
+if __name__ == "__main__":
+    main()

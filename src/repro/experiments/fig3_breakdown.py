@@ -1,0 +1,122 @@
+"""Figure 3 — performance breakdown of a single-layer BERT Transformer.
+
+Profiles the unoptimised baseline pipeline (Figure 2 (a)) on fixed-length
+batches at sequence lengths 256 and 1024 (batch 16, 12 heads, head size
+64) and reports the per-category time shares the paper plots: the four
+projection/FFN GEMMs, the attention block, and the memory-bound
+layernorm/activation groups.
+
+Paper reference points: GEMM0-3 account for 61% (seq 256) and 40%
+(seq 1024) of the layer; attention grows from ~22% to 49%; the remaining
+memory-bound operations take 11-17%; the two add-bias+layernorm groups
+take ~10% / ~6% and add-bias+activation ~7% / ~5%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import BASELINE
+from repro.core.estimator import estimate_model
+from repro.experiments.runner import SINGLE_LAYER_CONFIG, Comparison
+from repro.gpusim import ExecutionContext, ProfileReport
+
+#: the figure's two profiled sequence lengths
+PROFILED_SEQS = (256, 1024)
+PROFILE_BATCH = 16
+
+#: paper-reported shares: (gemm_total, attention, memory_bound)
+PAPER_SHARES = {256: (0.61, 0.32, 0.17), 1024: (0.40, 0.49, 0.11)}
+
+
+@dataclass(frozen=True)
+class BreakdownResult:
+    seq_len: int
+    total_us: float
+    fractions: dict[str, float]
+    report: ProfileReport
+
+    @property
+    def gemm_share(self) -> float:
+        return sum(
+            self.fractions.get(g, 0.0)
+            for g in ("gemm0", "gemm1", "gemm2", "gemm3")
+        )
+
+    @property
+    def attention_share(self) -> float:
+        return self.fractions.get("attention", 0.0)
+
+    @property
+    def memory_bound_share(self) -> float:
+        return sum(
+            self.fractions.get(g, 0.0)
+            for g in ("layernorm0", "layernorm1", "activation")
+        )
+
+
+def run(seq_len: int = 256, batch: int = PROFILE_BATCH) -> BreakdownResult:
+    """Profile one fixed-length single-layer baseline forward pass."""
+    lens = np.full(batch, seq_len, dtype=np.int64)
+    ctx = ExecutionContext()
+    estimate_model(ctx, SINGLE_LAYER_CONFIG, BASELINE, lens, seq_len)
+    report = ProfileReport.from_context(ctx)
+    return BreakdownResult(
+        seq_len=seq_len,
+        total_us=report.total_us,
+        fractions=report.fractions(),
+        report=report,
+    )
+
+
+def run_all() -> list[BreakdownResult]:
+    """Run the experiment at every profiled configuration."""
+    return [run(seq) for seq in PROFILED_SEQS]
+
+
+def comparisons(results: list[BreakdownResult]) -> list[Comparison]:
+    """Paper-vs-measured comparison lines for EXPERIMENTS.md."""
+    out = []
+    for res in results:
+        paper_gemm, paper_attn, paper_mem = PAPER_SHARES[res.seq_len]
+        out.extend(
+            [
+                Comparison(
+                    f"Fig 3 seq {res.seq_len}: GEMM0-3 share",
+                    f"{paper_gemm:.0%}",
+                    f"{res.gemm_share:.0%}",
+                ),
+                Comparison(
+                    f"Fig 3 seq {res.seq_len}: attention share",
+                    f"~{paper_attn:.0%}",
+                    f"{res.attention_share:.0%}",
+                ),
+                Comparison(
+                    f"Fig 3 seq {res.seq_len}: memory-bound share",
+                    f"{paper_mem:.0%}",
+                    f"{res.memory_bound_share:.0%}",
+                ),
+            ]
+        )
+    return out
+
+
+def format_result(results: list[BreakdownResult]) -> str:
+    """Render the result as the paper-style text block."""
+    lines = ["== Figure 3: single-layer BERT breakdown (batch 16) =="]
+    for res in results:
+        lines.append(res.report.to_table(f"seq_len = {res.seq_len}"))
+    for comp in comparisons(results):
+        lines.append(comp.render())
+    return "\n".join(lines)
+
+
+def main() -> None:
+    """Print the experiment's formatted result."""
+    print(format_result(run_all()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Shared infrastructure for the per-figure experiment harnesses.
+
+Every experiment module exposes ``run()`` returning a structured result
+and ``format_result()`` rendering the same rows/series the paper reports,
+plus paper-reported reference numbers so EXPERIMENTS.md can show
+paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.config import BertConfig
+from repro.workloads.generator import uniform_lengths
+
+#: the sequence-length grid the paper sweeps (Figures 9-14)
+SEQ_GRID: tuple[int, ...] = (128, 256, 384, 512, 768, 1024)
+#: short-sequence subset (Figure 11's regime)
+SHORT_SEQS: tuple[int, ...] = (128, 192, 256, 320, 384)
+#: long-sequence subset (Figure 12's regime)
+LONG_SEQS: tuple[int, ...] = (512, 640, 768, 896, 1024)
+#: the paper's evaluation batch sizes (Figure 14 a/b/c)
+BATCH_GRID: tuple[int, ...] = (1, 8, 16)
+#: the paper's average/maximum length ratio
+PAPER_ALPHA = 0.6
+
+#: standard BERT-base configuration (12 heads, head size 64, 12 layers)
+STANDARD_CONFIG = BertConfig()
+#: single-layer variant used by Figures 3 and 13
+SINGLE_LAYER_CONFIG = BertConfig(num_layers=1)
+
+
+def paper_workload(
+    batch: int, max_seq_len: int, seed: int = 0, alpha: float = PAPER_ALPHA
+) -> np.ndarray:
+    """Seeded variable-length batch matching the paper's setting."""
+    rng = np.random.default_rng(seed)
+    return uniform_lengths(batch, max_seq_len, alpha, rng)
+
+
+def speedup(baseline_us: float, optimised_us: float) -> float:
+    """Relative improvement, reported the paper's way (+X%)."""
+    if optimised_us <= 0:
+        raise ValueError("optimised time must be positive")
+    return baseline_us / optimised_us - 1.0
+
+
+def geomean_speedup(pairs: Iterable[tuple[float, float]]) -> float:
+    """Geometric-mean speedup over (baseline, optimised) pairs."""
+    ratios = [b / o for b, o in pairs]
+    if not ratios:
+        raise ValueError("need at least one pair")
+    return float(np.exp(np.mean(np.log(ratios)))) - 1.0
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One paper-vs-measured line of EXPERIMENTS.md."""
+
+    metric: str
+    paper: str
+    measured: str
+
+    def render(self) -> str:
+        return f"{self.metric:<52} paper: {self.paper:>10}   ours: {self.measured:>10}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    col_width: int = 14,
+) -> str:
+    """Fixed-width text table used by every experiment's formatter."""
+    lines: list[str] = []
+    if title:
+        lines.append(f"== {title} ==")
+    lines.append(
+        "".join(f"{str(h):>{col_width}}" for h in headers)
+    )
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(f"{value:>{col_width}.1f}")
+            else:
+                cells.append(f"{str(value):>{col_width}}")
+        lines.append("".join(cells))
+    return "\n".join(lines)
+
+
+def format_us(value: float) -> str:
+    """Microseconds with sensible units."""
+    if value >= 10_000:
+        return f"{value / 1000:.2f} ms"
+    return f"{value:.1f} us"

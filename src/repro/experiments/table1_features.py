@@ -1,0 +1,77 @@
+"""Table I — feature matrix of state-of-the-art Transformers.
+
+Unlike the timing figures, Table I is a statement about what each
+framework *implements*; the experiment checks our framework models expose
+exactly the paper's feature rows and renders the matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.frameworks import all_frameworks, table1_rows
+from repro.frameworks.base import Framework
+
+#: the paper's Table I, row by row: (variable-len, tuning, fused MHA,
+#: kernel fusion) — fused MHA is None / max-seq / -1 (any length)
+PAPER_TABLE1: dict[str, tuple[bool, bool, int | None, str]] = {
+    "TensorFlow XLA": (False, True, None, "no"),
+    "PyTorch JIT": (False, True, None, "no"),
+    "FasterTransformer": (True, True, 512, "no"),
+    "TurboTransformer": (True, True, None, "partially"),
+    "ByteTransformer": (True, True, -1, "yes"),
+}
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    frameworks: tuple[Framework, ...]
+    matches_paper: bool
+    mismatches: tuple[str, ...]
+
+
+def run() -> Table1Result:
+    """Check every framework model against the paper's Table I row."""
+    frameworks = tuple(all_frameworks())
+    mismatches = []
+    for fw in frameworks:
+        expected = PAPER_TABLE1.get(fw.name)
+        if expected is None:
+            mismatches.append(f"{fw.name}: not in the paper's table")
+            continue
+        actual = (
+            fw.features.variable_length_support,
+            fw.features.kernel_tuning,
+            fw.features.fused_mha_max_seq,
+            fw.features.kernel_fusion,
+        )
+        if actual != expected:
+            mismatches.append(
+                f"{fw.name}: model says {actual}, paper says {expected}"
+            )
+    return Table1Result(
+        frameworks=frameworks,
+        matches_paper=not mismatches,
+        mismatches=tuple(mismatches),
+    )
+
+
+def format_result(result: Table1Result) -> str:
+    """Render the result as the paper-style text block."""
+    lines = ["== Table I: framework feature matrix =="]
+    lines.append(table1_rows(list(result.frameworks)))
+    lines.append(
+        "matches paper: yes"
+        if result.matches_paper
+        else "MISMATCHES: " + "; ".join(result.mismatches)
+    )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    """Print the experiment's formatted result."""
+    print(format_result(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""Framework cost models for the paper's end-to-end comparison (Fig. 14)."""
+
+from repro.frameworks.base import Framework, FrameworkFeatures, table1_rows
+from repro.frameworks.byte_transformer import ByteTransformer
+from repro.frameworks.faster_transformer import FasterTransformer
+from repro.frameworks.pytorch_jit import PyTorchJIT
+from repro.frameworks.tensorflow_xla import TensorFlowXLA
+from repro.frameworks.turbo_transformer import TurboTransformer, smart_batching
+
+
+def all_frameworks() -> list[Framework]:
+    """The five systems of Figure 14, in the paper's legend order."""
+    return [
+        PyTorchJIT(),
+        TensorFlowXLA(),
+        TurboTransformer(),
+        FasterTransformer(),
+        ByteTransformer(),
+    ]
+
+
+__all__ = [
+    "Framework",
+    "FrameworkFeatures",
+    "table1_rows",
+    "ByteTransformer",
+    "FasterTransformer",
+    "PyTorchJIT",
+    "TensorFlowXLA",
+    "TurboTransformer",
+    "smart_batching",
+    "all_frameworks",
+]

@@ -1,0 +1,107 @@
+"""Framework model base class and the Table I feature matrix.
+
+A framework model is a *cost model* of one of the systems the paper
+benchmarks against in Figure 14: it replays, for a given variable-length
+batch, the kernel-launch chain that framework's documented structure
+implies (padded vs packed, fused vs unfused, per-group re-batching, …)
+into an execution context.  All frameworks compute the same mathematical
+function — BERT — so numerical validation is delegated to
+:mod:`repro.core.reference`; what differs, and what Figure 14 measures,
+is the schedule.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import BertConfig
+from repro.gpusim.stream import ExecutionContext
+
+
+@dataclass(frozen=True)
+class FrameworkFeatures:
+    """One row of the paper's Table I."""
+
+    variable_length_support: bool
+    kernel_tuning: bool
+    #: None = no fused MHA; an int = fused MHA up to that sequence length;
+    #: -1 = fused MHA for any length
+    fused_mha_max_seq: int | None
+    #: "no" / "partially" / "yes"
+    kernel_fusion: str
+
+    def fused_mha_label(self) -> str:
+        if self.fused_mha_max_seq is None:
+            return "no"
+        if self.fused_mha_max_seq < 0:
+            return "yes"
+        return f"<= {self.fused_mha_max_seq}"
+
+
+class Framework(abc.ABC):
+    """A framework's end-to-end BERT cost model."""
+
+    #: display name used in reports (matches the paper's legend)
+    name: str = "framework"
+    #: the framework's Table I row
+    features: FrameworkFeatures
+
+    #: largest max_seq_len the framework can serve (None = unlimited)
+    max_supported_seq: int | None = None
+
+    def supports(self, max_seq_len: int) -> bool:
+        """Whether the framework can run this padded shape at all.
+
+        TurboTransformer, for example, only supports sequences shorter
+        than 512, so Figure 14 has no bars for it beyond that.
+        """
+        if self.max_supported_seq is None:
+            return True
+        return max_seq_len <= self.max_supported_seq
+
+    @abc.abstractmethod
+    def estimate(
+        self,
+        ctx: ExecutionContext,
+        config: BertConfig,
+        seq_lens: np.ndarray,
+        max_seq_len: int,
+    ) -> float:
+        """Replay the framework's launch chain; return modelled time (us)."""
+
+    def latency_us(
+        self,
+        config: BertConfig,
+        seq_lens: np.ndarray,
+        max_seq_len: int,
+        ctx: ExecutionContext | None = None,
+    ) -> float:
+        """Convenience: estimate on a fresh context."""
+        if not self.supports(max_seq_len):
+            raise ValueError(
+                f"{self.name} does not support max_seq_len {max_seq_len}"
+            )
+        context = ctx if ctx is not None else ExecutionContext()
+        return self.estimate(context, config, seq_lens, max_seq_len)
+
+
+def table1_rows(frameworks: list[Framework]) -> str:
+    """Render the Table I feature matrix for a list of frameworks."""
+    header = (
+        f"{'framework':<20}{'variable-len':>14}{'tuning':>9}"
+        f"{'fused MHA':>12}{'fusion':>12}"
+    )
+    lines = [header]
+    for fw in frameworks:
+        f = fw.features
+        lines.append(
+            f"{fw.name:<20}"
+            f"{'yes' if f.variable_length_support else 'no':>14}"
+            f"{'yes' if f.kernel_tuning else 'no':>9}"
+            f"{f.fused_mha_label():>12}"
+            f"{f.kernel_fusion:>12}"
+        )
+    return "\n".join(lines)

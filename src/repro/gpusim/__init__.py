@@ -1,0 +1,55 @@
+"""Analytical GPU execution simulator.
+
+This package is the substrate that replaces the NVIDIA A100 used in the
+paper.  Every numerical kernel in :mod:`repro.kernels` both computes its
+result with NumPy *and* records a :class:`~repro.gpusim.kernel.KernelLaunch`
+cost descriptor into an :class:`~repro.gpusim.stream.ExecutionContext`.
+The simulator turns each descriptor into a latency estimate using a
+wave-quantised roofline model:
+
+* occupancy (resident blocks per SM) is derived from the launch's thread
+  count, register usage and shared-memory usage against the device limits;
+* the kernel's work (FLOPs on the chosen functional unit, DRAM bytes) is
+  spread over the resident blocks in waves; latency is the max of the
+  compute-limited and the bandwidth-limited time, degraded by partial-wave
+  utilisation;
+* a fixed per-launch overhead models the CUDA driver/runtime launch cost,
+  which is what kernel *fusion* eliminates.
+
+The model intentionally captures only first-order effects — those are the
+effects the paper's optimisations target (fewer launches, less DRAM
+traffic, no padded FLOPs, higher occupancy) — so relative speedups and
+crossovers are meaningful even though absolute microseconds are not.
+"""
+
+from repro.gpusim.device import A10_SPEC, A100_SPEC, V100_SPEC, DeviceSpec
+from repro.gpusim.kernel import ComputeUnit, KernelLaunch
+from repro.gpusim.occupancy import OccupancyResult, blocks_per_sm
+from repro.gpusim.profiler import CategoryProfile, ProfileReport
+from repro.gpusim.stream import (
+    ExecutionContext,
+    KernelRecord,
+    NullContext,
+    current_context,
+    use_context,
+)
+from repro.gpusim.timing import kernel_time_us
+
+__all__ = [
+    "A100_SPEC",
+    "A10_SPEC",
+    "V100_SPEC",
+    "DeviceSpec",
+    "ComputeUnit",
+    "KernelLaunch",
+    "OccupancyResult",
+    "blocks_per_sm",
+    "CategoryProfile",
+    "ProfileReport",
+    "ExecutionContext",
+    "KernelRecord",
+    "NullContext",
+    "current_context",
+    "use_context",
+    "kernel_time_us",
+]

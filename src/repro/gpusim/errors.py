@@ -1,0 +1,23 @@
+"""Exception types raised by the GPU simulator."""
+
+
+class GpuSimError(Exception):
+    """Base class for all simulator errors."""
+
+
+class LaunchConfigError(GpuSimError):
+    """A kernel launch violates a hard device limit.
+
+    Raised when a launch requests more threads per block, shared memory per
+    block, or registers per thread than the device can provide.  Real CUDA
+    would fail the launch with ``cudaErrorInvalidConfiguration``; we raise
+    eagerly so tests catch impossible configurations.
+    """
+
+
+class ResourceExhaustedError(GpuSimError):
+    """A launch is legal per-block but achieves zero occupancy.
+
+    This mirrors a kernel whose combined resource demands prevent even one
+    block from becoming resident on an SM.
+    """

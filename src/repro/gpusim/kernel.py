@@ -1,0 +1,109 @@
+"""Kernel launch cost descriptors.
+
+A :class:`KernelLaunch` is everything the timing model needs to know about
+one kernel: the launch configuration (grid, block, shared memory,
+registers), the useful work (FLOPs on a functional unit, DRAM traffic) and
+any modelled fixed overheads beyond the launch itself (for example the
+grouped-GEMM scheduler visits of §III-E.2 in the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ComputeUnit(enum.Enum):
+    """Functional unit a kernel's FLOPs execute on."""
+
+    FP32 = "fp32"
+    FP16 = "fp16"
+    TENSOR_FP16 = "tensor_fp16"
+
+
+@dataclass(frozen=True)
+class KernelLaunch:
+    """Cost descriptor for one simulated kernel launch.
+
+    Parameters
+    ----------
+    name:
+        Kernel identifier, e.g. ``"fused_add_bias_layernorm"``.
+    category:
+        Aggregation bucket used by the profiler — maps onto the paper's
+        breakdown buckets (``gemm0`` … ``gemm3``, ``attention``,
+        ``layernorm0``, …).
+    grid:
+        Total number of thread blocks.
+    block_threads:
+        Threads per block.
+    flops:
+        Useful floating point operations performed by the whole grid.
+    dram_bytes:
+        Bytes moved to/from DRAM by the whole grid (reads + writes), after
+        assuming perfect L1/shared-memory reuse *within* a block.  This is
+        the quantity kernel fusion reduces.
+    hot_bytes:
+        Bytes read from a tensor the *previous* kernel just wrote.  If the
+        working set still fits in L2 these reads are served at L2
+        bandwidth instead of DRAM bandwidth (decided at timing, per
+        device); otherwise they are priced as DRAM traffic.  This is why
+        fusing two small kernels saves less than raw DRAM math suggests.
+    compute_unit:
+        Functional unit executing ``flops``.
+    compute_efficiency:
+        Fraction of the unit's peak this kernel sustains when fully
+        occupied (GEMM-shape dependent; elementwise kernels rarely matter
+        because they are bandwidth bound).
+    shared_mem_per_block / regs_per_thread:
+        Occupancy inputs.
+    extra_overhead_us:
+        Modelled fixed cost not covered by work or launch overhead, e.g.
+        scheduler-visit time in grouped GEMM.
+    tags:
+        Free-form metadata for tests and reports.
+    """
+
+    name: str
+    category: str
+    grid: int
+    block_threads: int
+    flops: float = 0.0
+    dram_bytes: float = 0.0
+    hot_bytes: float = 0.0
+    compute_unit: ComputeUnit = ComputeUnit.FP32
+    compute_efficiency: float = 0.85
+    shared_mem_per_block: int = 0
+    regs_per_thread: int = 64
+    extra_overhead_us: float = 0.0
+    tags: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.grid <= 0:
+            raise ValueError(f"grid must be positive, got {self.grid}")
+        if self.block_threads <= 0:
+            raise ValueError(
+                f"block_threads must be positive, got {self.block_threads}"
+            )
+        if self.flops < 0 or self.dram_bytes < 0 or self.hot_bytes < 0:
+            raise ValueError("flops and byte counts must be non-negative")
+        if not (0.0 < self.compute_efficiency <= 1.0):
+            raise ValueError(
+                f"compute_efficiency must be in (0, 1], got "
+                f"{self.compute_efficiency}"
+            )
+        if self.shared_mem_per_block < 0 or self.regs_per_thread < 0:
+            raise ValueError("resource usage must be non-negative")
+        if self.extra_overhead_us < 0:
+            raise ValueError("extra_overhead_us must be non-negative")
+
+    @property
+    def total_threads(self) -> int:
+        return self.grid * self.block_threads
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per DRAM byte; ``inf`` for traffic-free launches."""
+        if self.dram_bytes == 0:
+            return float("inf")
+        return self.flops / self.dram_bytes

@@ -1,0 +1,31 @@
+"""DRAM traffic accounting helpers.
+
+The simulated device stores activations in FP16 (as ByteTransformer does);
+NumPy computes in FP32 for numerical headroom.  All traffic estimates in
+:mod:`repro.kernels` therefore price tensors at
+:data:`BYTES_PER_ELEMENT` bytes per element unless stated otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+#: storage width of activations/weights on the simulated device (FP16)
+BYTES_PER_ELEMENT = 2
+#: storage width of FP32 tensors (e.g. softmax statistics vectors)
+BYTES_PER_FP32 = 4
+
+
+def tensor_bytes(*shape: int, element_size: int = BYTES_PER_ELEMENT) -> float:
+    """Bytes occupied by a dense tensor of the given shape."""
+    if any(dim < 0 for dim in shape):
+        raise ValueError(f"negative dimension in shape {shape}")
+    return float(math.prod(shape)) * element_size
+
+
+def traffic(
+    reads: Iterable[float] = (), writes: Iterable[float] = ()
+) -> float:
+    """Total DRAM traffic from per-tensor read and write byte counts."""
+    return float(sum(reads)) + float(sum(writes))

@@ -1,0 +1,104 @@
+"""Occupancy model: resident blocks per SM for a launch configuration.
+
+Follows the CUDA occupancy calculator's structure: the number of blocks
+that fit on one SM is the minimum over four independent limits (block
+slots, thread slots, register file, shared memory), with register and
+shared-memory allocations rounded up to hardware granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.errors import LaunchConfigError, ResourceExhaustedError
+from repro.gpusim.kernel import KernelLaunch
+
+#: register allocation granularity per warp (Ampere: 256 registers)
+_REG_ALLOC_UNIT = 256
+#: shared memory allocation granularity (Ampere: 128 bytes)
+_SMEM_ALLOC_UNIT = 128
+
+
+def _round_up(value: int, unit: int) -> int:
+    return ((value + unit - 1) // unit) * unit
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Outcome of the occupancy calculation for one launch."""
+
+    blocks_per_sm: int
+    limiting_factor: str
+    warps_per_sm: int
+    occupancy: float
+
+    @property
+    def is_full(self) -> bool:
+        return self.occupancy >= 0.99
+
+
+def blocks_per_sm(launch: KernelLaunch, device: DeviceSpec) -> OccupancyResult:
+    """Compute resident blocks per SM for ``launch`` on ``device``.
+
+    Raises
+    ------
+    LaunchConfigError
+        if the launch exceeds a hard per-block device limit.
+    ResourceExhaustedError
+        if the launch is legal but zero blocks fit on an SM (cannot happen
+        for legal launches on real hardware, kept as a defensive check).
+    """
+    if launch.block_threads > device.max_threads_per_block:
+        raise LaunchConfigError(
+            f"{launch.name}: {launch.block_threads} threads/block exceeds "
+            f"device limit {device.max_threads_per_block}"
+        )
+    if launch.shared_mem_per_block > device.max_shared_mem_per_block:
+        raise LaunchConfigError(
+            f"{launch.name}: {launch.shared_mem_per_block} B shared memory "
+            f"exceeds device limit {device.max_shared_mem_per_block} B"
+        )
+    if launch.regs_per_thread > device.max_regs_per_thread:
+        raise LaunchConfigError(
+            f"{launch.name}: {launch.regs_per_thread} registers/thread "
+            f"exceeds device limit {device.max_regs_per_thread}"
+        )
+
+    warps_per_block = -(-launch.block_threads // device.warp_size)
+
+    limits: dict[str, int] = {}
+    limits["block_slots"] = device.max_blocks_per_sm
+    limits["thread_slots"] = device.max_threads_per_sm // (
+        warps_per_block * device.warp_size
+    )
+
+    regs_per_warp = _round_up(
+        launch.regs_per_thread * device.warp_size, _REG_ALLOC_UNIT
+    )
+    regs_per_block = regs_per_warp * warps_per_block
+    limits["registers"] = (
+        device.registers_per_sm // regs_per_block if regs_per_block else limits["block_slots"]
+    )
+
+    if launch.shared_mem_per_block > 0:
+        smem_per_block = _round_up(launch.shared_mem_per_block, _SMEM_ALLOC_UNIT)
+        limits["shared_memory"] = device.shared_mem_per_sm // smem_per_block
+    else:
+        limits["shared_memory"] = limits["block_slots"]
+
+    limiting_factor = min(limits, key=lambda key: limits[key])
+    blocks = limits[limiting_factor]
+    if blocks <= 0:
+        raise ResourceExhaustedError(
+            f"{launch.name}: zero occupancy (limited by {limiting_factor})"
+        )
+
+    warps_resident = blocks * warps_per_block
+    max_warps = device.max_threads_per_sm // device.warp_size
+    return OccupancyResult(
+        blocks_per_sm=blocks,
+        limiting_factor=limiting_factor,
+        warps_per_sm=warps_resident,
+        occupancy=min(1.0, warps_resident / max_warps),
+    )

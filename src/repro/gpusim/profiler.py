@@ -1,0 +1,84 @@
+"""Per-category aggregation of a context's timeline.
+
+Reproduces the paper's profiling methodology (§III-B, Figure 3): kernels
+are tagged with a *category* (``gemm0`` … ``gemm3``, ``attention``,
+``layernorm0``, ``layernorm1``, ``activation``, …) and the profiler sums
+time, FLOPs, traffic and launch counts per category, then renders the
+breakdown as a text table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpusim.stream import ExecutionContext
+
+
+@dataclass
+class CategoryProfile:
+    """Aggregated statistics for one kernel category."""
+
+    category: str
+    time_us: float = 0.0
+    flops: float = 0.0
+    dram_bytes: float = 0.0
+    launches: int = 0
+
+    def add(self, time_us: float, flops: float, dram_bytes: float) -> None:
+        self.time_us += time_us
+        self.flops += flops
+        self.dram_bytes += dram_bytes
+        self.launches += 1
+
+
+@dataclass
+class ProfileReport:
+    """Breakdown of a context's timeline by kernel category."""
+
+    categories: dict[str, CategoryProfile] = field(default_factory=dict)
+    total_us: float = 0.0
+
+    @classmethod
+    def from_context(cls, ctx: ExecutionContext) -> "ProfileReport":
+        report = cls()
+        for record in ctx.records:
+            cat = record.launch.category
+            profile = report.categories.setdefault(cat, CategoryProfile(cat))
+            profile.add(
+                record.time_us, record.launch.flops, record.launch.dram_bytes
+            )
+            report.total_us += record.time_us
+        return report
+
+    def fraction(self, category: str) -> float:
+        """Share of total time spent in ``category`` (0 if absent)."""
+        if self.total_us == 0:
+            return 0.0
+        profile = self.categories.get(category)
+        return profile.time_us / self.total_us if profile else 0.0
+
+    def fractions(self) -> dict[str, float]:
+        return {name: self.fraction(name) for name in self.categories}
+
+    def sorted_categories(self) -> list[CategoryProfile]:
+        return sorted(
+            self.categories.values(), key=lambda c: c.time_us, reverse=True
+        )
+
+    def to_table(self, title: str = "profile") -> str:
+        """Render the breakdown as a fixed-width text table."""
+        lines = [
+            f"== {title} (total {self.total_us:10.1f} us) ==",
+            f"{'category':<18}{'time_us':>12}{'share':>9}"
+            f"{'launches':>10}{'GFLOP':>10}{'MB':>10}",
+        ]
+        for profile in self.sorted_categories():
+            lines.append(
+                f"{profile.category:<18}"
+                f"{profile.time_us:>12.1f}"
+                f"{self.fraction(profile.category):>8.1%}"
+                f"{profile.launches:>10d}"
+                f"{profile.flops / 1e9:>10.2f}"
+                f"{profile.dram_bytes / 1e6:>10.2f}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,127 @@
+"""Roofline classification of recorded kernels.
+
+For each launch on a context's timeline, decide what bounds it — tensor-
+core/CUDA-core **compute**, DRAM/L2 **memory**, or fixed **launch**
+overhead — and aggregate shares per category.  This is the §III-B
+profiling methodology made explicit: the paper's optimisation order
+(fuse the memory-bound tail first, then attack the attention quadratic)
+falls straight out of this classification.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.stream import ExecutionContext, KernelRecord
+from repro.gpusim.timing import (
+    compute_time_us,
+    expected_utilisation,
+    memory_time_us,
+)
+from repro.gpusim.occupancy import blocks_per_sm
+
+import math
+
+
+class Bound(enum.Enum):
+    """What limits a kernel: compute, memory, or launch overhead."""
+    COMPUTE = "compute"
+    MEMORY = "memory"
+    LAUNCH = "launch"
+
+
+@dataclass(frozen=True)
+class KernelRoofline:
+    """One kernel's position against the roofline."""
+
+    name: str
+    category: str
+    time_us: float
+    compute_us: float
+    memory_us: float
+    overhead_us: float
+    bound: Bound
+
+    @property
+    def overhead_share(self) -> float:
+        return self.overhead_us / self.time_us if self.time_us else 0.0
+
+
+def classify_record(
+    record: KernelRecord, device: DeviceSpec
+) -> KernelRoofline:
+    """Decompose one record into compute/memory/overhead terms."""
+    launch = record.launch
+    t_compute = compute_time_us(launch, device)
+    if t_compute > 0:
+        t_compute /= expected_utilisation(launch, device)
+    occ = blocks_per_sm(launch, device)
+    concurrent = occ.blocks_per_sm * device.num_sms
+    waves = math.ceil(launch.grid / concurrent)
+    active = launch.grid / waves
+    t_memory = memory_time_us(launch, device, active)
+    overhead = device.kernel_launch_overhead_us + launch.extra_overhead_us
+
+    work = max(t_compute, t_memory)
+    if overhead >= work:
+        bound = Bound.LAUNCH
+    elif t_compute >= t_memory:
+        bound = Bound.COMPUTE
+    else:
+        bound = Bound.MEMORY
+    return KernelRoofline(
+        name=launch.name,
+        category=launch.category,
+        time_us=record.time_us,
+        compute_us=t_compute,
+        memory_us=t_memory,
+        overhead_us=overhead,
+        bound=bound,
+    )
+
+
+@dataclass(frozen=True)
+class RooflineReport:
+    kernels: tuple[KernelRoofline, ...]
+
+    def share(self, bound: Bound) -> float:
+        """Fraction of total time spent in kernels with this bound."""
+        total = sum(k.time_us for k in self.kernels)
+        if total == 0:
+            return 0.0
+        return sum(k.time_us for k in self.kernels if k.bound is bound) / total
+
+    def count(self, bound: Bound) -> int:
+        return sum(1 for k in self.kernels if k.bound is bound)
+
+    def to_table(self, top: int = 12) -> str:
+        lines = [
+            "== roofline classification ==",
+            f"compute-bound {self.share(Bound.COMPUTE):6.1%} "
+            f"({self.count(Bound.COMPUTE)} kernels)   "
+            f"memory-bound {self.share(Bound.MEMORY):6.1%} "
+            f"({self.count(Bound.MEMORY)} kernels)   "
+            f"launch-bound {self.share(Bound.LAUNCH):6.1%} "
+            f"({self.count(Bound.LAUNCH)} kernels)",
+            f"{'kernel':<34}{'time_us':>10}{'compute':>10}{'memory':>10}"
+            f"{'ovhd':>8}{'bound':>9}",
+        ]
+        by_time = sorted(self.kernels, key=lambda k: k.time_us, reverse=True)
+        for k in by_time[:top]:
+            lines.append(
+                f"{k.name:<34}{k.time_us:>10.1f}{k.compute_us:>10.1f}"
+                f"{k.memory_us:>10.1f}{k.overhead_us:>8.1f}"
+                f"{k.bound.value:>9}"
+            )
+        return "\n".join(lines)
+
+
+def roofline_report(ctx: ExecutionContext) -> RooflineReport:
+    """Classify every kernel on the context's timeline."""
+    return RooflineReport(
+        kernels=tuple(
+            classify_record(record, ctx.device) for record in ctx.records
+        )
+    )

@@ -1,0 +1,132 @@
+"""Execution contexts: where kernels record their launches.
+
+Numerical kernels accept an optional context; when given one, they call
+:meth:`ExecutionContext.launch` with their cost descriptor.  The context
+prices the launch against its device and accumulates a timeline.  A
+:class:`NullContext` can be used when only the numerics are wanted.
+
+A module-level *current context* (managed with :func:`use_context`) lets
+deeply nested code record launches without threading the context through
+every call signature; explicit passing always takes precedence.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.gpusim.device import A100_SPEC, DeviceSpec
+from repro.gpusim.kernel import KernelLaunch
+from repro.gpusim.timing import kernel_time_us
+
+
+@dataclass(frozen=True)
+class KernelRecord:
+    """One priced kernel launch on a context's timeline."""
+
+    launch: KernelLaunch
+    time_us: float
+    start_us: float
+
+    @property
+    def end_us(self) -> float:
+        return self.start_us + self.time_us
+
+
+class ExecutionContext:
+    """Accumulates kernel launches and their modelled latencies.
+
+    The context is serial (a single CUDA stream): kernels execute in the
+    order they are recorded and total elapsed time is the sum of kernel
+    latencies.  That matches the inference-serving setting in the paper,
+    where one request's encoder runs as a dependent kernel chain.
+    """
+
+    def __init__(self, device: DeviceSpec = A100_SPEC) -> None:
+        self.device = device
+        self.records: list[KernelRecord] = []
+        self._elapsed_us = 0.0
+
+    def launch(self, launch: KernelLaunch) -> KernelRecord:
+        """Price ``launch`` on this context's device and append it."""
+        time_us = kernel_time_us(launch, self.device)
+        record = KernelRecord(
+            launch=launch, time_us=time_us, start_us=self._elapsed_us
+        )
+        self.records.append(record)
+        self._elapsed_us += time_us
+        return record
+
+    def elapsed_us(self) -> float:
+        """Total modelled time of all recorded launches."""
+        return self._elapsed_us
+
+    def kernel_count(self) -> int:
+        return len(self.records)
+
+    def total_flops(self) -> float:
+        return sum(r.launch.flops for r in self.records)
+
+    def total_dram_bytes(self) -> float:
+        return sum(r.launch.dram_bytes for r in self.records)
+
+    def reset(self) -> None:
+        self.records.clear()
+        self._elapsed_us = 0.0
+
+    def fork(self) -> "ExecutionContext":
+        """A fresh context on the same device (for measuring a sub-region)."""
+        return ExecutionContext(self.device)
+
+    def merge(self, other: "ExecutionContext") -> None:
+        """Append another context's records, shifting their timestamps."""
+        base = self._elapsed_us
+        for record in other.records:
+            self.records.append(
+                KernelRecord(
+                    launch=record.launch,
+                    time_us=record.time_us,
+                    start_us=base + record.start_us,
+                )
+            )
+        self._elapsed_us += other._elapsed_us
+
+
+class NullContext(ExecutionContext):
+    """Context that prices nothing — for numerics-only runs."""
+
+    def __init__(self) -> None:
+        super().__init__(A100_SPEC)
+
+    def launch(self, launch: KernelLaunch) -> KernelRecord:  # noqa: D102
+        return KernelRecord(launch=launch, time_us=0.0, start_us=0.0)
+
+
+_current: list[ExecutionContext] = []
+
+
+def current_context() -> ExecutionContext | None:
+    """The innermost active context, or ``None``."""
+    return _current[-1] if _current else None
+
+
+@contextlib.contextmanager
+def use_context(ctx: ExecutionContext) -> Iterator[ExecutionContext]:
+    """Make ``ctx`` the current context within the ``with`` block."""
+    _current.append(ctx)
+    try:
+        yield ctx
+    finally:
+        popped = _current.pop()
+        assert popped is ctx, "use_context stack corrupted"
+
+
+def resolve_context(ctx: ExecutionContext | None) -> ExecutionContext:
+    """Explicit context, else the current one, else a NullContext."""
+    if ctx is not None:
+        return ctx
+    active = current_context()
+    if active is not None:
+        return active
+    return NullContext()

@@ -1,0 +1,127 @@
+"""Wave-quantised roofline timing for kernel launches.
+
+The latency of one launch is modelled as::
+
+    time = launch_overhead
+         + extra_overhead
+         + max(compute_time, memory_time) / utilisation
+
+where ``utilisation`` accounts for two effects real kernels suffer:
+
+* *wave quantisation* — a grid of ``B`` blocks with ``C`` concurrently
+  resident blocks executes in ``ceil(B / C)`` waves; the last wave is
+  partially filled, so average device utilisation is ``B / (waves * C)``;
+* *bandwidth ramp* — DRAM bandwidth only saturates once enough blocks are
+  in flight; small grids see proportionally less bandwidth.
+
+Compute throughput is the device peak of the launch's functional unit
+scaled by the launch's ``compute_efficiency`` (kernels know their own
+achievable fraction — e.g. a skinny GEMM cannot keep tensor cores fed).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.kernel import ComputeUnit, KernelLaunch
+from repro.gpusim.occupancy import blocks_per_sm
+
+_US_PER_S = 1e6
+
+
+def _peak_tflops(unit: ComputeUnit, device: DeviceSpec) -> float:
+    if unit is ComputeUnit.FP32:
+        return device.fp32_tflops
+    if unit is ComputeUnit.FP16:
+        return device.fp16_tflops
+    if unit is ComputeUnit.TENSOR_FP16:
+        return device.tensor_fp16_tflops
+    raise ValueError(f"unknown compute unit {unit!r}")
+
+
+def compute_time_us(launch: KernelLaunch, device: DeviceSpec) -> float:
+    """Time to execute the launch's FLOPs at its sustained throughput."""
+    if launch.flops == 0:
+        return 0.0
+    peak = _peak_tflops(launch.compute_unit, device) * 1e12
+    return launch.flops / (peak * launch.compute_efficiency) * _US_PER_S
+
+
+def memory_time_us(
+    launch: KernelLaunch, device: DeviceSpec, active_blocks: float
+) -> float:
+    """Time to move the launch's DRAM and hot (L2-candidate) traffic.
+
+    ``active_blocks`` is the average number of blocks in flight; bandwidth
+    ramps linearly with the number of in-flight *threads* (memory-level
+    parallelism is per-warp) until
+    :attr:`DeviceSpec.dram_saturation_threads`.  Hot bytes are served from
+    L2 when the hot working set fits (0.7x capacity headroom for other
+    tenants); otherwise they spill to DRAM pricing.
+    """
+    dram_bytes = launch.dram_bytes
+    hot_time = 0.0
+    if launch.hot_bytes > 0:
+        if launch.hot_bytes <= 0.7 * device.l2_bytes:
+            hot_time = (
+                launch.hot_bytes / (device.l2_bandwidth_gbs * 1e9) * _US_PER_S
+            )
+        else:
+            dram_bytes += launch.hot_bytes
+    if dram_bytes == 0:
+        return hot_time
+    active_threads = active_blocks * launch.block_threads
+    ramp = min(1.0, active_threads / device.dram_saturation_threads)
+    # even a single block streams at a useful fraction of peak (one SM's
+    # worth of memory pipelines), so floor the ramp.
+    ramp = max(ramp, 1.0 / device.num_sms)
+    bandwidth = device.effective_dram_gbs * 1e9 * ramp
+    return dram_bytes / bandwidth * _US_PER_S + hot_time
+
+
+def compute_saturation_blocks(launch: KernelLaunch, device: DeviceSpec) -> int:
+    """Resident blocks needed to saturate the device's compute throughput.
+
+    One SM's functional units saturate at roughly 256 threads of
+    math-dense work, so small blocks need several residents per SM while
+    a 256+-thread block saturates its SM alone.
+    """
+    per_sm = max(1, math.ceil(256 / launch.block_threads))
+    return device.num_sms * per_sm
+
+
+def expected_utilisation(launch: KernelLaunch, device: DeviceSpec) -> float:
+    """Average fraction of device compute throughput this grid sustains.
+
+    Combines wave quantisation (a partially-filled last wave idles SMs)
+    with the compute-saturation point: once enough blocks are in flight
+    to saturate the SMs, extra resident blocks do not add throughput —
+    and a grid smaller than the saturation point only uses its share.
+    """
+    occ = blocks_per_sm(launch, device)
+    concurrent = occ.blocks_per_sm * device.num_sms
+    waves = math.ceil(launch.grid / concurrent)
+    active = launch.grid / waves
+    saturation = min(concurrent, compute_saturation_blocks(launch, device))
+    return min(1.0, active / saturation)
+
+
+def kernel_time_us(launch: KernelLaunch, device: DeviceSpec) -> float:
+    """Total modelled latency of one kernel launch, microseconds."""
+    occ = blocks_per_sm(launch, device)
+    concurrent = occ.blocks_per_sm * device.num_sms
+    waves = math.ceil(launch.grid / concurrent)
+    # average blocks in flight over the kernel's lifetime
+    active = launch.grid / waves
+
+    t_compute = compute_time_us(launch, device)
+    if t_compute > 0:
+        t_compute /= expected_utilisation(launch, device)
+    t_memory = memory_time_us(launch, device, active)
+
+    return (
+        device.kernel_launch_overhead_us
+        + launch.extra_overhead_us
+        + max(t_compute, t_memory)
+    )

@@ -1,0 +1,65 @@
+"""Chrome-trace export for execution contexts.
+
+Serialises a context's timeline into the Trace Event Format understood by
+``chrome://tracing`` and Perfetto, one complete event per kernel launch
+with its category, grid and work counters as arguments — handy for
+eyeballing where a pipeline's time goes and spotting launch-overhead
+dominated regions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.gpusim.stream import ExecutionContext
+
+
+def to_chrome_trace(ctx: ExecutionContext, process_name: str = "gpusim") -> dict:
+    """Build a Trace-Event-Format dict from a context's records."""
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "args": {"name": f"{process_name} ({ctx.device.name})"},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": "stream 0"},
+        },
+    ]
+    for record in ctx.records:
+        launch = record.launch
+        events.append(
+            {
+                "name": launch.name,
+                "cat": launch.category,
+                "ph": "X",  # complete event
+                "pid": 0,
+                "tid": 0,
+                "ts": record.start_us,
+                "dur": record.time_us,
+                "args": {
+                    "grid": launch.grid,
+                    "block_threads": launch.block_threads,
+                    "gflops": round(launch.flops / 1e9, 4),
+                    "dram_mb": round(launch.dram_bytes / 1e6, 4),
+                    "hot_mb": round(launch.hot_bytes / 1e6, 4),
+                    "compute_unit": launch.compute_unit.value,
+                },
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ns"}
+
+
+def write_chrome_trace(
+    ctx: ExecutionContext, path: str | Path, process_name: str = "gpusim"
+) -> Path:
+    """Write the context's timeline as a chrome://tracing JSON file."""
+    out = Path(path)
+    out.write_text(json.dumps(to_chrome_trace(ctx, process_name), indent=1))
+    return out

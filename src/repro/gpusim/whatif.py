@@ -1,0 +1,113 @@
+"""What-if analysis: how robust are the conclusions to device parameters?
+
+The simulator's constants (launch overhead, DRAM bandwidth, L2 bandwidth,
+tensor-core peak) carry uncertainty.  :func:`sensitivity_sweep` perturbs
+one device parameter across a range, re-evaluates a user-supplied metric
+(typically "ByteTransformer's gain over framework X"), and reports how
+the conclusion moves — the standard robustness check for model-based
+performance studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.gpusim.device import A100_SPEC, DeviceSpec
+
+#: device fields that are meaningful to perturb
+SWEEPABLE_FIELDS = (
+    "kernel_launch_overhead_us",
+    "dram_bandwidth_gbs",
+    "l2_bandwidth_gbs",
+    "tensor_fp16_tflops",
+    "fp32_tflops",
+    "num_sms",
+)
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    scale: float
+    value: float
+    metric: float
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    field: str
+    baseline_metric: float
+    points: tuple[SensitivityPoint, ...]
+
+    @property
+    def metric_range(self) -> tuple[float, float]:
+        metrics = [p.metric for p in self.points]
+        return min(metrics), max(metrics)
+
+    def conclusion_stable(self, predicate: Callable[[float], bool]) -> bool:
+        """Does ``predicate(metric)`` hold at every swept point?"""
+        return all(predicate(p.metric) for p in self.points)
+
+    def max_relative_change(self) -> float:
+        if self.baseline_metric == 0:
+            raise ValueError("baseline metric is zero")
+        lo, hi = self.metric_range
+        return max(
+            abs(lo - self.baseline_metric),
+            abs(hi - self.baseline_metric),
+        ) / abs(self.baseline_metric)
+
+
+def sensitivity_sweep(
+    field: str,
+    metric: Callable[[DeviceSpec], float],
+    *,
+    base: DeviceSpec = A100_SPEC,
+    scales: Sequence[float] = (0.5, 0.75, 1.0, 1.5, 2.0),
+) -> SensitivityResult:
+    """Scale one device field and re-evaluate ``metric`` at each point.
+
+    ``metric`` receives the perturbed :class:`DeviceSpec` and returns a
+    scalar (e.g. a speedup ratio computed by running two estimates on a
+    context bound to that device).
+    """
+    if field not in SWEEPABLE_FIELDS:
+        raise ValueError(
+            f"{field!r} is not sweepable; choose from {SWEEPABLE_FIELDS}"
+        )
+    if not scales:
+        raise ValueError("need at least one scale point")
+    baseline_metric = metric(base)
+    points = []
+    base_value = getattr(base, field)
+    for scale in scales:
+        if scale <= 0:
+            raise ValueError(f"scales must be positive, got {scale}")
+        value = base_value * scale
+        if isinstance(base_value, int):
+            value = max(1, int(round(value)))
+        device = base.with_overrides(**{field: value})
+        points.append(
+            SensitivityPoint(
+                scale=scale, value=float(value), metric=metric(device)
+            )
+        )
+    return SensitivityResult(
+        field=field,
+        baseline_metric=baseline_metric,
+        points=tuple(points),
+    )
+
+
+def format_sweep(result: SensitivityResult) -> str:
+    """Render a sensitivity sweep as a text table."""
+    lines = [
+        f"== sensitivity: {result.field} "
+        f"(baseline metric {result.baseline_metric:.3f}) ==",
+        f"{'scale':>8}{'value':>14}{'metric':>10}",
+    ]
+    for p in result.points:
+        lines.append(f"{p.scale:>8.2f}{p.value:>14.1f}{p.metric:>10.3f}")
+    lo, hi = result.metric_range
+    lines.append(f"metric range: [{lo:.3f}, {hi:.3f}]")
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""Element-wise activation kernels: GELU and add-bias variants.
+
+Two execution styles are provided, matching the paper's §III-C.2
+comparison:
+
+* :func:`add_bias_gelu` — the standalone kernel an *unfused* pipeline
+  launches after a GEMM: it reads the GEMM output back from DRAM, adds the
+  bias, applies GELU and writes the result (two full passes over the
+  tensor plus the bias vector);
+* fusion into the GEMM epilogue is expressed by calling
+  :func:`repro.kernels.gemm.gemm` with ``bias=...`` and
+  ``activation="gelu"`` — no standalone kernel, no extra tensor traffic.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.special import erf
+
+from repro.gpusim.kernel import ComputeUnit, KernelLaunch
+from repro.gpusim.memory import tensor_bytes
+from repro.gpusim.stream import ExecutionContext, resolve_context
+
+#: rows of the (rows x hidden) tensor processed per thread block
+_ROWS_PER_BLOCK = 4
+
+
+def gelu_reference(x: np.ndarray) -> np.ndarray:
+    """Exact GELU: ``x * Phi(x)`` with the Gaussian CDF."""
+    return 0.5 * x * (1.0 + erf(x / math.sqrt(2.0)))
+
+
+def gelu_tanh(x: np.ndarray) -> np.ndarray:
+    """The tanh approximation of GELU used by BERT implementations."""
+    c = math.sqrt(2.0 / math.pi)
+    return 0.5 * x * (1.0 + np.tanh(c * (x + 0.044715 * x**3)))
+
+
+def _elementwise_launch(
+    rows: int, cols: int, name: str, category: str, passes: float, flops_per_elem: float
+) -> KernelLaunch:
+    grid = max(1, math.ceil(rows / _ROWS_PER_BLOCK))
+    # the input read is *hot*: it follows the kernel that produced it
+    return KernelLaunch(
+        name=name,
+        category=category,
+        grid=grid,
+        block_threads=256,
+        flops=flops_per_elem * rows * cols,
+        dram_bytes=(passes - 1.0) * tensor_bytes(rows, cols)
+        + tensor_bytes(cols),
+        hot_bytes=tensor_bytes(rows, cols),
+        compute_unit=ComputeUnit.FP16,
+        compute_efficiency=0.5,
+        regs_per_thread=32,
+    )
+
+
+def add_bias_launch(rows: int, cols: int, category: str = "activation") -> KernelLaunch:
+    """Cost descriptor of the standalone add-bias kernel."""
+    return _elementwise_launch(rows, cols, "add_bias", category, 2.0, 1.0)
+
+
+def gelu_launch(rows: int, cols: int, category: str = "activation") -> KernelLaunch:
+    """Cost descriptor of the standalone GELU kernel."""
+    return _elementwise_launch(rows, cols, "gelu", category, 2.0, 8.0)
+
+
+def add_bias_gelu_launch(
+    rows: int, cols: int, category: str = "activation"
+) -> KernelLaunch:
+    """Cost descriptor of the fused-elementwise add-bias + GELU kernel."""
+    return _elementwise_launch(rows, cols, "add_bias_gelu", category, 2.0, 9.0)
+
+
+def add_bias(
+    x: np.ndarray,
+    bias: np.ndarray,
+    *,
+    ctx: ExecutionContext | None = None,
+    category: str = "activation",
+) -> np.ndarray:
+    """Standalone add-bias kernel: read tensor, add bias vector, write."""
+    if x.ndim != 2:
+        raise ValueError(f"add_bias expects a 2-D tensor, got {x.shape}")
+    if bias.shape != (x.shape[1],):
+        raise ValueError(f"bias shape {bias.shape} != ({x.shape[1]},)")
+    rows, cols = x.shape
+    resolve_context(ctx).launch(
+        add_bias_launch(rows, cols, category)
+    )
+    return x + bias
+
+
+def gelu(
+    x: np.ndarray,
+    *,
+    ctx: ExecutionContext | None = None,
+    category: str = "activation",
+) -> np.ndarray:
+    """Standalone GELU kernel: read tensor, transform, write."""
+    if x.ndim != 2:
+        raise ValueError(f"gelu expects a 2-D tensor, got {x.shape}")
+    rows, cols = x.shape
+    resolve_context(ctx).launch(
+        gelu_launch(rows, cols, category)
+    )
+    return gelu_reference(x)
+
+
+def add_bias_gelu(
+    x: np.ndarray,
+    bias: np.ndarray,
+    *,
+    ctx: ExecutionContext | None = None,
+    category: str = "activation",
+) -> np.ndarray:
+    """Fused-elementwise (but not GEMM-fused) add-bias + GELU kernel.
+
+    One read and one write of the tensor.  This is what a framework with
+    element-wise fusion (e.g. XLA, JIT) launches after an unfused GEMM.
+    """
+    if x.ndim != 2:
+        raise ValueError(f"add_bias_gelu expects a 2-D tensor, got {x.shape}")
+    if bias.shape != (x.shape[1],):
+        raise ValueError(f"bias shape {bias.shape} != ({x.shape[1]},)")
+    rows, cols = x.shape
+    resolve_context(ctx).launch(
+        add_bias_gelu_launch(rows, cols, category)
+    )
+    return gelu_reference(x + bias)

@@ -1,0 +1,84 @@
+"""Batched GEMM with identical sub-problem shapes (cuBLAS-style).
+
+This is the primitive conventional MHA implementations rely on — and the
+reason they cannot exploit variable lengths: every sub-problem in the
+batch must share one ``(m, n, k)`` shape, so inputs are padded to the
+longest sequence and the padded FLOPs are burned for real (§III-D).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.gpusim.kernel import ComputeUnit, KernelLaunch
+from repro.gpusim.memory import tensor_bytes
+from repro.gpusim.stream import ExecutionContext, resolve_context
+from repro.kernels.gemm import gemm_efficiency, select_tile
+
+
+def batched_gemm_launch(
+    batch_count: int,
+    m: int,
+    n: int,
+    k: int,
+    *,
+    name: str = "batched_gemm",
+    category: str = "attention",
+) -> KernelLaunch:
+    """Cost descriptor for ``batch_count`` identical ``m x n x k`` GEMMs."""
+    if batch_count <= 0:
+        raise ValueError(f"batch_count must be positive, got {batch_count}")
+    tile = select_tile(m, n)
+    tiles = math.ceil(m / tile.tile_m) * math.ceil(n / tile.tile_n)
+    return KernelLaunch(
+        name=name,
+        category=category,
+        grid=batch_count * tiles,
+        block_threads=tile.block_threads,
+        flops=2.0 * batch_count * m * n * k,
+        dram_bytes=batch_count * tensor_bytes(m, n),
+        hot_bytes=batch_count * (tensor_bytes(m, k) + tensor_bytes(k, n)),
+        compute_unit=ComputeUnit.TENSOR_FP16,
+        compute_efficiency=gemm_efficiency(m, n, k, tile),
+        shared_mem_per_block=tile.smem_bytes,
+        regs_per_thread=tile.regs_per_thread,
+    )
+
+
+def batched_gemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    transpose_b: bool = False,
+    ctx: ExecutionContext | None = None,
+    name: str = "batched_gemm",
+    category: str = "attention",
+) -> np.ndarray:
+    """Compute ``a @ b`` (or ``a @ b.T``) over leading batch axes.
+
+    ``a`` and ``b`` are ``[..., m, k]`` and ``[..., k, n]`` (or
+    ``[..., n, k]`` with ``transpose_b``); leading axes must match and are
+    flattened into the cuBLAS batch count.
+    """
+    if a.ndim < 3 or b.ndim < 3:
+        raise ValueError(
+            f"batched gemm expects >=3-D operands, got {a.shape}, {b.shape}"
+        )
+    if a.shape[:-2] != b.shape[:-2]:
+        raise ValueError(
+            f"batch axes mismatch: {a.shape[:-2]} vs {b.shape[:-2]}"
+        )
+    b_eff = np.swapaxes(b, -1, -2) if transpose_b else b
+    if a.shape[-1] != b_eff.shape[-2]:
+        raise ValueError(f"inner dims mismatch: {a.shape} @ {b_eff.shape}")
+
+    batch_count = int(np.prod(a.shape[:-2]))
+    m, k = a.shape[-2], a.shape[-1]
+    n = b_eff.shape[-1]
+
+    resolve_context(ctx).launch(
+        batched_gemm_launch(batch_count, m, n, k, name=name, category=category)
+    )
+    return a @ b_eff

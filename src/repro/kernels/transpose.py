@@ -1,0 +1,312 @@
+"""Head split/merge (transpose) kernels, with fused bias and pack/unpack.
+
+BERT reshapes activations between the ``[rows, hidden]`` layout GEMMs want
+and the ``[B, heads, S, head_size]`` layout batched attention wants.
+Conventional frameworks launch plain transpose kernels; ByteTransformer
+fuses the QKV bias add and the pack/unpack of the zero-padding algorithm
+into these same memory footprints so the packing feature costs ~nothing
+extra (§III-D, last paragraph).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.gpusim.kernel import ComputeUnit, KernelLaunch
+from repro.gpusim.memory import BYTES_PER_FP32, tensor_bytes
+from repro.gpusim.stream import ExecutionContext, resolve_context
+
+_ROWS_PER_BLOCK = 4
+
+
+def _move_launch(
+    name: str,
+    category: str,
+    rows_driving_grid: int,
+    dram_bytes: float,
+    flops: float = 0.0,
+    hot_bytes: float = 0.0,
+) -> KernelLaunch:
+    grid = max(1, math.ceil(rows_driving_grid / _ROWS_PER_BLOCK))
+    return KernelLaunch(
+        name=name,
+        category=category,
+        grid=grid,
+        block_threads=256,
+        flops=flops,
+        dram_bytes=dram_bytes,
+        hot_bytes=hot_bytes,
+        compute_unit=ComputeUnit.FP16,
+        compute_efficiency=0.5,
+        regs_per_thread=32,
+    )
+
+
+def split_heads_launch(
+    rows: int, hidden: int, category: str = "attention",
+    name: str = "split_heads",
+) -> KernelLaunch:
+    """Cost descriptor of one head split/merge transpose copy."""
+    return _move_launch(
+        name, category, rows, tensor_bytes(rows, hidden),
+        hot_bytes=tensor_bytes(rows, hidden),
+    )
+
+
+def add_bias_split_heads_qkv_launch(
+    rows: int, three_hidden: int, category: str = "attention"
+) -> KernelLaunch:
+    """Cost descriptor of the fused bias + QKV head-split kernel."""
+    return _move_launch(
+        "add_bias_split_heads_qkv",
+        category,
+        rows,
+        tensor_bytes(rows, three_hidden) + tensor_bytes(three_hidden),
+        flops=float(rows) * three_hidden,
+        hot_bytes=tensor_bytes(rows, three_hidden),
+    )
+
+
+def add_bias_unpack_split_heads_qkv_launch(
+    tokens: int, padded_rows: int, three_hidden: int,
+    category: str = "attention",
+) -> KernelLaunch:
+    """Cost descriptor of the fused unpack + bias + QKV head-split kernel."""
+    return _move_launch(
+        "add_bias_unpack_split_heads_qkv",
+        category,
+        padded_rows,
+        tensor_bytes(padded_rows, three_hidden)
+        + tensor_bytes(three_hidden)
+        + tokens * BYTES_PER_FP32,
+        flops=float(tokens) * three_hidden,
+        hot_bytes=tensor_bytes(tokens, three_hidden),
+    )
+
+
+def add_bias_split_heads_packed_qkv_launch(
+    tokens: int, three_hidden: int, category: str = "attention"
+) -> KernelLaunch:
+    """Cost descriptor of the packed bias + QKV head-split kernel."""
+    return _move_launch(
+        "add_bias_split_heads_packed_qkv",
+        category,
+        tokens,
+        tensor_bytes(tokens, three_hidden) + tensor_bytes(three_hidden),
+        flops=float(tokens) * three_hidden,
+        hot_bytes=tensor_bytes(tokens, three_hidden),
+    )
+
+
+def pack_merge_heads_launch(
+    tokens: int, hidden: int, category: str = "attention"
+) -> KernelLaunch:
+    """Cost descriptor of the fused pack + head-merge kernel."""
+    return _move_launch(
+        "pack_merge_heads",
+        category,
+        tokens,
+        tensor_bytes(tokens, hidden) + tokens * BYTES_PER_FP32,
+        hot_bytes=tensor_bytes(tokens, hidden),
+    )
+
+
+def split_heads(
+    x: np.ndarray,
+    batch: int,
+    seq_len: int,
+    num_heads: int,
+    *,
+    ctx: ExecutionContext | None = None,
+    category: str = "attention",
+    name: str = "split_heads",
+) -> np.ndarray:
+    """``[B*S, H]`` → ``[B, heads, S, head_size]`` (one transpose kernel)."""
+    rows, hidden = x.shape
+    if rows != batch * seq_len:
+        raise ValueError(f"{rows} rows != batch {batch} * seq {seq_len}")
+    if hidden % num_heads != 0:
+        raise ValueError(f"hidden {hidden} not divisible by {num_heads} heads")
+    head_size = hidden // num_heads
+    resolve_context(ctx).launch(
+        split_heads_launch(rows, hidden, category, name)
+    )
+    return (
+        x.reshape(batch, seq_len, num_heads, head_size)
+        .transpose(0, 2, 1, 3)
+        .copy()
+    )
+
+
+def merge_heads(
+    x: np.ndarray,
+    *,
+    ctx: ExecutionContext | None = None,
+    category: str = "attention",
+    name: str = "merge_heads",
+) -> np.ndarray:
+    """``[B, heads, S, head_size]`` → ``[B*S, H]`` (one transpose kernel)."""
+    if x.ndim != 4:
+        raise ValueError(f"expected [B, heads, S, hs], got {x.shape}")
+    batch, heads, seq_len, head_size = x.shape
+    rows = batch * seq_len
+    hidden = heads * head_size
+    resolve_context(ctx).launch(
+        split_heads_launch(rows, hidden, category, name)
+    )
+    return x.transpose(0, 2, 1, 3).reshape(rows, hidden).copy()
+
+
+def add_bias_split_heads_qkv(
+    qkv: np.ndarray,
+    qkv_bias: np.ndarray,
+    batch: int,
+    seq_len: int,
+    num_heads: int,
+    *,
+    ctx: ExecutionContext | None = None,
+    category: str = "attention",
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fused bias-add + QKV head split on a *padded* ``[B*S, 3H]`` tensor.
+
+    Returns Q, K, V each shaped ``[B, heads, S, head_size]``.  One kernel:
+    read the fused QKV tensor and the bias, write the three outputs.
+    """
+    rows, three_hidden = qkv.shape
+    if rows != batch * seq_len:
+        raise ValueError(f"{rows} rows != batch {batch} * seq {seq_len}")
+    if three_hidden % 3 != 0:
+        raise ValueError(f"QKV width {three_hidden} not divisible by 3")
+    if qkv_bias.shape != (three_hidden,):
+        raise ValueError(f"bias shape {qkv_bias.shape} != ({three_hidden},)")
+    hidden = three_hidden // 3
+    if hidden % num_heads != 0:
+        raise ValueError(f"hidden {hidden} not divisible by {num_heads} heads")
+    head_size = hidden // num_heads
+
+    resolve_context(ctx).launch(
+        add_bias_split_heads_qkv_launch(rows, three_hidden, category)
+    )
+    biased = qkv + qkv_bias
+    parts = []
+    for i in range(3):
+        part = biased[:, i * hidden : (i + 1) * hidden]
+        parts.append(
+            part.reshape(batch, seq_len, num_heads, head_size)
+            .transpose(0, 2, 1, 3)
+            .copy()
+        )
+    return parts[0], parts[1], parts[2]
+
+
+def add_bias_unpack_split_heads_qkv(
+    qkv_packed: np.ndarray,
+    qkv_bias: np.ndarray,
+    gather_idx: np.ndarray,
+    batch: int,
+    seq_len: int,
+    num_heads: int,
+    *,
+    ctx: ExecutionContext | None = None,
+    category: str = "attention",
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fused *unpack* + bias-add + head split: ``[T, 3H]`` → padded Q, K, V.
+
+    This is the pipeline-(c) kernel that re-pads before batched-GEMM MHA:
+    it reads only the packed tensor (``T`` rows) but must write the padded
+    outputs (``B*S`` rows, zero-filled), in a single launch — the unpack
+    cost is hidden inside a footprint that had to exist anyway.
+    """
+    tokens, three_hidden = qkv_packed.shape
+    if gather_idx.shape != (tokens,):
+        raise ValueError(
+            f"gather_idx shape {gather_idx.shape} != ({tokens},)"
+        )
+    if three_hidden % 3 != 0:
+        raise ValueError(f"QKV width {three_hidden} not divisible by 3")
+    if qkv_bias.shape != (three_hidden,):
+        raise ValueError(f"bias shape {qkv_bias.shape} != ({three_hidden},)")
+    hidden = three_hidden // 3
+    if hidden % num_heads != 0:
+        raise ValueError(f"hidden {hidden} not divisible by {num_heads} heads")
+    head_size = hidden // num_heads
+    padded_rows = batch * seq_len
+
+    resolve_context(ctx).launch(
+        add_bias_unpack_split_heads_qkv_launch(
+            tokens, padded_rows, three_hidden, category
+        )
+    )
+    padded = np.zeros((padded_rows, three_hidden), dtype=qkv_packed.dtype)
+    padded[gather_idx] = qkv_packed + qkv_bias
+    parts = []
+    for i in range(3):
+        part = padded[:, i * hidden : (i + 1) * hidden]
+        parts.append(
+            part.reshape(batch, seq_len, num_heads, head_size)
+            .transpose(0, 2, 1, 3)
+            .copy()
+        )
+    return parts[0], parts[1], parts[2]
+
+
+def add_bias_split_heads_packed_qkv(
+    qkv_packed: np.ndarray,
+    qkv_bias: np.ndarray,
+    num_heads: int,
+    *,
+    ctx: ExecutionContext | None = None,
+    category: str = "attention",
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fused bias-add + head split that *stays packed*: ``[T, 3H]`` → 3×``[T, heads, head_size]``.
+
+    Used by the fused-MHA pipelines: attention reads packed Q/K/V directly
+    through the position offsets, so nothing is ever re-padded and traffic
+    scales with the valid token count only.
+    """
+    tokens, three_hidden = qkv_packed.shape
+    if three_hidden % 3 != 0:
+        raise ValueError(f"QKV width {three_hidden} not divisible by 3")
+    if qkv_bias.shape != (three_hidden,):
+        raise ValueError(f"bias shape {qkv_bias.shape} != ({three_hidden},)")
+    hidden = three_hidden // 3
+    if hidden % num_heads != 0:
+        raise ValueError(f"hidden {hidden} not divisible by {num_heads} heads")
+    head_size = hidden // num_heads
+
+    resolve_context(ctx).launch(
+        add_bias_split_heads_packed_qkv_launch(tokens, three_hidden, category)
+    )
+    biased = qkv_packed + qkv_bias
+    parts = []
+    for i in range(3):
+        part = biased[:, i * hidden : (i + 1) * hidden]
+        parts.append(part.reshape(tokens, num_heads, head_size).copy())
+    return parts[0], parts[1], parts[2]
+
+
+def pack_merge_heads(
+    attn_out: np.ndarray,
+    gather_idx: np.ndarray,
+    *,
+    ctx: ExecutionContext | None = None,
+    category: str = "attention",
+) -> np.ndarray:
+    """Fused *pack* + head merge: padded ``[B, heads, S, hs]`` → ``[T, H]``.
+
+    The pipeline-(c) kernel that re-packs after batched-GEMM MHA; it reads
+    only the valid rows and writes the packed tensor.
+    """
+    if attn_out.ndim != 4:
+        raise ValueError(f"expected [B, heads, S, hs], got {attn_out.shape}")
+    batch, heads, seq_len, head_size = attn_out.shape
+    hidden = heads * head_size
+    tokens = gather_idx.shape[0]
+
+    resolve_context(ctx).launch(
+        pack_merge_heads_launch(tokens, hidden, category)
+    )
+    merged = attn_out.transpose(0, 2, 1, 3).reshape(batch * seq_len, hidden)
+    return merged[gather_idx].copy()

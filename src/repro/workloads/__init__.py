@@ -1,0 +1,27 @@
+"""Variable-length workload generators."""
+
+from repro.workloads.generator import (
+    LengthDistribution,
+    VariableLengthBatch,
+    fixed_lengths,
+    make_batch,
+    normal_lengths,
+    paper_lengths,
+    uniform_lengths,
+    zipf_lengths,
+)
+from repro.workloads.serving import Request, ServingTrace, make_trace
+
+__all__ = [
+    "LengthDistribution",
+    "VariableLengthBatch",
+    "fixed_lengths",
+    "make_batch",
+    "normal_lengths",
+    "paper_lengths",
+    "uniform_lengths",
+    "zipf_lengths",
+    "Request",
+    "ServingTrace",
+    "make_trace",
+]

@@ -1,0 +1,266 @@
+"""Online batching policies for the serving emulator.
+
+ByteTransformer's setting is online inference: requests with different
+lengths arrive continuously.  *How* they are grouped into GPU batches is
+a serving-side policy, orthogonal to the engine — and it interacts with
+the padding story: a FIFO batcher mixes long and short sentences (worst
+padding for a padded engine, irrelevant for a packed one), while a
+length-bucketed batcher trades queueing delay for tighter batches.
+
+Three policies are provided, each a generator of dispatch decisions over
+a :class:`~repro.workloads.serving.ServingTrace`:
+
+* :class:`FifoBatcher` — dispatch in arrival order once ``batch_size``
+  requests are waiting (or the horizon ends);
+* :class:`TimeoutBatcher` — dispatch when the batch fills *or* the oldest
+  waiting request has waited ``timeout_us``;
+* :class:`BucketBatcher` — like TimeoutBatcher, but requests are queued
+  into length buckets and each dispatch drains one bucket — the serving-
+  side analogue of TurboTransformer's smart batching.
+
+:func:`replay` runs a policy against a framework cost model on a single
+simulated GPU and returns per-request latencies.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import BertConfig
+from repro.frameworks.base import Framework
+from repro.workloads.serving import Request, ServingTrace
+
+
+@dataclass(frozen=True)
+class Dispatch:
+    """One batch handed to the GPU."""
+
+    requests: tuple[Request, ...]
+    #: time at which the batch became eligible to start
+    ready_us: float
+
+    def __post_init__(self) -> None:
+        if not self.requests:
+            raise ValueError("a dispatch needs at least one request")
+
+    @property
+    def seq_lens(self) -> np.ndarray:
+        return np.asarray([r.seq_len for r in self.requests], dtype=np.int64)
+
+
+class Batcher(abc.ABC):
+    """A batching policy: trace in, dispatches out."""
+
+    name: str = "batcher"
+
+    @abc.abstractmethod
+    def plan(self, trace: ServingTrace) -> list[Dispatch]:
+        """Partition the trace into dispatches with readiness times."""
+
+    @staticmethod
+    def _validate_cover(trace: ServingTrace, plan: list[Dispatch]) -> None:
+        planned = sorted(
+            r.request_id for d in plan for r in d.requests
+        )
+        expected = sorted(r.request_id for r in trace.requests)
+        if planned != expected:
+            raise AssertionError("batching plan lost or duplicated requests")
+
+
+@dataclass
+class FifoBatcher(Batcher):
+    """Arrival-order batches of exactly ``batch_size`` (last one ragged)."""
+
+    batch_size: int = 8
+    name: str = "fifo"
+
+    def plan(self, trace: ServingTrace) -> list[Dispatch]:
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        plan = []
+        for group in trace.batches(self.batch_size):
+            plan.append(
+                Dispatch(
+                    requests=tuple(group),
+                    ready_us=max(r.arrival_us for r in group),
+                )
+            )
+        self._validate_cover(trace, plan)
+        return plan
+
+
+@dataclass
+class TimeoutBatcher(Batcher):
+    """Dispatch on full batch or when the head request ages out."""
+
+    batch_size: int = 8
+    timeout_us: float = 2000.0
+    name: str = "timeout"
+
+    def plan(self, trace: ServingTrace) -> list[Dispatch]:
+        if self.batch_size <= 0 or self.timeout_us < 0:
+            raise ValueError("invalid batcher parameters")
+        plan: list[Dispatch] = []
+        waiting: list[Request] = []
+        for request in trace.requests:
+            # before accepting this arrival, flush any group whose head
+            # would exceed its deadline by then
+            while waiting and (
+                request.arrival_us
+                > waiting[0].arrival_us + self.timeout_us
+            ):
+                cut = waiting[: self.batch_size]
+                waiting = waiting[self.batch_size :]
+                plan.append(
+                    Dispatch(
+                        requests=tuple(cut),
+                        ready_us=cut[0].arrival_us + self.timeout_us,
+                    )
+                )
+            waiting.append(request)
+            if len(waiting) >= self.batch_size:
+                cut = waiting[: self.batch_size]
+                waiting = waiting[self.batch_size :]
+                plan.append(
+                    Dispatch(
+                        requests=tuple(cut),
+                        ready_us=cut[-1].arrival_us,
+                    )
+                )
+        while waiting:
+            cut = waiting[: self.batch_size]
+            waiting = waiting[self.batch_size :]
+            plan.append(
+                Dispatch(
+                    requests=tuple(cut),
+                    ready_us=cut[0].arrival_us + self.timeout_us,
+                )
+            )
+        self._validate_cover(trace, plan)
+        return plan
+
+
+@dataclass
+class BucketBatcher(Batcher):
+    """Length-bucketed batching (serving-side smart batching).
+
+    Requests are queued per length bucket (bucket ``i`` holds lengths in
+    ``(i*width, (i+1)*width]``); a bucket dispatches when it has
+    ``batch_size`` requests or its oldest member ages out.
+    """
+
+    batch_size: int = 8
+    timeout_us: float = 2000.0
+    bucket_width: int = 128
+    name: str = "bucket"
+
+    def plan(self, trace: ServingTrace) -> list[Dispatch]:
+        if min(self.batch_size, self.bucket_width) <= 0 or self.timeout_us < 0:
+            raise ValueError("invalid batcher parameters")
+        buckets: dict[int, list[Request]] = {}
+        plan: list[Dispatch] = []
+
+        def flush(bucket: list[Request], ready: float) -> None:
+            plan.append(Dispatch(requests=tuple(bucket), ready_us=ready))
+
+        for request in trace.requests:
+            # age out any bucket head older than the timeout at this time
+            for key in list(buckets):
+                queue = buckets[key]
+                if (
+                    queue
+                    and request.arrival_us
+                    > queue[0].arrival_us + self.timeout_us
+                ):
+                    flush(queue, queue[0].arrival_us + self.timeout_us)
+                    buckets[key] = []
+            key = (request.seq_len - 1) // self.bucket_width
+            queue = buckets.setdefault(key, [])
+            queue.append(request)
+            if len(queue) >= self.batch_size:
+                flush(queue, request.arrival_us)
+                buckets[key] = []
+        for queue in buckets.values():
+            if queue:
+                flush(queue, queue[0].arrival_us + self.timeout_us)
+        plan.sort(key=lambda d: d.ready_us)
+        self._validate_cover(trace, plan)
+        return plan
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Per-request latencies of one (policy, framework) replay."""
+
+    policy: str
+    framework: str
+    latencies_us: np.ndarray
+    gpu_busy_us: float
+    makespan_us: float
+
+    @property
+    def mean_ms(self) -> float:
+        return float(self.latencies_us.mean()) / 1000.0
+
+    @property
+    def p99_ms(self) -> float:
+        return float(np.percentile(self.latencies_us, 99)) / 1000.0
+
+    @property
+    def utilisation(self) -> float:
+        return self.gpu_busy_us / self.makespan_us if self.makespan_us else 0.0
+
+
+#: per-dispatch padded shapes are rounded up to this granularity, the
+#: way serving deployments keep a small set of compiled shapes
+SHAPE_GRANULARITY = 64
+
+
+def dispatch_padded_len(dispatch: Dispatch, cap: int) -> int:
+    """Padded sequence length a serving system would use for this batch:
+    the batch maximum rounded up to :data:`SHAPE_GRANULARITY`, capped at
+    the model's maximum."""
+    longest = int(dispatch.seq_lens.max())
+    rounded = -(-longest // SHAPE_GRANULARITY) * SHAPE_GRANULARITY
+    return min(cap, rounded)
+
+
+def replay(
+    trace: ServingTrace,
+    batcher: Batcher,
+    framework: Framework,
+    config: BertConfig,
+) -> ReplayResult:
+    """Run a batching policy against a framework on one simulated GPU.
+
+    Batches execute serially in readiness order.  Each batch is padded to
+    its own rounded maximum (see :func:`dispatch_padded_len`) — so a
+    length-homogeneous policy directly shrinks the padded engines' work,
+    while packed engines only ever pay for valid tokens.
+    """
+    plan = sorted(batcher.plan(trace), key=lambda d: d.ready_us)
+    latencies = np.empty(trace.num_requests)
+    gpu_free_at = 0.0
+    busy = 0.0
+    for dispatch in plan:
+        start = max(dispatch.ready_us, gpu_free_at)
+        service = framework.latency_us(
+            config,
+            dispatch.seq_lens,
+            dispatch_padded_len(dispatch, trace.max_seq_len),
+        )
+        finish = start + service
+        gpu_free_at = finish
+        busy += service
+        for request in dispatch.requests:
+            latencies[request.request_id] = finish - request.arrival_us
+    return ReplayResult(
+        policy=batcher.name,
+        framework=framework.name,
+        latencies_us=latencies,
+        gpu_busy_us=busy,
+        makespan_us=gpu_free_at,
+    )

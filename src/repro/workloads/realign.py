@@ -1,0 +1,79 @@
+"""Mask realignment: make arbitrary masks left-aligned.
+
+The zero-padding algorithm (and the serving path generally) assumes each
+sentence's valid tokens occupy positions ``0..len-1``.  Real pipelines
+can violate that — token pruning, span masking, or middle-truncation
+leave *interior* holes.  :func:`realign` compacts each row's valid tokens
+to the front, returning the permutation needed to scatter results back,
+so any masked batch can enter the packed pipelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Realignment:
+    """Result of compacting a mask's valid tokens to the left.
+
+    ``source_index[b, s]`` is the original position whose token now sits
+    at (row ``b``, slot ``s``) — only meaningful for ``s < lengths[b]``.
+    """
+
+    mask: np.ndarray  # left-aligned 0/1 mask, same shape as the input
+    lengths: np.ndarray  # [B] valid counts
+    source_index: np.ndarray  # [B, S] gather positions
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Reorder a padded ``[B, S, ...]`` tensor to the aligned layout.
+
+        Slots beyond each row's length are zero-filled.
+        """
+        if x.shape[:2] != self.mask.shape:
+            raise ValueError(
+                f"tensor layout {x.shape[:2]} != mask {self.mask.shape}"
+            )
+        out = np.zeros_like(x)
+        for b, length in enumerate(self.lengths):
+            out[b, :length] = x[b, self.source_index[b, :length]]
+        return out
+
+    def restore(self, y: np.ndarray) -> np.ndarray:
+        """Scatter an aligned ``[B, S, ...]`` tensor back to the original
+        positions (holes zero-filled)."""
+        if y.shape[:2] != self.mask.shape:
+            raise ValueError(
+                f"tensor layout {y.shape[:2]} != mask {self.mask.shape}"
+            )
+        out = np.zeros_like(y)
+        for b, length in enumerate(self.lengths):
+            out[b, self.source_index[b, :length]] = y[b, :length]
+        return out
+
+
+def realign(mask: np.ndarray) -> Realignment:
+    """Compact an arbitrary ``[B, S]`` 0/1 mask to left-aligned form.
+
+    Token order within each sentence is preserved (stable compaction).
+    Rows with zero valid tokens are rejected, matching
+    :func:`repro.core.padding.packing_from_mask`.
+    """
+    if mask.ndim != 2:
+        raise ValueError(f"expected a [B, S] mask, got {mask.shape}")
+    if not np.isin(mask, (0, 1)).all():
+        raise ValueError("mask must contain only 0s and 1s")
+    batch, seq = mask.shape
+    lengths = mask.sum(axis=1).astype(np.int64)
+    if (lengths == 0).any():
+        raise ValueError("every sentence needs at least one valid token")
+
+    aligned = np.zeros_like(mask)
+    source = np.zeros((batch, seq), dtype=np.int64)
+    for b in range(batch):
+        positions = np.flatnonzero(mask[b])
+        aligned[b, : lengths[b]] = 1
+        source[b, : lengths[b]] = positions
+    return Realignment(mask=aligned, lengths=lengths, source_index=source)

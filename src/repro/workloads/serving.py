@@ -1,0 +1,84 @@
+"""A minimal online-serving trace emulator.
+
+ByteTransformer's motivation is *online inference*: requests with
+different sentence lengths arrive continuously and must be answered with
+low latency.  A :class:`ServingTrace` is a seeded stream of requests with
+Poisson arrivals and configurable length distribution; the serving example
+replays it against each framework model and reports latency percentiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.generator import LengthDistribution, normal_lengths, uniform_lengths, zipf_lengths
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request."""
+
+    request_id: int
+    arrival_us: float
+    seq_len: int
+
+
+@dataclass(frozen=True)
+class ServingTrace:
+    """A stream of requests plus the padded shape they are served with."""
+
+    requests: tuple[Request, ...]
+    max_seq_len: int
+
+    def __post_init__(self) -> None:
+        if not self.requests:
+            raise ValueError("a trace needs at least one request")
+        arrivals = [r.arrival_us for r in self.requests]
+        if any(b < a for a, b in zip(arrivals, arrivals[1:])):
+            raise ValueError("requests must be sorted by arrival time")
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.requests)
+
+    def batches(self, batch_size: int) -> list[list[Request]]:
+        """Greedy arrival-order batching into groups of ``batch_size``."""
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        groups = []
+        for start in range(0, len(self.requests), batch_size):
+            groups.append(list(self.requests[start : start + batch_size]))
+        return groups
+
+
+def make_trace(
+    num_requests: int,
+    max_seq_len: int,
+    *,
+    alpha: float = 0.6,
+    mean_interarrival_us: float = 500.0,
+    distribution: LengthDistribution = LengthDistribution.UNIFORM,
+    seed: int = 0,
+) -> ServingTrace:
+    """Generate a seeded Poisson-arrival request trace."""
+    if num_requests <= 0:
+        raise ValueError("num_requests must be positive")
+    rng = np.random.default_rng(seed)
+    if distribution is LengthDistribution.UNIFORM:
+        lens = uniform_lengths(num_requests, max_seq_len, alpha, rng)
+    elif distribution is LengthDistribution.NORMAL:
+        lens = normal_lengths(num_requests, max_seq_len, alpha, rng)
+    elif distribution is LengthDistribution.ZIPF:
+        lens = zipf_lengths(num_requests, max_seq_len, rng)
+    else:
+        raise ValueError(f"unsupported trace distribution {distribution!r}")
+
+    gaps = rng.exponential(mean_interarrival_us, size=num_requests)
+    arrivals = np.cumsum(gaps)
+    requests = tuple(
+        Request(request_id=i, arrival_us=float(arrivals[i]), seq_len=int(lens[i]))
+        for i in range(num_requests)
+    )
+    return ServingTrace(requests=requests, max_seq_len=max_seq_len)

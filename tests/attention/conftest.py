@@ -1,0 +1,45 @@
+"""Fixtures shared by the attention-variant tests.
+
+Every MHA implementation receives the same QKV tensor (projection of the
+batch input by the layer's packed QKV weight, *without* bias — each
+variant adds the bias its own way) and must reproduce the oracle
+:func:`repro.core.reference.reference_mha` on valid tokens.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.padding import pack
+from repro.core.reference import reference_mha
+
+
+@pytest.fixture()
+def qkv_padded(small_layer, small_batch):
+    flat = small_batch.x.reshape(-1, small_batch.hidden)
+    return flat @ small_layer.qkv_weight
+
+
+@pytest.fixture()
+def qkv_packed(qkv_padded, small_packing):
+    return pack(qkv_padded, small_packing)
+
+
+@pytest.fixture()
+def mha_oracle(small_config, small_layer, small_batch):
+    """Reference attention output, padded [B, S, H]."""
+    return reference_mha(
+        small_batch.x, small_layer, small_config, small_batch.mask
+    )
+
+
+@pytest.fixture()
+def valid(small_batch):
+    return small_batch.mask.astype(bool)
+
+
+def assert_matches_oracle(out_padded, oracle, valid_mask, rtol=1e-4):
+    np.testing.assert_allclose(
+        out_padded[valid_mask], oracle[valid_mask], rtol=rtol, atol=1e-5
+    )

@@ -1,0 +1,120 @@
+"""FlashAttention-style online softmax and its fixed-shape cost."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attention.flash import flash_mha_padded, online_softmax_attention
+from repro.core.reference import reference_attention
+from repro.gpusim import ExecutionContext
+from repro.kernels.softmax import softmax_reference
+
+
+class TestOnlineSoftmax:
+    def test_matches_direct_attention(self, rng):
+        q = rng.normal(size=(10, 8))
+        k = rng.normal(size=(24, 8))
+        v = rng.normal(size=(24, 8))
+        scale = 1 / math.sqrt(8)
+        direct = softmax_reference((q @ k.T) * scale) @ v
+        online = online_softmax_attention(q, k, v, scale, tile_kv=8)
+        np.testing.assert_allclose(online, direct, rtol=1e-10)
+
+    @pytest.mark.parametrize("tile", [1, 3, 7, 16, 64, 1000])
+    def test_tile_size_irrelevant(self, tile, rng):
+        q = rng.normal(size=(6, 4))
+        k = rng.normal(size=(17, 4))
+        v = rng.normal(size=(17, 4))
+        base = online_softmax_attention(q, k, v, 0.5, tile_kv=17)
+        tiled = online_softmax_attention(q, k, v, 0.5, tile_kv=tile)
+        np.testing.assert_allclose(tiled, base, rtol=1e-10)
+
+    def test_extreme_scores_stay_finite(self):
+        q = np.full((2, 4), 50.0)
+        k = np.full((8, 4), 50.0)
+        v = np.ones((8, 4))
+        out = online_softmax_attention(q, k, v, 1.0, tile_kv=2)
+        assert np.isfinite(out).all()
+        np.testing.assert_allclose(out, 1.0, rtol=1e-9)
+
+    @given(
+        m=st.integers(1, 8),
+        n=st.integers(1, 32),
+        tile=st.integers(1, 40),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_equals_direct(self, m, n, tile):
+        rng = np.random.default_rng(m * 100 + n)
+        q = rng.normal(size=(m, 4))
+        k = rng.normal(size=(n, 4))
+        v = rng.normal(size=(n, 4))
+        direct = softmax_reference(q @ k.T * 0.5) @ v
+        online = online_softmax_attention(q, k, v, 0.5, tile_kv=tile)
+        np.testing.assert_allclose(online, direct, rtol=1e-8, atol=1e-10)
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            online_softmax_attention(
+                rng.normal(size=(4, 8)),
+                rng.normal(size=(6, 8)),
+                rng.normal(size=(7, 8)),
+                1.0,
+            )
+
+
+class TestFlashMha:
+    def test_matches_reference_attention(self, rng):
+        batch, heads, seq, hs = 2, 3, 16, 8
+        q = rng.normal(size=(batch, heads, seq, hs))
+        k = rng.normal(size=(batch, heads, seq, hs))
+        v = rng.normal(size=(batch, heads, seq, hs))
+        mask = np.zeros((batch, seq))
+        mask[0, :10] = 1
+        mask[1, :16] = 1
+        out = flash_mha_padded(q, k, v, mask)
+        ref = reference_attention(q, k, v, mask)
+        for b in range(batch):
+            length = int(mask[b].sum())
+            np.testing.assert_allclose(
+                out[b, :, :length],
+                ref[b, :, :length],
+                rtol=1e-4,
+                atol=1e-6,
+            )
+
+    def test_padded_rows_zero(self, rng):
+        q = rng.normal(size=(1, 2, 8, 4))
+        mask = np.zeros((1, 8))
+        mask[0, :5] = 1
+        out = flash_mha_padded(q, q, q, mask)
+        assert (out[0, :, 5:] == 0).all()
+
+    def test_one_launch_one_cta_per_unit(self, rng):
+        q = rng.normal(size=(2, 4, 16, 8))
+        mask = np.ones((2, 16))
+        ctx = ExecutionContext()
+        flash_mha_padded(q, q, q, mask, ctx=ctx)
+        assert ctx.kernel_count() == 1
+        assert ctx.records[0].launch.grid == 2 * 4
+
+    def test_flops_are_padded(self, rng):
+        """The related-work point: FlashAttention's fixed-shape kernel
+        charges full seq^2 work no matter how short the real sentences."""
+        q = rng.normal(size=(2, 2, 32, 8))
+        short_mask = np.zeros((2, 32))
+        short_mask[:, :4] = 1
+        full_mask = np.ones((2, 32))
+
+        ctx_short = ExecutionContext()
+        flash_mha_padded(q, q, q, short_mask, ctx=ctx_short)
+        ctx_full = ExecutionContext()
+        flash_mha_padded(q, q, q, full_mask, ctx=ctx_full)
+        assert ctx_short.total_flops() == ctx_full.total_flops()
+
+    def test_mask_shape_checked(self, rng):
+        q = rng.normal(size=(2, 2, 8, 4))
+        with pytest.raises(ValueError, match="mask"):
+            flash_mha_padded(q, q, q, np.ones((2, 7)))

@@ -1,0 +1,100 @@
+"""PyTorch-style MHA baseline."""
+
+import numpy as np
+import pytest
+
+from repro.attention.standard import standard_mha, standard_mha_launches
+from repro.gpusim import ComputeUnit, ExecutionContext
+
+from tests.attention.conftest import assert_matches_oracle
+
+
+class TestNumerics:
+    def test_matches_oracle(
+        self, qkv_padded, small_layer, small_config, small_batch, mha_oracle, valid
+    ):
+        out = standard_mha(
+            qkv_padded,
+            small_layer.qkv_bias,
+            small_batch.batch,
+            small_batch.max_seq_len,
+            small_config.num_heads,
+            small_batch.mask,
+        )
+        out = out.reshape(mha_oracle.shape)
+        assert_matches_oracle(out, mha_oracle, valid)
+
+
+class TestKernelChain:
+    def test_ten_launches(
+        self, qkv_padded, small_layer, small_config, small_batch
+    ):
+        ctx = ExecutionContext()
+        standard_mha(
+            qkv_padded,
+            small_layer.qkv_bias,
+            small_batch.batch,
+            small_batch.max_seq_len,
+            small_config.num_heads,
+            small_batch.mask,
+            ctx=ctx,
+        )
+        assert ctx.kernel_count() == 10
+
+    def test_chain_matches_builder(
+        self, qkv_padded, small_layer, small_config, small_batch
+    ):
+        ctx = ExecutionContext()
+        standard_mha(
+            qkv_padded,
+            small_layer.qkv_bias,
+            small_batch.batch,
+            small_batch.max_seq_len,
+            small_config.num_heads,
+            small_batch.mask,
+            ctx=ctx,
+        )
+        built = standard_mha_launches(
+            small_batch.batch,
+            small_batch.max_seq_len,
+            small_config.num_heads,
+            small_config.hidden_size,
+        )
+        assert [r.launch for r in ctx.records] == built
+
+    def test_everything_runs_fp32(self, small_config):
+        launches = standard_mha_launches(4, 64, small_config.num_heads, 64)
+        assert all(l.compute_unit is ComputeUnit.FP32 for l in launches)
+
+    def test_superlinear_traffic_growth(self, small_config):
+        """The quadratic score-tensor passes push traffic well past the
+        2x a purely linear pipeline would show for 2x sequence length."""
+        short = standard_mha_launches(8, 128, 12, 768)
+        long = standard_mha_launches(8, 256, 12, 768)
+        short_bytes = sum(l.dram_bytes + l.hot_bytes for l in short)
+        long_bytes = sum(l.dram_bytes + l.hot_bytes for l in long)
+        assert long_bytes > 2.5 * short_bytes
+
+
+class TestValidation:
+    def test_row_mismatch(self, qkv_padded, small_layer, small_batch, small_config):
+        with pytest.raises(ValueError, match="rows"):
+            standard_mha(
+                qkv_padded[:-1],
+                small_layer.qkv_bias,
+                small_batch.batch,
+                small_batch.max_seq_len,
+                small_config.num_heads,
+                small_batch.mask,
+            )
+
+    def test_mask_shape(self, qkv_padded, small_layer, small_batch, small_config):
+        with pytest.raises(ValueError, match="mask"):
+            standard_mha(
+                qkv_padded,
+                small_layer.qkv_bias,
+                small_batch.batch,
+                small_batch.max_seq_len,
+                small_config.num_heads,
+                small_batch.mask[:, :-1],
+            )

@@ -1,0 +1,303 @@
+"""cuBLAS / zero-padding / fused MHA variants vs the oracle."""
+
+import numpy as np
+import pytest
+
+from repro.attention.dispatch import byte_mha
+from repro.attention.fused_long import fused_long_mha
+from repro.attention.fused_short import (
+    SHORT_KERNEL_MAX_SEQ,
+    fused_short_mha,
+    short_kernel_shared_mem,
+    supports,
+)
+from repro.attention.unfused_cublas import unfused_cublas_mha
+from repro.attention.zeropad_softmax_mha import zeropad_softmax_mha
+from repro.core.padding import unpack
+from repro.gpusim import ExecutionContext
+from repro.kernels.grouped_gemm import SchedulerKind
+
+from tests.attention.conftest import assert_matches_oracle
+
+
+class TestUnfusedCublas:
+    def test_matches_oracle(
+        self, qkv_padded, small_layer, small_config, small_batch, mha_oracle, valid
+    ):
+        out = unfused_cublas_mha(
+            qkv_padded,
+            small_layer.qkv_bias,
+            small_batch.batch,
+            small_batch.max_seq_len,
+            small_config.num_heads,
+            small_batch.mask,
+        ).reshape(mha_oracle.shape)
+        assert_matches_oracle(out, mha_oracle, valid)
+
+    def test_five_launches(
+        self, qkv_padded, small_layer, small_config, small_batch
+    ):
+        ctx = ExecutionContext()
+        unfused_cublas_mha(
+            qkv_padded,
+            small_layer.qkv_bias,
+            small_batch.batch,
+            small_batch.max_seq_len,
+            small_config.num_heads,
+            small_batch.mask,
+            ctx=ctx,
+        )
+        assert ctx.kernel_count() == 5
+
+    def test_faster_than_pytorch(
+        self, qkv_padded, small_layer, small_config, small_batch
+    ):
+        from repro.attention.standard import standard_mha
+
+        args = (
+            qkv_padded,
+            small_layer.qkv_bias,
+            small_batch.batch,
+            small_batch.max_seq_len,
+            small_config.num_heads,
+            small_batch.mask,
+        )
+        slow = ExecutionContext()
+        standard_mha(*args, ctx=slow)
+        fast = ExecutionContext()
+        unfused_cublas_mha(*args, ctx=fast)
+        assert fast.elapsed_us() < slow.elapsed_us()
+
+
+class TestZeropadSoftmaxMha:
+    def test_matches_oracle(
+        self,
+        qkv_packed,
+        small_layer,
+        small_config,
+        small_packing,
+        mha_oracle,
+        valid,
+        small_batch,
+    ):
+        packed_out = zeropad_softmax_mha(
+            qkv_packed,
+            small_layer.qkv_bias,
+            small_packing,
+            small_config.num_heads,
+        )
+        out = unpack(packed_out, small_packing).reshape(mha_oracle.shape)
+        assert_matches_oracle(out, mha_oracle, valid)
+
+    def test_packed_row_count_checked(
+        self, qkv_packed, small_layer, small_config, small_packing
+    ):
+        with pytest.raises(ValueError, match="packed rows"):
+            zeropad_softmax_mha(
+                qkv_packed[:-1],
+                small_layer.qkv_bias,
+                small_packing,
+                small_config.num_heads,
+            )
+
+
+class TestFusedShort:
+    def test_matches_oracle(
+        self,
+        qkv_packed,
+        small_layer,
+        small_config,
+        small_packing,
+        mha_oracle,
+        valid,
+    ):
+        packed_out = fused_short_mha(
+            qkv_packed,
+            small_layer.qkv_bias,
+            small_packing,
+            small_config.num_heads,
+        )
+        out = unpack(packed_out, small_packing).reshape(mha_oracle.shape)
+        assert_matches_oracle(out, mha_oracle, valid)
+
+    def test_single_kernel(
+        self, qkv_packed, small_layer, small_config, small_packing
+    ):
+        ctx = ExecutionContext()
+        fused_short_mha(
+            qkv_packed,
+            small_layer.qkv_bias,
+            small_packing,
+            small_config.num_heads,
+            ctx=ctx,
+        )
+        assert ctx.kernel_count() == 1
+        assert ctx.records[0].launch.name == "fused_mha_short"
+
+    def test_split_seq_len_does_not_change_numerics(
+        self, qkv_packed, small_layer, small_config, small_packing
+    ):
+        a = fused_short_mha(
+            qkv_packed,
+            small_layer.qkv_bias,
+            small_packing,
+            small_config.num_heads,
+            split_seq_len=16,
+        )
+        b = fused_short_mha(
+            qkv_packed,
+            small_layer.qkv_bias,
+            small_packing,
+            small_config.num_heads,
+            split_seq_len=48,
+        )
+        np.testing.assert_array_equal(a, b)
+
+    def test_resource_limits(self):
+        assert supports(256, 64)
+        assert supports(384, 64)
+        assert not supports(512, 64)
+        assert not supports(SHORT_KERNEL_MAX_SEQ + 1, 64)
+
+    def test_shared_memory_includes_skew(self):
+        # the skew padding must appear in the footprint
+        with_skew = short_kernel_shared_mem(128, 64, 32)
+        assert with_skew > (128 * 64 + 32 * 64 + 32 * 128) * 2
+
+    def test_rejects_long_sequences(
+        self, small_config, small_layer, rng
+    ):
+        from repro.core.padding import packing_from_lengths
+
+        packing = packing_from_lengths([500], 512)
+        qkv = rng.normal(
+            size=(500, 3 * small_config.hidden_size)
+        ).astype(np.float32)
+        with pytest.raises(ValueError, match="does not support"):
+            fused_short_mha(
+                qkv,
+                small_layer.qkv_bias,
+                packing,
+                small_config.num_heads,
+            )
+
+
+class TestFusedLong:
+    def test_matches_oracle(
+        self,
+        qkv_packed,
+        small_layer,
+        small_config,
+        small_packing,
+        mha_oracle,
+        valid,
+    ):
+        packed_out = fused_long_mha(
+            qkv_packed,
+            small_layer.qkv_bias,
+            small_packing,
+            small_config.num_heads,
+        )
+        out = unpack(packed_out, small_packing).reshape(mha_oracle.shape)
+        assert_matches_oracle(out, mha_oracle, valid)
+
+    def test_three_launches(
+        self, qkv_packed, small_layer, small_config, small_packing
+    ):
+        ctx = ExecutionContext()
+        fused_long_mha(
+            qkv_packed,
+            small_layer.qkv_bias,
+            small_packing,
+            small_config.num_heads,
+            ctx=ctx,
+        )
+        names = [r.launch.name for r in ctx.records]
+        assert names == [
+            "fmha_grouped_qk",
+            "softmax_full_reduction",
+            "fmha_grouped_pv",
+        ]
+
+    def test_scheduler_choice_keeps_numerics(
+        self, qkv_packed, small_layer, small_config, small_packing
+    ):
+        a = fused_long_mha(
+            qkv_packed,
+            small_layer.qkv_bias,
+            small_packing,
+            small_config.num_heads,
+            scheduler=SchedulerKind.PER_THREAD,
+        )
+        b = fused_long_mha(
+            qkv_packed,
+            small_layer.qkv_bias,
+            small_packing,
+            small_config.num_heads,
+            scheduler=SchedulerKind.WARP_PREFETCH,
+        )
+        np.testing.assert_array_equal(a, b)
+
+    def test_short_and_long_kernels_agree(
+        self, qkv_packed, small_layer, small_config, small_packing
+    ):
+        short = fused_short_mha(
+            qkv_packed,
+            small_layer.qkv_bias,
+            small_packing,
+            small_config.num_heads,
+        )
+        long = fused_long_mha(
+            qkv_packed,
+            small_layer.qkv_bias,
+            small_packing,
+            small_config.num_heads,
+        )
+        np.testing.assert_allclose(short, long, rtol=1e-5, atol=1e-7)
+
+
+class TestDispatch:
+    def test_short_sequences_use_short_kernel(
+        self, qkv_packed, small_layer, small_config, small_packing
+    ):
+        ctx = ExecutionContext()
+        byte_mha(
+            qkv_packed,
+            small_layer.qkv_bias,
+            small_packing,
+            small_config.num_heads,
+            ctx=ctx,
+        )
+        assert ctx.records[0].launch.name == "fused_mha_short"
+
+    def test_cutover_forces_long_kernel(
+        self, qkv_packed, small_layer, small_config, small_packing
+    ):
+        ctx = ExecutionContext()
+        byte_mha(
+            qkv_packed,
+            small_layer.qkv_bias,
+            small_packing,
+            small_config.num_heads,
+            short_max_seq=8,  # below this batch's max length
+            ctx=ctx,
+        )
+        assert ctx.records[0].launch.name == "fmha_grouped_qk"
+
+    def test_dispatch_numerics_identical(
+        self, qkv_packed, small_layer, small_config, small_packing
+    ):
+        a = byte_mha(
+            qkv_packed,
+            small_layer.qkv_bias,
+            small_packing,
+            small_config.num_heads,
+        )
+        b = byte_mha(
+            qkv_packed,
+            small_layer.qkv_bias,
+            small_packing,
+            small_config.num_heads,
+            short_max_seq=8,
+        )
+        np.testing.assert_allclose(a, b, rtol=1e-5, atol=1e-7)

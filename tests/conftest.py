@@ -1,0 +1,46 @@
+"""Shared fixtures: small-but-real model shapes for fast numeric tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import BertConfig
+from repro.core.padding import packing_from_lengths
+from repro.core.weights import init_model_weights
+from repro.workloads.generator import make_batch
+
+
+@pytest.fixture(scope="session")
+def small_config() -> BertConfig:
+    """A 4-head, head-size-16, 2-layer config: cheap but structurally
+    identical to BERT-base (hidden = heads * head_size, FFN scale 4)."""
+    return BertConfig(num_heads=4, head_size=16, num_layers=2)
+
+
+@pytest.fixture(scope="session")
+def small_weights(small_config):
+    return init_model_weights(small_config, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_layer(small_weights):
+    return small_weights.layers[0]
+
+
+@pytest.fixture()
+def small_batch(small_config):
+    """Variable-length batch: 5 sentences, max length 48, alpha 0.6."""
+    return make_batch(
+        5, 48, small_config.hidden_size, alpha=0.6, seed=11
+    )
+
+
+@pytest.fixture()
+def small_packing(small_batch):
+    return packing_from_lengths(small_batch.seq_lens, small_batch.max_seq_len)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

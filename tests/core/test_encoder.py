@@ -1,0 +1,192 @@
+"""Encoder pipeline variants: every preset must equal the oracle."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import (
+    BASELINE,
+    FUSED_MHA,
+    GELU_FUSION,
+    LAYERNORM_FUSION,
+    RM_PADDING,
+    STEPWISE_PRESETS,
+)
+from repro.core.encoder import encoder_layer_packed, encoder_layer_padded
+from repro.core.padding import pack, unpack
+from repro.core.reference import reference_encoder_layer
+from repro.gpusim import ExecutionContext
+
+PADDED_PRESETS = (BASELINE, LAYERNORM_FUSION, GELU_FUSION)
+PACKED_PRESETS = (RM_PADDING, FUSED_MHA)
+
+
+@pytest.fixture()
+def oracle(small_config, small_weights, small_batch):
+    return reference_encoder_layer(
+        small_batch.x,
+        small_weights.layers[0],
+        small_config,
+        small_batch.mask,
+    )
+
+
+class TestPaddedPipelines:
+    @pytest.mark.parametrize("opt", PADDED_PRESETS, ids=lambda o: o.label)
+    def test_matches_oracle_on_valid_tokens(
+        self, opt, small_config, small_weights, small_batch, oracle
+    ):
+        flat = small_batch.x.reshape(-1, small_batch.hidden)
+        out = encoder_layer_padded(
+            flat, small_weights.layers[0], small_config, opt, small_batch.mask
+        )
+        out = out.reshape(small_batch.x.shape)
+        valid = small_batch.mask.astype(bool)
+        np.testing.assert_allclose(
+            out[valid], oracle[valid], rtol=1e-4, atol=1e-5
+        )
+
+    def test_rejects_packed_preset(
+        self, small_config, small_weights, small_batch
+    ):
+        flat = small_batch.x.reshape(-1, small_batch.hidden)
+        with pytest.raises(ValueError, match="remove_padding"):
+            encoder_layer_padded(
+                flat,
+                small_weights.layers[0],
+                small_config,
+                RM_PADDING,
+                small_batch.mask,
+            )
+
+    def test_row_count_validated(
+        self, small_config, small_weights, small_batch
+    ):
+        with pytest.raises(ValueError, match="rows"):
+            encoder_layer_padded(
+                np.zeros((7, small_batch.hidden), dtype=np.float32),
+                small_weights.layers[0],
+                small_config,
+                BASELINE,
+                small_batch.mask,
+            )
+
+    def test_fusion_reduces_kernel_count(
+        self, small_config, small_weights, small_batch
+    ):
+        flat = small_batch.x.reshape(-1, small_batch.hidden)
+        counts = {}
+        for opt in (BASELINE, GELU_FUSION):
+            ctx = ExecutionContext()
+            encoder_layer_padded(
+                flat,
+                small_weights.layers[0],
+                small_config,
+                opt,
+                small_batch.mask,
+                ctx=ctx,
+            )
+            counts[opt.label] = ctx.kernel_count()
+        assert counts["add bias & GELU fusion"] < counts["baseline"]
+
+
+class TestPackedPipelines:
+    @pytest.mark.parametrize("opt", PACKED_PRESETS, ids=lambda o: o.label)
+    def test_matches_oracle_on_valid_tokens(
+        self, opt, small_config, small_weights, small_batch, small_packing, oracle
+    ):
+        flat = small_batch.x.reshape(-1, small_batch.hidden)
+        packed_in = pack(flat, small_packing)
+        packed_out = encoder_layer_packed(
+            packed_in,
+            small_weights.layers[0],
+            small_config,
+            opt,
+            small_packing,
+        )
+        out = unpack(packed_out, small_packing).reshape(small_batch.x.shape)
+        valid = small_batch.mask.astype(bool)
+        np.testing.assert_allclose(
+            out[valid], oracle[valid], rtol=1e-4, atol=1e-5
+        )
+
+    def test_rejects_padded_preset(
+        self, small_config, small_weights, small_packing, rng
+    ):
+        packed = rng.normal(
+            size=(small_packing.total_tokens, small_config.hidden_size)
+        )
+        with pytest.raises(ValueError, match="remove_padding"):
+            encoder_layer_packed(
+                packed,
+                small_weights.layers[0],
+                small_config,
+                BASELINE,
+                small_packing,
+            )
+
+    def test_token_count_validated(
+        self, small_config, small_weights, small_packing, rng
+    ):
+        packed = rng.normal(
+            size=(small_packing.total_tokens + 1, small_config.hidden_size)
+        )
+        with pytest.raises(ValueError, match="rows"):
+            encoder_layer_packed(
+                packed,
+                small_weights.layers[0],
+                small_config,
+                RM_PADDING,
+                small_packing,
+            )
+
+    def test_fused_mha_uses_fewer_kernels_than_zeropad(
+        self, small_config, small_weights, small_batch, small_packing
+    ):
+        flat = small_batch.x.reshape(-1, small_batch.hidden)
+        packed_in = pack(flat, small_packing)
+        counts = {}
+        for opt in PACKED_PRESETS:
+            ctx = ExecutionContext()
+            encoder_layer_packed(
+                packed_in,
+                small_weights.layers[0],
+                small_config,
+                opt,
+                small_packing,
+                ctx=ctx,
+            )
+            counts[opt.label] = ctx.kernel_count()
+        assert counts["fused MHA"] < counts["rm padding"]
+
+
+class TestCrossPipelineEquivalence:
+    def test_all_presets_agree(
+        self, small_config, small_weights, small_batch, small_packing
+    ):
+        """All five Figure-13 variants compute the same function."""
+        flat = small_batch.x.reshape(-1, small_batch.hidden)
+        valid = small_batch.mask.astype(bool)
+        outputs = []
+        for opt in STEPWISE_PRESETS:
+            if opt.remove_padding:
+                packed = encoder_layer_packed(
+                    pack(flat, small_packing),
+                    small_weights.layers[0],
+                    small_config,
+                    opt,
+                    small_packing,
+                )
+                out = unpack(packed, small_packing)
+            else:
+                out = encoder_layer_padded(
+                    flat,
+                    small_weights.layers[0],
+                    small_config,
+                    opt,
+                    small_batch.mask,
+                )
+            outputs.append(out.reshape(small_batch.x.shape)[valid])
+        for other in outputs[1:]:
+            np.testing.assert_allclose(
+                outputs[0], other, rtol=1e-4, atol=1e-5
+            )

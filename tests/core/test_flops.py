@@ -1,0 +1,164 @@
+"""Table II FLOP formulas — including the key cross-check against the
+FLOPs the simulator meters when actually running the pipelines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import BASELINE, FUSED_MHA, RM_PADDING, BertConfig
+from repro.core.estimator import estimate_model
+from repro.core.flops import (
+    baseline_flops,
+    exact_variable_length_flops,
+    format_table2,
+    fused_mha_flops,
+    table2,
+    zero_padding_flops,
+)
+from repro.gpusim import ExecutionContext, ProfileReport
+
+CFG = BertConfig(num_layers=1)
+
+
+class TestFormulas:
+    def test_baseline_formulas(self):
+        m, k, bs = 4096, 768, 16
+        flops = baseline_flops(m, k, bs)
+        assert flops.gemm0 == pytest.approx(6 * m * k**2)
+        assert flops.mha == pytest.approx(4 * m**2 * k / bs)
+        assert flops.gemm1 == pytest.approx(2 * m * k**2)
+        assert flops.gemm2 == pytest.approx(8 * m * k**2)
+        assert flops.gemm3 == pytest.approx(8 * m * k**2)
+
+    def test_zero_padding_scales_all_but_mha(self):
+        m, k, bs, alpha = 4096, 768, 16, 0.6
+        base = baseline_flops(m, k, bs)
+        packed = zero_padding_flops(m, k, bs, alpha)
+        assert packed.gemm0 == pytest.approx(alpha * base.gemm0)
+        assert packed.gemm3 == pytest.approx(alpha * base.gemm3)
+        assert packed.mha == pytest.approx(base.mha)
+
+    def test_fused_mha_scales_quadratically(self):
+        m, k, bs, alpha = 4096, 768, 16, 0.6
+        base = baseline_flops(m, k, bs)
+        fused = fused_mha_flops(m, k, bs, alpha)
+        assert fused.mha == pytest.approx(alpha**2 * base.mha)
+
+    def test_alpha_bounds(self):
+        with pytest.raises(ValueError, match="alpha"):
+            zero_padding_flops(100, 8, 2, 0.0)
+        with pytest.raises(ValueError, match="alpha"):
+            zero_padding_flops(100, 8, 2, 1.2)
+
+    def test_alpha_one_is_baseline(self):
+        m, k, bs = 512, 64, 4
+        base = baseline_flops(m, k, bs)
+        packed = fused_mha_flops(m, k, bs, 1.0)
+        assert packed.total == pytest.approx(base.total)
+
+    @given(alpha=st.floats(0.1, 1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_ordering_property(self, alpha):
+        m, k, bs = 2048, 768, 16
+        base = baseline_flops(m, k, bs).total
+        packed = zero_padding_flops(m, k, bs, alpha).total
+        fused = fused_mha_flops(m, k, bs, alpha).total
+        assert fused <= packed <= base
+
+    def test_ffn_scale_respected(self):
+        cfg = BertConfig(ffn_scale=2)
+        flops = baseline_flops(100, cfg.hidden_size, 2, cfg)
+        assert flops.gemm2 == pytest.approx(4 * 100 * cfg.hidden_size**2)
+
+
+class TestExactCounts:
+    def test_uniform_lengths_match_alpha_formula(self):
+        """When every sequence has exactly alpha*max tokens, the α-formula
+        and the exact count agree (including the quadratic MHA term)."""
+        cfg = CFG
+        batch, max_len, alpha = 8, 100, 0.5
+        lens = [int(alpha * max_len)] * batch
+        exact = exact_variable_length_flops(lens, cfg)
+        formula = fused_mha_flops(
+            batch * max_len, cfg.hidden_size, batch, alpha, cfg
+        )
+        assert exact.gemm0 == pytest.approx(formula.gemm0)
+        assert exact.mha == pytest.approx(formula.mha)
+        assert exact.total == pytest.approx(formula.total)
+
+    def test_variable_lengths_mha_exceeds_formula(self):
+        """sum(len^2) > (sum(len))^2 / n for non-constant lengths, so the
+        α-formula underestimates MHA for real variable batches."""
+        cfg = CFG
+        lens = [10, 90]  # avg 50
+        exact = exact_variable_length_flops(lens, cfg)
+        formula = fused_mha_flops(200, cfg.hidden_size, 2, 0.5, cfg)
+        assert exact.mha > formula.mha
+        assert exact.gemm0 == pytest.approx(formula.gemm0)
+
+
+class TestSimulatorAgreement:
+    """The central honesty check: Table II's analytic numbers must equal
+    what the execution contexts actually meter for the GEMM categories."""
+
+    @pytest.fixture()
+    def workload(self):
+        rng = np.random.default_rng(0)
+        lens = rng.integers(20, 65, size=6)
+        lens[0] = 64
+        return lens, 64
+
+    def metered(self, opt, lens, max_len):
+        ctx = ExecutionContext()
+        estimate_model(ctx, CFG, opt, lens, max_len)
+        report = ProfileReport.from_context(ctx)
+        return {
+            cat: report.categories[cat].flops
+            for cat in ("gemm0", "gemm1", "gemm2", "gemm3")
+        }
+
+    def test_baseline_gemms_metered(self, workload):
+        lens, max_len = workload
+        m = len(lens) * max_len
+        k = CFG.hidden_size
+        expected = baseline_flops(m, k, len(lens), CFG)
+        metered = self.metered(BASELINE, lens, max_len)
+        assert metered["gemm0"] == pytest.approx(expected.gemm0)
+        assert metered["gemm1"] == pytest.approx(expected.gemm1)
+        assert metered["gemm2"] == pytest.approx(expected.gemm2)
+        assert metered["gemm3"] == pytest.approx(expected.gemm3)
+
+    def test_packed_gemms_metered_exactly(self, workload):
+        lens, max_len = workload
+        exact = exact_variable_length_flops(lens, CFG)
+        for opt in (RM_PADDING, FUSED_MHA):
+            metered = self.metered(opt, lens, max_len)
+            assert metered["gemm0"] == pytest.approx(exact.gemm0)
+            assert metered["gemm1"] == pytest.approx(exact.gemm1)
+            assert metered["gemm2"] == pytest.approx(exact.gemm2)
+            assert metered["gemm3"] == pytest.approx(exact.gemm3)
+
+    def test_fused_mha_attention_flops_shrink(self, workload):
+        """The attention category's GEMM work drops from padded to valid
+        quadratic when fused MHA is enabled."""
+        lens, max_len = workload
+        ctx = ExecutionContext()
+        estimate_model(ctx, CFG, RM_PADDING, lens, max_len)
+        padded_attn = ProfileReport.from_context(ctx).categories[
+            "attention"
+        ].flops
+
+        ctx = ExecutionContext()
+        estimate_model(ctx, CFG, FUSED_MHA, lens, max_len)
+        fused_attn = ProfileReport.from_context(ctx).categories[
+            "attention"
+        ].flops
+        assert fused_attn < padded_attn
+
+
+class TestRendering:
+    def test_table_renders_all_modules(self):
+        text = format_table2(table2(16, 1024, 0.6))
+        for module in ("GEMM0", "MHA", "GEMM1", "GEMM2", "GEMM3", "total"):
+            assert module in text

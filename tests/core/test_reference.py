@@ -1,0 +1,113 @@
+"""The plain-NumPy BERT oracle."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.reference import (
+    reference_attention,
+    reference_encoder,
+    reference_encoder_layer,
+    reference_mha,
+)
+from repro.kernels.softmax import softmax_reference
+
+
+class TestAttention:
+    def test_manual_computation(self, rng):
+        q = rng.normal(size=(1, 1, 4, 8))
+        k = rng.normal(size=(1, 1, 4, 8))
+        v = rng.normal(size=(1, 1, 4, 8))
+        out = reference_attention(q, k, v)
+        scores = q[0, 0] @ k[0, 0].T / math.sqrt(8)
+        expected = softmax_reference(scores) @ v[0, 0]
+        np.testing.assert_allclose(out[0, 0], expected, rtol=1e-12)
+
+    def test_mask_removes_padded_keys(self, rng):
+        q = rng.normal(size=(1, 2, 4, 8))
+        k = rng.normal(size=(1, 2, 4, 8))
+        v = rng.normal(size=(1, 2, 4, 8))
+        mask = np.array([[1, 1, 0, 0]])
+        masked = reference_attention(q, k, v, mask)
+        # identical to attention computed on the valid prefix only
+        truncated = reference_attention(
+            q[:, :, :2], k[:, :, :2], v[:, :, :2]
+        )
+        np.testing.assert_allclose(
+            masked[:, :, :2], truncated, rtol=1e-4, atol=1e-6
+        )
+
+    def test_uniform_attention_averages_values(self):
+        q = np.zeros((1, 1, 3, 4))
+        k = np.zeros((1, 1, 3, 4))
+        v = np.arange(12, dtype=np.float64).reshape(1, 1, 3, 4)
+        out = reference_attention(q, k, v)
+        np.testing.assert_allclose(out[0, 0, 0], v[0, 0].mean(axis=0))
+
+
+class TestEncoder:
+    def test_shapes_preserved(self, small_config, small_weights, small_batch):
+        out = reference_encoder(
+            small_batch.x, small_weights, small_config, small_batch.mask
+        )
+        assert out.shape == small_batch.x.shape
+
+    def test_stacking_composes_layers(
+        self, small_config, small_weights, small_batch
+    ):
+        out = small_batch.x
+        for layer in small_weights.layers:
+            out = reference_encoder_layer(
+                out, layer, small_config, small_batch.mask
+            )
+        full = reference_encoder(
+            small_batch.x, small_weights, small_config, small_batch.mask
+        )
+        np.testing.assert_allclose(full, out, rtol=1e-10)
+
+    def test_valid_tokens_independent_of_padding_content(
+        self, small_config, small_weights, small_batch, rng
+    ):
+        """Garbage in padded positions must not leak into valid outputs —
+        the correctness property that makes packing legal."""
+        clean = reference_encoder(
+            small_batch.x, small_weights, small_config, small_batch.mask
+        )
+        dirty_x = small_batch.x.copy()
+        pad = small_batch.mask == 0
+        dirty_x[pad] = rng.normal(size=(pad.sum(), small_batch.hidden)) * 50
+        dirty = reference_encoder(
+            dirty_x, small_weights, small_config, small_batch.mask
+        )
+        valid = small_batch.mask.astype(bool)
+        np.testing.assert_allclose(
+            clean[valid], dirty[valid], rtol=2e-2, atol=2e-4
+        )
+
+    def test_mha_shape(self, small_config, small_weights, small_batch):
+        out = reference_mha(
+            small_batch.x,
+            small_weights.layers[0],
+            small_config,
+            small_batch.mask,
+        )
+        assert out.shape == small_batch.x.shape
+
+    def test_bad_mask_shape(self, small_config, small_weights, small_batch):
+        with pytest.raises(ValueError, match="mask"):
+            reference_encoder(
+                small_batch.x,
+                small_weights,
+                small_config,
+                small_batch.mask[:, :-1],
+            )
+
+    def test_bad_input_rank(self, small_config, small_weights, small_batch):
+        with pytest.raises(ValueError, match=r"\[B, S, H\]"):
+            reference_encoder(
+                small_batch.x[0],
+                small_weights,
+                small_config,
+                small_batch.mask,
+            )

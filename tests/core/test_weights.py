@@ -1,0 +1,92 @@
+"""Weight containers: shapes, determinism, packed-QKV views."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import BertConfig
+from repro.core.weights import (
+    LayerWeights,
+    ModelWeights,
+    init_model_weights,
+)
+
+
+class TestInit:
+    def test_shapes(self, small_config, small_layer):
+        h = small_config.hidden_size
+        f = small_config.ffn_size
+        assert small_layer.qkv_weight.shape == (h, 3 * h)
+        assert small_layer.ffn_in_weight.shape == (h, f)
+        assert small_layer.ffn_out_weight.shape == (f, h)
+        assert small_layer.hidden_size == h
+
+    def test_deterministic(self, small_config):
+        a = init_model_weights(small_config, seed=3)
+        b = init_model_weights(small_config, seed=3)
+        np.testing.assert_array_equal(
+            a.layers[0].qkv_weight, b.layers[0].qkv_weight
+        )
+
+    def test_seed_changes_weights(self, small_config):
+        a = init_model_weights(small_config, seed=3)
+        b = init_model_weights(small_config, seed=4)
+        assert not np.array_equal(a.layers[0].qkv_weight, b.layers[0].qkv_weight)
+
+    def test_layers_differ(self, small_weights):
+        assert not np.array_equal(
+            small_weights.layers[0].qkv_weight,
+            small_weights.layers[1].qkv_weight,
+        )
+
+    def test_layer_count(self, small_config, small_weights):
+        assert small_weights.num_layers == small_config.num_layers
+
+    def test_float32_storage(self, small_layer):
+        assert small_layer.qkv_weight.dtype == np.float32
+
+
+class TestQkvViews:
+    def test_views_partition_packed_weight(self, small_layer):
+        h = small_layer.hidden_size
+        np.testing.assert_array_equal(
+            small_layer.q_weight(), small_layer.qkv_weight[:, :h]
+        )
+        np.testing.assert_array_equal(
+            small_layer.k_weight(), small_layer.qkv_weight[:, h : 2 * h]
+        )
+        np.testing.assert_array_equal(
+            small_layer.v_weight(), small_layer.qkv_weight[:, 2 * h :]
+        )
+
+    def test_views_are_views_not_copies(self, small_layer):
+        assert small_layer.q_weight().base is small_layer.qkv_weight
+
+    def test_packed_projection_equals_separate(self, small_layer, rng):
+        """x @ packed == concat of the three separate projections — the
+        property that lets the paper launch one GEMM for Q, K, V."""
+        x = rng.normal(size=(5, small_layer.hidden_size)).astype(np.float32)
+        packed = x @ small_layer.qkv_weight
+        separate = np.concatenate(
+            [
+                x @ small_layer.q_weight(),
+                x @ small_layer.k_weight(),
+                x @ small_layer.v_weight(),
+            ],
+            axis=1,
+        )
+        np.testing.assert_allclose(packed, separate, rtol=1e-5)
+
+
+class TestValidation:
+    def test_bad_shape_rejected(self, small_layer):
+        import dataclasses
+
+        with pytest.raises(ValueError, match="attn_out_weight"):
+            dataclasses.replace(
+                small_layer,
+                attn_out_weight=np.zeros((3, 3), dtype=np.float32),
+            )
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ValueError, match="at least one layer"):
+            ModelWeights(layers=())

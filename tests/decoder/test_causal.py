@@ -1,0 +1,233 @@
+"""Causal self-attention and cross-attention numerics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.padding import packing_from_lengths
+from repro.decoder.causal import (
+    causal_cross_mha,
+    causal_self_mha,
+    causal_strip_problems,
+    cross_problems,
+)
+from repro.gpusim import ExecutionContext
+
+HEADS, HEAD_SIZE = 4, 8
+HIDDEN = HEADS * HEAD_SIZE
+
+
+def make_packed(rng, lens, width):
+    packing = packing_from_lengths(lens, max(lens))
+    data = rng.normal(size=(packing.total_tokens, width)).astype(np.float32)
+    return packing, data
+
+
+class TestStripProblems:
+    def test_strips_cover_triangle(self):
+        problems = causal_strip_problems([300], 1, HEAD_SIZE, strip=128)
+        # 3 strips: 128x128, 128x256, 44x300
+        shapes = [(p.m, p.n) for p in problems]
+        assert shapes == [(128, 128), (128, 256), (44, 300)]
+
+    def test_strip_flops_near_half_of_square(self):
+        length = 2048
+        problems = causal_strip_problems([length], 1, HEAD_SIZE, strip=128)
+        strip_flops = sum(p.flops for p in problems)
+        square = 2.0 * length * length * HEAD_SIZE
+        assert 0.5 <= strip_flops / square <= 0.56
+
+    def test_per_head_replication(self):
+        problems = causal_strip_problems([100, 50], 3, HEAD_SIZE, strip=128)
+        assert len(problems) == 2 * 3  # one strip per unit here
+
+    def test_cross_problems_rectangular(self):
+        problems = cross_problems([10, 20], [30, 5], 2, HEAD_SIZE)
+        assert (problems[0].m, problems[0].n) == (10, 30)
+        assert (problems[2].m, problems[2].n) == (20, 5)
+        assert len(problems) == 4
+
+    def test_cross_length_mismatch(self):
+        with pytest.raises(ValueError, match="source"):
+            cross_problems([10], [5, 6], 2, HEAD_SIZE)
+
+
+class TestCausalSelfMha:
+    def oracle(self, q, k, v):
+        """Direct causal attention on one (unit, head)."""
+        from repro.kernels.softmax import softmax_reference
+
+        length = q.shape[0]
+        scores = q @ k.T / np.sqrt(HEAD_SIZE)
+        scores = np.where(
+            np.tril(np.ones((length, length), dtype=bool)), scores, -np.inf
+        )
+        return softmax_reference(scores) @ v
+
+    def test_matches_direct_causal(self, rng):
+        lens = [6, 10, 3]
+        packing, qkv = make_packed(rng, lens, 3 * HIDDEN)
+        bias = rng.normal(size=3 * HIDDEN).astype(np.float32)
+        out = causal_self_mha(qkv, bias, packing, HEADS)
+        biased = qkv + bias
+        for b, length in enumerate(lens):
+            rows = packing.rows_of(b)
+            for h in range(HEADS):
+                cols = slice(h * HEAD_SIZE, (h + 1) * HEAD_SIZE)
+                expected = self.oracle(
+                    biased[rows, :HIDDEN][:, cols],
+                    biased[rows, HIDDEN : 2 * HIDDEN][:, cols],
+                    biased[rows, 2 * HIDDEN :][:, cols],
+                )
+                np.testing.assert_allclose(
+                    out[rows, cols], expected, rtol=1e-4, atol=1e-6
+                )
+
+    def test_causality_property(self, rng):
+        """Output at position i must not change when later tokens change."""
+        lens = [8]
+        packing, qkv = make_packed(rng, lens, 3 * HIDDEN)
+        bias = np.zeros(3 * HIDDEN, dtype=np.float32)
+        base = causal_self_mha(qkv, bias, packing, HEADS)
+
+        mutated = qkv.copy()
+        mutated[5:] += 10.0  # change tokens 5..7
+        out = causal_self_mha(mutated, bias, packing, HEADS)
+        np.testing.assert_allclose(out[:5], base[:5], rtol=1e-5)
+        assert not np.allclose(out[5:], base[5:])
+
+    def test_first_token_attends_to_itself_only(self, rng):
+        lens = [5]
+        packing, qkv = make_packed(rng, lens, 3 * HIDDEN)
+        bias = np.zeros(3 * HIDDEN, dtype=np.float32)
+        out = causal_self_mha(qkv, bias, packing, HEADS)
+        v_first = (qkv[0, 2 * HIDDEN :]).reshape(HEADS, HEAD_SIZE)
+        np.testing.assert_allclose(
+            out[0].reshape(HEADS, HEAD_SIZE), v_first, rtol=1e-5
+        )
+
+    def test_three_launches(self, rng):
+        packing, qkv = make_packed(rng, [6, 4], 3 * HIDDEN)
+        ctx = ExecutionContext()
+        causal_self_mha(
+            qkv, np.zeros(3 * HIDDEN, dtype=np.float32), packing, HEADS,
+            ctx=ctx,
+        )
+        assert [r.launch.name for r in ctx.records] == [
+            "causal_grouped_qk",
+            "softmax_full_reduction",
+            "causal_grouped_pv",
+        ]
+
+    def test_causal_cheaper_than_full(self, rng):
+        """The strip decomposition must cost roughly half the full FMHA
+        at long lengths."""
+        from repro.core.estimator import estimate_fused_long_mha
+        from repro.core.config import BertConfig
+
+        lens = np.array([1024] * 8)
+        cfg = BertConfig(num_layers=1)
+        full = ExecutionContext()
+        estimate_fused_long_mha(full, lens, cfg)
+
+        packing = packing_from_lengths(lens, 1024)
+        causal = ExecutionContext()
+        # cost-only: tiny fake tensors would break numerics, so reuse the
+        # launch path via a real (but small-width) tensor is too slow;
+        # instead compare the grouped-GEMM flops directly
+        from repro.decoder.causal import causal_strip_problems
+
+        causal_flops = sum(
+            p.flops
+            for p in causal_strip_problems(
+                [int(v) for v in lens], cfg.num_heads, cfg.head_size
+            )
+        )
+        full_flops = sum(
+            r.launch.flops
+            for r in full.records
+            if r.launch.name == "fmha_grouped_qk"
+        )
+        assert causal_flops < 0.6 * full_flops
+
+
+class TestCrossMha:
+    def test_matches_direct(self, rng):
+        tgt_lens, src_lens = [4, 7], [9, 5]
+        tgt_packing, q = make_packed(rng, tgt_lens, HIDDEN)
+        src_packing, kv = make_packed(rng, src_lens, 2 * HIDDEN)
+        q_bias = rng.normal(size=HIDDEN).astype(np.float32)
+        kv_bias = rng.normal(size=2 * HIDDEN).astype(np.float32)
+
+        out = causal_cross_mha(
+            q, q_bias, kv, kv_bias, tgt_packing, src_packing, HEADS
+        )
+        from repro.kernels.softmax import softmax_reference
+
+        qb = q + q_bias
+        kvb = kv + kv_bias
+        for b in range(2):
+            t_rows = tgt_packing.rows_of(b)
+            s_rows = src_packing.rows_of(b)
+            for h in range(HEADS):
+                cols = slice(h * HEAD_SIZE, (h + 1) * HEAD_SIZE)
+                scores = (
+                    qb[t_rows, cols] @ kvb[s_rows, :HIDDEN][:, cols].T
+                ) / np.sqrt(HEAD_SIZE)
+                expected = softmax_reference(scores) @ kvb[
+                    s_rows, HIDDEN:
+                ][:, cols]
+                np.testing.assert_allclose(
+                    out[t_rows, cols], expected, rtol=1e-4, atol=1e-6
+                )
+
+    def test_batch_mismatch_rejected(self, rng):
+        tgt_packing, q = make_packed(rng, [4], HIDDEN)
+        src_packing, kv = make_packed(rng, [5, 6], 2 * HIDDEN)
+        with pytest.raises(ValueError, match="batch"):
+            causal_cross_mha(
+                q,
+                np.zeros(HIDDEN, dtype=np.float32),
+                kv,
+                np.zeros(2 * HIDDEN, dtype=np.float32),
+                tgt_packing,
+                src_packing,
+                HEADS,
+            )
+
+    def test_kv_width_validated(self, rng):
+        tgt_packing, q = make_packed(rng, [4], HIDDEN)
+        src_packing, kv = make_packed(rng, [5], HIDDEN)  # wrong width
+        with pytest.raises(ValueError, match="KV width"):
+            causal_cross_mha(
+                q,
+                np.zeros(HIDDEN, dtype=np.float32),
+                kv,
+                np.zeros(2 * HIDDEN, dtype=np.float32),
+                tgt_packing,
+                src_packing,
+                HEADS,
+            )
+
+    @given(
+        tgt=st.lists(st.integers(1, 8), min_size=1, max_size=4),
+        extra=st.lists(st.integers(1, 8), min_size=4, max_size=4),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_rows_preserved_property(self, tgt, extra):
+        rng = np.random.default_rng(sum(tgt))
+        src = extra[: len(tgt)]
+        tgt_packing, q = make_packed(rng, tgt, HIDDEN)
+        src_packing, kv = make_packed(rng, src, 2 * HIDDEN)
+        out = causal_cross_mha(
+            q,
+            np.zeros(HIDDEN, dtype=np.float32),
+            kv,
+            np.zeros(2 * HIDDEN, dtype=np.float32),
+            tgt_packing,
+            src_packing,
+            HEADS,
+        )
+        assert out.shape == (sum(tgt), HIDDEN)
+        assert np.isfinite(out).all()

@@ -1,0 +1,152 @@
+"""Decoder layer and seq2seq model vs the oracle."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import BASELINE, FUSED_MHA, RM_PADDING, BertConfig
+from repro.core.padding import pack, packing_from_mask, unpack
+from repro.decoder import (
+    Seq2SeqModel,
+    decoder_layer_packed,
+    init_decoder_weights,
+    reference_decoder,
+    reference_decoder_layer,
+)
+from repro.core.weights import init_model_weights
+from repro.gpusim import ExecutionContext
+from repro.workloads.generator import make_batch
+
+CFG = BertConfig(num_heads=4, head_size=16, num_layers=2)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    enc_w = init_model_weights(CFG, seed=1)
+    dec_w = init_decoder_weights(CFG, seed=2)
+    src = make_batch(3, 24, CFG.hidden_size, alpha=0.6, seed=3)
+    tgt = make_batch(3, 16, CFG.hidden_size, alpha=0.7, seed=4)
+    return enc_w, dec_w, src, tgt
+
+
+class TestDecoderLayer:
+    def test_matches_oracle(self, setup):
+        _, dec_w, src, tgt = setup
+        src_packing = packing_from_mask(src.mask)
+        tgt_packing = packing_from_mask(tgt.mask)
+        memory = pack(
+            src.x.reshape(-1, src.hidden), src_packing
+        )
+        tgt_packed = pack(tgt.x.reshape(-1, tgt.hidden), tgt_packing)
+
+        out_packed = decoder_layer_packed(
+            tgt_packed,
+            memory,
+            dec_w[0],
+            CFG,
+            FUSED_MHA,
+            tgt_packing,
+            src_packing,
+        )
+        out = unpack(out_packed, tgt_packing).reshape(tgt.x.shape)
+
+        oracle = reference_decoder_layer(
+            tgt.x, src.x, dec_w[0], CFG, tgt.mask, src.mask
+        )
+        valid = tgt.mask.astype(bool)
+        np.testing.assert_allclose(
+            out[valid], oracle[valid], rtol=1e-3, atol=1e-4
+        )
+
+    def test_fused_and_unfused_presets_agree(self, setup):
+        _, dec_w, src, tgt = setup
+        src_packing = packing_from_mask(src.mask)
+        tgt_packing = packing_from_mask(tgt.mask)
+        memory = pack(src.x.reshape(-1, src.hidden), src_packing)
+        tgt_packed = pack(tgt.x.reshape(-1, tgt.hidden), tgt_packing)
+        outs = [
+            decoder_layer_packed(
+                tgt_packed, memory, dec_w[0], CFG, opt,
+                tgt_packing, src_packing,
+            )
+            for opt in (RM_PADDING, FUSED_MHA)
+        ]
+        np.testing.assert_allclose(outs[0], outs[1], rtol=1e-4, atol=1e-6)
+
+    def test_rejects_padded_preset(self, setup):
+        _, dec_w, src, tgt = setup
+        src_packing = packing_from_mask(src.mask)
+        tgt_packing = packing_from_mask(tgt.mask)
+        memory = pack(src.x.reshape(-1, src.hidden), src_packing)
+        tgt_packed = pack(tgt.x.reshape(-1, tgt.hidden), tgt_packing)
+        with pytest.raises(ValueError, match="remove_padding"):
+            decoder_layer_packed(
+                tgt_packed, memory, dec_w[0], CFG, BASELINE,
+                tgt_packing, src_packing,
+            )
+
+
+class TestSeq2Seq:
+    def test_matches_oracle_end_to_end(self, setup):
+        enc_w, dec_w, src, tgt = setup
+        from repro.core.reference import reference_encoder
+
+        model = Seq2SeqModel(
+            CFG, FUSED_MHA, encoder_weights=enc_w, decoder_weights=dec_w
+        )
+        out = model.forward(src.x, src.mask, tgt.x, tgt.mask)
+
+        memory = reference_encoder(src.x, enc_w, CFG, src.mask)
+        # zero the padded memory rows, as the packed encoder produces
+        memory = memory * src.mask[:, :, None]
+        oracle = reference_decoder(
+            tgt.x, memory, dec_w, CFG, tgt.mask, src.mask
+        )
+        valid = tgt.mask.astype(bool)
+        np.testing.assert_allclose(
+            out[valid], oracle[valid], rtol=5e-3, atol=5e-4
+        )
+
+    def test_padding_rows_zeroed(self, setup):
+        enc_w, dec_w, src, tgt = setup
+        model = Seq2SeqModel(
+            CFG, FUSED_MHA, encoder_weights=enc_w, decoder_weights=dec_w
+        )
+        out = model.forward(src.x, src.mask, tgt.x, tgt.mask)
+        pad = tgt.mask == 0
+        assert (out[pad] == 0).all()
+
+    def test_records_cost(self, setup):
+        enc_w, dec_w, src, tgt = setup
+        model = Seq2SeqModel(
+            CFG, FUSED_MHA, encoder_weights=enc_w, decoder_weights=dec_w
+        )
+        ctx = ExecutionContext()
+        model.forward(src.x, src.mask, tgt.x, tgt.mask, ctx=ctx)
+        assert ctx.elapsed_us() > 0
+        names = {r.launch.name for r in ctx.records}
+        assert "causal_grouped_qk" in names
+        assert "cross_grouped_qk" in names
+
+    def test_rejects_padded_preset(self):
+        with pytest.raises(ValueError, match="remove_padding"):
+            Seq2SeqModel(CFG, BASELINE)
+
+    def test_batch_mismatch(self, setup):
+        enc_w, dec_w, src, tgt = setup
+        model = Seq2SeqModel(
+            CFG, FUSED_MHA, encoder_weights=enc_w, decoder_weights=dec_w
+        )
+        with pytest.raises(ValueError, match="batch"):
+            model.forward(
+                src.x, src.mask, tgt.x[:-1], tgt.mask[:-1]
+            )
+
+    def test_decoder_layer_count_validated(self, setup):
+        enc_w, dec_w, _, _ = setup
+        with pytest.raises(ValueError, match="layers"):
+            Seq2SeqModel(
+                CFG,
+                FUSED_MHA,
+                encoder_weights=enc_w,
+                decoder_weights=dec_w[:1],
+            )

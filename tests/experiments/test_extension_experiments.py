@@ -1,0 +1,51 @@
+"""Extension experiments: memory footprint and FlashAttention sweeps."""
+
+import pytest
+
+from repro.experiments import ablation_flash, ablation_memory
+
+
+class TestMemoryAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablation_memory.run(seq_lens=(128, 256, 384, 512, 1024))
+
+    def test_gain_monotone_in_short_regime(self, result):
+        assert result.reduction_grows_within_short_regime()
+
+    def test_substantial_everywhere(self, result):
+        assert result.reduction_substantial(1.5)
+
+    def test_arena_never_smaller_than_needed(self, result):
+        for p in result.points:
+            assert p.baseline.arena_bytes >= p.baseline.peak_bytes
+            assert p.fused.arena_bytes >= p.fused.peak_bytes
+
+    def test_grouped_kernel_rematerialises_scores(self, result):
+        """Peak gain steps down crossing the short/long dispatch boundary
+        (the grouped kernel stores packed scores, the short one nothing)."""
+        by_seq = {p.max_seq_len: p.peak_reduction for p in result.points}
+        assert by_seq[512] < by_seq[384]
+
+    def test_formatting(self, result):
+        text = ablation_memory.format_result(result)
+        assert "peak gain" in text
+
+
+class TestFlashAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablation_flash.run()
+
+    def test_flash_alpha_independent(self, result):
+        assert result.flash_cost_alpha_independent()
+
+    def test_gap_widens_as_alpha_falls(self, result):
+        assert result.gap_widens_as_alpha_falls()
+
+    def test_byte_transformer_wins_at_paper_alpha(self, result):
+        at_06 = next(p for p in result.points if abs(p.alpha - 0.6) < 1e-9)
+        assert at_06.byte_gain > 0.3
+
+    def test_formatting(self, result):
+        assert "FlashAttention" in ablation_flash.format_result(result)

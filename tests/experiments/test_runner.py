@@ -1,0 +1,85 @@
+"""Shared experiment-runner utilities."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import (
+    Comparison,
+    format_us,
+    geomean_speedup,
+    paper_workload,
+    render_table,
+    speedup,
+)
+from repro.gpusim.memory import tensor_bytes, traffic
+
+
+class TestSpeedups:
+    def test_speedup_definition(self):
+        assert speedup(200.0, 100.0) == pytest.approx(1.0)  # +100%
+        assert speedup(100.0, 100.0) == pytest.approx(0.0)
+
+    def test_speedup_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            speedup(100.0, 0.0)
+
+    def test_geomean_matches_single_pair(self):
+        assert geomean_speedup([(300.0, 100.0)]) == pytest.approx(2.0)
+
+    def test_geomean_is_geometric(self):
+        # ratios 4 and 1 -> geometric mean 2 -> +100%
+        pairs = [(400.0, 100.0), (100.0, 100.0)]
+        assert geomean_speedup(pairs) == pytest.approx(1.0)
+
+    def test_geomean_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geomean_speedup([])
+
+
+class TestWorkload:
+    def test_seeded_and_alpha(self):
+        a = paper_workload(200, 512, seed=1)
+        b = paper_workload(200, 512, seed=1)
+        np.testing.assert_array_equal(a, b)
+        assert abs(a.mean() / 512 - 0.6) < 0.05
+
+    def test_different_seed_differs(self):
+        a = paper_workload(50, 256, seed=1)
+        b = paper_workload(50, 256, seed=2)
+        assert not np.array_equal(a, b)
+
+
+class TestRendering:
+    def test_table_alignment(self):
+        text = render_table(
+            ("a", "b"), [(1, 2.5), ("x", "y")], title="t", col_width=8
+        )
+        lines = text.splitlines()
+        assert lines[0] == "== t =="
+        assert len(lines) == 4
+        assert all(len(line) == 16 for line in lines[1:])
+
+    def test_comparison_render(self):
+        comp = Comparison("metric", "+10%", "+12%")
+        line = comp.render()
+        assert "paper" in line and "+10%" in line and "+12%" in line
+
+    def test_format_us_units(self):
+        assert format_us(150.0) == "150.0 us"
+        assert format_us(25_000.0) == "25.00 ms"
+
+
+class TestMemoryHelpers:
+    def test_tensor_bytes_fp16_default(self):
+        assert tensor_bytes(10, 20) == 400.0
+
+    def test_tensor_bytes_custom_width(self):
+        assert tensor_bytes(10, element_size=4) == 40.0
+
+    def test_tensor_bytes_rejects_negative(self):
+        with pytest.raises(ValueError):
+            tensor_bytes(-1, 5)
+
+    def test_traffic_sums_reads_and_writes(self):
+        assert traffic(reads=(10, 20), writes=(5,)) == 35.0
+        assert traffic() == 0.0

@@ -1,0 +1,74 @@
+"""DeviceSpec validation and preset sanity."""
+
+import dataclasses
+
+import pytest
+
+from repro.gpusim import A10_SPEC, A100_SPEC, V100_SPEC, DeviceSpec
+
+
+class TestPresets:
+    def test_a100_core_counts(self):
+        assert A100_SPEC.num_sms == 108
+        assert A100_SPEC.warp_size == 32
+        assert A100_SPEC.max_concurrent_blocks == 108 * 32
+
+    def test_presets_are_distinct(self):
+        names = {A100_SPEC.name, V100_SPEC.name, A10_SPEC.name}
+        assert len(names) == 3
+
+    def test_a100_fastest_tensor_cores(self):
+        assert A100_SPEC.tensor_fp16_tflops > V100_SPEC.tensor_fp16_tflops
+        assert A100_SPEC.tensor_fp16_tflops > A10_SPEC.tensor_fp16_tflops
+
+    def test_effective_dram_below_peak(self):
+        for spec in (A100_SPEC, V100_SPEC, A10_SPEC):
+            assert spec.effective_dram_gbs < spec.dram_bandwidth_gbs
+            assert spec.effective_dram_gbs > 0
+
+    def test_l2_faster_than_dram(self):
+        for spec in (A100_SPEC, V100_SPEC, A10_SPEC):
+            assert spec.l2_bandwidth_gbs > spec.effective_dram_gbs
+
+
+class TestValidation:
+    def test_zero_sms_rejected(self):
+        with pytest.raises(ValueError, match="num_sms"):
+            dataclasses.replace(A100_SPEC, num_sms=0)
+
+    def test_negative_clock_rejected(self):
+        with pytest.raises(ValueError, match="clock_ghz"):
+            dataclasses.replace(A100_SPEC, clock_ghz=-1.0)
+
+    def test_dram_efficiency_bounds(self):
+        with pytest.raises(ValueError, match="dram_efficiency"):
+            dataclasses.replace(A100_SPEC, dram_efficiency=0.0)
+        with pytest.raises(ValueError, match="dram_efficiency"):
+            dataclasses.replace(A100_SPEC, dram_efficiency=1.5)
+
+    def test_zero_warp_size_rejected(self):
+        with pytest.raises(ValueError, match="warp_size"):
+            dataclasses.replace(A100_SPEC, warp_size=0)
+
+    def test_zero_launch_overhead_rejected(self):
+        with pytest.raises(ValueError, match="kernel_launch_overhead_us"):
+            dataclasses.replace(A100_SPEC, kernel_launch_overhead_us=0.0)
+
+
+class TestOverrides:
+    def test_with_overrides_replaces_field(self):
+        modified = A100_SPEC.with_overrides(num_sms=64)
+        assert modified.num_sms == 64
+        assert modified.dram_bandwidth_gbs == A100_SPEC.dram_bandwidth_gbs
+
+    def test_with_overrides_does_not_mutate(self):
+        A100_SPEC.with_overrides(num_sms=64)
+        assert A100_SPEC.num_sms == 108
+
+    def test_with_overrides_validates(self):
+        with pytest.raises(ValueError):
+            A100_SPEC.with_overrides(num_sms=-1)
+
+    def test_spec_is_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            A100_SPEC.num_sms = 1  # type: ignore[misc]

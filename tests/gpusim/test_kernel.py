@@ -1,0 +1,74 @@
+"""KernelLaunch descriptor validation and derived quantities."""
+
+import pytest
+
+from repro.gpusim import ComputeUnit, KernelLaunch
+
+
+def make(**kwargs):
+    defaults = dict(name="k", category="c", grid=4, block_threads=128)
+    defaults.update(kwargs)
+    return KernelLaunch(**defaults)
+
+
+class TestValidation:
+    def test_minimal_launch(self):
+        launch = make()
+        assert launch.total_threads == 512
+        assert launch.flops == 0.0
+
+    def test_zero_grid_rejected(self):
+        with pytest.raises(ValueError, match="grid"):
+            make(grid=0)
+
+    def test_negative_grid_rejected(self):
+        with pytest.raises(ValueError, match="grid"):
+            make(grid=-4)
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(ValueError, match="block_threads"):
+            make(block_threads=0)
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ValueError, match="byte counts|flops"):
+            make(flops=-1.0)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            make(dram_bytes=-1.0)
+
+    def test_negative_hot_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            make(hot_bytes=-1.0)
+
+    def test_efficiency_must_be_positive(self):
+        with pytest.raises(ValueError, match="compute_efficiency"):
+            make(compute_efficiency=0.0)
+
+    def test_efficiency_capped_at_one(self):
+        with pytest.raises(ValueError, match="compute_efficiency"):
+            make(compute_efficiency=1.2)
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ValueError, match="extra_overhead_us"):
+            make(extra_overhead_us=-0.1)
+
+    def test_negative_smem_rejected(self):
+        with pytest.raises(ValueError, match="resource"):
+            make(shared_mem_per_block=-1)
+
+
+class TestDerived:
+    def test_arithmetic_intensity(self):
+        launch = make(flops=100.0, dram_bytes=50.0)
+        assert launch.arithmetic_intensity == 2.0
+
+    def test_arithmetic_intensity_no_traffic(self):
+        launch = make(flops=100.0, dram_bytes=0.0)
+        assert launch.arithmetic_intensity == float("inf")
+
+    def test_compute_unit_default_fp32(self):
+        assert make().compute_unit is ComputeUnit.FP32
+
+    def test_launch_is_hashable(self):
+        assert hash(make()) == hash(make())

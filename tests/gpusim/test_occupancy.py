@@ -1,0 +1,107 @@
+"""Occupancy model: the four resource limits and their interactions."""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import A100_SPEC, KernelLaunch, blocks_per_sm
+from repro.gpusim.errors import LaunchConfigError
+
+
+def make(threads=128, smem=0, regs=32):
+    return KernelLaunch(
+        name="k",
+        category="c",
+        grid=1,
+        block_threads=threads,
+        shared_mem_per_block=smem,
+        regs_per_thread=regs,
+    )
+
+
+class TestLimits:
+    def test_small_block_hits_block_slot_limit(self):
+        occ = blocks_per_sm(make(threads=32, regs=16), A100_SPEC)
+        assert occ.blocks_per_sm == A100_SPEC.max_blocks_per_sm
+        assert occ.limiting_factor == "block_slots"
+
+    def test_large_block_hits_thread_limit(self):
+        occ = blocks_per_sm(make(threads=1024, regs=16), A100_SPEC)
+        assert occ.blocks_per_sm == 2  # 2048 threads / 1024
+        assert occ.limiting_factor == "thread_slots"
+
+    def test_register_limit(self):
+        # 200 regs * 256 threads fits once per SM but not twice
+        occ = blocks_per_sm(make(threads=256, regs=200), A100_SPEC)
+        assert occ.limiting_factor == "registers"
+        assert occ.blocks_per_sm == 1
+
+    def test_register_exhaustion_raises(self):
+        # 255 regs * 1024 threads cannot fit even one block
+        from repro.gpusim.errors import ResourceExhaustedError
+
+        with pytest.raises(ResourceExhaustedError, match="registers"):
+            blocks_per_sm(make(threads=1024, regs=255), A100_SPEC)
+
+    def test_shared_memory_limit(self):
+        occ = blocks_per_sm(
+            make(threads=128, smem=100 * 1024, regs=16), A100_SPEC
+        )
+        assert occ.limiting_factor == "shared_memory"
+        assert occ.blocks_per_sm == 1
+
+    def test_full_occupancy_flag(self):
+        occ = blocks_per_sm(make(threads=256, regs=16), A100_SPEC)
+        assert occ.is_full
+        assert occ.warps_per_sm == 64
+
+    def test_partial_occupancy_fraction(self):
+        occ = blocks_per_sm(make(threads=256, regs=200), A100_SPEC)
+        assert occ.occupancy == pytest.approx(256 / 2048)
+
+
+class TestHardLimits:
+    def test_too_many_threads_raises(self):
+        with pytest.raises(LaunchConfigError, match="threads/block"):
+            blocks_per_sm(make(threads=2048), A100_SPEC)
+
+    def test_too_much_shared_memory_raises(self):
+        with pytest.raises(LaunchConfigError, match="shared memory"):
+            blocks_per_sm(make(smem=200 * 1024), A100_SPEC)
+
+    def test_too_many_registers_raises(self):
+        with pytest.raises(LaunchConfigError, match="registers/thread"):
+            blocks_per_sm(make(regs=300), A100_SPEC)
+
+
+class TestProperties:
+    @given(
+        threads=st.integers(32, 1024),
+        regs=st.integers(16, 255),
+        smem=st.integers(0, 96 * 1024),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_within_bounds(self, threads, regs, smem):
+        assume(regs * threads <= 60_000)
+        occ = blocks_per_sm(make(threads, smem, regs), A100_SPEC)
+        assert 1 <= occ.blocks_per_sm <= A100_SPEC.max_blocks_per_sm
+        assert 0.0 < occ.occupancy <= 1.0
+        assert (
+            occ.blocks_per_sm * threads <= A100_SPEC.max_threads_per_sm
+            or occ.blocks_per_sm == 1
+        )
+
+    @given(threads=st.integers(32, 1024), regs=st.integers(16, 128))
+    @settings(max_examples=40, deadline=None)
+    def test_more_shared_memory_never_raises_occupancy(self, threads, regs):
+        assume(regs * threads <= 60_000)
+        low = blocks_per_sm(make(threads, 8 * 1024, regs), A100_SPEC)
+        high = blocks_per_sm(make(threads, 64 * 1024, regs), A100_SPEC)
+        assert high.blocks_per_sm <= low.blocks_per_sm
+
+    @given(threads=st.integers(32, 256), smem=st.integers(0, 32 * 1024))
+    @settings(max_examples=40, deadline=None)
+    def test_more_registers_never_raises_occupancy(self, threads, smem):
+        low = blocks_per_sm(make(threads, smem, 32), A100_SPEC)
+        high = blocks_per_sm(make(threads, smem, 200), A100_SPEC)
+        assert high.blocks_per_sm <= low.blocks_per_sm

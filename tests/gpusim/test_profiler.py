@@ -1,0 +1,76 @@
+"""Profiler aggregation by kernel category."""
+
+import pytest
+
+from repro.gpusim import ExecutionContext, KernelLaunch, ProfileReport
+
+
+def launch(category, flops=1e9, dram=1e6):
+    return KernelLaunch(
+        name=f"k_{category}",
+        category=category,
+        grid=256,
+        block_threads=256,
+        flops=flops,
+        dram_bytes=dram,
+    )
+
+
+@pytest.fixture()
+def profiled_ctx():
+    ctx = ExecutionContext()
+    ctx.launch(launch("gemm0", flops=5e9))
+    ctx.launch(launch("attention", flops=2e9))
+    ctx.launch(launch("attention", flops=2e9))
+    ctx.launch(launch("layernorm0", flops=1e8))
+    return ctx
+
+
+class TestAggregation:
+    def test_categories_collected(self, profiled_ctx):
+        report = ProfileReport.from_context(profiled_ctx)
+        assert set(report.categories) == {"gemm0", "attention", "layernorm0"}
+
+    def test_launch_counts(self, profiled_ctx):
+        report = ProfileReport.from_context(profiled_ctx)
+        assert report.categories["attention"].launches == 2
+        assert report.categories["gemm0"].launches == 1
+
+    def test_total_matches_context(self, profiled_ctx):
+        report = ProfileReport.from_context(profiled_ctx)
+        assert report.total_us == pytest.approx(profiled_ctx.elapsed_us())
+
+    def test_flops_aggregated(self, profiled_ctx):
+        report = ProfileReport.from_context(profiled_ctx)
+        assert report.categories["attention"].flops == pytest.approx(4e9)
+
+    def test_fractions_sum_to_one(self, profiled_ctx):
+        report = ProfileReport.from_context(profiled_ctx)
+        assert sum(report.fractions().values()) == pytest.approx(1.0)
+
+    def test_fraction_of_missing_category_is_zero(self, profiled_ctx):
+        report = ProfileReport.from_context(profiled_ctx)
+        assert report.fraction("does_not_exist") == 0.0
+
+    def test_empty_context(self):
+        report = ProfileReport.from_context(ExecutionContext())
+        assert report.total_us == 0.0
+        assert report.fraction("anything") == 0.0
+
+    def test_sorted_by_time(self, profiled_ctx):
+        report = ProfileReport.from_context(profiled_ctx)
+        times = [c.time_us for c in report.sorted_categories()]
+        assert times == sorted(times, reverse=True)
+
+
+class TestRendering:
+    def test_table_contains_categories_and_title(self, profiled_ctx):
+        table = ProfileReport.from_context(profiled_ctx).to_table("unit test")
+        assert "unit test" in table
+        assert "attention" in table
+        assert "gemm0" in table
+
+    def test_table_row_count(self, profiled_ctx):
+        table = ProfileReport.from_context(profiled_ctx).to_table()
+        # header x2 + one row per category
+        assert len(table.splitlines()) == 2 + 3

@@ -1,0 +1,94 @@
+"""Roofline classification."""
+
+import pytest
+
+from repro.gpusim import ComputeUnit, ExecutionContext, KernelLaunch
+from repro.gpusim.roofline import Bound, classify_record, roofline_report
+
+
+def launch(flops=0.0, dram=0.0, grid=1024, **kw):
+    return KernelLaunch(
+        name=kw.pop("name", "k"),
+        category="c",
+        grid=grid,
+        block_threads=256,
+        flops=flops,
+        dram_bytes=dram,
+        **kw,
+    )
+
+
+class TestClassification:
+    def test_compute_bound(self):
+        ctx = ExecutionContext()
+        record = ctx.launch(
+            launch(flops=1e11, dram=1e5, compute_unit=ComputeUnit.TENSOR_FP16)
+        )
+        k = classify_record(record, ctx.device)
+        assert k.bound is Bound.COMPUTE
+        assert k.compute_us > k.memory_us
+
+    def test_memory_bound(self):
+        ctx = ExecutionContext()
+        record = ctx.launch(launch(flops=1e6, dram=5e8))
+        k = classify_record(record, ctx.device)
+        assert k.bound is Bound.MEMORY
+
+    def test_launch_bound(self):
+        ctx = ExecutionContext()
+        record = ctx.launch(launch(flops=1e3, dram=1e3))
+        k = classify_record(record, ctx.device)
+        assert k.bound is Bound.LAUNCH
+        assert k.overhead_share > 0.5
+
+    def test_decomposition_consistent_with_total(self):
+        ctx = ExecutionContext()
+        record = ctx.launch(launch(flops=1e10, dram=1e8))
+        k = classify_record(record, ctx.device)
+        assert k.time_us == pytest.approx(
+            max(k.compute_us, k.memory_us) + k.overhead_us
+        )
+
+
+class TestReport:
+    def test_shares_sum_to_one(self):
+        ctx = ExecutionContext()
+        ctx.launch(launch(flops=1e11, name="big_gemm"))
+        ctx.launch(launch(dram=5e8, name="streamer"))
+        ctx.launch(launch(name="tiny"))
+        report = roofline_report(ctx)
+        total = sum(report.share(b) for b in Bound)
+        assert total == pytest.approx(1.0)
+        assert report.count(Bound.COMPUTE) == 1
+        assert report.count(Bound.MEMORY) == 1
+        assert report.count(Bound.LAUNCH) == 1
+
+    def test_table_lists_top_kernels(self):
+        ctx = ExecutionContext()
+        ctx.launch(launch(flops=1e11, name="dominant"))
+        ctx.launch(launch(name="trivial"))
+        table = roofline_report(ctx).to_table(top=1)
+        assert "dominant" in table
+        assert "trivial" not in table.split("bound\n")[-1]
+
+    def test_baseline_layer_memory_bound_tail(self):
+        """The paper's premise: the baseline pipeline's non-GEMM kernels
+        are memory- or launch-bound, which is why fusion pays."""
+        import numpy as np
+
+        from repro.core.config import BASELINE, BertConfig
+        from repro.core.estimator import estimate_model
+
+        ctx = ExecutionContext()
+        estimate_model(
+            ctx, BertConfig(num_layers=1), BASELINE, np.full(16, 512), 512
+        )
+        report = roofline_report(ctx)
+        non_gemm = [
+            k
+            for k in report.kernels
+            if not k.name.startswith("gemm")
+            and "bmm" not in k.name
+        ]
+        assert non_gemm
+        assert all(k.bound is not Bound.COMPUTE for k in non_gemm)

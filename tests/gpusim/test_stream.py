@@ -1,0 +1,129 @@
+"""ExecutionContext recording, ambient-context management, merging."""
+
+import pytest
+
+from repro.gpusim import (
+    A100_SPEC,
+    V100_SPEC,
+    ExecutionContext,
+    KernelLaunch,
+    NullContext,
+    current_context,
+    use_context,
+)
+from repro.gpusim.stream import resolve_context
+
+
+def launch(name="k", flops=1e9):
+    return KernelLaunch(
+        name=name, category="c", grid=256, block_threads=256, flops=flops
+    )
+
+
+class TestRecording:
+    def test_launch_appends_record(self):
+        ctx = ExecutionContext()
+        record = ctx.launch(launch())
+        assert ctx.kernel_count() == 1
+        assert record.time_us > 0
+        assert ctx.records[0] is record
+
+    def test_elapsed_is_sum_of_records(self):
+        ctx = ExecutionContext()
+        for _ in range(5):
+            ctx.launch(launch())
+        assert ctx.elapsed_us() == pytest.approx(
+            sum(r.time_us for r in ctx.records)
+        )
+
+    def test_timeline_is_contiguous(self):
+        ctx = ExecutionContext()
+        a = ctx.launch(launch("a"))
+        b = ctx.launch(launch("b"))
+        assert a.start_us == 0.0
+        assert b.start_us == pytest.approx(a.end_us)
+
+    def test_totals(self):
+        ctx = ExecutionContext()
+        ctx.launch(launch(flops=1e9))
+        ctx.launch(launch(flops=2e9))
+        assert ctx.total_flops() == pytest.approx(3e9)
+
+    def test_reset(self):
+        ctx = ExecutionContext()
+        ctx.launch(launch())
+        ctx.reset()
+        assert ctx.kernel_count() == 0
+        assert ctx.elapsed_us() == 0.0
+
+    def test_device_affects_time(self):
+        fast = ExecutionContext(A100_SPEC)
+        slow = ExecutionContext(V100_SPEC)
+        big = launch(flops=1e11)
+        fast.launch(big)
+        slow.launch(big)
+        assert fast.elapsed_us() < slow.elapsed_us()
+
+
+class TestMergeFork:
+    def test_fork_same_device(self):
+        ctx = ExecutionContext(V100_SPEC)
+        assert ctx.fork().device is V100_SPEC
+
+    def test_merge_appends_and_shifts(self):
+        main = ExecutionContext()
+        main.launch(launch("first"))
+        shift = main.elapsed_us()
+
+        sub = main.fork()
+        sub.launch(launch("second"))
+
+        main.merge(sub)
+        assert main.kernel_count() == 2
+        assert main.records[1].start_us == pytest.approx(shift)
+        assert main.elapsed_us() == pytest.approx(
+            shift + sub.elapsed_us()
+        )
+
+
+class TestAmbientContext:
+    def test_no_context_by_default(self):
+        assert current_context() is None
+
+    def test_use_context_sets_and_restores(self):
+        ctx = ExecutionContext()
+        with use_context(ctx) as active:
+            assert active is ctx
+            assert current_context() is ctx
+        assert current_context() is None
+
+    def test_nesting(self):
+        outer, inner = ExecutionContext(), ExecutionContext()
+        with use_context(outer):
+            with use_context(inner):
+                assert current_context() is inner
+            assert current_context() is outer
+
+    def test_restored_after_exception(self):
+        ctx = ExecutionContext()
+        with pytest.raises(RuntimeError):
+            with use_context(ctx):
+                raise RuntimeError("boom")
+        assert current_context() is None
+
+    def test_resolve_prefers_explicit(self):
+        explicit, ambient = ExecutionContext(), ExecutionContext()
+        with use_context(ambient):
+            assert resolve_context(explicit) is explicit
+            assert resolve_context(None) is ambient
+
+    def test_resolve_falls_back_to_null(self):
+        assert isinstance(resolve_context(None), NullContext)
+
+
+class TestNullContext:
+    def test_records_nothing_cost_free(self):
+        ctx = NullContext()
+        record = ctx.launch(launch())
+        assert record.time_us == 0.0
+        assert ctx.elapsed_us() == 0.0

@@ -1,0 +1,102 @@
+"""Failure injection: extreme device configurations.
+
+The pipelines must degrade gracefully (different dispatch, slower time)
+— never crash — on devices far from the A100 the constants were set for.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import FUSED_MHA, BertConfig
+from repro.core.estimator import estimate_byte_mha, estimate_model
+from repro.gpusim import A100_SPEC, ExecutionContext
+
+CFG = BertConfig(num_layers=1)
+
+
+def device(**overrides):
+    return A100_SPEC.with_overrides(**overrides)
+
+
+class TestExtremeDevices:
+    def test_single_sm_device_runs(self):
+        tiny = device(num_sms=1, dram_saturation_threads=512)
+        ctx = ExecutionContext(tiny)
+        lens = np.array([64, 100, 80])
+        t = estimate_model(ctx, CFG, FUSED_MHA, lens, 128)
+        assert t > 0
+
+    def test_fewer_sms_is_slower(self):
+        """Cutting the device down (SMs *and* the throughput that goes
+        with them) must slow everything monotonically."""
+        lens = np.array([200, 256, 180, 220] * 4)
+        times = []
+        for frac in (1.0, 0.25, 0.05):
+            sms = max(1, int(A100_SPEC.num_sms * frac))
+            dev = device(
+                num_sms=sms,
+                dram_saturation_threads=sms * 512,
+                tensor_fp16_tflops=A100_SPEC.tensor_fp16_tflops * frac,
+                fp16_tflops=A100_SPEC.fp16_tflops * frac,
+                fp32_tflops=A100_SPEC.fp32_tflops * frac,
+                dram_bandwidth_gbs=A100_SPEC.dram_bandwidth_gbs * frac,
+            )
+            ctx = ExecutionContext(dev)
+            times.append(estimate_model(ctx, CFG, FUSED_MHA, lens, 256))
+        assert times[0] < times[1] < times[2]
+
+    def test_tiny_shared_memory_forces_grouped_kernel(self):
+        """With 32 KiB shared memory even short sequences exceed the
+        Algorithm III.1 buffers; dispatch must fall back to grouped."""
+        cramped = device(
+            shared_mem_per_sm=34 * 1024, max_shared_mem_per_block=33 * 1024
+        )
+        ctx = ExecutionContext(cramped)
+        lens = np.array([200, 256, 180])
+        estimate_byte_mha(ctx, lens, CFG, FUSED_MHA)
+        names = {r.launch.name for r in ctx.records}
+        assert "fmha_grouped_qk" in names
+        assert "fused_mha_short" not in names
+
+    def test_generous_shared_memory_keeps_short_kernel(self):
+        ctx = ExecutionContext(A100_SPEC)
+        lens = np.array([200, 256, 180])
+        estimate_byte_mha(ctx, lens, CFG, FUSED_MHA)
+        assert ctx.records[0].launch.name == "fused_mha_short"
+
+    def test_huge_launch_overhead_still_finite(self):
+        slow_host = device(kernel_launch_overhead_us=500.0)
+        ctx = ExecutionContext(slow_host)
+        lens = np.array([64, 100])
+        t = estimate_model(ctx, CFG, FUSED_MHA, lens, 128)
+        assert t >= 500.0 * ctx.kernel_count()
+
+    def test_bandwidth_starved_device_memory_bound(self):
+        starved = device(dram_bandwidth_gbs=50.0)
+        fast = ExecutionContext(A100_SPEC)
+        slow = ExecutionContext(starved)
+        lens = np.array([200, 256, 180, 220] * 4)
+        t_fast = estimate_model(fast, CFG, FUSED_MHA, lens, 256)
+        t_slow = estimate_model(slow, CFG, FUSED_MHA, lens, 256)
+        assert t_slow > 2 * t_fast
+
+    def test_fused_mha_still_wins_on_every_extreme(self):
+        """The structural conclusion survives extreme hardware."""
+        from repro.core.config import BASELINE
+
+        lens = np.array([200, 256, 180, 220] * 4)
+        for overrides in (
+            dict(num_sms=8, dram_saturation_threads=8 * 512),
+            dict(dram_bandwidth_gbs=100.0),
+            dict(kernel_launch_overhead_us=50.0),
+            dict(
+                shared_mem_per_sm=34 * 1024,
+                max_shared_mem_per_block=33 * 1024,
+            ),
+        ):
+            dev = device(**overrides)
+            base = ExecutionContext(dev)
+            estimate_model(base, CFG, BASELINE, lens, 256)
+            fused = ExecutionContext(dev)
+            estimate_model(fused, CFG, FUSED_MHA, lens, 256)
+            assert fused.elapsed_us() < base.elapsed_us(), overrides

@@ -1,0 +1,172 @@
+"""Roofline timing model invariants."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import A100_SPEC, ComputeUnit, KernelLaunch, kernel_time_us
+from repro.gpusim.timing import (
+    compute_saturation_blocks,
+    compute_time_us,
+    expected_utilisation,
+    memory_time_us,
+)
+
+
+def make(**kwargs):
+    defaults = dict(
+        name="k",
+        category="c",
+        grid=1024,
+        block_threads=256,
+        regs_per_thread=32,
+    )
+    defaults.update(kwargs)
+    return KernelLaunch(**defaults)
+
+
+class TestBasics:
+    def test_empty_kernel_costs_launch_overhead(self):
+        t = kernel_time_us(make(), A100_SPEC)
+        assert t == pytest.approx(A100_SPEC.kernel_launch_overhead_us)
+
+    def test_extra_overhead_is_additive(self):
+        base = kernel_time_us(make(flops=1e9), A100_SPEC)
+        extra = kernel_time_us(
+            make(flops=1e9, extra_overhead_us=7.5), A100_SPEC
+        )
+        assert extra == pytest.approx(base + 7.5)
+
+    def test_time_monotone_in_flops(self):
+        t1 = kernel_time_us(make(flops=1e9), A100_SPEC)
+        t2 = kernel_time_us(make(flops=4e9), A100_SPEC)
+        assert t2 > t1
+
+    def test_time_monotone_in_bytes(self):
+        t1 = kernel_time_us(make(dram_bytes=1e7), A100_SPEC)
+        t2 = kernel_time_us(make(dram_bytes=1e8), A100_SPEC)
+        assert t2 > t1
+
+    def test_tensor_cores_faster_than_fp32(self):
+        fp32 = kernel_time_us(
+            make(flops=1e10, compute_unit=ComputeUnit.FP32), A100_SPEC
+        )
+        tc = kernel_time_us(
+            make(flops=1e10, compute_unit=ComputeUnit.TENSOR_FP16), A100_SPEC
+        )
+        assert tc < fp32
+
+    def test_higher_efficiency_is_faster(self):
+        slow = kernel_time_us(make(flops=1e10, compute_efficiency=0.2), A100_SPEC)
+        fast = kernel_time_us(make(flops=1e10, compute_efficiency=0.8), A100_SPEC)
+        assert fast < slow
+
+    def test_roofline_takes_maximum(self):
+        # compute-bound kernel: adding a little traffic changes nothing
+        compute_heavy = make(flops=1e11, dram_bytes=1e6)
+        just_compute = make(flops=1e11)
+        assert kernel_time_us(compute_heavy, A100_SPEC) == pytest.approx(
+            kernel_time_us(just_compute, A100_SPEC)
+        )
+
+
+class TestHotBytes:
+    def test_hot_read_served_from_l2(self):
+        small = 10 * 1024 * 1024  # well under 0.7 * 40 MiB
+        as_hot = kernel_time_us(make(hot_bytes=small), A100_SPEC)
+        as_dram = kernel_time_us(make(dram_bytes=small), A100_SPEC)
+        assert as_hot < as_dram
+
+    def test_large_hot_read_spills_to_dram(self):
+        big = 100 * 1024 * 1024  # over L2 capacity
+        as_hot = kernel_time_us(make(hot_bytes=big), A100_SPEC)
+        as_dram = kernel_time_us(make(dram_bytes=big), A100_SPEC)
+        assert as_hot == pytest.approx(as_dram)
+
+    def test_spill_threshold_respects_l2_capacity(self):
+        fits = int(0.7 * A100_SPEC.l2_bytes)
+        over = fits + 1024
+        assert kernel_time_us(make(hot_bytes=fits), A100_SPEC) < kernel_time_us(
+            make(hot_bytes=over), A100_SPEC
+        )
+
+    def test_memory_time_combines_dram_and_hot(self):
+        launch = make(dram_bytes=1e7, hot_bytes=1e7)
+        combined = memory_time_us(launch, A100_SPEC, active_blocks=1024)
+        dram_only = memory_time_us(
+            make(dram_bytes=1e7), A100_SPEC, active_blocks=1024
+        )
+        hot_only = memory_time_us(
+            make(hot_bytes=1e7), A100_SPEC, active_blocks=1024
+        )
+        assert combined == pytest.approx(dram_only + hot_only)
+
+
+class TestUtilisation:
+    def test_tiny_grid_penalised(self):
+        # same work on 2 blocks vs 2048 blocks: small grid must be slower
+        work = dict(flops=1e10, compute_unit=ComputeUnit.TENSOR_FP16)
+        small = kernel_time_us(make(grid=2, **work), A100_SPEC)
+        large = kernel_time_us(make(grid=2048, **work), A100_SPEC)
+        assert small > large
+
+    def test_saturating_grid_reaches_full_utilisation(self):
+        launch = make(grid=4096)
+        assert expected_utilisation(launch, A100_SPEC) == pytest.approx(1.0)
+
+    def test_saturation_blocks_scale_with_block_size(self):
+        small_blocks = compute_saturation_blocks(
+            make(block_threads=64), A100_SPEC
+        )
+        large_blocks = compute_saturation_blocks(
+            make(block_threads=256), A100_SPEC
+        )
+        assert small_blocks == 4 * large_blocks
+
+    def test_one_block_per_sm_saturates_with_256_threads(self):
+        launch = make(grid=A100_SPEC.num_sms, block_threads=256)
+        assert expected_utilisation(launch, A100_SPEC) == pytest.approx(1.0)
+
+    def test_oversubscribed_grid_fully_utilised(self):
+        # once in-flight blocks exceed the compute-saturation point,
+        # utilisation stays pinned at 1 (extra residents add no throughput)
+        for grid in (432, 1000, 4096):
+            assert expected_utilisation(
+                make(grid=grid), A100_SPEC
+            ) == pytest.approx(1.0)
+
+    def test_utilisation_monotone_up_to_saturation(self):
+        utils = [
+            expected_utilisation(make(grid=g), A100_SPEC)
+            for g in (1, 16, 54, 108)
+        ]
+        assert all(a <= b for a, b in zip(utils, utils[1:]))
+
+
+class TestProperties:
+    @given(
+        flops=st.floats(0, 1e12),
+        dram=st.floats(0, 1e9),
+        grid=st.integers(1, 1 << 16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_time_positive_and_finite(self, flops, dram, grid):
+        launch = make(grid=grid, flops=flops, dram_bytes=dram)
+        t = kernel_time_us(launch, A100_SPEC)
+        assert t >= A100_SPEC.kernel_launch_overhead_us
+        assert t < float("inf")
+
+    @given(flops=st.floats(1e6, 1e12))
+    @settings(max_examples=40, deadline=None)
+    def test_compute_time_linear_in_flops(self, flops):
+        t1 = compute_time_us(make(flops=flops), A100_SPEC)
+        t2 = compute_time_us(make(flops=2 * flops), A100_SPEC)
+        assert t2 == pytest.approx(2 * t1, rel=1e-9)
+
+    @given(grid=st.integers(1, 8192))
+    @settings(max_examples=60, deadline=None)
+    def test_utilisation_in_unit_interval(self, grid):
+        u = expected_utilisation(make(grid=grid), A100_SPEC)
+        assert 0.0 < u <= 1.0

@@ -1,0 +1,61 @@
+"""Chrome-trace export."""
+
+import json
+
+from repro.gpusim import ExecutionContext, KernelLaunch
+from repro.gpusim.trace import to_chrome_trace, write_chrome_trace
+
+
+def make_ctx():
+    ctx = ExecutionContext()
+    for name in ("gemm0_qkv", "fused_mha_short"):
+        ctx.launch(
+            KernelLaunch(
+                name=name,
+                category="cat",
+                grid=128,
+                block_threads=256,
+                flops=1e9,
+                dram_bytes=1e6,
+            )
+        )
+    return ctx
+
+
+class TestChromeTrace:
+    def test_one_event_per_launch_plus_metadata(self):
+        trace = to_chrome_trace(make_ctx())
+        complete = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        assert len(complete) == 2
+        assert len(meta) == 2
+
+    def test_events_carry_timeline(self):
+        ctx = make_ctx()
+        trace = to_chrome_trace(ctx)
+        complete = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert complete[0]["ts"] == 0.0
+        assert complete[1]["ts"] == ctx.records[0].time_us
+        assert complete[0]["dur"] == ctx.records[0].time_us
+
+    def test_args_carry_counters(self):
+        trace = to_chrome_trace(make_ctx())
+        event = [e for e in trace["traceEvents"] if e["ph"] == "X"][0]
+        assert event["args"]["gflops"] == 1.0
+        assert event["args"]["grid"] == 128
+        assert event["args"]["compute_unit"] == "fp32"
+
+    def test_device_in_process_name(self):
+        trace = to_chrome_trace(make_ctx(), process_name="demo")
+        meta = trace["traceEvents"][0]
+        assert "demo" in meta["args"]["name"]
+        assert "A100" in meta["args"]["name"]
+
+    def test_round_trips_through_json(self, tmp_path):
+        path = write_chrome_trace(make_ctx(), tmp_path / "trace.json")
+        loaded = json.loads(path.read_text())
+        assert len(loaded["traceEvents"]) == 4
+
+    def test_empty_context(self):
+        trace = to_chrome_trace(ExecutionContext())
+        assert all(e["ph"] == "M" for e in trace["traceEvents"])

@@ -1,0 +1,87 @@
+"""Sensitivity sweeps: the paper's conclusions under perturbed constants."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import BASELINE, FUSED_MHA, BertConfig
+from repro.core.estimator import estimate_model
+from repro.gpusim import ExecutionContext
+from repro.gpusim.whatif import (
+    SWEEPABLE_FIELDS,
+    format_sweep,
+    sensitivity_sweep,
+)
+
+CFG = BertConfig(num_layers=2)
+LENS = np.array([90, 150, 200, 256, 130, 170, 220, 80])
+
+
+def byte_gain(device):
+    """ByteTransformer's gain over its padded baseline on this device."""
+    base = ExecutionContext(device)
+    estimate_model(base, CFG, BASELINE, LENS, 256)
+    fused = ExecutionContext(device)
+    estimate_model(fused, CFG, FUSED_MHA, LENS, 256)
+    return base.elapsed_us() / fused.elapsed_us()
+
+
+class TestSweepMechanics:
+    def test_scale_one_reproduces_baseline(self):
+        result = sensitivity_sweep(
+            "dram_bandwidth_gbs", byte_gain, scales=(1.0,)
+        )
+        assert result.points[0].metric == pytest.approx(
+            result.baseline_metric
+        )
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="not sweepable"):
+            sensitivity_sweep("warp_size", byte_gain)
+
+    def test_empty_scales_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            sensitivity_sweep("num_sms", byte_gain, scales=())
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            sensitivity_sweep("num_sms", byte_gain, scales=(-1.0,))
+
+    def test_integer_fields_stay_integer(self):
+        result = sensitivity_sweep("num_sms", byte_gain, scales=(0.5, 1.5))
+        for p in result.points:
+            assert p.value == int(p.value)
+
+    def test_formatting(self):
+        result = sensitivity_sweep(
+            "kernel_launch_overhead_us", byte_gain, scales=(0.5, 2.0)
+        )
+        text = format_sweep(result)
+        assert "sensitivity" in text and "metric range" in text
+
+
+class TestRobustness:
+    """The headline conclusion — ByteTransformer beats its padded
+    baseline — must survive 2x perturbations of every swept constant."""
+
+    @pytest.mark.parametrize("field", SWEEPABLE_FIELDS)
+    def test_gain_survives_2x_perturbations(self, field):
+        result = sensitivity_sweep(field, byte_gain, scales=(0.5, 1.0, 2.0))
+        assert result.conclusion_stable(lambda gain: gain > 1.0), (
+            field,
+            result.metric_range,
+        )
+
+    def test_launch_overhead_moves_the_gain(self):
+        """Higher launch overhead favours the fused engine (fewer
+        launches), so the gain must grow with it."""
+        result = sensitivity_sweep(
+            "kernel_launch_overhead_us", byte_gain, scales=(0.25, 1.0, 4.0)
+        )
+        metrics = [p.metric for p in result.points]
+        assert metrics == sorted(metrics)
+
+    def test_max_relative_change_reported(self):
+        result = sensitivity_sweep(
+            "dram_bandwidth_gbs", byte_gain, scales=(0.5, 2.0)
+        )
+        assert result.max_relative_change() >= 0.0

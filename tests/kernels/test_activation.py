@@ -1,0 +1,94 @@
+"""GELU / add-bias kernels."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import ExecutionContext
+from repro.kernels.activation import (
+    add_bias,
+    add_bias_gelu,
+    gelu,
+    gelu_reference,
+    gelu_tanh,
+)
+
+
+class TestGeluMath:
+    def test_known_values(self):
+        # GELU(0) = 0, GELU(x) -> x for large x, -> 0 for very negative x
+        assert gelu_reference(np.array(0.0)) == 0.0
+        assert gelu_reference(np.array(10.0)) == pytest.approx(10.0, rel=1e-6)
+        assert gelu_reference(np.array(-10.0)) == pytest.approx(0.0, abs=1e-8)
+
+    def test_half_at_zero_slope(self):
+        eps = 1e-6
+        derivative = (
+            gelu_reference(np.array(eps)) - gelu_reference(np.array(-eps))
+        ) / (2 * eps)
+        assert derivative == pytest.approx(0.5, rel=1e-3)
+
+    def test_tanh_approximation_close(self, rng):
+        x = rng.normal(size=1000) * 3
+        np.testing.assert_allclose(
+            gelu_tanh(x), gelu_reference(x), atol=2e-3
+        )
+
+    @given(x=st.floats(-20, 20))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_above_minus_one(self, x):
+        # GELU is monotone increasing for x >= -0.75 (approx location of min)
+        if x >= -0.7:
+            a = gelu_reference(np.array(x))
+            b = gelu_reference(np.array(x + 0.1))
+            assert b >= a
+
+    @given(x=st.floats(-30, 30))
+    @settings(max_examples=50, deadline=None)
+    def test_bounded_below(self, x):
+        assert gelu_reference(np.array(x)) >= -0.17
+
+
+class TestKernels:
+    def test_add_bias(self, rng):
+        x = rng.normal(size=(6, 8))
+        b = rng.normal(size=8)
+        np.testing.assert_allclose(add_bias(x, b), x + b, rtol=1e-12)
+
+    def test_gelu_kernel(self, rng):
+        x = rng.normal(size=(6, 8))
+        np.testing.assert_allclose(gelu(x), gelu_reference(x), rtol=1e-12)
+
+    def test_fused_equals_sequential(self, rng):
+        x = rng.normal(size=(6, 8))
+        b = rng.normal(size=8)
+        np.testing.assert_allclose(
+            add_bias_gelu(x, b), gelu(add_bias(x, b)), rtol=1e-12
+        )
+
+    def test_fused_is_one_launch(self, rng):
+        x = rng.normal(size=(6, 8))
+        b = rng.normal(size=8)
+        ctx = ExecutionContext()
+        add_bias_gelu(x, b, ctx=ctx)
+        assert ctx.kernel_count() == 1
+
+    def test_fused_faster_than_two_kernels(self, rng):
+        x = rng.normal(size=(4096, 3072))
+        b = rng.normal(size=3072)
+        two = ExecutionContext()
+        gelu(add_bias(x, b, ctx=two), ctx=two)
+        one = ExecutionContext()
+        add_bias_gelu(x, b, ctx=one)
+        assert one.elapsed_us() < two.elapsed_us()
+
+    def test_bad_bias_shape(self, rng):
+        with pytest.raises(ValueError, match="bias"):
+            add_bias(rng.normal(size=(4, 8)), rng.normal(size=7))
+
+    def test_requires_2d(self, rng):
+        with pytest.raises(ValueError, match="2-D"):
+            gelu(rng.normal(size=(2, 3, 4)))

@@ -1,0 +1,87 @@
+"""Batched GEMM: numerics over batch axes and padded-cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import ExecutionContext
+from repro.kernels.batched_gemm import batched_gemm, batched_gemm_launch
+
+
+class TestNumerics:
+    def test_matches_numpy_3d(self, rng):
+        a = rng.normal(size=(4, 8, 6))
+        b = rng.normal(size=(4, 6, 5))
+        np.testing.assert_allclose(batched_gemm(a, b), a @ b, rtol=1e-12)
+
+    def test_matches_numpy_4d(self, rng):
+        a = rng.normal(size=(2, 3, 8, 6))
+        b = rng.normal(size=(2, 3, 6, 5))
+        np.testing.assert_allclose(batched_gemm(a, b), a @ b, rtol=1e-12)
+
+    def test_transpose_b(self, rng):
+        a = rng.normal(size=(4, 8, 6))
+        b = rng.normal(size=(4, 5, 6))
+        np.testing.assert_allclose(
+            batched_gemm(a, b, transpose_b=True),
+            a @ np.swapaxes(b, -1, -2),
+            rtol=1e-12,
+        )
+
+    def test_attention_shape_qk(self, rng):
+        """The Q K^T pattern: [B, H, S, d] @ [B, H, S, d]^T."""
+        q = rng.normal(size=(2, 4, 16, 8))
+        k = rng.normal(size=(2, 4, 16, 8))
+        scores = batched_gemm(q, k, transpose_b=True)
+        assert scores.shape == (2, 4, 16, 16)
+        np.testing.assert_allclose(
+            scores, q @ np.swapaxes(k, -1, -2), rtol=1e-12
+        )
+
+
+class TestValidation:
+    def test_2d_rejected(self, rng):
+        with pytest.raises(ValueError, match=">=3-D"):
+            batched_gemm(rng.normal(size=(8, 6)), rng.normal(size=(6, 5)))
+
+    def test_batch_axis_mismatch(self, rng):
+        with pytest.raises(ValueError, match="batch axes"):
+            batched_gemm(
+                rng.normal(size=(4, 8, 6)), rng.normal(size=(3, 6, 5))
+            )
+
+    def test_inner_dim_mismatch(self, rng):
+        with pytest.raises(ValueError, match="inner dims"):
+            batched_gemm(
+                rng.normal(size=(4, 8, 6)), rng.normal(size=(4, 7, 5))
+            )
+
+    def test_zero_batch_count_launch(self):
+        with pytest.raises(ValueError, match="batch_count"):
+            batched_gemm_launch(0, 8, 8, 8)
+
+
+class TestCostModel:
+    def test_one_launch_regardless_of_batch(self, rng):
+        ctx = ExecutionContext()
+        batched_gemm(
+            rng.normal(size=(16, 32, 8)), rng.normal(size=(16, 8, 32)), ctx=ctx
+        )
+        assert ctx.kernel_count() == 1
+
+    def test_flops_scale_with_batch(self):
+        single = batched_gemm_launch(1, 64, 64, 32)
+        many = batched_gemm_launch(12, 64, 64, 32)
+        assert many.flops == pytest.approx(12 * single.flops)
+        assert many.grid == 12 * single.grid
+
+    def test_padded_shapes_cost_padded_flops(self, rng):
+        """The core limitation: identical shapes mean padded batches burn
+        real FLOPs for padding (motivates grouped GEMM)."""
+        launch = batched_gemm_launch(4, 128, 128, 64)
+        assert launch.flops == pytest.approx(4 * 2 * 128 * 128 * 64)
+
+    def test_operands_counted_hot(self):
+        launch = batched_gemm_launch(4, 128, 128, 64)
+        # Q and K tiles were just written by the bias/transpose kernel
+        assert launch.hot_bytes == pytest.approx(4 * 2 * (128 * 64) * 2)
+        assert launch.dram_bytes == pytest.approx(4 * 128 * 128 * 2)

@@ -1,0 +1,215 @@
+"""Grouped GEMM: variable-shape numerics and the tile scheduler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import A100_SPEC, ExecutionContext
+from repro.kernels.gemm import select_tile
+from repro.kernels.grouped_gemm import (
+    GemmProblem,
+    SchedulerKind,
+    _tile_assignment,
+    grouped_gemm,
+    grouped_gemm_launch,
+    simulate_schedule,
+)
+
+shape = st.integers(1, 96)
+
+
+def random_problems(rng, count=6, max_dim=48):
+    problems = []
+    operands = []
+    for _ in range(count):
+        m, n, k = rng.integers(1, max_dim, size=3)
+        problems.append(GemmProblem(int(m), int(n), int(k)))
+        operands.append(
+            (rng.normal(size=(m, k)), rng.normal(size=(k, n)))
+        )
+    return problems, operands
+
+
+class TestNumerics:
+    def test_matches_per_problem_matmul(self, rng):
+        _, operands = random_problems(rng)
+        outs = grouped_gemm([a for a, _ in operands], [b for _, b in operands])
+        for (a, b), out in zip(operands, outs):
+            np.testing.assert_allclose(out, a @ b, rtol=1e-12)
+
+    def test_transpose_b(self, rng):
+        a_list = [rng.normal(size=(8, 4)), rng.normal(size=(12, 4))]
+        b_list = [rng.normal(size=(6, 4)), rng.normal(size=(10, 4))]
+        outs = grouped_gemm(a_list, b_list, transpose_b=True)
+        for a, b, out in zip(a_list, b_list, outs):
+            np.testing.assert_allclose(out, a @ b.T, rtol=1e-12)
+
+    def test_single_problem(self, rng):
+        a, b = rng.normal(size=(5, 3)), rng.normal(size=(3, 7))
+        (out,) = grouped_gemm([a], [b])
+        np.testing.assert_allclose(out, a @ b, rtol=1e-12)
+
+    def test_scheduler_does_not_change_numerics(self, rng):
+        _, operands = random_problems(rng)
+        a_list = [a for a, _ in operands]
+        b_list = [b for _, b in operands]
+        per_thread = grouped_gemm(
+            a_list, b_list, scheduler=SchedulerKind.PER_THREAD
+        )
+        prefetch = grouped_gemm(
+            a_list, b_list, scheduler=SchedulerKind.WARP_PREFETCH
+        )
+        for x, y in zip(per_thread, prefetch):
+            np.testing.assert_array_equal(x, y)
+
+    @given(
+        shapes=st.lists(st.tuples(shape, shape, shape), min_size=1, max_size=8)
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_arbitrary_variable_shapes(self, shapes):
+        rng = np.random.default_rng(42)
+        a_list = [rng.normal(size=(m, k)) for m, _, k in shapes]
+        b_list = [rng.normal(size=(k, n)) for _, n, k in shapes]
+        outs = grouped_gemm(a_list, b_list)
+        for a, b, out in zip(a_list, b_list, outs):
+            np.testing.assert_allclose(out, a @ b, rtol=1e-9, atol=1e-10)
+
+
+class TestValidation:
+    def test_mismatched_operand_counts(self, rng):
+        with pytest.raises(ValueError, match="operands"):
+            grouped_gemm([rng.normal(size=(4, 4))], [])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            grouped_gemm([], [])
+
+    def test_bad_sub_problem_shapes(self, rng):
+        with pytest.raises(ValueError, match="sub-problem"):
+            grouped_gemm(
+                [rng.normal(size=(4, 4))], [rng.normal(size=(5, 4))]
+            )
+
+    def test_problem_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            GemmProblem(0, 4, 4)
+
+
+class TestTileAssignment:
+    def test_every_tile_exactly_once(self):
+        problems = [GemmProblem(200, 100, 64), GemmProblem(64, 64, 32)]
+        tile = select_tile(200, 100)
+        tile_problem, tile_k = _tile_assignment(problems, tile)
+        # every problem covered by exactly its ceil-div tile count
+        for idx, p in enumerate(problems):
+            assert (tile_problem == idx).sum() == p.tiles(tile)
+        assert len(tile_problem) == len(tile_k)
+
+    def test_round_robin_order(self):
+        problems = [GemmProblem(128, 128, 8), GemmProblem(256, 128, 8)]
+        tile = select_tile(256, 128)
+        tile_problem, _ = _tile_assignment(problems, tile)
+        # problem 0's tiles come first (the visitor walks linearly)
+        first_zero = np.flatnonzero(tile_problem == 0)
+        first_one = np.flatnonzero(tile_problem == 1)
+        assert first_zero.max() < first_one.min()
+
+
+class TestSchedule:
+    BERT_PROBLEMS = [
+        GemmProblem(m, m, 64) for m in (640, 384, 512, 1024, 768, 896) * 4
+    ]
+
+    def test_makespan_at_least_average(self):
+        sched = simulate_schedule(self.BERT_PROBLEMS, A100_SPEC)
+        avg = sched.compute_makespan_us * sched.load_balance
+        assert sched.compute_makespan_us >= avg
+
+    def test_warp_prefetch_fewer_visits(self):
+        per_thread = simulate_schedule(
+            self.BERT_PROBLEMS, A100_SPEC, scheduler=SchedulerKind.PER_THREAD
+        )
+        prefetch = simulate_schedule(
+            self.BERT_PROBLEMS,
+            A100_SPEC,
+            scheduler=SchedulerKind.WARP_PREFETCH,
+        )
+        assert prefetch.visits_per_cta <= per_thread.visits_per_cta
+        assert prefetch.visits_per_cta == -(
+            -per_thread.visits_per_cta // 32
+        )
+
+    def test_warp_prefetch_smaller_makespan(self):
+        per_thread = simulate_schedule(
+            self.BERT_PROBLEMS, A100_SPEC, scheduler=SchedulerKind.PER_THREAD
+        )
+        prefetch = simulate_schedule(
+            self.BERT_PROBLEMS,
+            A100_SPEC,
+            scheduler=SchedulerKind.WARP_PREFETCH,
+        )
+        assert prefetch.makespan_us < per_thread.makespan_us
+        # identical compute: the difference is pure scheduler overhead
+        assert prefetch.compute_makespan_us == pytest.approx(
+            per_thread.compute_makespan_us
+        )
+
+    def test_quantisation_waste_bounds(self):
+        sched = simulate_schedule(self.BERT_PROBLEMS, A100_SPEC)
+        assert 0.0 <= sched.quantisation_waste < 1.0
+        assert sched.computed_flops >= sched.useful_flops
+
+    def test_perfectly_tiled_problems_have_no_waste(self):
+        problems = [GemmProblem(256, 256, 64)] * 8
+        sched = simulate_schedule(problems, A100_SPEC)
+        assert sched.quantisation_waste == pytest.approx(0.0)
+
+    def test_ctas_capped_by_tiles(self):
+        sched = simulate_schedule([GemmProblem(64, 64, 32)], A100_SPEC)
+        assert sched.n_ctas == sched.total_tiles == 1
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            simulate_schedule([], A100_SPEC)
+
+
+class TestLaunch:
+    def test_useful_flops_metered(self):
+        problems = [GemmProblem(100, 50, 30), GemmProblem(7, 9, 11)]
+        launch = grouped_gemm_launch(problems, A100_SPEC)
+        expected = sum(p.flops for p in problems)
+        assert launch.flops == pytest.approx(expected)
+
+    def test_extra_flops_and_bytes_added(self):
+        problems = [GemmProblem(64, 64, 64)]
+        plain = grouped_gemm_launch(problems, A100_SPEC)
+        extra = grouped_gemm_launch(
+            problems, A100_SPEC, extra_flops=1e6, extra_bytes=1e4
+        )
+        assert extra.flops == pytest.approx(plain.flops + 1e6)
+        assert extra.dram_bytes == pytest.approx(plain.dram_bytes + 1e4)
+
+    def test_scheduler_tag_recorded(self):
+        launch = grouped_gemm_launch(
+            [GemmProblem(64, 64, 64)],
+            A100_SPEC,
+            scheduler=SchedulerKind.PER_THREAD,
+        )
+        assert "scheduler=per_thread" in launch.tags
+
+    def test_launch_time_reflects_scheduler(self, rng):
+        problems = TestSchedule.BERT_PROBLEMS
+        slow = ExecutionContext()
+        slow.launch(
+            grouped_gemm_launch(
+                problems, A100_SPEC, scheduler=SchedulerKind.PER_THREAD
+            )
+        )
+        fast = ExecutionContext()
+        fast.launch(
+            grouped_gemm_launch(
+                problems, A100_SPEC, scheduler=SchedulerKind.WARP_PREFETCH
+            )
+        )
+        assert fast.elapsed_us() < slow.elapsed_us()

@@ -1,0 +1,151 @@
+"""Layernorm kernels: fused == unfused == oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import ExecutionContext
+from repro.kernels.layernorm import (
+    add_bias_residual,
+    add_bias_residual_layernorm,
+    add_bias_residual_layernorm_unfused,
+    layernorm,
+    layernorm_reference,
+)
+
+
+@pytest.fixture()
+def ln_inputs(rng):
+    rows, cols = 10, 16
+    return dict(
+        x=rng.normal(size=(rows, cols)),
+        bias=rng.normal(size=cols),
+        residual=rng.normal(size=(rows, cols)),
+        gamma=rng.normal(1.0, 0.1, size=cols),
+        beta=rng.normal(size=cols),
+    )
+
+
+class TestReference:
+    def test_normalises_rows(self, rng):
+        x = rng.normal(5.0, 3.0, size=(8, 32))
+        out = layernorm_reference(x, np.ones(32), np.zeros(32))
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-12)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, rtol=1e-6)
+
+    def test_gamma_beta_affine(self, rng):
+        x = rng.normal(size=(4, 8))
+        gamma = rng.normal(size=8)
+        beta = rng.normal(size=8)
+        base = layernorm_reference(x, np.ones(8), np.zeros(8))
+        np.testing.assert_allclose(
+            layernorm_reference(x, gamma, beta), base * gamma + beta,
+            rtol=1e-9, atol=1e-9,
+        )
+
+    def test_constant_row_maps_to_beta(self):
+        x = np.full((1, 8), 3.0)
+        gamma = np.ones(8)
+        beta = np.arange(8.0)
+        out = layernorm_reference(x, gamma, beta)
+        np.testing.assert_allclose(out[0], beta, atol=1e-3)
+
+    @given(
+        rows=st.integers(1, 6),
+        cols=st.integers(2, 24),
+        shift=st.floats(-100, 100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_shift_invariance(self, rows, cols, shift):
+        rng = np.random.default_rng(rows * 100 + cols)
+        x = rng.normal(size=(rows, cols))
+        gamma = np.ones(cols)
+        beta = np.zeros(cols)
+        np.testing.assert_allclose(
+            layernorm_reference(x, gamma, beta),
+            layernorm_reference(x + shift, gamma, beta),
+            rtol=1e-6,
+            atol=1e-6,
+        )
+
+
+class TestEquivalence:
+    def test_fused_equals_unfused(self, ln_inputs):
+        fused = add_bias_residual_layernorm(**ln_inputs)
+        unfused = add_bias_residual_layernorm_unfused(**ln_inputs)
+        np.testing.assert_allclose(fused, unfused, rtol=1e-12)
+
+    def test_fused_equals_manual_compose(self, ln_inputs):
+        manual = layernorm_reference(
+            ln_inputs["x"] + ln_inputs["bias"] + ln_inputs["residual"],
+            ln_inputs["gamma"],
+            ln_inputs["beta"],
+        )
+        np.testing.assert_allclose(
+            add_bias_residual_layernorm(**ln_inputs), manual, rtol=1e-12
+        )
+
+    def test_add_bias_residual_numeric(self, ln_inputs):
+        out = add_bias_residual(
+            ln_inputs["x"], ln_inputs["bias"], ln_inputs["residual"]
+        )
+        np.testing.assert_allclose(
+            out,
+            ln_inputs["x"] + ln_inputs["bias"] + ln_inputs["residual"],
+            rtol=1e-12,
+        )
+
+
+class TestCostModel:
+    def test_fused_is_one_launch_unfused_is_two(self, ln_inputs):
+        ctx = ExecutionContext()
+        add_bias_residual_layernorm(**ln_inputs, ctx=ctx)
+        assert ctx.kernel_count() == 1
+
+        ctx = ExecutionContext()
+        add_bias_residual_layernorm_unfused(**ln_inputs, ctx=ctx)
+        assert ctx.kernel_count() == 2
+
+    def test_fused_moves_fewer_bytes(self, ln_inputs):
+        fused = ExecutionContext()
+        add_bias_residual_layernorm(**ln_inputs, ctx=fused)
+        unfused = ExecutionContext()
+        add_bias_residual_layernorm_unfused(**ln_inputs, ctx=unfused)
+        assert fused.total_dram_bytes() < unfused.total_dram_bytes()
+
+    def test_fused_is_faster(self, rng):
+        rows, cols = 4096, 768
+        args = dict(
+            x=rng.normal(size=(rows, cols)),
+            bias=rng.normal(size=cols),
+            residual=rng.normal(size=(rows, cols)),
+            gamma=np.ones(cols),
+            beta=np.zeros(cols),
+        )
+        fused = ExecutionContext()
+        add_bias_residual_layernorm(**args, ctx=fused)
+        unfused = ExecutionContext()
+        add_bias_residual_layernorm_unfused(**args, ctx=unfused)
+        assert fused.elapsed_us() < unfused.elapsed_us()
+
+
+class TestValidation:
+    def test_shape_mismatch_residual(self, ln_inputs):
+        bad = dict(ln_inputs, residual=ln_inputs["residual"][:-1])
+        with pytest.raises(ValueError, match="residual"):
+            add_bias_residual_layernorm(**bad)
+
+    def test_bad_bias(self, ln_inputs):
+        bad = dict(ln_inputs, bias=np.zeros(3))
+        with pytest.raises(ValueError, match="bias"):
+            add_bias_residual_layernorm(**bad)
+
+    def test_bad_gamma(self, ln_inputs):
+        bad = dict(ln_inputs, gamma=np.ones(3))
+        with pytest.raises(ValueError, match="gamma"):
+            add_bias_residual_layernorm(**bad)
+
+    def test_layernorm_requires_2d(self, rng):
+        with pytest.raises(ValueError, match="2-D"):
+            layernorm(rng.normal(size=(2, 3, 4)), np.ones(4), np.zeros(4))

@@ -1,0 +1,96 @@
+"""Pack/unpack gather-scatter kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import ExecutionContext
+from repro.kernels.packing import pack_tokens, unpack_tokens
+
+
+def make_gather(lens, max_len):
+    idx = []
+    for b, length in enumerate(lens):
+        idx.extend(b * max_len + i for i in range(length))
+    return np.asarray(idx, dtype=np.int64)
+
+
+class TestRoundTrip:
+    def test_pack_selects_valid_rows(self, rng):
+        x = rng.normal(size=(12, 4))  # 3 sentences x 4 positions
+        gather = make_gather([2, 4, 1], 4)
+        packed = pack_tokens(x, gather)
+        np.testing.assert_array_equal(packed, x[gather])
+
+    def test_unpack_zero_fills(self, rng):
+        packed = rng.normal(size=(5, 4))
+        gather = make_gather([2, 3], 4)
+        out = unpack_tokens(packed, gather, padded_rows=8)
+        np.testing.assert_array_equal(out[gather], packed)
+        padding = np.setdiff1d(np.arange(8), gather)
+        assert (out[padding] == 0).all()
+
+    def test_unpack_then_pack_is_identity(self, rng):
+        packed = rng.normal(size=(7, 3))
+        gather = make_gather([3, 4], 8)
+        out = pack_tokens(unpack_tokens(packed, gather, 16), gather)
+        np.testing.assert_array_equal(out, packed)
+
+    @given(
+        lens=st.lists(st.integers(1, 8), min_size=1, max_size=6),
+        hidden=st.integers(1, 12),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, lens, hidden):
+        rng = np.random.default_rng(sum(lens) * 100 + hidden)
+        max_len = max(lens)
+        gather = make_gather(lens, max_len)
+        x = rng.normal(size=(len(lens) * max_len, hidden))
+        packed = pack_tokens(x, gather)
+        restored = unpack_tokens(packed, gather, len(lens) * max_len)
+        np.testing.assert_array_equal(restored[gather], x[gather])
+        np.testing.assert_array_equal(pack_tokens(restored, gather), packed)
+
+
+class TestCostModel:
+    def test_pack_traffic_scales_with_valid_tokens(self, rng):
+        x = rng.normal(size=(100, 8))
+        small = ExecutionContext()
+        pack_tokens(x, np.arange(10), ctx=small)
+        large = ExecutionContext()
+        pack_tokens(x, np.arange(80), ctx=large)
+        assert small.total_dram_bytes() < large.total_dram_bytes()
+
+    def test_unpack_pays_for_padded_rows(self, rng):
+        """The scatter writes the whole padded tensor — why the paper
+        fuses unpack into other kernels rather than running it alone."""
+        packed = rng.normal(size=(10, 8))
+        gather = np.arange(10)
+        narrow = ExecutionContext()
+        unpack_tokens(packed, gather, padded_rows=20, ctx=narrow)
+        wide = ExecutionContext()
+        unpack_tokens(packed, gather, padded_rows=200, ctx=wide)
+        assert wide.total_dram_bytes() > narrow.total_dram_bytes()
+
+
+class TestValidation:
+    def test_out_of_range_gather(self, rng):
+        with pytest.raises(ValueError, match="out of range"):
+            pack_tokens(rng.normal(size=(4, 2)), np.array([0, 5]))
+
+    def test_negative_gather(self, rng):
+        with pytest.raises(ValueError, match="out of range"):
+            pack_tokens(rng.normal(size=(4, 2)), np.array([-1, 0]))
+
+    def test_empty_gather(self, rng):
+        with pytest.raises(ValueError, match="at least one"):
+            pack_tokens(rng.normal(size=(4, 2)), np.array([], dtype=np.int64))
+
+    def test_unpack_count_mismatch(self, rng):
+        with pytest.raises(ValueError, match="indices"):
+            unpack_tokens(rng.normal(size=(3, 2)), np.array([0, 1]), 4)
+
+    def test_pack_requires_2d(self, rng):
+        with pytest.raises(ValueError, match=r"\[rows, H\]"):
+            pack_tokens(rng.normal(size=(4,)), np.array([0]))

@@ -1,0 +1,157 @@
+"""Head split/merge kernels and their fused bias/pack variants."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import ExecutionContext
+from repro.kernels.transpose import (
+    add_bias_split_heads_packed_qkv,
+    add_bias_split_heads_qkv,
+    add_bias_unpack_split_heads_qkv,
+    merge_heads,
+    pack_merge_heads,
+    split_heads,
+)
+
+BATCH, SEQ, HEADS, HEAD_SIZE = 3, 6, 4, 8
+HIDDEN = HEADS * HEAD_SIZE
+
+
+def gather_for(lens, max_len):
+    idx = []
+    for b, length in enumerate(lens):
+        idx.extend(b * max_len + i for i in range(length))
+    return np.asarray(idx, dtype=np.int64)
+
+
+class TestSplitMerge:
+    def test_split_layout(self, rng):
+        x = rng.normal(size=(BATCH * SEQ, HIDDEN))
+        out = split_heads(x, BATCH, SEQ, HEADS)
+        assert out.shape == (BATCH, HEADS, SEQ, HEAD_SIZE)
+        # element (b, h, s, d) must come from row b*SEQ+s, column h*hs+d
+        np.testing.assert_array_equal(
+            out[1, 2, 3], x[1 * SEQ + 3, 2 * HEAD_SIZE : 3 * HEAD_SIZE]
+        )
+
+    def test_merge_inverts_split(self, rng):
+        x = rng.normal(size=(BATCH * SEQ, HIDDEN))
+        np.testing.assert_array_equal(
+            merge_heads(split_heads(x, BATCH, SEQ, HEADS)), x
+        )
+
+    def test_split_validates_rows(self, rng):
+        with pytest.raises(ValueError, match="rows"):
+            split_heads(rng.normal(size=(7, HIDDEN)), BATCH, SEQ, HEADS)
+
+    def test_split_validates_heads(self, rng):
+        with pytest.raises(ValueError, match="divisible"):
+            split_heads(rng.normal(size=(BATCH * SEQ, HIDDEN)), BATCH, SEQ, 5)
+
+    def test_merge_requires_4d(self, rng):
+        with pytest.raises(ValueError, match=r"\[B, heads"):
+            merge_heads(rng.normal(size=(4, 8)))
+
+
+class TestFusedQkvSplit:
+    def test_matches_manual(self, rng):
+        qkv = rng.normal(size=(BATCH * SEQ, 3 * HIDDEN))
+        bias = rng.normal(size=3 * HIDDEN)
+        q, k, v = add_bias_split_heads_qkv(qkv, bias, BATCH, SEQ, HEADS)
+        biased = qkv + bias
+        for i, part in enumerate((q, k, v)):
+            expected = split_heads(
+                biased[:, i * HIDDEN : (i + 1) * HIDDEN], BATCH, SEQ, HEADS
+            )
+            np.testing.assert_allclose(part, expected, rtol=1e-12)
+
+    def test_single_launch(self, rng):
+        qkv = rng.normal(size=(BATCH * SEQ, 3 * HIDDEN))
+        bias = rng.normal(size=3 * HIDDEN)
+        ctx = ExecutionContext()
+        add_bias_split_heads_qkv(qkv, bias, BATCH, SEQ, HEADS, ctx=ctx)
+        assert ctx.kernel_count() == 1
+
+    def test_width_not_divisible_by_3(self, rng):
+        with pytest.raises(ValueError, match="divisible by 3"):
+            add_bias_split_heads_qkv(
+                rng.normal(size=(BATCH * SEQ, 32)),
+                rng.normal(size=32),
+                BATCH,
+                SEQ,
+                HEADS,
+            )
+
+
+class TestFusedUnpackSplit:
+    def test_equivalent_to_unpack_then_split(self, rng):
+        lens = [4, 6, 2]
+        gather = gather_for(lens, SEQ)
+        tokens = sum(lens)
+        qkv_packed = rng.normal(size=(tokens, 3 * HIDDEN))
+        bias = rng.normal(size=3 * HIDDEN)
+
+        q, k, v = add_bias_unpack_split_heads_qkv(
+            qkv_packed, bias, gather, BATCH, SEQ, HEADS
+        )
+
+        padded = np.zeros((BATCH * SEQ, 3 * HIDDEN))
+        padded[gather] = qkv_packed + bias
+        for i, part in enumerate((q, k, v)):
+            expected = split_heads(
+                padded[:, i * HIDDEN : (i + 1) * HIDDEN], BATCH, SEQ, HEADS
+            )
+            np.testing.assert_allclose(part, expected, rtol=1e-12)
+
+    def test_padding_rows_zero(self, rng):
+        lens = [2, 3, 1]
+        gather = gather_for(lens, SEQ)
+        qkv_packed = rng.normal(size=(sum(lens), 3 * HIDDEN))
+        q, _, _ = add_bias_unpack_split_heads_qkv(
+            qkv_packed, np.zeros(3 * HIDDEN), gather, BATCH, SEQ, HEADS
+        )
+        # batch 0 only has 2 valid positions
+        assert (q[0, :, 2:, :] == 0).all()
+
+    def test_gather_shape_mismatch(self, rng):
+        with pytest.raises(ValueError, match="gather_idx"):
+            add_bias_unpack_split_heads_qkv(
+                rng.normal(size=(5, 3 * HIDDEN)),
+                np.zeros(3 * HIDDEN),
+                np.arange(4),
+                BATCH,
+                SEQ,
+                HEADS,
+            )
+
+
+class TestPackedQkvSplit:
+    def test_stays_packed(self, rng):
+        tokens = 9
+        qkv = rng.normal(size=(tokens, 3 * HIDDEN))
+        bias = rng.normal(size=3 * HIDDEN)
+        q, k, v = add_bias_split_heads_packed_qkv(qkv, bias, HEADS)
+        assert q.shape == (tokens, HEADS, HEAD_SIZE)
+        biased = qkv + bias
+        np.testing.assert_allclose(
+            q.reshape(tokens, HIDDEN), biased[:, :HIDDEN], rtol=1e-12
+        )
+        np.testing.assert_allclose(
+            v.reshape(tokens, HIDDEN), biased[:, 2 * HIDDEN :], rtol=1e-12
+        )
+
+
+class TestPackMergeHeads:
+    def test_equivalent_to_merge_then_pack(self, rng):
+        lens = [3, 5, 4]
+        gather = gather_for(lens, SEQ)
+        attn = rng.normal(size=(BATCH, HEADS, SEQ, HEAD_SIZE))
+        out = pack_merge_heads(attn, gather)
+        expected = merge_heads(attn)[gather]
+        np.testing.assert_array_equal(out, expected)
+
+    def test_output_rows_equal_tokens(self, rng):
+        lens = [1, 2, 3]
+        gather = gather_for(lens, SEQ)
+        attn = rng.normal(size=(BATCH, HEADS, SEQ, HEAD_SIZE))
+        assert pack_merge_heads(attn, gather).shape == (6, HIDDEN)

@@ -1,0 +1,150 @@
+"""CLI entry points (run in-process via repro.cli.main)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDevices:
+    def test_lists_presets(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "A100" in out and "V100" in out and "A10" in out
+
+
+class TestExperiments:
+    def test_list(self, capsys):
+        assert main(["experiments", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig14" in out and "table2" in out
+
+    def test_empty_names_lists(self, capsys):
+        assert main(["experiments"]) == 0
+        assert "available experiments" in capsys.readouterr().out
+
+    def test_unknown_rejected(self, capsys):
+        assert main(["experiments", "nope"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_runs_table2(self, capsys):
+        assert main(["experiments", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+
+
+class TestProfile:
+    def test_profiles_and_traces(self, capsys, tmp_path):
+        trace = tmp_path / "t.json"
+        rc = main(
+            [
+                "profile",
+                "--batch",
+                "4",
+                "--max-seq-len",
+                "128",
+                "--layers",
+                "2",
+                "--trace",
+                str(trace),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "kernels" in out and "breakdown" in out
+        events = json.loads(trace.read_text())["traceEvents"]
+        assert any(e.get("ph") == "X" for e in events)
+
+    def test_preset_selectable(self, capsys):
+        rc = main(
+            [
+                "profile",
+                "--preset",
+                "baseline",
+                "--batch",
+                "2",
+                "--max-seq-len",
+                "64",
+                "--layers",
+                "1",
+            ]
+        )
+        assert rc == 0
+        assert "'baseline'" in capsys.readouterr().out
+
+    def test_device_selectable(self, capsys):
+        rc = main(
+            [
+                "profile",
+                "--device",
+                "V100-SXM2-32GB",
+                "--batch",
+                "2",
+                "--max-seq-len",
+                "64",
+                "--layers",
+                "1",
+            ]
+        )
+        assert rc == 0
+        assert "V100" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_compare_table(self, capsys):
+        rc = main(
+            [
+                "compare",
+                "--batch",
+                "4",
+                "--max-seq-len",
+                "128",
+                "--layers",
+                "2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ByteTransformer" in out
+        assert "(1.00x)" in out  # someone is fastest
+
+    def test_unsupported_shape_marked(self, capsys):
+        rc = main(
+            [
+                "compare",
+                "--batch",
+                "2",
+                "--max-seq-len",
+                "1024",
+                "--layers",
+                "1",
+            ]
+        )
+        assert rc == 0
+        assert "unsupported shape" in capsys.readouterr().out
+
+    def test_bad_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestSelftest:
+    def test_selftest_passes(self, capsys):
+        assert main(["selftest"]) == 0
+        out = capsys.readouterr().out
+        assert "selftest passed" in out
+        assert "fused MHA" in out
+
+
+class TestSummary:
+    def test_summary_fast(self, capsys):
+        assert main(["experiments", "--summary", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "paper vs measured" in out
+        assert "Fig 14" in out
+
+    def test_summary_markdown(self, capsys):
+        assert main(["experiments", "--summary", "--fast", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("| claim | paper | ours |")

@@ -1,0 +1,126 @@
+"""Variable-length workload generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.generator import (
+    LengthDistribution,
+    fixed_lengths,
+    make_batch,
+    normal_lengths,
+    paper_lengths,
+    uniform_lengths,
+    zipf_lengths,
+)
+
+
+class TestLengthDistributions:
+    def test_uniform_mean_near_alpha(self):
+        rng = np.random.default_rng(0)
+        lens = uniform_lengths(2000, 512, 0.6, rng)
+        assert abs(lens.mean() / 512 - 0.6) < 0.02
+
+    def test_uniform_bounds(self):
+        rng = np.random.default_rng(1)
+        lens = uniform_lengths(500, 256, 0.6, rng)
+        assert lens.min() >= 1
+        assert lens.max() <= 256
+
+    def test_alpha_validated(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="alpha"):
+            uniform_lengths(4, 128, 0.0, rng)
+        with pytest.raises(ValueError, match="alpha"):
+            uniform_lengths(4, 128, 1.5, rng)
+
+    def test_alpha_one_is_all_max(self):
+        rng = np.random.default_rng(0)
+        lens = uniform_lengths(100, 128, 1.0, rng)
+        assert (lens == 128).all()
+
+    def test_paper_lengths_is_alpha_06(self):
+        lens = paper_lengths(2000, 512, np.random.default_rng(0))
+        assert abs(lens.mean() / 512 - 0.6) < 0.02
+
+    def test_normal_clipped(self):
+        rng = np.random.default_rng(2)
+        lens = normal_lengths(1000, 128, 0.6, rng)
+        assert lens.min() >= 1
+        assert lens.max() <= 128
+
+    def test_zipf_heavy_tail(self):
+        rng = np.random.default_rng(3)
+        lens = zipf_lengths(2000, 1024, rng)
+        # most sentences short, some long
+        assert np.median(lens) < lens.mean() * 1.2
+        assert lens.max() > 4 * np.median(lens)
+
+    def test_fixed(self):
+        assert (fixed_lengths(7, 99) == 99).all()
+
+    @given(
+        alpha=st.floats(0.55, 1.0),
+        max_len=st.sampled_from([64, 128, 512]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_uniform_mean_property(self, alpha, max_len):
+        rng = np.random.default_rng(17)
+        lens = uniform_lengths(3000, max_len, alpha, rng)
+        assert abs(lens.mean() / max_len - alpha) < 0.05
+
+
+class TestMakeBatch:
+    def test_shapes(self):
+        batch = make_batch(4, 32, 64, seed=0)
+        assert batch.x.shape == (4, 32, 64)
+        assert batch.mask.shape == (4, 32)
+        assert batch.seq_lens.shape == (4,)
+        assert batch.batch == 4
+        assert batch.hidden == 64
+
+    def test_mask_left_aligned(self):
+        batch = make_batch(6, 24, 8, seed=1)
+        for b in range(6):
+            length = batch.seq_lens[b]
+            assert batch.mask[b, :length].all()
+            assert not batch.mask[b, length:].any()
+
+    def test_padding_rows_zeroed(self):
+        batch = make_batch(6, 24, 8, seed=2)
+        pad = batch.mask == 0
+        assert (batch.x[pad] == 0).all()
+
+    def test_deterministic(self):
+        a = make_batch(3, 16, 8, seed=9)
+        b = make_batch(3, 16, 8, seed=9)
+        np.testing.assert_array_equal(a.x, b.x)
+        np.testing.assert_array_equal(a.seq_lens, b.seq_lens)
+
+    def test_seed_matters(self):
+        a = make_batch(3, 16, 8, seed=9)
+        b = make_batch(3, 16, 8, seed=10)
+        assert not np.array_equal(a.x, b.x)
+
+    def test_packing_consistent(self):
+        batch = make_batch(5, 20, 8, seed=3)
+        packing = batch.packing()
+        assert packing.total_tokens == batch.seq_lens.sum()
+        np.testing.assert_array_equal(packing.to_mask(), batch.mask)
+
+    def test_distributions_selectable(self):
+        for dist in LengthDistribution:
+            batch = make_batch(4, 16, 8, distribution=dist, seed=0)
+            assert batch.seq_lens.max() <= 16
+
+    def test_alpha_property(self):
+        batch = make_batch(500, 128, 4, alpha=0.7, seed=4)
+        assert abs(batch.alpha - 0.7) < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            make_batch(0, 16, 8)
+
+    def test_float32_activations(self):
+        assert make_batch(2, 8, 4, seed=0).x.dtype == np.float32

@@ -1,0 +1,90 @@
+"""Mask realignment: interior padding → packed-pipeline-compatible."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.padding import packing_from_mask
+from repro.workloads.realign import realign
+
+masks = st.lists(
+    st.lists(st.integers(0, 1), min_size=3, max_size=10),
+    min_size=1,
+    max_size=5,
+).filter(lambda rows: len({len(r) for r in rows}) == 1)
+
+
+class TestRealign:
+    def test_interior_holes_compacted(self):
+        mask = np.array([[1, 0, 1, 0, 1]])
+        result = realign(mask)
+        np.testing.assert_array_equal(result.mask, [[1, 1, 1, 0, 0]])
+        np.testing.assert_array_equal(result.lengths, [3])
+        np.testing.assert_array_equal(
+            result.source_index[0, :3], [0, 2, 4]
+        )
+
+    def test_already_aligned_is_identity(self, rng):
+        mask = np.array([[1, 1, 0, 0], [1, 1, 1, 1]])
+        result = realign(mask)
+        np.testing.assert_array_equal(result.mask, mask)
+        x = rng.normal(size=(2, 4, 3))
+        x *= mask[:, :, None]
+        np.testing.assert_array_equal(result.apply(x), x)
+
+    def test_apply_gathers_tokens_in_order(self, rng):
+        mask = np.array([[0, 1, 0, 1]])
+        x = rng.normal(size=(1, 4, 2))
+        aligned = realign(mask).apply(x)
+        np.testing.assert_array_equal(aligned[0, 0], x[0, 1])
+        np.testing.assert_array_equal(aligned[0, 1], x[0, 3])
+        assert (aligned[0, 2:] == 0).all()
+
+    def test_restore_inverts_apply_on_valid(self, rng):
+        mask = np.array([[1, 0, 1, 1, 0], [0, 1, 1, 0, 1]])
+        result = realign(mask)
+        x = rng.normal(size=(2, 5, 4)) * mask[:, :, None]
+        roundtrip = result.restore(result.apply(x))
+        np.testing.assert_array_equal(roundtrip, x)
+
+    def test_feeds_packing_from_mask(self):
+        """The whole point: a holey mask becomes packable."""
+        holey = np.array([[1, 0, 1, 1], [0, 1, 0, 1]])
+        with pytest.raises(ValueError, match="interior padding"):
+            packing_from_mask(holey)
+        packing = packing_from_mask(realign(holey).mask)
+        assert packing.total_tokens == holey.sum()
+
+    def test_empty_row_rejected(self):
+        with pytest.raises(ValueError, match="valid token"):
+            realign(np.array([[0, 0], [1, 0]]))
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError, match="0s and 1s"):
+            realign(np.array([[2, 0]]))
+
+    def test_shape_mismatch_in_apply(self, rng):
+        result = realign(np.array([[1, 1, 0]]))
+        with pytest.raises(ValueError, match="layout"):
+            result.apply(rng.normal(size=(1, 4, 2)))
+
+    @given(rows=masks)
+    @settings(max_examples=40, deadline=None)
+    def test_property_roundtrip_and_counts(self, rows):
+        mask = np.asarray(rows)
+        assume((mask.sum(axis=1) > 0).all())
+        result = realign(mask)
+        # counts preserved, alignment achieved
+        np.testing.assert_array_equal(
+            result.mask.sum(axis=1), mask.sum(axis=1)
+        )
+        for b, length in enumerate(result.lengths):
+            assert result.mask[b, :length].all()
+            assert not result.mask[b, length:].any()
+        # roundtrip on a payload
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(*mask.shape, 2)) * mask[:, :, None]
+        np.testing.assert_array_equal(
+            result.restore(result.apply(x)), x
+        )
