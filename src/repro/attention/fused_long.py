@@ -24,6 +24,8 @@ import math
 
 import numpy as np
 
+from repro.attention.bucketed import _bucket_qkv, build_buckets
+from repro.core.engine import is_vectorized
 from repro.core.padding import PackedSeqs
 from repro.gpusim.memory import BYTES_PER_FP32
 from repro.gpusim.stream import ExecutionContext, resolve_context
@@ -33,8 +35,10 @@ from repro.kernels.grouped_gemm import (
     grouped_gemm_launch,
 )
 from repro.kernels.reduction import (
+    EPILOGUE_TILE_N,
     apply_softmax_transform,
     full_reduction_kernel,
+    full_reduction_launch,
     partial_softmax_stats,
     partial_stats_flops,
     partial_stats_store_bytes,
@@ -79,15 +83,10 @@ def fused_long_mha(
     context = resolve_context(ctx)
     scale = 1.0 / math.sqrt(head_size)
 
-    # bias add is fused into the grouped GEMMs' operand loads
-    biased = qkv_packed + qkv_bias
-    q_all = biased[:, :hidden]
-    k_all = biased[:, hidden : 2 * hidden]
-    v_all = biased[:, 2 * hidden :]
-
     seq_lens = [int(length) for length in packing.seq_lens]
 
-    # ---- launch 1: grouped GEMM Q K^T with partial-reduction epilogue ----
+    # the three cost descriptors depend only on the shape vector; both
+    # engines emit them byte-identically, in the same unit order
     units: list[tuple[int, int]] = [
         (b, h) for b in range(packing.batch) for h in range(num_heads)
     ]
@@ -95,6 +94,65 @@ def fused_long_mha(
         GemmProblem(m=seq_lens[b], n=seq_lens[b], k=head_size)
         for b, _ in units
     ]
+    problems_pv = [
+        GemmProblem(m=seq_lens[b], n=head_size, k=seq_lens[b])
+        for b, _ in units
+    ]
+    epilogue_bytes = partial_stats_store_bytes(seq_lens, num_heads)
+    epilogue_flops = partial_stats_flops(seq_lens, num_heads)
+
+    if is_vectorized():
+        # ---- launch 1: grouped GEMM Q K^T with partial-reduction epilogue
+        context.launch(
+            grouped_gemm_launch(
+                problems,
+                context.device,
+                scheduler=scheduler,
+                name="fmha_grouped_qk",
+                category=category,
+                extra_bytes=epilogue_bytes,
+                extra_flops=epilogue_flops,
+                base_efficiency=FMHA_GROUPED_EFFICIENCY,
+            )
+        )
+        # ---- launch 2: lightweight full reduction over the partials ----
+        # the batched host path reduces each row in one pass, which equals
+        # the two-phase partial/full reduction exactly (same math, fp64);
+        # the modelled kernel is still the per-unit full reduction
+        unit_lens = [seq_lens[b] for b, _ in units]
+        context.launch(
+            full_reduction_launch(unit_lens, heads=1, category=category)
+        )
+        out = _bucketed_fused_long(
+            qkv_packed, qkv_bias, packing, num_heads, head_size, scale
+        )
+        # ---- launch 3: grouped GEMM P V with mainloop softmax transform
+        # per-unit epilogue sums are integers, so the closed forms below
+        # equal the looped float accumulation exactly
+        sq_total = sum(length * length for length in seq_lens)
+        transform_flops = 2.0 * num_heads * sq_total
+        stats_bytes = 2.0 * num_heads * sum(seq_lens) * BYTES_PER_FP32
+        context.launch(
+            grouped_gemm_launch(
+                problems_pv,
+                context.device,
+                scheduler=scheduler,
+                name="fmha_grouped_pv",
+                category=category,
+                extra_bytes=stats_bytes,
+                extra_flops=transform_flops,
+                base_efficiency=FMHA_GROUPED_EFFICIENCY,
+            )
+        )
+        return out
+
+    # bias add is fused into the grouped GEMMs' operand loads
+    biased = qkv_packed + qkv_bias
+    q_all = biased[:, :hidden]
+    k_all = biased[:, hidden : 2 * hidden]
+    v_all = biased[:, 2 * hidden :]
+
+    # ---- launch 1: grouped GEMM Q K^T with partial-reduction epilogue ----
     scores: list[np.ndarray] = []
     partials: list[tuple[np.ndarray, np.ndarray]] = []
     for b, h in units:
@@ -104,8 +162,6 @@ def fused_long_mha(
         scores.append(p)
         partials.append(partial_softmax_stats(p))
 
-    epilogue_bytes = partial_stats_store_bytes(seq_lens, num_heads)
-    epilogue_flops = partial_stats_flops(seq_lens, num_heads)
     context.launch(
         grouped_gemm_launch(
             problems,
@@ -123,10 +179,6 @@ def fused_long_mha(
     stats = full_reduction_kernel(partials, ctx=context, category=category)
 
     # ---- launch 3: grouped GEMM P V with mainloop softmax transform ----
-    problems_pv = [
-        GemmProblem(m=seq_lens[b], n=head_size, k=seq_lens[b])
-        for b, _ in units
-    ]
     out = np.empty((tokens, hidden), dtype=qkv_packed.dtype)
     transform_flops = 0.0
     stats_bytes = 0.0
@@ -150,4 +202,63 @@ def fused_long_mha(
             base_efficiency=FMHA_GROUPED_EFFICIENCY,
         )
     )
+    return out
+
+
+def _bucketed_fused_long(
+    qkv_packed: np.ndarray,
+    qkv_bias: np.ndarray,
+    packing: PackedSeqs,
+    num_heads: int,
+    head_size: int,
+    scale: float,
+) -> np.ndarray:
+    """Batched numerics of the grouped-GEMM FMHA, one bucket at a time.
+
+    The reference path runs its softmax transform and P·V product through
+    the float64 partial-statistics arrays; this path mirrors that dtype
+    flow (fp32 scores, fp64 transform + P·V) so the two engines agree to
+    fp64 rounding, not merely 1e-6.
+    """
+    tokens = packing.total_tokens
+    hidden = num_heads * head_size
+    out = np.empty((tokens, hidden), dtype=qkv_packed.dtype)
+    for bucket in build_buckets(packing):
+        bsz, length = bucket.rows.shape
+        q, kt, v = _bucket_qkv(
+            qkv_packed, qkv_bias, bucket, num_heads, head_size
+        )
+        scores = np.matmul(q, kt)
+        scores *= scale
+        if bucket.valid is not None:
+            np.copyto(
+                scores,
+                np.float32(-1e30),
+                where=~bucket.valid[:, None, None, :],
+            )
+        # batched two-phase reduction (Figure 8): per-128-column-tile
+        # partial max / exp-sum in fp32, combined with fp64 rescaling —
+        # the same op sequence (and dtypes) as partial_softmax_stats +
+        # full_reduce_stats run per unit, so the engines agree bitwise
+        blocks = math.ceil(length / EPILOGUE_TILE_N)
+        pmax = np.empty(scores.shape[:-1] + (blocks,))
+        psum = np.empty_like(pmax)
+        for blk in range(blocks):
+            chunk = scores[
+                ..., blk * EPILOGUE_TILE_N : (blk + 1) * EPILOGUE_TILE_N
+            ]
+            cmax = chunk.max(axis=-1)
+            pmax[..., blk] = cmax
+            psum[..., blk] = np.exp(chunk - cmax[..., None]).sum(axis=-1)
+        row_max = pmax.max(axis=-1)
+        rescale = np.exp(pmax - row_max[..., None])
+        row_sum = (psum * rescale).sum(axis=-1)
+        probs = np.exp(scores - row_max[..., None]) / row_sum[..., None]
+        attn = np.matmul(probs, v.astype(np.float64))
+        merged = attn.transpose(0, 2, 1, 3).reshape(bsz * length, hidden)
+        if bucket.valid is None:
+            out[bucket.rows.ravel()] = merged
+        else:
+            flat_valid = bucket.valid.ravel()
+            out[bucket.rows.ravel()[flat_valid]] = merged[flat_valid]
     return out

@@ -22,6 +22,8 @@ import math
 
 import numpy as np
 
+from repro.attention.bucketed import bucketed_sdpa
+from repro.core.engine import is_vectorized
 from repro.core.padding import PackedSeqs
 from repro.gpusim.kernel import ComputeUnit, KernelLaunch
 from repro.gpusim.memory import BYTES_PER_ELEMENT, BYTES_PER_FP32
@@ -113,18 +115,17 @@ def fused_short_launch(
     ``efficiency`` allows modelling other vendors' fused-MHA kernels (e.g.
     the TensorRT plugin FasterTransformer uses) on the same structure.
     """
-    max_len = int(np.max(seq_lens))
-    batch = len(seq_lens)
+    lens = np.asarray(seq_lens, dtype=np.int64)
+    max_len = int(lens.max())
+    batch = lens.shape[0]
     hidden = num_heads * head_size
-    tokens = int(np.sum(seq_lens))
+    tokens = int(lens.sum())
 
-    grid = 0
-    flops = 0.0
-    for length in (int(v) for v in seq_lens):
-        grid += num_heads * math.ceil(length / split_seq_len)
-        flops += num_heads * (
-            4.0 * length * length * head_size + 8.0 * length * length
-        )
+    # integer-exact reductions: identical to the per-length loop because
+    # every addend is an integer representable in float64
+    grid = int(num_heads * np.sum(-(-lens // split_seq_len)))
+    sq = np.sum(lens * lens, dtype=np.int64)
+    flops = float(num_heads) * (4.0 * float(sq) * head_size + 8.0 * float(sq))
 
     block_threads = short_kernel_block_threads(max_len, split_seq_len)
     return KernelLaunch(
@@ -182,25 +183,30 @@ def fused_short_mha(
     if split_seq_len <= 0:
         raise ValueError(f"split_seq_len must be positive, got {split_seq_len}")
 
-    biased = qkv_packed + qkv_bias
-    q_all = biased[:, :hidden]
-    k_all = biased[:, hidden : 2 * hidden]
-    v_all = biased[:, 2 * hidden :]
-
-    out = np.empty((tokens, hidden), dtype=qkv_packed.dtype)
     scale = 1.0 / math.sqrt(head_size)
-    for b in range(packing.batch):
-        # the grid covers only valid rows: CTAs are created per
-        # {head, valid-seq-tile, batch}, never from max_seq_len
-        rows = packing.rows_of(b)
-        for h in range(num_heads):
-            cols = slice(h * head_size, (h + 1) * head_size)
-            q = q_all[rows, cols]
-            k = k_all[rows, cols]
-            v = v_all[rows, cols]
-            logits = (q @ k.T) * scale
-            probs = softmax_reference(logits)
-            out[rows, cols] = probs @ v
+    if is_vectorized():
+        out = bucketed_sdpa(
+            qkv_packed, qkv_bias, packing, num_heads, scale=scale
+        )
+    else:
+        biased = qkv_packed + qkv_bias
+        q_all = biased[:, :hidden]
+        k_all = biased[:, hidden : 2 * hidden]
+        v_all = biased[:, 2 * hidden :]
+
+        out = np.empty((tokens, hidden), dtype=qkv_packed.dtype)
+        for b in range(packing.batch):
+            # the grid covers only valid rows: CTAs are created per
+            # {head, valid-seq-tile, batch}, never from max_seq_len
+            rows = packing.rows_of(b)
+            for h in range(num_heads):
+                cols = slice(h * head_size, (h + 1) * head_size)
+                q = q_all[rows, cols]
+                k = k_all[rows, cols]
+                v = v_all[rows, cols]
+                logits = (q @ k.T) * scale
+                probs = softmax_reference(logits)
+                out[rows, cols] = probs @ v
 
     # DRAM traffic (in the descriptor): packed Q, K, V read once (K/V tile
     # re-reads are served by L2 at these sizes), packed output written

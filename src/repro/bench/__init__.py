@@ -1,0 +1,9 @@
+"""Wall-clock benchmarking of the host execution engines."""
+
+from repro.bench.wallclock import (
+    QUICK_OVERRIDES,
+    run_wallclock_bench,
+    write_bench_json,
+)
+
+__all__ = ["QUICK_OVERRIDES", "run_wallclock_bench", "write_bench_json"]

@@ -6,6 +6,8 @@ Commands:
 * ``profile`` — run one configuration and print the kernel breakdown,
   optionally dumping a chrome://tracing JSON;
 * ``compare`` — one-line end-to-end framework comparison for a shape;
+* ``bench`` — wall-clock benchmark of the host execution engines
+  (``--quick`` for a CI smoke run, ``--out`` to write the JSON);
 * ``devices`` — show the simulated device presets.
 """
 
@@ -148,6 +150,34 @@ def cmd_selftest(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Wall-clock benchmark: vectorized engine vs looped reference."""
+    from repro.bench.wallclock import (
+        QUICK_OVERRIDES,
+        format_summary,
+        run_wallclock_bench,
+        write_bench_json,
+    )
+
+    kwargs = dict(
+        batch=args.batch,
+        max_seq_len=args.max_seq_len,
+        alpha=args.alpha,
+        layers=args.layers,
+        preset=args.preset,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    if args.quick:
+        kwargs.update(QUICK_OVERRIDES)
+    result = run_wallclock_bench(**kwargs)
+    print(format_summary(result))
+    if args.out:
+        path = write_bench_json(result, args.out)
+        print(f"wrote {path}")
+    return 0
+
+
 def cmd_devices(args: argparse.Namespace) -> int:
     """Print the simulated device presets."""
     del args
@@ -203,6 +233,29 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("compare", help="compare all frameworks on a shape")
     _add_shape_args(p)
     p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser(
+        "bench",
+        help="wall-clock benchmark: vectorized engine vs looped reference",
+    )
+    p.add_argument("--batch", type=int, default=16)
+    p.add_argument("--max-seq-len", type=int, default=256)
+    p.add_argument("--alpha", type=float, default=0.6)
+    p.add_argument("--layers", type=int, default=12)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--preset", choices=sorted(PRESETS), default="fused MHA")
+    p.add_argument("--repeats", type=int, default=3)
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny-shape smoke run (overrides batch/seq/layers/repeats)",
+    )
+    p.add_argument(
+        "--out",
+        default=None,
+        help="also write the result JSON here (e.g. BENCH_wallclock.json)",
+    )
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("devices", help="show device presets")
     p.set_defaults(func=cmd_devices)

@@ -68,6 +68,9 @@ class BertEncoderModel:
                 f"weights hidden size {self.weights.hidden_size} != config "
                 f"hidden size {self.config.hidden_size}"
             )
+        # warm the per-layer weight/bias splits and per-head views once so
+        # the forward path never re-slices parameters
+        self.weights.precompute(self.config.num_heads)
 
     def forward(
         self,

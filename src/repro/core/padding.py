@@ -7,10 +7,18 @@ through the offsets does zero work on padding.  :class:`PackedSeqs` is the
 positioning structure every other module consumes: gather indices
 (packed row → padded row), per-sentence offsets (prefix of sequence
 lengths) and the valid lengths themselves.
+
+All metadata builders are loop-free (``np.repeat``/``np.arange``), and a
+:class:`PackingCache` keyed by ``(max_seq_len, lengths)`` lets serving
+traces with repeated shapes skip the host-side rebuild entirely.  The
+prefix-sum *kernel launch* is still recorded on every
+:func:`packing_from_mask` call — caching only elides host work, never the
+modelled GPU cost.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -81,64 +89,102 @@ class PackedSeqs:
 
     def to_mask(self) -> np.ndarray:
         """Reconstruct the ``[B, S]`` 0/1 mask (left-aligned tokens)."""
-        mask = np.zeros((self.batch, self.max_seq_len), dtype=np.int64)
-        for b, length in enumerate(self.seq_lens):
-            mask[b, :length] = 1
-        return mask
+        positions = np.arange(self.max_seq_len, dtype=np.int64)
+        return (positions[None, :] < self.seq_lens[:, None]).astype(np.int64)
 
 
-def packing_from_mask(
-    mask: np.ndarray, *, ctx: ExecutionContext | None = None
-) -> PackedSeqs:
-    """Run the prefix-sum kernel on ``mask`` and build :class:`PackedSeqs`.
+def _build_gather(
+    seq_lens: np.ndarray, seq_offsets: np.ndarray, max_seq_len: int
+) -> np.ndarray:
+    """Loop-free gather_idx: padded linear row of every packed row."""
+    total = int(seq_offsets[-1])
+    batch = seq_lens.shape[0]
+    # position of each packed token within its own sentence ...
+    within = np.arange(total, dtype=np.int64) - np.repeat(
+        seq_offsets[:-1], seq_lens
+    )
+    # ... plus its sentence's padded base row
+    base = np.arange(batch, dtype=np.int64) * max_seq_len
+    within += np.repeat(base, seq_lens)
+    return within
 
-    The paper's serving path assumes left-aligned tokens (a sentence's
-    words occupy positions ``0..len-1``); the mask is validated to be of
-    that form.
-    """
-    if mask.ndim != 2:
-        raise ValueError(f"expected a [B, S] mask, got {mask.shape}")
-    prefix = mask_prefix_sum(mask, ctx=ctx)
-    batch, max_seq_len = mask.shape
 
-    seq_lens = prefix[:, -1].copy()
-    if (seq_lens <= 0).any():
-        raise ValueError("every sentence needs at least one valid token")
-    # left-alignment check: prefix sum at position s must equal s+1 for
-    # all valid positions
-    for b in range(batch):
-        length = int(seq_lens[b])
-        expected = np.arange(1, length + 1)
-        if not np.array_equal(prefix[b, :length], expected):
-            raise ValueError(
-                f"sentence {b} has interior padding; the serving path "
-                "expects left-aligned tokens"
-            )
-
-    seq_offsets = np.zeros(batch + 1, dtype=np.int64)
-    np.cumsum(seq_lens, out=seq_offsets[1:])
-
-    gather = np.empty(int(seq_offsets[-1]), dtype=np.int64)
-    for b in range(batch):
-        length = int(seq_lens[b])
-        gather[seq_offsets[b] : seq_offsets[b + 1]] = (
-            b * max_seq_len + np.arange(length)
-        )
-
+def _build_packing(lens: np.ndarray, max_seq_len: int) -> PackedSeqs:
+    batch = lens.shape[0]
+    offsets = np.zeros(batch + 1, dtype=np.int64)
+    np.cumsum(lens, out=offsets[1:])
+    gather = _build_gather(lens, offsets, max_seq_len)
     return PackedSeqs(
         batch=batch,
         max_seq_len=max_seq_len,
-        seq_lens=seq_lens,
-        seq_offsets=seq_offsets,
+        seq_lens=lens,
+        seq_offsets=offsets,
         gather_idx=gather,
     )
 
 
-def packing_from_lengths(
-    seq_lens: np.ndarray | list[int], max_seq_len: int
-) -> PackedSeqs:
-    """Build :class:`PackedSeqs` directly from known lengths (no kernel)."""
-    lens = np.asarray(seq_lens, dtype=np.int64)
+class PackingCache:
+    """LRU cache of :class:`PackedSeqs` keyed by ``(max_seq_len, lengths)``.
+
+    Serving traces repeat shapes constantly (same bucket of requests, same
+    padding layout); a hit returns the previously built metadata without
+    touching the offsets/gather builders.  Cached entries have read-only
+    arrays and own private copies of the lengths, so callers can mutate
+    their inputs freely.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[tuple[int, bytes], PackedSeqs] = (
+            OrderedDict()
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_build(self, lens: np.ndarray, max_seq_len: int) -> PackedSeqs:
+        """Return the cached packing for ``lens`` or build + insert it."""
+        key = (int(max_seq_len), lens.tobytes())
+        hit = self._entries.get(key)
+        if hit is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return hit
+        self.misses += 1
+        packing = _build_packing(lens.copy(), max_seq_len)
+        for arr in (
+            packing.seq_lens,
+            packing.seq_offsets,
+            packing.gather_idx,
+        ):
+            arr.flags.writeable = False
+        self._entries[key] = packing
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return packing
+
+
+_default_cache = PackingCache()
+
+#: sentinel: "use the module-default cache"
+_USE_DEFAULT = object()
+
+
+def default_packing_cache() -> PackingCache:
+    """The process-wide cache used when callers don't pass their own."""
+    return _default_cache
+
+
+def _validate_lengths(lens: np.ndarray, max_seq_len: int) -> None:
     if lens.ndim != 1:
         raise ValueError(f"seq_lens must be 1-D, got shape {lens.shape}")
     if lens.size == 0:
@@ -148,21 +194,72 @@ def packing_from_lengths(
             f"lengths must lie in [1, {max_seq_len}], got "
             f"[{lens.min()}, {lens.max()}]"
         )
-    batch = lens.shape[0]
-    offsets = np.zeros(batch + 1, dtype=np.int64)
-    np.cumsum(lens, out=offsets[1:])
-    gather = np.empty(int(offsets[-1]), dtype=np.int64)
-    for b in range(batch):
-        gather[offsets[b] : offsets[b + 1]] = (
-            b * max_seq_len + np.arange(lens[b])
-        )
-    return PackedSeqs(
-        batch=batch,
-        max_seq_len=max_seq_len,
-        seq_lens=lens,
-        seq_offsets=offsets,
-        gather_idx=gather,
+
+
+def packing_from_mask(
+    mask: np.ndarray,
+    *,
+    ctx: ExecutionContext | None = None,
+    cache: PackingCache | None = _USE_DEFAULT,  # type: ignore[assignment]
+) -> PackedSeqs:
+    """Run the prefix-sum kernel on ``mask`` and build :class:`PackedSeqs`.
+
+    The paper's serving path assumes left-aligned tokens (a sentence's
+    words occupy positions ``0..len-1``); the mask is validated to be of
+    that form.  The prefix-sum kernel is launched (and its modelled cost
+    recorded) unconditionally; ``cache`` only short-circuits the host-side
+    metadata build.  Pass ``cache=None`` to disable caching.
+    """
+    if mask.ndim != 2:
+        raise ValueError(f"expected a [B, S] mask, got {mask.shape}")
+    prefix = mask_prefix_sum(mask, ctx=ctx)
+    batch, max_seq_len = mask.shape
+
+    seq_lens = np.ascontiguousarray(prefix[:, -1], dtype=np.int64)
+    if (seq_lens <= 0).any():
+        raise ValueError("every sentence needs at least one valid token")
+    # left-alignment check: a row with len total ones is left-aligned iff
+    # its first len positions are all ones, i.e. the prefix sum at index
+    # len - 1 already equals len (the prefix is non-decreasing)
+    aligned = (
+        prefix[np.arange(batch), seq_lens - 1] == seq_lens
     )
+    if not aligned.all():
+        b = int(np.flatnonzero(~aligned)[0])
+        raise ValueError(
+            f"sentence {b} has interior padding; the serving path "
+            "expects left-aligned tokens"
+        )
+
+    if cache is _USE_DEFAULT:
+        cache = _default_cache
+    if cache is not None:
+        return cache.get_or_build(seq_lens, max_seq_len)
+    return _build_packing(seq_lens, max_seq_len)
+
+
+def packing_from_lengths(
+    seq_lens: np.ndarray | list[int],
+    max_seq_len: int,
+    *,
+    cache: PackingCache | None = _USE_DEFAULT,  # type: ignore[assignment]
+) -> PackedSeqs:
+    """Build :class:`PackedSeqs` directly from known lengths (no kernel).
+
+    ``seq_lens`` may be a plain Python list or any array-like; an existing
+    C-contiguous ``int64`` array is used as-is without an intermediate
+    copy.  Pass ``cache=None`` to bypass the :class:`PackingCache`.
+    """
+    if isinstance(seq_lens, np.ndarray) and seq_lens.dtype == np.int64:
+        lens = np.ascontiguousarray(seq_lens)  # no copy when already C-order
+    else:
+        lens = np.asarray(seq_lens, dtype=np.int64)
+    _validate_lengths(lens, max_seq_len)
+    if cache is _USE_DEFAULT:
+        cache = _default_cache
+    if cache is not None:
+        return cache.get_or_build(lens, max_seq_len)
+    return _build_packing(lens, max_seq_len)
 
 
 def pack(

@@ -10,6 +10,7 @@ positional encoding (§III-A).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -61,18 +62,68 @@ class LayerWeights:
     def hidden_size(self) -> int:
         return self.qkv_weight.shape[0]
 
+    @cached_property
+    def qkv_weight_parts(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cached ``(Q, K, V)`` column-block views of the packed weight."""
+        h = self.hidden_size
+        return (
+            self.qkv_weight[:, :h],
+            self.qkv_weight[:, h : 2 * h],
+            self.qkv_weight[:, 2 * h :],
+        )
+
+    @cached_property
+    def qkv_bias_parts(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cached ``(Q, K, V)`` thirds of the packed bias."""
+        h = self.hidden_size
+        return (
+            self.qkv_bias[:h],
+            self.qkv_bias[h : 2 * h],
+            self.qkv_bias[2 * h :],
+        )
+
     def q_weight(self) -> np.ndarray:
         """View of the Q column block of the packed QKV weight."""
-        h = self.hidden_size
-        return self.qkv_weight[:, :h]
+        return self.qkv_weight_parts[0]
 
     def k_weight(self) -> np.ndarray:
-        h = self.hidden_size
-        return self.qkv_weight[:, h : 2 * h]
+        return self.qkv_weight_parts[1]
 
     def v_weight(self) -> np.ndarray:
+        return self.qkv_weight_parts[2]
+
+    def head_qkv_weights(
+        self, num_heads: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Memoized per-head ``[heads, H, head_size]`` views of Q / K / V.
+
+        Pure views of the packed weight — no copies, no re-slicing per
+        call.  Memoized per ``num_heads`` (a model only ever uses one, but
+        analysis code may probe alternatives).
+        """
+        cached = self._head_views.get(num_heads)
+        if cached is not None:
+            return cached
         h = self.hidden_size
-        return self.qkv_weight[:, 2 * h :]
+        if h % num_heads != 0:
+            raise ValueError(f"hidden {h} not divisible by {num_heads} heads")
+        d = h // num_heads
+        views = tuple(
+            part.reshape(h, num_heads, d).transpose(1, 0, 2)
+            for part in self.qkv_weight_parts
+        )
+        self._head_views[num_heads] = views
+        return views
+
+    @cached_property
+    def _head_views(self) -> dict[int, tuple[np.ndarray, ...]]:
+        return {}
+
+    def precompute(self, num_heads: int) -> None:
+        """Warm every cached slice so steady-state layers re-slice nothing."""
+        self.qkv_weight_parts
+        self.qkv_bias_parts
+        self.head_qkv_weights(num_heads)
 
 
 @dataclass(frozen=True)
@@ -92,6 +143,12 @@ class ModelWeights:
     @property
     def hidden_size(self) -> int:
         return self.layers[0].hidden_size
+
+    def precompute(self, num_heads: int) -> None:
+        """Warm per-layer weight/bias splits and per-head views once, at
+        model-build time, so no layer re-slices them on the forward path."""
+        for layer in self.layers:
+            layer.precompute(num_heads)
 
 
 def init_layer_weights(config: BertConfig, rng: np.random.Generator) -> LayerWeights:

@@ -22,6 +22,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.engine import is_vectorized
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.kernel import ComputeUnit, KernelLaunch
 from repro.gpusim.memory import tensor_bytes
@@ -109,15 +110,11 @@ def _tile_assignment(
     round-robin visitor walks them: problem 0's tiles first, row-major,
     then problem 1's, etc.
     """
-    tile_problem: list[int] = []
-    tile_k: list[int] = []
-    for idx, problem in enumerate(problems):
-        count = problem.tiles(tile)
-        tile_problem.extend([idx] * count)
-        tile_k.extend([problem.k] * count)
-    return np.asarray(tile_problem, dtype=np.int64), np.asarray(
-        tile_k, dtype=np.float64
-    )
+    counts = np.array([p.tiles(tile) for p in problems], dtype=np.int64)
+    ks = np.array([p.k for p in problems], dtype=np.float64)
+    tile_problem = np.repeat(np.arange(counts.shape[0], dtype=np.int64), counts)
+    tile_k = np.repeat(ks, counts)
+    return tile_problem, tile_k
 
 
 def select_group_tile(
@@ -192,7 +189,10 @@ def simulate_schedule(
     tile_flops = 2.0 * tile.tile_m * tile.tile_n * tile_k
     tile_time_us = tile_flops / cta_flops_per_us
 
-    # round-robin accumulation: CTA j owns tiles j, j+n, ...
+    # round-robin accumulation: CTA j owns tiles j, j+n, ...  The strided
+    # per-CTA sum is kept as-is: a reshape-and-reduce would change the
+    # floating-point association and shift the makespan by ulps, and the
+    # modelled times must stay bit-stable across engines and releases.
     cta_time = np.zeros(n_ctas)
     for j in range(n_ctas):
         cta_time[j] = tile_time_us[j::n_ctas].sum()
@@ -306,7 +306,6 @@ def grouped_gemm(
         raise ValueError("grouped GEMM needs at least one problem")
 
     problems = []
-    outputs = []
     for a, b in zip(a_list, b_list):
         b_eff = b.T if transpose_b else b
         if a.ndim != 2 or b_eff.ndim != 2 or a.shape[1] != b_eff.shape[0]:
@@ -314,7 +313,35 @@ def grouped_gemm(
         problems.append(
             GemmProblem(m=a.shape[0], n=b_eff.shape[1], k=a.shape[1])
         )
-        outputs.append(a @ b_eff)
+
+    if is_vectorized():
+        # shape-bucket the sub-problems: identical (m, n, k) groups run as
+        # one stacked batched matmul, mirroring how the simulated kernel
+        # batches them on the GPU.  Stacking copies operand values
+        # unchanged, so each slice's BLAS result is bit-identical to the
+        # per-pair product.
+        outputs: list[np.ndarray | None] = [None] * len(a_list)
+        groups: dict[tuple, list[int]] = {}
+        for i, (a, b) in enumerate(zip(a_list, b_list)):
+            key = (a.shape, b.shape, a.dtype.str, b.dtype.str)
+            groups.setdefault(key, []).append(i)
+        for idxs in groups.values():
+            if len(idxs) == 1:
+                i = idxs[0]
+                b_eff = b_list[i].T if transpose_b else b_list[i]
+                outputs[i] = a_list[i] @ b_eff
+                continue
+            stacked_a = np.stack([a_list[i] for i in idxs])
+            stacked_b = np.stack([b_list[i] for i in idxs])
+            if transpose_b:
+                stacked_b = stacked_b.swapaxes(-1, -2)
+            stacked_out = np.matmul(stacked_a, stacked_b)
+            for j, i in enumerate(idxs):
+                outputs[i] = stacked_out[j]
+    else:
+        outputs = [
+            a @ (b.T if transpose_b else b) for a, b in zip(a_list, b_list)
+        ]
 
     context = resolve_context(ctx)
     context.launch(

@@ -22,6 +22,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.engine import is_vectorized
 from repro.gpusim.kernel import ComputeUnit, KernelLaunch
 from repro.gpusim.memory import tensor_bytes
 from repro.gpusim.stream import ExecutionContext, resolve_context
@@ -216,13 +217,32 @@ def zeropad_softmax(
         )
 
     out = np.zeros_like(scores)
-    for b, length in enumerate(seq_lens):
-        if not (0 < length <= max_len):
+    if is_vectorized():
+        # batch same-length sentences: one stacked [B', H, l, l] softmax
+        # per distinct length instead of one Python iteration per sentence
+        from repro.attention.bucketed import (
+            group_by_length,
+            softmax_lastaxis_inplace,
+        )
+
+        lens = np.asarray(list(seq_lens), dtype=np.int64)
+        bad = (lens <= 0) | (lens > max_len)
+        if bad.any():
+            first = int(lens[np.flatnonzero(bad)[0]])
             raise ValueError(
-                f"sequence length {length} out of range (0, {max_len}]"
+                f"sequence length {first} out of range (0, {max_len}]"
             )
-        block = scores[b, :, :length, :length]
-        out[b, :, :length, :length] = softmax_reference(block)
+        for length, idx in group_by_length(lens):
+            block = scores[idx][:, :, :length, :length]
+            out[idx, :, :length, :length] = softmax_lastaxis_inplace(block)
+    else:
+        for b, length in enumerate(seq_lens):
+            if not (0 < length <= max_len):
+                raise ValueError(
+                    f"sequence length {length} out of range (0, {max_len}]"
+                )
+            block = scores[b, :, :length, :length]
+            out[b, :, :length, :length] = softmax_reference(block)
 
     resolve_context(ctx).launch(
         zeropad_softmax_launch(list(seq_lens), heads, category)

@@ -1,0 +1,102 @@
+"""Schema and sanity of the wall-clock benchmark harness (quick shape)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.wallclock import (
+    QUICK_OVERRIDES,
+    format_summary,
+    run_wallclock_bench,
+    write_bench_json,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_wallclock_bench(**QUICK_OVERRIDES)
+
+
+def test_required_schema_keys(result):
+    for key in (
+        "config",
+        "wall_us",
+        "modelled_us",
+        "reference_wall_us",
+        "speedup_vs_reference",
+        "sections",
+        "invariants",
+        "notes",
+    ):
+        assert key in result, key
+
+
+def test_config_section(result):
+    config = result["config"]
+    for key in (
+        "batch",
+        "max_seq_len",
+        "alpha",
+        "layers",
+        "preset",
+        "repeats",
+        "seed",
+        "hidden_size",
+        "num_heads",
+        "total_tokens",
+    ):
+        assert key in config, key
+    assert config["batch"] == QUICK_OVERRIDES["batch"]
+    assert config["max_seq_len"] == QUICK_OVERRIDES["max_seq_len"]
+    assert config["layers"] == QUICK_OVERRIDES["layers"]
+
+
+def test_timings_positive(result):
+    assert result["wall_us"] > 0
+    assert result["modelled_us"] > 0
+    assert result["reference_wall_us"] > 0
+    assert result["speedup_vs_reference"] > 0
+    packing = result["sections"]["packing"]
+    for key in (
+        "reference_loop_us",
+        "vectorized_build_us",
+        "cache_hit_us",
+        "speedup_vs_reference",
+        "speedup_cache_hit",
+    ):
+        assert packing[key] > 0, key
+
+
+def test_invariants_hold(result):
+    inv = result["invariants"]
+    assert inv["outputs_match_atol_1e-6"] is True
+    assert inv["launch_streams_identical"] is True
+    assert inv["max_abs_diff"] <= 1e-6
+    assert inv["kernel_count"] > 0
+    assert inv["modelled_us_looped"] == inv["modelled_us_vectorized"]
+
+
+def test_attention_section_present_for_fused_preset(result):
+    attention = result["sections"]["attention"]
+    assert attention["wall_us"] > 0
+    assert attention["reference_wall_us"] > 0
+
+
+def test_json_round_trip(result, tmp_path):
+    path = write_bench_json(result, tmp_path / "bench.json")
+    loaded = json.loads(path.read_text())
+    assert loaded["config"]["preset"] == result["config"]["preset"]
+    assert loaded["wall_us"] == pytest.approx(result["wall_us"])
+
+
+def test_summary_renders(result):
+    text = format_summary(result)
+    assert "wall-clock bench" in text
+    assert "invariants" in text
+
+
+def test_unknown_preset_rejected():
+    with pytest.raises(ValueError, match="unknown preset"):
+        run_wallclock_bench(preset="nope", **QUICK_OVERRIDES)
