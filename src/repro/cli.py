@@ -8,7 +8,13 @@ Commands:
 * ``compare`` — one-line end-to-end framework comparison for a shape;
 * ``bench`` — wall-clock benchmark of the host execution engines
   (``--quick`` for a CI smoke run, ``--out`` to write the JSON);
+* ``serve-chaos`` — chaos-replay a serving trace with injected kernel
+  faults, deadlines, retry/backoff and graceful degradation;
 * ``devices`` — show the simulated device presets.
+
+Command functions raise ``ValueError``/``GpuSimError`` on bad input;
+:func:`main` converts those into a one-line message and exit code 2, the
+same contract argparse uses for unparseable arguments.
 """
 
 from __future__ import annotations
@@ -23,7 +29,14 @@ from repro.core.config import STEPWISE_PRESETS, BertConfig
 from repro.core.estimator import estimate_model
 from repro.experiments import ALL_EXPERIMENTS
 from repro.frameworks import all_frameworks
-from repro.gpusim import A10_SPEC, A100_SPEC, V100_SPEC, ExecutionContext, ProfileReport
+from repro.gpusim import (
+    A10_SPEC,
+    A100_SPEC,
+    V100_SPEC,
+    ExecutionContext,
+    GpuSimError,
+    ProfileReport,
+)
 from repro.gpusim.roofline import roofline_report
 from repro.gpusim.trace import write_chrome_trace
 from repro.workloads.generator import uniform_lengths
@@ -178,6 +191,65 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve_chaos(args: argparse.Namespace) -> int:
+    """Chaos-replay a serving trace through the fault-tolerant runtime."""
+    from repro.serving import (
+        AdmissionController,
+        DegradationLadder,
+        FaultSpec,
+        RetryPolicy,
+        ServingRuntime,
+    )
+    from repro.workloads.batching import TimeoutBatcher
+    from repro.workloads.serving import make_trace
+
+    if args.requests <= 0:
+        raise ValueError(f"--requests must be positive, got {args.requests}")
+    trace = make_trace(
+        args.requests,
+        args.max_seq_len,
+        alpha=args.alpha,
+        mean_interarrival_us=args.mean_interarrival_us,
+        seed=args.seed,
+        deadline_us=args.deadline_us if args.deadline_us > 0 else None,
+    )
+    spec = FaultSpec(
+        launch_failure_rate=args.fault_rate / 2.0,
+        transient_oom_rate=args.fault_rate / 2.0,
+        slow_rate=args.slow_rate,
+        slow_factor=args.slow_factor,
+        target_prefixes=(
+            tuple(args.target) if args.target else ("fused_mha", "fmha_")
+        ),
+    )
+    runtime = ServingRuntime(
+        BertConfig(num_layers=args.layers),
+        batcher=TimeoutBatcher(
+            batch_size=args.batch_size, timeout_us=args.timeout_us
+        ),
+        retry=RetryPolicy(max_retries=args.max_retries),
+        admission=(
+            AdmissionController(high_water_us=args.high_water_us)
+            if args.high_water_us > 0
+            else None
+        ),
+        ladder=DegradationLadder(
+            trip_threshold=args.trip_threshold,
+            window_us=args.ladder_window_us,
+            cooldown_us=args.ladder_cooldown_us,
+        ),
+        faults=spec,
+        device=DEVICES[args.device],
+        seed=args.seed,
+    )
+    print(
+        f"chaos replay: {args.requests} requests, fault rate "
+        f"{args.fault_rate:.0%} (+{args.slow_rate:.0%} slow), seed {args.seed}"
+    )
+    print(runtime.run(trace).render_text())
+    return 0
+
+
 def cmd_devices(args: argparse.Namespace) -> int:
     """Print the simulated device presets."""
     del args
@@ -257,6 +329,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=cmd_bench)
 
+    p = sub.add_parser(
+        "serve-chaos",
+        help="chaos-replay a serving trace with injected kernel faults",
+    )
+    p.add_argument("--requests", type=int, default=200)
+    p.add_argument("--max-seq-len", type=int, default=256)
+    p.add_argument("--alpha", type=float, default=0.6)
+    p.add_argument("--layers", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--device", choices=sorted(DEVICES), default=A100_SPEC.name
+    )
+    p.add_argument("--mean-interarrival-us", type=float, default=400.0)
+    p.add_argument(
+        "--deadline-us",
+        type=float,
+        default=0.0,
+        help="per-request latency budget in us (0 = no deadlines)",
+    )
+    p.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.1,
+        help="transient fault probability per targeted launch "
+        "(split evenly between launch failures and OOMs)",
+    )
+    p.add_argument("--slow-rate", type=float, default=0.05)
+    p.add_argument("--slow-factor", type=float, default=4.0)
+    p.add_argument(
+        "--target",
+        action="append",
+        help="kernel-name prefix eligible for faults (repeatable; "
+        "default: the fused attention kernels, so degradation can "
+        "escape them; pass '' to make every kernel eligible)",
+    )
+    p.add_argument("--batch-size", type=int, default=8)
+    p.add_argument("--timeout-us", type=float, default=2000.0)
+    p.add_argument("--max-retries", type=int, default=3)
+    p.add_argument(
+        "--high-water-us",
+        type=float,
+        default=0.0,
+        help="admission-control backlog high-water mark (0 = admit all)",
+    )
+    p.add_argument("--trip-threshold", type=int, default=3)
+    p.add_argument("--ladder-window-us", type=float, default=50_000.0)
+    p.add_argument("--ladder-cooldown-us", type=float, default=100_000.0)
+    p.set_defaults(func=cmd_serve_chaos)
+
     p = sub.add_parser("devices", help="show device presets")
     p.set_defaults(func=cmd_devices)
 
@@ -269,9 +390,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Invalid arguments — whether rejected by argparse or by a command's
+    own validation — exit with code 2 and a one-line message rather than
+    a traceback.
+    """
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ValueError, GpuSimError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -25,7 +25,11 @@ LOOPED = "looped"
 #: length-bucketed batched execution (default)
 VECTORIZED = "vectorized"
 
-_ENGINES = (LOOPED, VECTORIZED)
+#: every selectable engine, most conservative first — the serving
+#: runtime's degradation ladder validates its levels against this
+ENGINES: tuple[str, ...] = (LOOPED, VECTORIZED)
+
+_ENGINES = ENGINES
 
 _current_engine = VECTORIZED
 

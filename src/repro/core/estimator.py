@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.attention.dispatch import forced_mha_path
 from repro.attention.fused_long import FMHA_GROUPED_EFFICIENCY
 from repro.attention.fused_short import fused_short_launch, supports
 from repro.attention.standard import standard_mha_launches
@@ -273,8 +274,10 @@ def estimate_encoder_layer(
     """One encoder layer's launch chain for either pipeline.
 
     ``mha`` overrides the attention implementation: ``"standard"``,
-    ``"cublas"``, ``"zeropad"`` or ``"fused"``; by default it follows
-    ``opt`` exactly as the numeric pipelines do.
+    ``"cublas"``, ``"zeropad"`` or ``"fused"``; by default it follows a
+    :func:`~repro.attention.dispatch.force_mha_path` override if one is
+    active (the degradation ladder's hook), else ``opt`` exactly as the
+    numeric pipelines do.
     """
     batch = len(seq_lens)
     hidden = config.hidden_size
@@ -287,6 +290,8 @@ def estimate_encoder_layer(
         gemm_launch(rows, 3 * hidden, hidden, name="gemm0_qkv", category="gemm0")
     )
 
+    if mha is None:
+        mha = forced_mha_path()
     if mha is None:
         if opt.fused_mha:
             mha = "fused"
@@ -327,8 +332,13 @@ def estimate_model(
     opt: OptimizationConfig,
     seq_lens: np.ndarray,
     max_seq_len: int,
+    *,
+    mha: str | None = None,
 ) -> float:
-    """The full model's launch chain; returns the modelled time in us."""
+    """The full model's launch chain; returns the modelled time in us.
+
+    ``mha`` forwards to :func:`estimate_encoder_layer` for every layer.
+    """
     batch = len(seq_lens)
     hidden = config.hidden_size
     before = ctx.elapsed_us()
@@ -337,9 +347,13 @@ def estimate_model(
         ctx.launch(prefix_sum_launch(batch, max_seq_len))
         ctx.launch(pack_launch(tokens, hidden))
         for _ in range(config.num_layers):
-            estimate_encoder_layer(ctx, config, opt, seq_lens, max_seq_len)
+            estimate_encoder_layer(
+                ctx, config, opt, seq_lens, max_seq_len, mha=mha
+            )
         ctx.launch(unpack_launch(tokens, batch * max_seq_len, hidden))
     else:
         for _ in range(config.num_layers):
-            estimate_encoder_layer(ctx, config, opt, seq_lens, max_seq_len)
+            estimate_encoder_layer(
+                ctx, config, opt, seq_lens, max_seq_len, mha=mha
+            )
     return ctx.elapsed_us() - before

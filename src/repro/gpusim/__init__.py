@@ -23,12 +23,21 @@ crossovers are meaningful even though absolute microseconds are not.
 """
 
 from repro.gpusim.device import A10_SPEC, A100_SPEC, V100_SPEC, DeviceSpec
+from repro.gpusim.errors import (
+    GpuSimError,
+    LaunchConfigError,
+    LaunchFailure,
+    ResourceExhaustedError,
+    TransientFault,
+    TransientOom,
+)
 from repro.gpusim.kernel import ComputeUnit, KernelLaunch
 from repro.gpusim.occupancy import OccupancyResult, blocks_per_sm
 from repro.gpusim.profiler import CategoryProfile, ProfileReport
 from repro.gpusim.stream import (
     ExecutionContext,
     KernelRecord,
+    LaunchHook,
     NullContext,
     current_context,
     use_context,
@@ -36,6 +45,13 @@ from repro.gpusim.stream import (
 from repro.gpusim.timing import kernel_time_us
 
 __all__ = [
+    "GpuSimError",
+    "LaunchConfigError",
+    "LaunchFailure",
+    "ResourceExhaustedError",
+    "TransientFault",
+    "TransientOom",
+    "LaunchHook",
     "A100_SPEC",
     "A10_SPEC",
     "V100_SPEC",

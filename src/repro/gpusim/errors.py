@@ -21,3 +21,28 @@ class ResourceExhaustedError(GpuSimError):
     This mirrors a kernel whose combined resource demands prevent even one
     block from becoming resident on an SM.
     """
+
+
+class TransientFault(GpuSimError):
+    """A retryable failure of one kernel launch.
+
+    Unlike :class:`LaunchConfigError` (a programming error that no retry
+    can fix), a transient fault models the flaky failure modes an online
+    serving fleet actually sees — a driver hiccup, a temporarily
+    exhausted workspace pool — where re-issuing the same launch usually
+    succeeds.  The serving runtime's retry policy catches exactly this
+    type.
+    """
+
+
+class LaunchFailure(TransientFault):
+    """A kernel launch that failed to start (``cudaErrorLaunchFailure``)."""
+
+
+class TransientOom(TransientFault):
+    """A launch that could not allocate its workspace this time around.
+
+    Models ``cudaErrorMemoryAllocation`` under fragmentation or transient
+    pressure from co-located work; the allocation is expected to succeed
+    on retry once the pool drains.
+    """

@@ -14,11 +14,19 @@ from __future__ import annotations
 
 import contextlib
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Callable, Iterator
 
 from repro.gpusim.device import A100_SPEC, DeviceSpec
 from repro.gpusim.kernel import KernelLaunch
 from repro.gpusim.timing import kernel_time_us
+
+#: per-launch interceptor: ``(launch, index) -> latency multiplier``.
+#: ``index`` is the position the launch would take in ``records``.  The
+#: hook may raise :class:`~repro.gpusim.errors.TransientFault` to make
+#: the launch fail (the record is then *not* appended, so the context's
+#: timeline stays consistent up to the fault).  Returning 1.0 leaves the
+#: launch untouched; a larger factor models a latency spike.
+LaunchHook = Callable[[KernelLaunch, int], float]
 
 
 @dataclass(frozen=True)
@@ -47,10 +55,21 @@ class ExecutionContext:
         self.device = device
         self.records: list[KernelRecord] = []
         self._elapsed_us = 0.0
+        #: optional fault-injection hook (see :data:`LaunchHook`); the
+        #: default ``None`` keeps the launch path byte-identical to a
+        #: hook-free context
+        self.launch_hook: LaunchHook | None = None
 
     def launch(self, launch: KernelLaunch) -> KernelRecord:
-        """Price ``launch`` on this context's device and append it."""
+        """Price ``launch`` on this context's device and append it.
+
+        When a :attr:`launch_hook` is installed it runs first and may
+        raise a transient fault (aborting the launch before anything is
+        recorded) or stretch the modelled latency.
+        """
         time_us = kernel_time_us(launch, self.device)
+        if self.launch_hook is not None:
+            time_us *= self.launch_hook(launch, len(self.records))
         record = KernelRecord(
             launch=launch, time_us=time_us, start_us=self._elapsed_us
         )

@@ -1,0 +1,63 @@
+"""Fault-tolerant serving runtime.
+
+ByteTransformer's setting is *online* inference; this package makes the
+reproduction's serving emulator survive it: seeded fault injection into
+the kernel-launch path (:mod:`~repro.serving.faults`), retry with
+exponential backoff on the simulated clock (:mod:`~repro.serving.retry`),
+deadline shedding and high-water-mark admission control
+(:mod:`~repro.serving.admission`), graceful engine degradation
+(:mod:`~repro.serving.degradation`), and per-request outcome accounting
+(:mod:`~repro.serving.report`), all orchestrated by
+:class:`~repro.serving.runtime.ServingRuntime`.
+"""
+
+from repro.serving.admission import AdmissionController
+from repro.serving.degradation import (
+    DEFAULT_LEVELS,
+    DegradationLadder,
+    DegradationLevel,
+    LadderTransition,
+)
+from repro.serving.faults import (
+    LAUNCH_FAILURE,
+    NO_FAULTS,
+    SLOW_KERNEL,
+    TRANSIENT_OOM,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+)
+from repro.serving.report import (
+    Outcome,
+    REASON_ADMISSION,
+    REASON_DEADLINE,
+    REASON_RETRY_BUDGET,
+    RequestOutcome,
+    ServingReport,
+)
+from repro.serving.retry import NO_RETRIES, RetryPolicy
+from repro.serving.runtime import ServingRuntime
+
+__all__ = [
+    "AdmissionController",
+    "DEFAULT_LEVELS",
+    "DegradationLadder",
+    "DegradationLevel",
+    "LadderTransition",
+    "LAUNCH_FAILURE",
+    "NO_FAULTS",
+    "SLOW_KERNEL",
+    "TRANSIENT_OOM",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "Outcome",
+    "REASON_ADMISSION",
+    "REASON_DEADLINE",
+    "REASON_RETRY_BUDGET",
+    "RequestOutcome",
+    "ServingReport",
+    "NO_RETRIES",
+    "RetryPolicy",
+    "ServingRuntime",
+]

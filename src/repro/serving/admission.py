@@ -1,0 +1,34 @@
+"""High-water-mark admission control.
+
+Under overload a serving system that admits everything fails *late*:
+requests queue, blow their deadlines while occupying memory, and the
+GPU does work nobody will accept.  Rejecting early at a backlog
+high-water mark converts that into a fast, cheap "try elsewhere" at
+arrival time — the standard load-shedding posture for latency-SLO
+serving.  The controller is intentionally tiny: the runtime tracks the
+predicted GPU backlog (committed-but-unserved work, in simulated
+microseconds) and asks the controller for an admit/reject verdict per
+arrival.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AdmissionController:
+    """Reject arrivals once the predicted backlog tops the high-water mark."""
+
+    #: largest predicted backlog (us of queued GPU work) that still admits
+    high_water_us: float = 50_000.0
+
+    def __post_init__(self) -> None:
+        if self.high_water_us <= 0:
+            raise ValueError(
+                f"high_water_us must be positive, got {self.high_water_us}"
+            )
+
+    def admit(self, backlog_us: float) -> bool:
+        """Whether a request arriving against ``backlog_us`` gets in."""
+        return backlog_us <= self.high_water_us

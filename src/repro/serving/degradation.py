@@ -1,0 +1,160 @@
+"""Graceful degradation: step the engine down under pressure, back up after.
+
+A :class:`DegradationLadder` holds an ordered list of
+:class:`DegradationLevel` rungs, most aggressive first.  Each rung names
+a host execution engine (``vectorized`` / ``looped`` — switched through
+:func:`repro.core.engine.use_engine`; the two are bit-identical, so
+stepping down never changes served outputs) and an attention dispatch
+path (``fused`` / ``zeropad`` / ``cublas`` — forced through
+:func:`repro.attention.dispatch.force_mha_path`, walking the fused MHA
+back to conservative batched-GEMM kernels).
+
+The ladder trips downward when enough incidents (injected faults or
+deadline misses) land inside a sliding window, and recovers one rung at
+a time once a cool-down passes without incident.  Every transition is
+recorded with its simulated timestamp and reason so chaos replays can
+assert the exact degradation story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attention.dispatch import MHA_PATHS
+from repro.core.engine import ENGINES, LOOPED, VECTORIZED
+
+#: incident kinds as they appear in transition reasons
+FAULT = "fault"
+DEADLINE_MISS = "deadline-miss"
+
+
+@dataclass(frozen=True)
+class DegradationLevel:
+    """One rung: a host engine plus an attention dispatch path."""
+
+    name: str
+    engine: str
+    mha_path: str
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; pick one of {ENGINES}"
+            )
+        if self.mha_path not in MHA_PATHS:
+            raise ValueError(
+                f"unknown MHA path {self.mha_path!r}; pick one of {MHA_PATHS}"
+            )
+
+
+#: the default ladder, most aggressive first: full vectorized fused
+#: serving, then the conservative looped host engine, then progressively
+#: less fused attention kernels
+DEFAULT_LEVELS: tuple[DegradationLevel, ...] = (
+    DegradationLevel("full", VECTORIZED, "fused"),
+    DegradationLevel("looped-host", LOOPED, "fused"),
+    DegradationLevel("zeropad-softmax", LOOPED, "zeropad"),
+    DegradationLevel("unfused-cublas", LOOPED, "cublas"),
+)
+
+
+@dataclass(frozen=True)
+class LadderTransition:
+    """One recorded level change."""
+
+    time_us: float
+    from_level: str
+    to_level: str
+    #: ``"fault-pressure"``, ``"deadline-pressure"`` or ``"recovered"``
+    reason: str
+
+
+class DegradationLadder:
+    """Sliding-window trip-down / cool-down step-up level controller."""
+
+    def __init__(
+        self,
+        levels: tuple[DegradationLevel, ...] = DEFAULT_LEVELS,
+        *,
+        trip_threshold: int = 3,
+        window_us: float = 50_000.0,
+        cooldown_us: float = 100_000.0,
+    ) -> None:
+        if not levels:
+            raise ValueError("a ladder needs at least one level")
+        if trip_threshold < 1:
+            raise ValueError(
+                f"trip_threshold must be >= 1, got {trip_threshold}"
+            )
+        if window_us <= 0 or cooldown_us <= 0:
+            raise ValueError("window_us and cooldown_us must be positive")
+        self.levels = tuple(levels)
+        self.trip_threshold = trip_threshold
+        self.window_us = window_us
+        self.cooldown_us = cooldown_us
+        self.transitions: list[LadderTransition] = []
+        self._idx = 0
+        self._incidents: list[float] = []
+        self._cooldown_until = 0.0
+
+    @property
+    def level(self) -> DegradationLevel:
+        """The active rung."""
+        return self.levels[self._idx]
+
+    @property
+    def at_top(self) -> bool:
+        return self._idx == 0
+
+    def reset(self) -> None:
+        """Back to the top rung with no history (start of a fresh run)."""
+        self.transitions = []
+        self._idx = 0
+        self._incidents = []
+        self._cooldown_until = 0.0
+
+    def record_fault(self, now_us: float) -> None:
+        """An injected/observed transient fault at simulated ``now_us``."""
+        self._incident(now_us, FAULT)
+
+    def record_deadline_miss(self, now_us: float) -> None:
+        """A request shed for its deadline at simulated ``now_us``."""
+        self._incident(now_us, DEADLINE_MISS)
+
+    def record_success(self, now_us: float) -> None:
+        """A dispatch served cleanly; may recover one rung after cool-down."""
+        self._prune(now_us)
+        if (
+            self._idx > 0
+            and not self._incidents
+            and now_us >= self._cooldown_until
+        ):
+            self._step(now_us, self._idx - 1, "recovered")
+            # climbing further requires another full quiet cool-down
+            self._cooldown_until = now_us + self.cooldown_us
+
+    def _incident(self, now_us: float, kind: str) -> None:
+        self._prune(now_us)
+        self._incidents.append(now_us)
+        if (
+            len(self._incidents) >= self.trip_threshold
+            and self._idx < len(self.levels) - 1
+        ):
+            self._step(now_us, self._idx + 1, f"{kind}-pressure")
+            self._incidents = []
+            self._cooldown_until = now_us + self.cooldown_us
+
+    def _prune(self, now_us: float) -> None:
+        horizon = now_us - self.window_us
+        self._incidents = [t for t in self._incidents if t > horizon]
+
+    def _step(self, now_us: float, to_idx: int, reason: str) -> None:
+        self.transitions.append(
+            LadderTransition(
+                time_us=now_us,
+                from_level=self.levels[self._idx].name,
+                to_level=self.levels[to_idx].name,
+                reason=reason,
+            )
+        )
+        self._idx = to_idx

@@ -1,0 +1,62 @@
+"""Retry policy: exponential backoff with jitter on the simulated clock.
+
+A dispatch whose kernel chain hits a transient fault is retried after a
+backoff delay.  The delay grows exponentially per attempt (so a flapping
+fault does not hot-loop the GPU), is capped, and is jittered so that in
+a fleet the retries of co-failing replicas would not re-collide.  All
+delays are simulated microseconds — nothing sleeps — and the jitter
+comes from a caller-seeded RNG, keeping whole chaos replays
+deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-request retry budget and backoff shape."""
+
+    #: attempts beyond the first; 0 disables retries entirely
+    max_retries: int = 3
+    base_backoff_us: float = 200.0
+    multiplier: float = 2.0
+    max_backoff_us: float = 20_000.0
+    #: +/- relative jitter applied to each backoff (0 = deterministic)
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.base_backoff_us < 0 or self.max_backoff_us < 0:
+            raise ValueError("backoff bounds must be non-negative")
+        if self.max_backoff_us < self.base_backoff_us:
+            raise ValueError("max_backoff_us must be >= base_backoff_us")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def backoff_us(self, attempt: int, rng: np.random.Generator) -> float:
+        """Simulated delay before retrying after failed attempt ``attempt``.
+
+        ``attempt`` is zero-based (the first failure backs off by roughly
+        ``base_backoff_us``); the exponential growth is capped and then
+        jittered by up to ``+/- jitter`` relative.
+        """
+        if attempt < 0:
+            raise ValueError(f"attempt must be >= 0, got {attempt}")
+        raw = min(
+            self.base_backoff_us * self.multiplier**attempt,
+            self.max_backoff_us,
+        )
+        if self.jitter:
+            raw *= 1.0 + self.jitter * float(rng.uniform(-1.0, 1.0))
+        return raw
+
+
+#: retries disabled: the first transient fault fails the dispatch
+NO_RETRIES = RetryPolicy(max_retries=0)

@@ -1,0 +1,333 @@
+"""The fault-tolerant serving runtime: chaos-replay a request trace.
+
+:class:`ServingRuntime` layers the robustness machinery over the
+existing trace replay: a seeded :class:`~repro.serving.faults.FaultPlan`
+injects transient kernel faults into the dispatch pricing path, a
+:class:`~repro.serving.retry.RetryPolicy` re-issues faulted dispatches
+with exponential backoff on the simulated clock, deadline shedding and
+:class:`~repro.serving.admission.AdmissionController` keep overload from
+turning into late timeouts, and a
+:class:`~repro.serving.degradation.DegradationLadder` steps the engine
+onto conservative paths under pressure and back up after a cool-down.
+
+Two planes, one contract
+------------------------
+Latency lives on the *cost plane*: each dispatch's service time is the
+modelled time of the kernel chain the active degradation level implies
+(fused / zeropad / unfused attention), and faults strike that chain.
+Served bits live on the *numeric plane*: outputs are computed
+per-request by the numeric model under the active host engine.  All
+engines and attention fallbacks compute the same function — and the
+``vectorized``/``looped`` engines are bit-identical by construction —
+so a chaos replay must serve outputs bit-identical to a fault-free
+replay of the same requests.  The chaos test suite asserts exactly that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attention.dispatch import force_mha_path
+from repro.core.config import FUSED_MHA, BertConfig, OptimizationConfig
+from repro.core.engine import use_engine
+from repro.core.estimator import estimate_model
+from repro.core.model import BertEncoderModel
+from repro.gpusim.device import A100_SPEC, DeviceSpec
+from repro.gpusim.errors import TransientFault
+from repro.gpusim.stream import ExecutionContext
+from repro.serving.admission import AdmissionController
+from repro.serving.degradation import DegradationLadder, DegradationLevel
+from repro.serving.faults import NO_FAULTS, FaultPlan, FaultSpec
+from repro.serving.report import (
+    Outcome,
+    REASON_ADMISSION,
+    REASON_DEADLINE,
+    REASON_RETRY_BUDGET,
+    RequestOutcome,
+    ServingReport,
+)
+from repro.serving.retry import RetryPolicy
+from repro.workloads.batching import (
+    Batcher,
+    Dispatch,
+    TimeoutBatcher,
+    dispatch_padded_len,
+    shed_expired,
+)
+from repro.workloads.serving import Request, ServingTrace
+
+
+class ServingRuntime:
+    """Replay traces through the fault-tolerant serving stack.
+
+    Parameters
+    ----------
+    config:
+        Model architecture served (drives the cost model).
+    batcher:
+        Batching policy; defaults to :class:`TimeoutBatcher`.
+    retry:
+        Transient-fault retry policy.
+    admission:
+        High-water-mark admission controller; ``None`` admits everything.
+    ladder:
+        Degradation ladder; a fresh default ladder when omitted.  The
+        ladder is reset at the start of every :meth:`run`.
+    faults:
+        Fault mix to inject; :data:`~repro.serving.faults.NO_FAULTS`
+        replays cleanly.
+    numerics:
+        Optional numeric model; when given, every served request's
+        output tensor is computed (per request, deterministic in
+        ``(seed, request_id)``) and returned in the report.  ``None``
+        serves on the cost plane only — much faster for large traces.
+    """
+
+    def __init__(
+        self,
+        config: BertConfig,
+        *,
+        batcher: Batcher | None = None,
+        retry: RetryPolicy | None = None,
+        admission: AdmissionController | None = None,
+        ladder: DegradationLadder | None = None,
+        faults: FaultSpec = NO_FAULTS,
+        opt: OptimizationConfig = FUSED_MHA,
+        device: DeviceSpec = A100_SPEC,
+        numerics: BertEncoderModel | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.config = config
+        self.batcher = batcher if batcher is not None else TimeoutBatcher()
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.admission = admission
+        self.ladder = ladder if ladder is not None else DegradationLadder()
+        self.faults = faults
+        self.opt = opt
+        self.device = device
+        self.numerics = numerics
+        self.seed = seed
+        self._single_estimates: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # pricing helpers (cost plane)
+
+    def _price(
+        self,
+        ctx: ExecutionContext,
+        seq_lens: np.ndarray,
+        padded_len: int,
+        level: DegradationLevel,
+    ) -> float:
+        with use_engine(level.engine), force_mha_path(level.mha_path):
+            return estimate_model(
+                ctx, self.config, self.opt, seq_lens, padded_len
+            )
+
+    def _estimate_service(
+        self, requests: list[Request], max_seq_len: int, level: DegradationLevel
+    ) -> float:
+        """Fault-free service estimate for a group at the given level."""
+        dispatch = Dispatch(requests=tuple(requests), ready_us=0.0)
+        return self._price(
+            ExecutionContext(self.device),
+            dispatch.seq_lens,
+            dispatch_padded_len(dispatch, max_seq_len),
+            level,
+        )
+
+    def _single_estimate(self, seq_len: int, max_seq_len: int) -> float:
+        """Cached one-request service estimate at the top level."""
+        cached = self._single_estimates.get(seq_len)
+        if cached is None:
+            cached = self._price(
+                ExecutionContext(self.device),
+                np.asarray([seq_len], dtype=np.int64),
+                min(max_seq_len, seq_len),
+                self.ladder.levels[0],
+            )
+            self._single_estimates[seq_len] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # numeric plane
+
+    def _request_input(self, request: Request) -> tuple[np.ndarray, np.ndarray]:
+        """Deterministic per-request input, independent of batching."""
+        rng = np.random.default_rng([self.seed, request.request_id])
+        hidden = self.config.hidden_size
+        x = rng.standard_normal((1, request.seq_len, hidden))
+        mask = np.ones((1, request.seq_len))
+        return x, mask
+
+    def _compute_output(
+        self, request: Request, level: DegradationLevel
+    ) -> np.ndarray:
+        x, mask = self._request_input(request)
+        with use_engine(level.engine):
+            out = self.numerics.forward(x, mask)
+        return out[0]
+
+    # ------------------------------------------------------------------
+
+    def run(self, trace: ServingTrace) -> ServingReport:
+        """Chaos-replay ``trace``; every request gets exactly one outcome."""
+        self.ladder.reset()
+        plan_faults = FaultPlan(self.faults, seed=self.seed)
+        jitter_rng = np.random.default_rng([self.seed, 0x5E])
+        outcomes: dict[int, RequestOutcome] = {}
+        outputs: dict[int, np.ndarray] = {}
+
+        def settle(
+            request: Request,
+            outcome: Outcome,
+            reason: str,
+            latency_us: float | None,
+            retries: int,
+        ) -> None:
+            if request.request_id in outcomes:
+                raise RuntimeError(
+                    f"request {request.request_id} settled twice"
+                )
+            outcomes[request.request_id] = RequestOutcome(
+                request_id=request.request_id,
+                outcome=outcome,
+                reason=reason,
+                latency_us=latency_us,
+                retries=retries,
+                level=self.ladder.level.name,
+            )
+
+        # -- admission: reject early under overload ---------------------
+        admitted: list[Request] = []
+        committed_until = 0.0
+        for request in trace.requests:
+            backlog = max(0.0, committed_until - request.arrival_us)
+            if self.admission is not None and not self.admission.admit(backlog):
+                settle(request, Outcome.SHED, REASON_ADMISSION, None, 0)
+                continue
+            admitted.append(request)
+            committed_until = max(
+                committed_until, request.arrival_us
+            ) + self._single_estimate(request.seq_len, trace.max_seq_len)
+
+        # -- batch plan over the admitted sub-trace ---------------------
+        if admitted:
+            sub_trace = ServingTrace(
+                requests=tuple(admitted), max_seq_len=trace.max_seq_len
+            )
+            plan = sorted(
+                self.batcher.plan(sub_trace), key=lambda d: d.ready_us
+            )
+        else:
+            plan = []
+
+        gpu_free_at = 0.0
+        busy_us = 0.0
+
+        for dispatch in plan:
+            start = max(dispatch.ready_us, gpu_free_at)
+            alive, expired = shed_expired(list(dispatch.requests), start)
+            for request in expired:
+                self.ladder.record_deadline_miss(start)
+                settle(request, Outcome.SHED, REASON_DEADLINE, None, 0)
+            if alive:
+                # shed members that cannot finish inside their budget even
+                # if the dispatch started right now
+                est = self._estimate_service(
+                    alive, trace.max_seq_len, self.ladder.level
+                )
+                still_alive = []
+                for request in alive:
+                    limit = request.absolute_deadline_us
+                    if limit is not None and start + est > limit:
+                        self.ladder.record_deadline_miss(start)
+                        settle(request, Outcome.SHED, REASON_DEADLINE, None, 0)
+                    else:
+                        still_alive.append(request)
+                alive = still_alive
+
+            attempt = 0
+            while alive:
+                level = self.ladder.level
+                ctx = plan_faults.install(ExecutionContext(self.device))
+                lens = np.asarray(
+                    [r.seq_len for r in alive], dtype=np.int64
+                )
+                padded = dispatch_padded_len(
+                    Dispatch(requests=tuple(alive), ready_us=start),
+                    trace.max_seq_len,
+                )
+                try:
+                    service = self._price(ctx, lens, padded, level)
+                except TransientFault:
+                    # the chain ran up to the faulted kernel: that time is
+                    # burnt, then the retry backs off on the sim clock
+                    partial = ctx.elapsed_us()
+                    busy_us += partial
+                    now = start + partial
+                    self.ladder.record_fault(now)
+                    if attempt >= self.retry.max_retries:
+                        gpu_free_at = now
+                        for request in alive:
+                            settle(
+                                request,
+                                Outcome.FAILED,
+                                REASON_RETRY_BUDGET,
+                                None,
+                                attempt,
+                            )
+                        alive = []
+                        break
+                    start = now + self.retry.backoff_us(attempt, jitter_rng)
+                    attempt += 1
+                    # deadlines keep ticking during backoff
+                    alive, expired = shed_expired(alive, start)
+                    for request in expired:
+                        self.ladder.record_deadline_miss(start)
+                        settle(
+                            request, Outcome.SHED, REASON_DEADLINE, None,
+                            attempt,
+                        )
+                    continue
+                finish = start + service
+                busy_us += service
+                gpu_free_at = finish
+                for request in alive:
+                    if self.numerics is not None:
+                        outputs[request.request_id] = self._compute_output(
+                            request, level
+                        )
+                    settle(
+                        request,
+                        Outcome.SERVED,
+                        "",
+                        finish - request.arrival_us,
+                        attempt,
+                    )
+                self.ladder.record_success(finish)
+                alive = []
+
+        # -- the no-silent-loss contract, enforced ----------------------
+        missing = [
+            r.request_id
+            for r in trace.requests
+            if r.request_id not in outcomes
+        ]
+        if missing:
+            raise RuntimeError(
+                f"serving runtime lost requests {missing}: every request "
+                "must settle as served/shed/failed"
+            )
+
+        return ServingReport(
+            outcomes=tuple(
+                outcomes[r.request_id] for r in trace.requests
+            ),
+            transitions=tuple(self.ladder.transitions),
+            injected_faults=tuple(plan_faults.injected),
+            top_level=self.ladder.levels[0].name,
+            gpu_busy_us=busy_us,
+            makespan_us=gpu_free_at,
+            outputs=outputs,
+        )

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -212,6 +213,27 @@ class ReplayResult:
     @property
     def utilisation(self) -> float:
         return self.gpu_busy_us / self.makespan_us if self.makespan_us else 0.0
+
+
+def shed_expired(
+    requests: Sequence[Request], now_us: float
+) -> tuple[list[Request], list[Request]]:
+    """Split ``requests`` into ``(alive, expired)`` at simulated ``now_us``.
+
+    A request whose absolute deadline is at or before ``now_us`` can no
+    longer be served in time (any service takes strictly positive time),
+    so the batcher sheds it instead of burning GPU time on a response
+    nobody will wait for.  Deadline-free requests are always alive.
+    """
+    alive: list[Request] = []
+    expired: list[Request] = []
+    for request in requests:
+        limit = request.absolute_deadline_us
+        if limit is not None and limit <= now_us:
+            expired.append(request)
+        else:
+            alive.append(request)
+    return alive, expired
 
 
 #: per-dispatch padded shapes are rounded up to this granularity, the

@@ -23,6 +23,17 @@ class Request:
     request_id: int
     arrival_us: float
     seq_len: int
+    #: relative latency budget: the request must *finish* within this many
+    #: microseconds of arriving, or the serving runtime sheds it.
+    #: ``None`` means the request waits forever (the pre-SLO behaviour).
+    deadline_us: float | None = None
+
+    @property
+    def absolute_deadline_us(self) -> float | None:
+        """The wall-clock (simulated) instant the deadline expires."""
+        if self.deadline_us is None:
+            return None
+        return self.arrival_us + self.deadline_us
 
 
 @dataclass(frozen=True)
@@ -38,6 +49,22 @@ class ServingTrace:
         arrivals = [r.arrival_us for r in self.requests]
         if any(b < a for a, b in zip(arrivals, arrivals[1:])):
             raise ValueError("requests must be sorted by arrival time")
+        for request in self.requests:
+            if request.seq_len < 1:
+                raise ValueError(
+                    f"request {request.request_id} has seq_len "
+                    f"{request.seq_len}; lengths must be >= 1"
+                )
+            if request.seq_len > self.max_seq_len:
+                raise ValueError(
+                    f"request {request.request_id} has seq_len "
+                    f"{request.seq_len} > trace max_seq_len {self.max_seq_len}"
+                )
+            if request.deadline_us is not None and request.deadline_us <= 0:
+                raise ValueError(
+                    f"request {request.request_id} has non-positive "
+                    f"deadline_us {request.deadline_us}"
+                )
 
     @property
     def num_requests(self) -> int:
@@ -61,8 +88,13 @@ def make_trace(
     mean_interarrival_us: float = 500.0,
     distribution: LengthDistribution = LengthDistribution.UNIFORM,
     seed: int = 0,
+    deadline_us: float | None = None,
 ) -> ServingTrace:
-    """Generate a seeded Poisson-arrival request trace."""
+    """Generate a seeded Poisson-arrival request trace.
+
+    ``deadline_us`` attaches the same relative latency budget to every
+    request (``None`` keeps requests deadline-free).
+    """
     if num_requests <= 0:
         raise ValueError("num_requests must be positive")
     rng = np.random.default_rng(seed)
@@ -78,7 +110,12 @@ def make_trace(
     gaps = rng.exponential(mean_interarrival_us, size=num_requests)
     arrivals = np.cumsum(gaps)
     requests = tuple(
-        Request(request_id=i, arrival_us=float(arrivals[i]), seq_len=int(lens[i]))
+        Request(
+            request_id=i,
+            arrival_us=float(arrivals[i]),
+            seq_len=int(lens[i]),
+            deadline_us=deadline_us,
+        )
         for i in range(num_requests)
     )
     return ServingTrace(requests=requests, max_seq_len=max_seq_len)

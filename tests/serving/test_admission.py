@@ -1,0 +1,20 @@
+"""High-water-mark admission control."""
+
+import pytest
+
+from repro.serving.admission import AdmissionController
+
+
+class TestAdmission:
+    def test_admits_below_high_water(self):
+        ctrl = AdmissionController(high_water_us=1000.0)
+        assert ctrl.admit(0.0)
+        assert ctrl.admit(1000.0)
+
+    def test_rejects_above_high_water(self):
+        ctrl = AdmissionController(high_water_us=1000.0)
+        assert not ctrl.admit(1000.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            AdmissionController(high_water_us=0.0)

@@ -1,0 +1,129 @@
+"""Fault-injection layer: determinism, rates, targeting, hook wiring."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import ExecutionContext, KernelLaunch, LaunchFailure, TransientOom
+from repro.gpusim.errors import TransientFault
+from repro.serving.faults import (
+    LAUNCH_FAILURE,
+    NO_FAULTS,
+    SLOW_KERNEL,
+    TRANSIENT_OOM,
+    FaultPlan,
+    FaultSpec,
+)
+
+
+def launch(name="k", grid=64):
+    return KernelLaunch(
+        name=name, category="test", grid=grid, block_threads=128,
+        flops=1e6, dram_bytes=1e5,
+    )
+
+
+def drive(plan, n=300, name="k"):
+    """Run n launches through the plan; return the outcome string list."""
+    outcomes = []
+    for _ in range(n):
+        try:
+            scale = plan.on_launch(launch(name), 0)
+        except LaunchFailure:
+            outcomes.append(LAUNCH_FAILURE)
+        except TransientOom:
+            outcomes.append(TRANSIENT_OOM)
+        else:
+            outcomes.append(SLOW_KERNEL if scale > 1.0 else "ok")
+    return outcomes
+
+
+class TestFaultSpec:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError, match="in \\[0, 1\\]"):
+            FaultSpec(launch_failure_rate=-0.1)
+        with pytest.raises(ValueError, match="sum"):
+            FaultSpec(launch_failure_rate=0.6, transient_oom_rate=0.5)
+        with pytest.raises(ValueError, match="slow_factor"):
+            FaultSpec(slow_rate=0.1, slow_factor=0.5)
+
+    def test_targeting(self):
+        spec = FaultSpec(
+            launch_failure_rate=1.0, target_prefixes=("fmha_",)
+        )
+        assert spec.targets("fmha_grouped_qk")
+        assert not spec.targets("gemm0_qkv")
+        assert NO_FAULTS.targets("anything")
+
+
+class TestFaultPlan:
+    def test_same_seed_same_outcomes(self):
+        spec = FaultSpec(
+            launch_failure_rate=0.1, transient_oom_rate=0.1, slow_rate=0.1
+        )
+        a = drive(FaultPlan(spec, seed=42))
+        b = drive(FaultPlan(spec, seed=42))
+        assert a == b
+
+    def test_different_seed_differs(self):
+        spec = FaultSpec(launch_failure_rate=0.3)
+        assert drive(FaultPlan(spec, seed=1)) != drive(FaultPlan(spec, seed=2))
+
+    def test_rates_roughly_honoured(self):
+        spec = FaultSpec(
+            launch_failure_rate=0.2, transient_oom_rate=0.1, slow_rate=0.1
+        )
+        outcomes = drive(FaultPlan(spec, seed=0), n=3000)
+        frac = outcomes.count(LAUNCH_FAILURE) / len(outcomes)
+        assert 0.15 < frac < 0.25
+        frac = outcomes.count(TRANSIENT_OOM) / len(outcomes)
+        assert 0.06 < frac < 0.14
+
+    def test_untargeted_kernels_never_fault(self):
+        spec = FaultSpec(
+            launch_failure_rate=1.0, target_prefixes=("fmha_",)
+        )
+        plan = FaultPlan(spec, seed=0)
+        assert drive(plan, n=50, name="gemm0_qkv") == ["ok"] * 50
+        assert plan.injected == []
+
+    def test_no_faults_plan_is_inert(self):
+        plan = FaultPlan(NO_FAULTS, seed=0)
+        assert drive(plan, n=50) == ["ok"] * 50
+
+    def test_injection_log_records_kinds(self):
+        spec = FaultSpec(launch_failure_rate=0.5, slow_rate=0.5)
+        plan = FaultPlan(spec, seed=3)
+        drive(plan, n=100)
+        kinds = plan.fault_counts()
+        assert set(kinds) == {LAUNCH_FAILURE, SLOW_KERNEL}
+        assert sum(kinds.values()) == 100
+
+
+class TestHookWiring:
+    def test_fault_aborts_launch_without_record(self):
+        ctx = ExecutionContext()
+        plan = FaultPlan(FaultSpec(launch_failure_rate=1.0), seed=0)
+        plan.install(ctx)
+        ctx.launch_hook = plan.on_launch
+        before = ctx.elapsed_us()
+        with pytest.raises(TransientFault):
+            ctx.launch(launch())
+        assert ctx.kernel_count() == 0
+        assert ctx.elapsed_us() == before
+
+    def test_slow_kernel_stretches_latency(self):
+        clean = ExecutionContext()
+        clean.launch(launch())
+        slow = ExecutionContext()
+        FaultPlan(
+            FaultSpec(slow_rate=1.0, slow_factor=4.0), seed=0
+        ).install(slow)
+        slow.launch(launch())
+        assert slow.elapsed_us() == pytest.approx(4.0 * clean.elapsed_us())
+
+    def test_hookless_context_unchanged(self):
+        a, b = ExecutionContext(), ExecutionContext()
+        a.launch(launch())
+        FaultPlan(NO_FAULTS, seed=0).install(b)
+        b.launch(launch())
+        assert a.elapsed_us() == b.elapsed_us()

@@ -1,0 +1,49 @@
+"""Retry policy: backoff growth, cap, jitter, validation."""
+
+import numpy as np
+import pytest
+
+from repro.serving.retry import NO_RETRIES, RetryPolicy
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestRetryPolicy:
+    def test_exponential_growth(self):
+        policy = RetryPolicy(
+            base_backoff_us=100.0, multiplier=2.0,
+            max_backoff_us=100_000.0, jitter=0.0,
+        )
+        delays = [policy.backoff_us(a, rng()) for a in range(4)]
+        assert delays == [100.0, 200.0, 400.0, 800.0]
+
+    def test_cap(self):
+        policy = RetryPolicy(
+            base_backoff_us=100.0, multiplier=10.0,
+            max_backoff_us=500.0, jitter=0.0,
+        )
+        assert policy.backoff_us(5, rng()) == 500.0
+
+    def test_jitter_bounds_and_determinism(self):
+        policy = RetryPolicy(base_backoff_us=1000.0, jitter=0.2)
+        a = policy.backoff_us(0, np.random.default_rng(9))
+        b = policy.backoff_us(0, np.random.default_rng(9))
+        assert a == b
+        assert 800.0 <= a <= 1200.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError, match="multiplier"):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError, match="max_backoff_us"):
+            RetryPolicy(base_backoff_us=100.0, max_backoff_us=10.0)
+        with pytest.raises(ValueError, match="attempt"):
+            RetryPolicy().backoff_us(-1, rng())
+
+    def test_no_retries_budget(self):
+        assert NO_RETRIES.max_retries == 0

@@ -137,6 +137,85 @@ class TestSelftest:
         assert "fused MHA" in out
 
 
+class TestServeChaos:
+    def _args(self, *extra):
+        return [
+            "serve-chaos",
+            "--requests", "30",
+            "--max-seq-len", "128",
+            "--layers", "2",
+            *extra,
+        ]
+
+    def test_clean_replay(self, capsys):
+        assert main(self._args("--fault-rate", "0", "--slow-rate", "0")) == 0
+        out = capsys.readouterr().out
+        assert "serving report: 30 requests" in out
+        assert "injected faults: none" in out
+
+    def test_chaos_replay_reports_faults_and_transitions(self, capsys):
+        rc = main(
+            self._args(
+                "--fault-rate", "0.1",
+                "--slow-rate", "0.05",
+                "--requests", "80",
+                "--trip-threshold", "2",
+            )
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "injected faults:" in out
+        assert "none" not in out.split("injected faults:")[1].splitlines()[0]
+
+    def test_deadlines_and_admission(self, capsys):
+        rc = main(
+            self._args(
+                "--mean-interarrival-us", "15",
+                "--deadline-us", "1200",
+                "--high-water-us", "1200",
+            )
+        )
+        assert rc == 0
+        assert "shed=" in capsys.readouterr().out
+
+
+class TestErrorContract:
+    """Invalid arguments exit with code 2 and a one-line message — never
+    a raw traceback."""
+
+    def test_command_level_error_is_one_line(self, capsys):
+        rc = main(
+            [
+                "serve-chaos",
+                "--requests", "10",
+                "--fault-rate", "1.5",
+            ]
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_zero_requests_rejected(self, capsys):
+        assert main(["serve-chaos", "--requests", "0"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_bad_device_rejected(self, capsys):
+        # argparse choice errors keep the same exit-2 contract
+        with pytest.raises(SystemExit) as exc:
+            main(["profile", "--device", "TPU-v9"])
+        assert exc.value.code == 2
+        assert "Traceback" not in capsys.readouterr().err
+
+    def test_argparse_errors_also_exit_2(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["serve-chaos", "--requests", "not-a-number"])
+        assert exc.value.code == 2
+
+
 class TestSummary:
     def test_summary_fast(self, capsys):
         assert main(["experiments", "--summary", "--fast"]) == 0

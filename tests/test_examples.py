@@ -20,6 +20,7 @@ CASES = {
     "serving_variable_length.py": "ByteTransformer",
     "batching_policies.py": "fifo",
     "seq2seq_decoder.py": "oracle",
+    "serving_chaos.py": "bit-identical to the clean replay: True",
 }
 
 

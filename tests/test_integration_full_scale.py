@@ -17,6 +17,8 @@ from repro.core.weights import init_model_weights
 from repro.gpusim import ExecutionContext
 from repro.workloads.generator import make_batch
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def full_scale():

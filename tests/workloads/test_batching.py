@@ -13,8 +13,9 @@ from repro.workloads.batching import (
     FifoBatcher,
     TimeoutBatcher,
     replay,
+    shed_expired,
 )
-from repro.workloads.serving import make_trace
+from repro.workloads.serving import Request, make_trace
 
 CFG = BertConfig(num_layers=2)
 
@@ -148,3 +149,64 @@ class TestReplay:
     def test_dispatch_validation(self):
         with pytest.raises(ValueError, match="at least one"):
             Dispatch(requests=(), ready_us=0.0)
+
+
+class TestEdgeCases:
+    """No batching policy may ever drop a request, however degenerate
+    the trace or the policy parameters."""
+
+    def test_zero_timeout_still_covers_everything(self, trace):
+        for batcher in (
+            TimeoutBatcher(batch_size=8, timeout_us=0.0),
+            BucketBatcher(batch_size=8, bucket_width=64, timeout_us=0.0),
+        ):
+            plan = batcher.plan(trace)
+            assert covered_ids(plan) == list(range(trace.num_requests))
+
+    def test_batch_that_never_fills_is_flushed(self, trace):
+        # batch_size far above the trace size: no batch ever fills, so
+        # only the timeout (and end-of-trace) flushes can dispatch
+        for batcher in (
+            TimeoutBatcher(batch_size=10_000, timeout_us=2000.0),
+            BucketBatcher(
+                batch_size=10_000, bucket_width=64, timeout_us=2000.0
+            ),
+        ):
+            plan = batcher.plan(trace)
+            assert covered_ids(plan) == list(range(trace.num_requests))
+
+    def test_single_request_trace(self):
+        solo = make_trace(1, 64, seed=0)
+        for batcher in (
+            FifoBatcher(batch_size=8),
+            TimeoutBatcher(batch_size=8, timeout_us=1500.0),
+            BucketBatcher(batch_size=8, bucket_width=64),
+        ):
+            plan = batcher.plan(solo)
+            assert len(plan) == 1
+            assert len(plan[0].requests) == 1
+            assert plan[0].ready_us >= solo.requests[0].arrival_us
+
+
+class TestShedExpired:
+    def test_splits_on_absolute_deadline(self):
+        requests = [
+            Request(0, 0.0, 8, deadline_us=100.0),  # expires at 100
+            Request(1, 50.0, 8, deadline_us=100.0),  # expires at 150
+            Request(2, 60.0, 8),  # deadline-free
+        ]
+        alive, expired = shed_expired(requests, now_us=120.0)
+        assert [r.request_id for r in expired] == [0]
+        assert [r.request_id for r in alive] == [1, 2]
+
+    def test_boundary_is_expired(self):
+        # at exactly the deadline the request can no longer finish in
+        # time (service takes strictly positive time)
+        requests = [Request(0, 0.0, 8, deadline_us=100.0)]
+        alive, expired = shed_expired(requests, now_us=100.0)
+        assert not alive and len(expired) == 1
+
+    def test_deadline_free_requests_never_expire(self):
+        requests = [Request(0, 0.0, 8)]
+        alive, expired = shed_expired(requests, now_us=1e12)
+        assert len(alive) == 1 and not expired

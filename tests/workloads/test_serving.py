@@ -70,3 +70,43 @@ class TestBatching:
     def test_empty_trace_rejected(self):
         with pytest.raises(ValueError, match="at least one"):
             ServingTrace(requests=(), max_seq_len=64)
+
+
+class TestValidation:
+    def test_zero_length_request_rejected(self):
+        with pytest.raises(ValueError, match="lengths must be >= 1"):
+            ServingTrace(
+                requests=(Request(0, 0.0, 0),), max_seq_len=64
+            )
+
+    def test_negative_length_request_rejected(self):
+        with pytest.raises(ValueError, match="lengths must be >= 1"):
+            ServingTrace(
+                requests=(Request(0, 0.0, -3),), max_seq_len=64
+            )
+
+    def test_overlong_request_rejected(self):
+        with pytest.raises(ValueError, match="max_seq_len"):
+            ServingTrace(
+                requests=(Request(0, 0.0, 65),), max_seq_len=64
+            )
+
+    def test_non_positive_deadline_rejected(self):
+        with pytest.raises(ValueError, match="deadline_us"):
+            ServingTrace(
+                requests=(Request(0, 0.0, 8, deadline_us=0.0),),
+                max_seq_len=64,
+            )
+
+
+class TestDeadlines:
+    def test_requests_are_deadline_free_by_default(self):
+        trace = make_trace(5, 64, seed=0)
+        assert all(r.deadline_us is None for r in trace.requests)
+        assert all(r.absolute_deadline_us is None for r in trace.requests)
+
+    def test_make_trace_attaches_budget_to_every_request(self):
+        trace = make_trace(5, 64, seed=0, deadline_us=750.0)
+        for r in trace.requests:
+            assert r.deadline_us == 750.0
+            assert r.absolute_deadline_us == r.arrival_us + 750.0
