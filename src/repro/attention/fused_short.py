@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.attention.bucketed import bucketed_sdpa
 from repro.core.engine import is_vectorized
+from repro.core.memory_planner import LiveArena
 from repro.core.padding import PackedSeqs
 from repro.gpusim.kernel import ComputeUnit, KernelLaunch
 from repro.gpusim.memory import BYTES_PER_ELEMENT, BYTES_PER_FP32
@@ -156,12 +157,16 @@ def fused_short_mha(
     split_seq_len: int = DEFAULT_SPLIT_SEQ_LEN,
     ctx: ExecutionContext | None = None,
     category: str = "attention",
+    out: np.ndarray | None = None,
+    scratch: LiveArena | None = None,
 ) -> np.ndarray:
     """Single-kernel padding-free MHA for short sequences.
 
     Takes the packed ``[T, 3H]`` QKV tensor (bias *not* yet added — the
     kernel fuses the bias with its shared-memory loads), returns the
-    packed ``[T, H]`` attention output.
+    packed ``[T, H]`` attention output.  ``out`` receives the result when
+    given; ``scratch`` routes the vectorized engine's per-bucket
+    intermediates through the live arena.
     """
     tokens, three_hidden = qkv_packed.shape
     if tokens != packing.total_tokens:
@@ -186,7 +191,8 @@ def fused_short_mha(
     scale = 1.0 / math.sqrt(head_size)
     if is_vectorized():
         out = bucketed_sdpa(
-            qkv_packed, qkv_bias, packing, num_heads, scale=scale
+            qkv_packed, qkv_bias, packing, num_heads, scale=scale,
+            out=out, scratch=scratch,
         )
     else:
         biased = qkv_packed + qkv_bias
@@ -194,7 +200,8 @@ def fused_short_mha(
         k_all = biased[:, hidden : 2 * hidden]
         v_all = biased[:, 2 * hidden :]
 
-        out = np.empty((tokens, hidden), dtype=qkv_packed.dtype)
+        if out is None:
+            out = np.empty((tokens, hidden), dtype=qkv_packed.dtype)
         for b in range(packing.batch):
             # the grid covers only valid rows: CTAs are created per
             # {head, valid-seq-tile, batch}, never from max_seq_len

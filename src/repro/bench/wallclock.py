@@ -19,6 +19,18 @@ Three measurements are reported:
 * ``packing`` — zero-padding metadata construction, where the
   :class:`~repro.core.padding.PackingCache` turns repeated serving shapes
   into dictionary hits.
+* ``graph_replay`` — launch-graph capture & replay.  The cost-plane
+  forward (the estimator chain serving admission prices with) is timed
+  eager vs replayed from a :class:`~repro.gpusim.graph.GraphCache`; the
+  replayed stream must be bit-identical (records *and* ``start_us``)
+  with identical ``modelled_us``.  The numeric steady state (arena +
+  graph model vs the plain vectorized model) rides along with a bitwise
+  output check.
+* ``steady_state_alloc`` — tracemalloc proof that a warm arena-backed
+  forward performs **zero** new large (>= 1 MiB) ndarray allocations
+  and keeps the traced-peak delta within a budget proportional to the
+  arena footprint (transient sub-threshold temporaries scale with the
+  token count; floor 1 MiB).
 
 Results are written to ``BENCH_wallclock.json``; required schema keys are
 ``config``, ``wall_us``, ``modelled_us`` and ``speedup_vs_reference``.
@@ -26,9 +38,11 @@ Results are written to ``BENCH_wallclock.json``; required schema keys are
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import platform
 import time
+import tracemalloc
 from pathlib import Path
 from typing import Any, Callable
 
@@ -38,16 +52,25 @@ from repro.attention.dispatch import byte_mha
 from repro.attention.zeropad_softmax_mha import zeropad_softmax_mha
 from repro.core.config import BertConfig, STEPWISE_PRESETS
 from repro.core.engine import LOOPED, VECTORIZED, use_engine
+from repro.core.estimator import estimate_model, estimate_model_graphed
+from repro.core.memory_planner import LiveArena
 from repro.core.model import BertEncoderModel
 from repro.core.padding import (
     PackedSeqs,
     PackingCache,
+    default_packing_cache,
     packing_from_mask,
 )
+from repro.gpusim.graph import GraphCache
+from repro.gpusim.profiler import CacheStats
 from repro.gpusim.stream import ExecutionContext, NullContext
 from repro.kernels.gemm import gemm
 from repro.kernels.prefix_sum import mask_prefix_sum
 from repro.workloads.generator import make_batch
+
+#: an ndarray allocation at least this big counts as "large" for the
+#: steady-state zero-allocation gate
+LARGE_ALLOC_BYTES = 1 << 20
 
 #: shape overrides applied by ``--quick`` (CI smoke: < 1 s end to end)
 QUICK_OVERRIDES: dict[str, Any] = {
@@ -218,6 +241,125 @@ def run_wallclock_bench(
     else:
         attention_section = None
 
+    # ---- launch-graph capture & replay -------------------------------
+    # Cost plane: the estimator's launch chain — the exact stream serving
+    # admission prices per dispatch — eager vs replayed from the cache.
+    seq_lens = np.asarray(data.mask.sum(axis=1), dtype=np.int64)
+    graph_repeats = max(repeats, 5)
+    graph_cache = GraphCache()
+
+    eager_ctx = ExecutionContext()
+    eager_us = _time_best_of(
+        lambda: estimate_model(eager_ctx, config, opt, seq_lens, max_seq_len),
+        graph_repeats,
+    )
+    t0 = time.perf_counter()
+    estimate_model_graphed(
+        ExecutionContext(), config, opt, seq_lens, max_seq_len,
+        cache=graph_cache,
+    )
+    capture_us = (time.perf_counter() - t0) * 1e6
+    replay_ctx = ExecutionContext()
+    replay_us = _time_best_of(
+        lambda: estimate_model_graphed(
+            replay_ctx, config, opt, seq_lens, max_seq_len,
+            cache=graph_cache,
+        ),
+        graph_repeats,
+    )
+
+    # identity preflight on fresh contexts: eager call vs warm replay
+    check_eager = ExecutionContext()
+    check_replay = ExecutionContext()
+    modelled_eager = estimate_model(
+        check_eager, config, opt, seq_lens, max_seq_len
+    )
+    modelled_replay = estimate_model_graphed(
+        check_replay, config, opt, seq_lens, max_seq_len, cache=graph_cache
+    )
+    graph_modelled_equal = modelled_eager == modelled_replay
+    graph_streams_identical = _launches_identical(
+        check_eager.records, check_replay.records
+    ) and all(
+        a.start_us == b.start_us
+        for a, b in zip(check_eager.records, check_replay.records)
+    )
+
+    # Numeric steady state: arena + graph model vs the plain vectorized
+    # engine, bit for bit.
+    fast_model = BertEncoderModel(
+        config, opt=opt, seed=seed, arena=LiveArena(),
+        graph_cache=GraphCache(),
+    )
+    with use_engine(VECTORIZED):
+        for _ in range(2):  # warm up: arena growth + graph capture
+            fast_model.forward(data.x, data.mask, ctx=ExecutionContext())
+        steady_wall_us = _time_best_of(
+            lambda: fast_model.forward(
+                data.x, data.mask, ctx=ExecutionContext()
+            ),
+            repeats,
+        )
+        steady_ctx = ExecutionContext()
+        steady_out = fast_model.forward(data.x, data.mask, ctx=steady_ctx)
+        steady_outputs_bitwise = bool(
+            np.array_equal(steady_out, outputs[VECTORIZED])
+        )
+        steady_modelled_equal = steady_ctx.elapsed_us() == modelled[VECTORIZED]
+
+        # ---- steady-state allocation audit (tracemalloc) -------------
+        arena_engaged = (
+            fast_model.arena is not None
+            and opt.remove_padding
+            and fast_model.arena.forwards > 0
+        )
+        tracemalloc.start()
+        snap_before = tracemalloc.take_snapshot()
+        tracemalloc.reset_peak()
+        traced_base, _ = tracemalloc.get_traced_memory()
+        fast_model.forward(data.x, data.mask, ctx=ExecutionContext())
+        _, traced_peak = tracemalloc.get_traced_memory()
+        snap_after = tracemalloc.take_snapshot()
+        tracemalloc.stop()
+        large_allocation_count = sum(
+            1
+            for stat in snap_after.compare_to(snap_before, "lineno")
+            if stat.size_diff >= LARGE_ALLOC_BYTES
+        )
+        peak_delta_bytes = traced_peak - traced_base
+
+    graph_replay_section = {
+        "eager_us": eager_us,
+        "capture_us": capture_us,
+        "replay_us": replay_us,
+        "speedup_vs_eager": eager_us / replay_us,
+        "modelled_us": modelled_replay,
+        "steady_state_forward": {
+            "wall_us": steady_wall_us,
+            "reference_wall_us": wall[VECTORIZED],
+            "speedup_vs_vectorized": wall[VECTORIZED] / steady_wall_us,
+            "outputs_bitwise_equal": steady_outputs_bitwise,
+        },
+    }
+    arena_footprint = (
+        fast_model.arena.footprint_bytes if fast_model.arena else 0
+    )
+    # transient sub-threshold temporaries (the exempt two-phase softmax
+    # reduction, per-bucket row stats) scale with the token count, so the
+    # traced-peak budget is proportional to the arena, floored at 1 MiB
+    peak_budget_bytes = max(LARGE_ALLOC_BYTES, arena_footprint // 8)
+    steady_state_alloc_section = {
+        "arena_engaged": arena_engaged,
+        "large_allocation_count": large_allocation_count,
+        "large_alloc_threshold_bytes": LARGE_ALLOC_BYTES,
+        "peak_delta_bytes": peak_delta_bytes,
+        "peak_budget_bytes": peak_budget_bytes,
+        "arena_footprint_bytes": arena_footprint,
+        "arena_overflow_allocs": (
+            fast_model.arena.overflow_allocs if fast_model.arena else 0
+        ),
+    }
+
     # ---- packing metadata: seed loop vs loop-free build vs cache hit ----
     # The reference runs under the looped engine so its prefix sum is the
     # seed's warp-scan emulation, exactly as shipped.
@@ -282,6 +424,8 @@ def run_wallclock_bench(
                 "speedup_vs_reference": packing_loop_us / packing_cold_us,
                 "speedup_cache_hit": packing_loop_us / packing_warm_us,
             },
+            "graph_replay": graph_replay_section,
+            "steady_state_alloc": steady_state_alloc_section,
         },
         "invariants": {
             "outputs_match_atol_1e-6": outputs_match,
@@ -290,7 +434,23 @@ def run_wallclock_bench(
             "kernel_count": len(records[VECTORIZED]),
             "modelled_us_looped": modelled[LOOPED],
             "modelled_us_vectorized": modelled[VECTORIZED],
+            "graph_modelled_us_equal": graph_modelled_equal,
+            "graph_streams_identical": graph_streams_identical,
+            "steady_outputs_bitwise_equal": steady_outputs_bitwise,
+            "steady_modelled_us_equal": steady_modelled_equal,
+            "steady_large_allocation_count": large_allocation_count,
+            "steady_arena_engaged": arena_engaged,
         },
+        "cache_stats": [
+            dataclasses.asdict(stats)
+            for stats in (
+                CacheStats.from_cache("packing", default_packing_cache()),
+                CacheStats.from_cache("estimator_graphs", graph_cache),
+                CacheStats.from_cache(
+                    "model_graphs", fast_model.graph_cache
+                ),
+            )
+        ],
         "notes": (
             "wall_us is host (numpy) execution time of the vectorized "
             "engine; modelled_us is simulated GPU time and is identical "
@@ -337,11 +497,73 @@ def format_summary(result: dict[str, Any]) -> str:
         f"{packing['cache_hit_us']:.1f} us "
         f"({packing['speedup_cache_hit']:.1f}x)"
     )
+    graph = result["sections"].get("graph_replay")
+    if graph is not None:
+        steady = graph["steady_state_forward"]
+        lines.append(
+            f"  graph     : {graph['replay_us']:9.1f} us replay vs "
+            f"{graph['eager_us']:9.1f} us eager pricing "
+            f"({graph['speedup_vs_eager']:.2f}x); capture "
+            f"{graph['capture_us']:.0f} us; numeric steady state "
+            f"{steady['speedup_vs_vectorized']:.2f}x"
+        )
+    alloc = result["sections"].get("steady_state_alloc")
+    if alloc is not None:
+        lines.append(
+            f"  steady mem: {alloc['large_allocation_count']} large allocs "
+            f"(>= {alloc['large_alloc_threshold_bytes'] >> 20} MiB), peak "
+            f"delta {alloc['peak_delta_bytes'] / 1024:.0f} KiB, arena "
+            f"{alloc['arena_footprint_bytes'] / (1 << 20):.1f} MiB "
+            f"({alloc['arena_overflow_allocs']} overflow allocs)"
+        )
     inv = result["invariants"]
     lines.append(
         f"  invariants: outputs_match={inv['outputs_match_atol_1e-6']} "
         f"(max |diff| {inv['max_abs_diff']:.2e}), "
         f"launch_streams_identical={inv['launch_streams_identical']}, "
+        f"graph_streams_identical={inv.get('graph_streams_identical')}, "
+        f"steady_outputs_bitwise={inv.get('steady_outputs_bitwise_equal')}, "
         f"modelled {result['modelled_us'] / 1e3:.1f} ms"
     )
     return "\n".join(lines)
+
+
+def check_invariants(result: dict[str, Any]) -> list[str]:
+    """Regression gate over a bench result; returns failure messages.
+
+    An empty list means the run is clean: outputs equivalent, launch
+    streams identical eager vs vectorized *and* eager vs graph-replayed,
+    and (when the arena engaged) a zero large-allocation steady state
+    within the traced-peak budget.
+    """
+    inv = result["invariants"]
+    failures = []
+    if not inv["outputs_match_atol_1e-6"]:
+        failures.append(
+            f"engine outputs diverge (max |diff| {inv['max_abs_diff']:.2e})"
+        )
+    if not inv["launch_streams_identical"]:
+        failures.append("looped vs vectorized launch streams differ")
+    if not inv.get("graph_modelled_us_equal", True):
+        failures.append("graph replay changed modelled_us")
+    if not inv.get("graph_streams_identical", True):
+        failures.append("graph replay stream != eager stream")
+    if not inv.get("steady_outputs_bitwise_equal", True):
+        failures.append("arena+graph forward output != vectorized output")
+    if not inv.get("steady_modelled_us_equal", True):
+        failures.append("arena+graph forward changed modelled_us")
+    if inv.get("steady_arena_engaged"):
+        alloc = result["sections"]["steady_state_alloc"]
+        if alloc["large_allocation_count"] != 0:
+            failures.append(
+                f"steady state performed "
+                f"{alloc['large_allocation_count']} large allocations"
+            )
+        budget = alloc.get("peak_budget_bytes", LARGE_ALLOC_BYTES)
+        if alloc["peak_delta_bytes"] >= budget:
+            failures.append(
+                f"steady-state traced peak grew by "
+                f"{alloc['peak_delta_bytes']} bytes "
+                f"(budget {budget})"
+            )
+    return failures

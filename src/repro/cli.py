@@ -7,9 +7,14 @@ Commands:
   optionally dumping a chrome://tracing JSON;
 * ``compare`` — one-line end-to-end framework comparison for a shape;
 * ``bench`` — wall-clock benchmark of the host execution engines
-  (``--quick`` for a CI smoke run, ``--out`` to write the JSON);
+  (``--quick`` for a CI smoke run, ``--out`` to write the JSON,
+  ``--check`` to gate on the output/stream-identity invariants,
+  ``--workers`` for the parallel bucket executor); prints the cache
+  hit/miss/eviction table;
 * ``serve-chaos`` — chaos-replay a serving trace with injected kernel
-  faults, deadlines, retry/backoff and graceful degradation;
+  faults, deadlines, retry/backoff and graceful degradation
+  (``--workers`` computes independent requests in parallel); prints the
+  cache hit/miss/eviction table;
 * ``devices`` — show the simulated device presets.
 
 Command functions raise ``ValueError``/``GpuSimError`` on bad input;
@@ -167,11 +172,16 @@ def cmd_bench(args: argparse.Namespace) -> int:
     """Wall-clock benchmark: vectorized engine vs looped reference."""
     from repro.bench.wallclock import (
         QUICK_OVERRIDES,
+        check_invariants,
         format_summary,
         run_wallclock_bench,
         write_bench_json,
     )
+    from repro.core.parallel import use_workers
+    from repro.gpusim.profiler import CacheStats, format_cache_stats
 
+    if args.workers < 1:
+        raise ValueError(f"--workers must be >= 1, got {args.workers}")
     kwargs = dict(
         batch=args.batch,
         max_seq_len=args.max_seq_len,
@@ -183,11 +193,24 @@ def cmd_bench(args: argparse.Namespace) -> int:
     )
     if args.quick:
         kwargs.update(QUICK_OVERRIDES)
-    result = run_wallclock_bench(**kwargs)
+    with use_workers(args.workers):
+        result = run_wallclock_bench(**kwargs)
     print(format_summary(result))
+    print(
+        format_cache_stats(
+            [CacheStats(**d) for d in result.get("cache_stats", [])]
+        )
+    )
     if args.out:
         path = write_bench_json(result, args.out)
         print(f"wrote {path}")
+    if args.check:
+        failures = check_invariants(result)
+        if failures:
+            for failure in failures:
+                print(f"invariant FAILED: {failure}", file=sys.stderr)
+            return 1
+        print("all invariants hold")
     return 0
 
 
@@ -241,12 +264,20 @@ def cmd_serve_chaos(args: argparse.Namespace) -> int:
         faults=spec,
         device=DEVICES[args.device],
         seed=args.seed,
+        workers=args.workers,
     )
     print(
         f"chaos replay: {args.requests} requests, fault rate "
         f"{args.fault_rate:.0%} (+{args.slow_rate:.0%} slow), seed {args.seed}"
     )
     print(runtime.run(trace).render_text())
+    from repro.core.padding import default_packing_cache
+    from repro.gpusim.profiler import CacheStats, format_cache_stats
+
+    stats = [CacheStats.from_cache("packing", default_packing_cache())]
+    if runtime.graph_cache is not None:
+        stats.append(CacheStats.from_cache("launch_graphs", runtime.graph_cache))
+    print(format_cache_stats(stats))
     return 0
 
 
@@ -327,6 +358,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the result JSON here (e.g. BENCH_wallclock.json)",
     )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="bucket-executor worker threads (1 = serial)",
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if any output/stream-identity invariant fails",
+    )
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(
@@ -376,6 +418,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trip-threshold", type=int, default=3)
     p.add_argument("--ladder-window-us", type=float, default=50_000.0)
     p.add_argument("--ladder-cooldown-us", type=float, default=100_000.0)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallel request-compute worker threads (1 = serial)",
+    )
     p.set_defaults(func=cmd_serve_chaos)
 
     p = sub.add_parser("devices", help="show device presets")

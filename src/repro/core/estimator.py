@@ -21,7 +21,8 @@ from repro.attention.fused_long import FMHA_GROUPED_EFFICIENCY
 from repro.attention.fused_short import fused_short_launch, supports
 from repro.attention.standard import standard_mha_launches
 from repro.core.config import BertConfig, OptimizationConfig
-from repro.gpusim.stream import ExecutionContext
+from repro.gpusim.graph import GraphCache
+from repro.gpusim.stream import ExecutionContext, NullContext
 from repro.kernels.activation import add_bias_gelu_launch
 from repro.kernels.batched_gemm import batched_gemm_launch
 from repro.kernels.gemm import gemm_launch
@@ -357,3 +358,50 @@ def estimate_model(
                 ctx, config, opt, seq_lens, max_seq_len, mha=mha
             )
     return ctx.elapsed_us() - before
+
+
+def estimate_model_graphed(
+    ctx: ExecutionContext,
+    config: BertConfig,
+    opt: OptimizationConfig,
+    seq_lens: np.ndarray,
+    max_seq_len: int,
+    *,
+    mha: str | None = None,
+    cache: "GraphCache | None" = None,
+) -> float:
+    """:func:`estimate_model` through a launch-graph cache.
+
+    The estimator's launch stream is a pure function of
+    ``(device, config, opt, effective mha path, max_seq_len, lengths)``;
+    the first call per key captures it, repeats replay it through
+    ``ctx`` (records appended bit-identically, :attr:`launch_hook` runs
+    per replayed launch) without re-running a single descriptor builder
+    or pricing pass.  This is the serving runtime's admission hot path.
+
+    The dispatch override is resolved *before* keying so the degradation
+    ladder never replays a stale path's stream.  Falls back to the plain
+    estimator when ``cache`` is ``None`` or ``ctx`` prices nothing.
+    """
+    if cache is None or isinstance(ctx, NullContext):
+        return estimate_model(
+            ctx, config, opt, seq_lens, max_seq_len, mha=mha
+        )
+    lens = np.asarray(seq_lens, dtype=np.int64)
+    effective = mha or forced_mha_path()
+    key = (
+        "estimate",
+        ctx.device,
+        config,
+        opt,
+        effective,
+        int(max_seq_len),
+        lens.tobytes(),
+    )
+    return cache.replay_or_capture(
+        key,
+        ctx,
+        lambda cap_ctx: estimate_model(
+            cap_ctx, config, opt, lens, max_seq_len, mha=effective
+        ),
+    )

@@ -139,6 +139,7 @@ class PackingCache:
         self.capacity = capacity
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._entries: OrderedDict[tuple[int, bytes], PackedSeqs] = (
             OrderedDict()
         )
@@ -150,6 +151,7 @@ class PackingCache:
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get_or_build(self, lens: np.ndarray, max_seq_len: int) -> PackedSeqs:
         """Return the cached packing for ``lens`` or build + insert it."""
@@ -170,6 +172,7 @@ class PackingCache:
         self._entries[key] = packing
         if len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
+            self.evictions += 1
         return packing
 
 
@@ -267,6 +270,7 @@ def pack(
     packing: PackedSeqs,
     *,
     ctx: ExecutionContext | None = None,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Pack a padded ``[B, S, H]`` or ``[B*S, H]`` tensor to ``[T, H]``."""
     if x_padded.ndim == 3:
@@ -285,7 +289,7 @@ def pack(
             )
     else:
         raise ValueError(f"expected 2-D or 3-D tensor, got {x_padded.shape}")
-    return pack_tokens(x_padded, packing.gather_idx, ctx=ctx)
+    return pack_tokens(x_padded, packing.gather_idx, ctx=ctx, out=out)
 
 
 def unpack(
@@ -293,6 +297,7 @@ def unpack(
     packing: PackedSeqs,
     *,
     ctx: ExecutionContext | None = None,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Unpack ``[T, H]`` back to padded ``[B*S, H]`` (padding zeroed)."""
     if x_packed.ndim != 2 or x_packed.shape[0] != packing.total_tokens:
@@ -300,5 +305,5 @@ def unpack(
             f"expected [{packing.total_tokens}, H], got {x_packed.shape}"
         )
     return unpack_tokens(
-        x_packed, packing.gather_idx, packing.padded_rows, ctx=ctx
+        x_packed, packing.gather_idx, packing.padded_rows, ctx=ctx, out=out
     )

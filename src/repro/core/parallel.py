@@ -1,0 +1,104 @@
+"""Worker-pool execution of independent work units.
+
+Length buckets share no data — each bucket reads its own gather of the
+packed QKV tensor and scatters to a disjoint row set of the output — and
+independent serving requests are likewise disjoint.  This module provides
+the one executor both fan-outs use: a thin thread pool (NumPy's BLAS and
+ufunc loops release the GIL, so threads give real parallelism on the
+matmul-heavy bucket bodies) with a serial fast path when ``workers == 1``
+or there is only one item, so the default configuration adds zero
+overhead and an identical execution order.
+
+Thread-safety contract: submitted callables must not allocate from a
+shared :class:`~repro.core.memory_planner.LiveArena` (the engine
+pre-acquires every bucket's scratch before fanning out) and must not
+touch the module-global engine/dispatch switches (callers set those
+before the fan-out).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+__all__ = [
+    "BucketExecutor",
+    "SERIAL_EXECUTOR",
+    "current_executor",
+    "use_executor",
+    "use_workers",
+]
+
+
+class BucketExecutor:
+    """Run independent callables across ``workers`` threads.
+
+    ``workers == 1`` (the default) never creates a pool: ``map`` runs
+    inline in submission order, byte-identical to a plain loop.  Results
+    always come back in item order regardless of completion order.
+    """
+
+    def __init__(self, workers: int = 1) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._pool: ThreadPoolExecutor | None = None
+
+    def map(
+        self, fn: Callable[[Any], Any], items: Iterable[Any]
+    ) -> list[Any]:
+        """``[fn(item) for item in items]``, fanned out when it pays off."""
+        work: Sequence[Any] = list(items)
+        if self.workers == 1 or len(work) <= 1:
+            return [fn(item) for item in work]
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="bucket-worker",
+            )
+        return list(self._pool.map(fn, work))
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "BucketExecutor":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()
+
+
+#: the process-default executor: serial, stateless, shared freely
+SERIAL_EXECUTOR = BucketExecutor(1)
+
+_current: list[BucketExecutor] = []
+
+
+def current_executor() -> BucketExecutor:
+    """The innermost active executor, or the serial default."""
+    return _current[-1] if _current else SERIAL_EXECUTOR
+
+
+@contextlib.contextmanager
+def use_executor(executor: BucketExecutor) -> Iterator[BucketExecutor]:
+    """Make ``executor`` current within the ``with`` block."""
+    _current.append(executor)
+    try:
+        yield executor
+    finally:
+        popped = _current.pop()
+        assert popped is executor, "use_executor stack corrupted"
+
+
+@contextlib.contextmanager
+def use_workers(workers: int) -> Iterator[BucketExecutor]:
+    """Shorthand: a fresh ``workers``-wide executor, shut down on exit."""
+    executor = BucketExecutor(workers)
+    try:
+        with use_executor(executor):
+            yield executor
+    finally:
+        executor.shutdown()

@@ -31,9 +31,15 @@ from repro.gpusim.errors import (
     TransientFault,
     TransientOom,
 )
+from repro.gpusim.graph import GraphCache, LaunchGraph, capture
 from repro.gpusim.kernel import ComputeUnit, KernelLaunch
 from repro.gpusim.occupancy import OccupancyResult, blocks_per_sm
-from repro.gpusim.profiler import CategoryProfile, ProfileReport
+from repro.gpusim.profiler import (
+    CacheStats,
+    CategoryProfile,
+    ProfileReport,
+    format_cache_stats,
+)
 from repro.gpusim.stream import (
     ExecutionContext,
     KernelRecord,
@@ -60,8 +66,13 @@ __all__ = [
     "KernelLaunch",
     "OccupancyResult",
     "blocks_per_sm",
+    "CacheStats",
     "CategoryProfile",
+    "GraphCache",
+    "LaunchGraph",
     "ProfileReport",
+    "capture",
+    "format_cache_stats",
     "ExecutionContext",
     "KernelRecord",
     "NullContext",

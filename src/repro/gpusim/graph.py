@@ -1,0 +1,186 @@
+"""Execution-graph capture & replay — the CUDA Graphs analog.
+
+For a fixed ``(config, preset, lengths-signature)`` the kernel-launch
+stream of a forward pass is fully deterministic: the same descriptors in
+the same order with the same modelled times.  Yet the eager path re-runs
+Python dispatch, descriptor construction and occupancy/roofline pricing
+on every call.  A :class:`LaunchGraph` freezes one captured stream —
+``(KernelLaunch, modelled time)`` pairs in dependency order — and
+:meth:`LaunchGraph.replay` re-emits it into any context on the same
+device, skipping all per-kernel recomputation while producing a
+**bit-identical** record stream (same launches, same ``time_us``, same
+``start_us`` accumulation) and therefore an identical ``modelled_us``.
+
+Fault composition (the PR 2 launch hook) is first-class: replay feeds
+every launch through the target context's :data:`~repro.gpusim.stream.LaunchHook`
+exactly as eager execution would, so a seeded
+:class:`~repro.serving.faults.FaultPlan` injects the *same* fault
+sequence over a replayed stream as over an eager one.  A fault aborts
+only the affected call — the graph itself is immutable, so a mid-replay
+``TransientFault`` can never corrupt the cache.  Capture, conversely,
+must always happen on a hook-free context (see :func:`capture`): a
+hooked capture would bake latency spikes into the cached times.
+
+:class:`GraphCache` is the LRU keyed store with the hit/miss/eviction
+counters that :mod:`repro.gpusim.profiler` surfaces.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable
+
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.kernel import KernelLaunch
+from repro.gpusim.stream import ExecutionContext
+
+
+@dataclass(frozen=True)
+class LaunchGraph:
+    """One captured kernel-launch stream: descriptors + modelled times.
+
+    Immutable by construction (frozen dataclass over tuples): replaying
+    can never mutate the captured stream, which is what guarantees a
+    fault during replay only affects that call.
+    """
+
+    device: DeviceSpec
+    launches: tuple[KernelLaunch, ...]
+    times_us: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.launches) != len(self.times_us):
+            raise ValueError(
+                f"{len(self.launches)} launches but "
+                f"{len(self.times_us)} times"
+            )
+
+    @classmethod
+    def from_context(cls, ctx: ExecutionContext) -> "LaunchGraph":
+        """Freeze ``ctx``'s recorded timeline into a replayable graph."""
+        return cls(
+            device=ctx.device,
+            launches=tuple(r.launch for r in ctx.records),
+            times_us=tuple(r.time_us for r in ctx.records),
+        )
+
+    def __len__(self) -> int:
+        return len(self.launches)
+
+    @property
+    def modelled_us(self) -> float:
+        """Fault-free total time of the stream (incremental sum, so it
+        equals ``elapsed_us`` of a hook-free replay bit for bit)."""
+        total = 0.0
+        for t in self.times_us:
+            total += t
+        return total
+
+    def replay(self, ctx: ExecutionContext) -> float:
+        """Re-emit the captured stream into ``ctx``; returns the delta
+        modelled time.
+
+        Each launch goes through ``ctx``'s launch hook (if installed)
+        exactly as an eager launch would — the hook may raise a
+        :class:`~repro.gpusim.errors.TransientFault`, aborting the
+        replay with the context's timeline consistent up to the fault,
+        or stretch individual latencies.  The captured base times are
+        the ones :func:`~repro.gpusim.timing.kernel_time_us` would
+        recompute, so the replayed records are bit-identical to eager
+        execution.
+        """
+        if ctx.device != self.device:
+            raise ValueError(
+                f"graph captured on {self.device.name!r} cannot replay "
+                f"on {ctx.device.name!r}"
+            )
+        before = ctx.elapsed_us()
+        replay_launch = ctx.replay_launch
+        for launch, time_us in zip(self.launches, self.times_us):
+            replay_launch(launch, time_us)
+        return ctx.elapsed_us() - before
+
+
+def capture(
+    device: DeviceSpec, fn: Callable[[ExecutionContext], Any]
+) -> tuple[LaunchGraph, Any]:
+    """Run ``fn`` against a fresh hook-free context and freeze its stream.
+
+    Returns ``(graph, fn's return value)``.  The capture context never
+    has a launch hook: captured times are clean base times, and a fault
+    plan installed on the caller's context keeps its ordinal counter
+    untouched until the stream is actually replayed.
+    """
+    ctx = ExecutionContext(device)
+    result = fn(ctx)
+    return LaunchGraph.from_context(ctx), result
+
+
+class GraphCache:
+    """LRU cache of :class:`LaunchGraph` keyed by the call signature.
+
+    Keys are caller-built hashable tuples — typically
+    ``(device, config, preset, mha-path, max_seq_len, lengths-bytes)``;
+    anything that changes the launch stream must be in the key, which is
+    exactly the invalidation rule: a new lengths signature, a different
+    preset or a forced attention path is a different key, and a fault
+    only aborts one replay without touching the stored graph.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: OrderedDict[Hashable, LaunchGraph] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Hashable) -> LaunchGraph | None:
+        """The cached graph for ``key``, or ``None`` (counted as a miss)."""
+        graph = self._entries.get(key)
+        if graph is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return graph
+
+    def put(self, key: Hashable, graph: LaunchGraph) -> LaunchGraph:
+        """Insert ``graph`` under ``key``, evicting the LRU entry if full."""
+        self._entries[key] = graph
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return graph
+
+    def replay_or_capture(
+        self,
+        key: Hashable,
+        ctx: ExecutionContext,
+        fn: Callable[[ExecutionContext], Any],
+    ) -> float:
+        """Replay ``key``'s graph into ``ctx``, capturing it first on a miss.
+
+        On a miss ``fn`` runs against a fresh hook-free context (clean
+        capture), the graph is cached, and only then is the stream
+        replayed through ``ctx`` — so hooks observe exactly one pass over
+        the launch sequence, the same as eager execution.  Returns the
+        delta modelled time in ``ctx``.
+        """
+        graph = self.get(key)
+        if graph is None:
+            graph, _ = capture(ctx.device, fn)
+            self.put(key, graph)
+        return graph.replay(ctx)

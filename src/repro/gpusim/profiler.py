@@ -5,6 +5,13 @@ are tagged with a *category* (``gemm0`` … ``gemm3``, ``attention``,
 ``layernorm0``, ``layernorm1``, ``activation``, …) and the profiler sums
 time, FLOPs, traffic and launch counts per category, then renders the
 breakdown as a text table.
+
+:class:`CacheStats` is the observability companion for the runtime's
+caches (the packing-metadata cache and the launch-graph cache): a
+uniform hit/miss/eviction snapshot that ``repro bench`` and
+``repro serve-chaos`` print next to the kernel profile.  It reads any
+object exposing ``hits``/``misses``/``evictions``/``__len__`` duck-typed,
+so the profiler stays import-cycle-free of the cache implementations.
 """
 
 from __future__ import annotations
@@ -12,6 +19,55 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.gpusim.stream import ExecutionContext
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time hit/miss/eviction snapshot of one runtime cache."""
+
+    name: str
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per lookup; 0.0 for a never-queried cache."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    @classmethod
+    def from_cache(cls, name: str, cache: object) -> "CacheStats":
+        """Snapshot any cache exposing hits/misses/evictions/len."""
+        return cls(
+            name=name,
+            hits=int(getattr(cache, "hits", 0)),
+            misses=int(getattr(cache, "misses", 0)),
+            evictions=int(getattr(cache, "evictions", 0)),
+            size=len(cache),  # type: ignore[arg-type]
+        )
+
+
+def format_cache_stats(
+    stats: list[CacheStats] | tuple[CacheStats, ...],
+    title: str = "caches",
+) -> str:
+    """Render cache counters as a fixed-width text table."""
+    lines = [
+        f"== {title} ==",
+        f"{'cache':<16}{'hits':>8}{'misses':>8}{'evict':>7}"
+        f"{'size':>6}{'hit rate':>10}",
+    ]
+    for s in stats:
+        lines.append(
+            f"{s.name:<16}{s.hits:>8d}{s.misses:>8d}{s.evictions:>7d}"
+            f"{s.size:>6d}{s.hit_rate:>9.1%}"
+        )
+    return "\n".join(lines)
 
 
 @dataclass

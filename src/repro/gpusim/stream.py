@@ -77,6 +77,28 @@ class ExecutionContext:
         self._elapsed_us += time_us
         return record
 
+    def replay_launch(
+        self, launch: KernelLaunch, base_time_us: float
+    ) -> KernelRecord:
+        """Append a launch whose base price is already known.
+
+        This is the graph-replay fast path: identical to :meth:`launch`
+        except the :func:`~repro.gpusim.timing.kernel_time_us` pricing is
+        skipped — the captured ``base_time_us`` *is* that price, so the
+        appended record is bit-identical to an eager launch.  The
+        :attr:`launch_hook` still runs (faults and latency spikes must
+        fire on replayed launches exactly as on eager ones).
+        """
+        time_us = base_time_us
+        if self.launch_hook is not None:
+            time_us *= self.launch_hook(launch, len(self.records))
+        record = KernelRecord(
+            launch=launch, time_us=time_us, start_us=self._elapsed_us
+        )
+        self.records.append(record)
+        self._elapsed_us += time_us
+        return record
+
     def elapsed_us(self) -> float:
         """Total modelled time of all recorded launches."""
         return self._elapsed_us
@@ -119,6 +141,11 @@ class NullContext(ExecutionContext):
         super().__init__(A100_SPEC)
 
     def launch(self, launch: KernelLaunch) -> KernelRecord:  # noqa: D102
+        return KernelRecord(launch=launch, time_us=0.0, start_us=0.0)
+
+    def replay_launch(  # noqa: D102
+        self, launch: KernelLaunch, base_time_us: float
+    ) -> KernelRecord:
         return KernelRecord(launch=launch, time_us=0.0, start_us=0.0)
 
 

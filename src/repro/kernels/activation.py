@@ -32,6 +32,25 @@ def gelu_reference(x: np.ndarray) -> np.ndarray:
     return 0.5 * x * (1.0 + erf(x / math.sqrt(2.0)))
 
 
+def gelu_into(
+    x: np.ndarray, *, out: np.ndarray, tmp: np.ndarray
+) -> np.ndarray:
+    """:func:`gelu_reference` into caller-provided storage, bit for bit.
+
+    Runs the reference expression as the same ufunc sequence with ``out=``
+    targets, so no intermediate is allocated and the result is bitwise
+    identical (``x * 0.5`` commutes exactly with ``0.5 * x`` under IEEE
+    754).  ``out`` may alias ``x``; ``tmp`` must not alias either and
+    must match ``x``'s shape.
+    """
+    np.divide(x, math.sqrt(2.0), out=tmp)
+    erf(tmp, out=tmp)
+    np.add(tmp, 1.0, out=tmp)
+    np.multiply(x, 0.5, out=out)
+    np.multiply(out, tmp, out=out)
+    return out
+
+
 def gelu_tanh(x: np.ndarray) -> np.ndarray:
     """The tanh approximation of GELU used by BERT implementations."""
     c = math.sqrt(2.0 / math.pi)
@@ -116,11 +135,16 @@ def add_bias_gelu(
     *,
     ctx: ExecutionContext | None = None,
     category: str = "activation",
+    out: np.ndarray | None = None,
+    tmp: np.ndarray | None = None,
 ) -> np.ndarray:
     """Fused-elementwise (but not GEMM-fused) add-bias + GELU kernel.
 
     One read and one write of the tensor.  This is what a framework with
     element-wise fusion (e.g. XLA, JIT) launches after an unfused GEMM.
+    When ``out``/``tmp`` are given (both or neither) the result lands in
+    ``out`` with zero tensor allocations, bit-identical to the allocating
+    path; ``out`` may alias ``x``.
     """
     if x.ndim != 2:
         raise ValueError(f"add_bias_gelu expects a 2-D tensor, got {x.shape}")
@@ -130,4 +154,9 @@ def add_bias_gelu(
     resolve_context(ctx).launch(
         add_bias_gelu_launch(rows, cols, category)
     )
-    return gelu_reference(x + bias)
+    if out is None:
+        return gelu_reference(x + bias)
+    if tmp is None:
+        raise ValueError("out= requires a tmp= buffer of the same shape")
+    np.add(x, bias, out=out)
+    return gelu_into(out, out=out, tmp=tmp)

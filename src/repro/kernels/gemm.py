@@ -18,7 +18,7 @@ import numpy as np
 from repro.gpusim.kernel import ComputeUnit, KernelLaunch
 from repro.gpusim.memory import BYTES_PER_ELEMENT, tensor_bytes
 from repro.gpusim.stream import ExecutionContext, resolve_context
-from repro.kernels.activation import gelu_reference
+from repro.kernels.activation import gelu_into, gelu_reference
 
 #: sustained fraction of tensor-core peak for a large, well-shaped GEMM
 BASE_TC_EFFICIENCY = 0.78
@@ -109,6 +109,8 @@ def gemm(
     ctx: ExecutionContext | None = None,
     name: str = "gemm",
     category: str = "gemm",
+    out: np.ndarray | None = None,
+    tmp: np.ndarray | None = None,
 ) -> np.ndarray:
     """Compute ``a @ b`` with an optional fused bias/activation epilogue.
 
@@ -116,6 +118,11 @@ def gemm(
     given they execute in the epilogue: the only extra DRAM traffic is the
     bias vector read — the result tensor is transformed in registers before
     its single store, exactly the fusion of §III-C.2.
+
+    ``out`` routes the product (and epilogue) into caller storage with
+    zero tensor allocations and bit-identical values — ``np.matmul`` with
+    ``out=`` issues the same BLAS call.  A GELU epilogue additionally
+    needs ``tmp`` (same shape as ``out``, no aliasing).
     """
     if a.ndim != 2 or b.ndim != 2:
         raise ValueError(
@@ -126,17 +133,29 @@ def gemm(
     m, k = a.shape
     n = b.shape[1]
 
-    out = a @ b
     epilogue_bytes = 0.0
-    if bias is not None:
-        if bias.shape != (n,):
-            raise ValueError(f"bias shape {bias.shape} != ({n},)")
-        out = out + bias
-        epilogue_bytes += tensor_bytes(n)
-    if activation == "gelu":
-        out = gelu_reference(out)
-    elif activation is not None:
+    if bias is not None and bias.shape != (n,):
+        raise ValueError(f"bias shape {bias.shape} != ({n},)")
+    if activation not in (None, "gelu"):
         raise ValueError(f"unsupported activation {activation!r}")
+    if out is None:
+        out = a @ b
+        if bias is not None:
+            out = out + bias
+        if activation == "gelu":
+            out = gelu_reference(out)
+    else:
+        np.matmul(a, b, out=out)
+        if bias is not None:
+            np.add(out, bias, out=out)
+        if activation == "gelu":
+            if tmp is None:
+                raise ValueError(
+                    "gelu epilogue with out= requires a tmp= buffer"
+                )
+            gelu_into(out, out=out, tmp=tmp)
+    if bias is not None:
+        epilogue_bytes += tensor_bytes(n)
 
     resolve_context(ctx).launch(
         gemm_launch(

@@ -30,8 +30,10 @@ import numpy as np
 from repro.attention.dispatch import force_mha_path
 from repro.core.config import FUSED_MHA, BertConfig, OptimizationConfig
 from repro.core.engine import use_engine
-from repro.core.estimator import estimate_model
+from repro.core.estimator import estimate_model_graphed
 from repro.core.model import BertEncoderModel
+from repro.core.parallel import BucketExecutor
+from repro.gpusim.graph import GraphCache
 from repro.gpusim.device import A100_SPEC, DeviceSpec
 from repro.gpusim.errors import TransientFault
 from repro.gpusim.stream import ExecutionContext
@@ -81,6 +83,16 @@ class ServingRuntime:
         output tensor is computed (per request, deterministic in
         ``(seed, request_id)``) and returned in the report.  ``None``
         serves on the cost plane only — much faster for large traces.
+    use_graph:
+        Route admission/dispatch pricing through a launch-graph cache
+        (:func:`~repro.core.estimator.estimate_model_graphed`): repeat
+        shapes replay the captured stream instead of re-pricing it.
+        Fault hooks fire per replayed launch exactly as per eager one,
+        and a mid-replay fault never touches the (immutable) cached
+        graph, so chaos replays are unchanged bit for bit.
+    workers:
+        Thread count for computing independent served requests' numeric
+        outputs in parallel.  ``1`` (default) is strictly serial.
     """
 
     def __init__(
@@ -96,6 +108,8 @@ class ServingRuntime:
         device: DeviceSpec = A100_SPEC,
         numerics: BertEncoderModel | None = None,
         seed: int = 0,
+        use_graph: bool = True,
+        workers: int = 1,
     ) -> None:
         self.config = config
         self.batcher = batcher if batcher is not None else TimeoutBatcher()
@@ -107,6 +121,9 @@ class ServingRuntime:
         self.device = device
         self.numerics = numerics
         self.seed = seed
+        self.graph_cache = GraphCache() if use_graph else None
+        self.workers = workers
+        self._executor = BucketExecutor(workers)
         self._single_estimates: dict[int, float] = {}
 
     # ------------------------------------------------------------------
@@ -120,8 +137,9 @@ class ServingRuntime:
         level: DegradationLevel,
     ) -> float:
         with use_engine(level.engine), force_mha_path(level.mha_path):
-            return estimate_model(
-                ctx, self.config, self.opt, seq_lens, padded_len
+            return estimate_model_graphed(
+                ctx, self.config, self.opt, seq_lens, padded_len,
+                cache=self.graph_cache,
             )
 
     def _estimate_service(
@@ -166,7 +184,31 @@ class ServingRuntime:
         x, mask = self._request_input(request)
         with use_engine(level.engine):
             out = self.numerics.forward(x, mask)
+        if self.numerics.arena is not None:
+            # arena-backed outputs are views valid only until the next
+            # forward; the report keeps them past that
+            return out[0].copy()
         return out[0]
+
+    def _compute_batch_outputs(
+        self, requests: list[Request], level: DegradationLevel
+    ) -> list[np.ndarray]:
+        """Outputs of one dispatch's served requests, possibly in parallel.
+
+        Requests are independent (disjoint inputs, disjoint outputs), so
+        they fan out across the worker pool.  An arena-backed numerics
+        model serializes: its scratch buffers must not be shared across
+        concurrent forwards.
+        """
+        if self.workers > 1 and self.numerics.arena is None:
+            with use_engine(level.engine):
+                return self._executor.map(
+                    lambda r: self.numerics.forward(
+                        *self._request_input(r)
+                    )[0],
+                    requests,
+                )
+        return [self._compute_output(r, level) for r in requests]
 
     # ------------------------------------------------------------------
 
@@ -293,11 +335,12 @@ class ServingRuntime:
                 finish = start + service
                 busy_us += service
                 gpu_free_at = finish
+                if self.numerics is not None:
+                    for request, output in zip(
+                        alive, self._compute_batch_outputs(alive, level)
+                    ):
+                        outputs[request.request_id] = output
                 for request in alive:
-                    if self.numerics is not None:
-                        outputs[request.request_id] = self._compute_output(
-                            request, level
-                        )
                     settle(
                         request,
                         Outcome.SERVED,

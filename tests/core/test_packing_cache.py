@@ -159,3 +159,24 @@ def test_packing_from_mask_uses_cache():
 def test_cache_rejects_bad_capacity():
     with pytest.raises(ValueError):
         PackingCache(capacity=0)
+
+
+def test_lru_eviction_counts_and_drops_oldest():
+    cache = PackingCache(capacity=2)
+    packing_from_lengths([1, 2], 8, cache=cache)
+    packing_from_lengths([3, 4], 8, cache=cache)
+    packing_from_lengths([1, 2], 8, cache=cache)  # refresh: [3, 4] is LRU
+    packing_from_lengths([5, 6], 8, cache=cache)  # evicts [3, 4]
+    assert cache.evictions == 1
+    assert len(cache) == 2
+    packing_from_lengths([3, 4], 8, cache=cache)  # rebuilt, not a hit
+    assert cache.hits == 1 and cache.misses == 4
+
+
+def test_clear_resets_eviction_counter():
+    cache = PackingCache(capacity=1)
+    packing_from_lengths([1, 2], 8, cache=cache)
+    packing_from_lengths([3, 4], 8, cache=cache)
+    assert cache.evictions == 1
+    cache.clear()
+    assert cache.evictions == 0 and len(cache) == 0

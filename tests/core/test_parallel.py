@@ -1,0 +1,103 @@
+"""BucketExecutor semantics: ordering, fan-out, context stacking."""
+
+import threading
+
+import pytest
+
+from repro.core.parallel import (
+    SERIAL_EXECUTOR,
+    BucketExecutor,
+    current_executor,
+    use_executor,
+    use_workers,
+)
+
+
+class TestBucketExecutor:
+    def test_workers_validated(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            BucketExecutor(0)
+
+    def test_serial_map_is_a_plain_loop(self):
+        ex = BucketExecutor(1)
+        order = []
+
+        def fn(i):
+            order.append(i)
+            return i * i
+
+        assert ex.map(fn, range(5)) == [0, 1, 4, 9, 16]
+        assert order == [0, 1, 2, 3, 4]  # submission order, inline
+        assert ex._pool is None  # never creates a pool
+
+    def test_single_item_stays_inline_even_with_workers(self):
+        ex = BucketExecutor(4)
+        main = threading.current_thread()
+        threads = ex.map(lambda i: threading.current_thread(), [0])
+        assert threads == [main]
+        assert ex._pool is None
+        ex.shutdown()
+
+    def test_parallel_map_preserves_item_order(self):
+        import time
+
+        with BucketExecutor(4) as ex:
+            # earlier items sleep longer: completion order is reversed,
+            # result order must not be
+            def fn(i):
+                time.sleep(0.02 * (4 - i))
+                return i
+
+            assert ex.map(fn, range(4)) == [0, 1, 2, 3]
+
+    def test_parallel_map_uses_worker_threads(self):
+        with BucketExecutor(2) as ex:
+            names = ex.map(
+                lambda i: threading.current_thread().name, range(4)
+            )
+        assert all(n.startswith("bucket-worker") for n in names)
+
+    def test_worker_exception_propagates(self):
+        def boom(i):
+            raise RuntimeError(f"item {i}")
+
+        with BucketExecutor(2) as ex:
+            with pytest.raises(RuntimeError, match="item"):
+                ex.map(boom, range(3))
+
+    def test_shutdown_is_reentrant_and_pool_recreated(self):
+        ex = BucketExecutor(2)
+        assert ex.map(lambda i: i + 1, range(3)) == [1, 2, 3]
+        ex.shutdown()
+        ex.shutdown()  # second shutdown is a no-op
+        assert ex.map(lambda i: i + 1, range(3)) == [1, 2, 3]
+        ex.shutdown()
+
+
+class TestCurrentExecutor:
+    def test_default_is_serial(self):
+        assert current_executor() is SERIAL_EXECUTOR
+
+    def test_use_executor_nests(self):
+        a, b = BucketExecutor(1), BucketExecutor(1)
+        with use_executor(a):
+            assert current_executor() is a
+            with use_executor(b):
+                assert current_executor() is b
+            assert current_executor() is a
+        assert current_executor() is SERIAL_EXECUTOR
+
+    def test_use_workers_shuts_down_on_exit(self):
+        with use_workers(2) as ex:
+            assert current_executor() is ex
+            ex.map(lambda i: i, range(4))
+            assert ex._pool is not None
+        assert ex._pool is None
+        assert current_executor() is SERIAL_EXECUTOR
+
+    def test_use_executor_restores_on_exception(self):
+        ex = BucketExecutor(1)
+        with pytest.raises(RuntimeError):
+            with use_executor(ex):
+                raise RuntimeError("boom")
+        assert current_executor() is SERIAL_EXECUTOR

@@ -8,6 +8,7 @@ import pytest
 
 from repro.bench.wallclock import (
     QUICK_OVERRIDES,
+    check_invariants,
     format_summary,
     run_wallclock_bench,
     write_bench_json,
@@ -82,6 +83,50 @@ def test_attention_section_present_for_fused_preset(result):
     attention = result["sections"]["attention"]
     assert attention["wall_us"] > 0
     assert attention["reference_wall_us"] > 0
+
+
+def test_graph_replay_section(result):
+    graph = result["sections"]["graph_replay"]
+    assert graph["eager_us"] > 0
+    assert graph["capture_us"] > 0
+    assert graph["replay_us"] > 0
+    assert graph["speedup_vs_eager"] > 1.0  # replay must beat eager pricing
+    steady = graph["steady_state_forward"]
+    assert steady["wall_us"] > 0
+    assert steady["outputs_bitwise_equal"] is True
+    inv = result["invariants"]
+    assert inv["graph_modelled_us_equal"] is True
+    assert inv["graph_streams_identical"] is True
+    assert inv["steady_outputs_bitwise_equal"] is True
+    assert inv["steady_modelled_us_equal"] is True
+
+
+def test_steady_state_alloc_section(result):
+    alloc = result["sections"]["steady_state_alloc"]
+    assert alloc["arena_engaged"] is True
+    assert alloc["large_allocation_count"] == 0
+    assert alloc["arena_footprint_bytes"] > 0
+    assert 0 <= alloc["peak_delta_bytes"] < alloc["peak_budget_bytes"]
+
+
+def test_cache_stats_reported(result):
+    stats = {s["name"]: s for s in result["cache_stats"]}
+    for name in ("packing", "estimator_graphs", "model_graphs"):
+        assert name in stats, name
+        assert stats[name]["misses"] >= 1
+    # the bench exercises every cache's hit path
+    assert stats["estimator_graphs"]["hits"] >= 1
+    assert stats["model_graphs"]["hits"] >= 1
+
+
+def test_check_invariants_passes_and_detects_breakage(result):
+    assert check_invariants(result) == []
+    broken = json.loads(json.dumps(result))  # deep copy
+    broken["invariants"]["graph_streams_identical"] = False
+    broken["sections"]["steady_state_alloc"]["large_allocation_count"] = 3
+    failures = check_invariants(broken)
+    assert any("stream" in f for f in failures)
+    assert any("large allocations" in f for f in failures)
 
 
 def test_json_round_trip(result, tmp_path):
