@@ -31,9 +31,25 @@ Three measurements are reported:
   and keeps the traced-peak delta within a budget proportional to the
   arena footprint (transient sub-threshold temporaries scale with the
   token count; floor 1 MiB).
+* ``continuous_serving`` — the continuous token-budget batcher vs the
+  BucketBatcher baseline on the α-distributed trace: modelled µs per
+  served token (cost plane) and the steady-state graph-cache hit rate
+  of the tile-quantized megabatch path (second trace run, so warm-up
+  captures don't dilute the rate).
 
 Results are written to ``BENCH_wallclock.json``; required schema keys are
 ``config``, ``wall_us``, ``modelled_us`` and ``speedup_vs_reference``.
+
+Sections may carry a ``floor`` — the minimum acceptable
+``speedup_vs_reference`` the ``--check`` gate enforces.  A section
+explicitly marked ``amdahl_capped`` or ``wall_clock_floor`` turns a
+floor breach into a *warning* instead of a failure (see
+:func:`check_warnings`): the full forward on a single-core host is
+dominated by BLAS GEMMs and the erf-based GELU, identical work in both
+engines, so PR 1 never promised end-to-end wall-clock wins there, and a
+wall-clock-measured speedup can sink on a loaded CI box without any
+code regression.  Hard floors are reserved for modelled-clock metrics
+(the ``continuous_serving`` section), which are deterministic.
 """
 
 from __future__ import annotations
@@ -78,6 +94,7 @@ QUICK_OVERRIDES: dict[str, Any] = {
     "max_seq_len": 64,
     "layers": 2,
     "repeats": 1,
+    "serve_requests": 12,
 }
 
 _PRESETS_BY_LABEL = {p.label: p for p in STEPWISE_PRESETS}
@@ -134,6 +151,65 @@ def _launches_identical(
     )
 
 
+def _continuous_serving_section(
+    config: BertConfig,
+    opt: Any,
+    max_seq_len: int,
+    alpha: float,
+    seed: int,
+    num_requests: int,
+    token_budget: int = 2048,
+) -> dict[str, Any]:
+    """Continuous token-budget batching vs the BucketBatcher baseline.
+
+    Both policies replay the same α-distributed trace twice on the cost
+    plane; the *second* run is the steady state reported (graph caches
+    and single-request admission estimates are warm), so the numbers
+    reflect a long-running deployment rather than cold-start captures.
+    """
+    from repro.serving.runtime import ServingRuntime
+    from repro.workloads.batching import BucketBatcher, ContinuousBatcher
+    from repro.workloads.serving import make_trace
+
+    trace = make_trace(num_requests, max_seq_len, alpha=alpha, seed=seed)
+    served_tokens = int(sum(r.seq_len for r in trace.requests))
+
+    def steady_run(batcher: Any) -> dict[str, Any]:
+        rt = ServingRuntime(config, batcher=batcher, opt=opt, use_graph=True)
+        rt.run(trace)  # warm-up: graph captures + admission estimates
+        hits0, misses0 = rt.graph_cache.hits, rt.graph_cache.misses
+        report = rt.run(trace)
+        d_hits = rt.graph_cache.hits - hits0
+        d_lookups = d_hits + rt.graph_cache.misses - misses0
+        return {
+            "batcher": batcher.name,
+            "gpu_busy_us": report.gpu_busy_us,
+            "served_tokens": served_tokens,
+            "us_per_token": report.gpu_busy_us / served_tokens,
+            "steady_hit_rate": d_hits / max(1, d_lookups),
+            "graph_kinds": rt.graph_cache.kind_counts(),
+        }
+
+    baseline = steady_run(BucketBatcher())
+    continuous = steady_run(ContinuousBatcher(token_budget=token_budget))
+    return {
+        "trace": {
+            "requests": num_requests,
+            "alpha": alpha,
+            "max_seq_len": max_seq_len,
+        },
+        "token_budget": token_budget,
+        "baseline": baseline,
+        "continuous": continuous,
+        # lower modelled µs/token than the baseline => speedup > 1
+        "speedup_vs_reference": (
+            baseline["us_per_token"] / continuous["us_per_token"]
+        ),
+        "floor": 1.0,
+        "hit_rate_floor": 0.9,
+    }
+
+
 def run_wallclock_bench(
     *,
     batch: int = 16,
@@ -143,6 +219,7 @@ def run_wallclock_bench(
     preset: str = "fused MHA",
     repeats: int = 3,
     seed: int = 0,
+    serve_requests: int = 48,
 ) -> dict[str, Any]:
     """Benchmark the vectorized engine against the looped reference.
 
@@ -237,6 +314,10 @@ def run_wallclock_bench(
             "reference_wall_us": attention_wall[LOOPED],
             "speedup_vs_reference": attention_wall[LOOPED]
             / attention_wall[VECTORIZED],
+            # host wall-clock measurement: real speedup, but noisy on a
+            # loaded CI box, so a floor breach warns instead of failing
+            "floor": 1.0,
+            "wall_clock_floor": True,
         }
     else:
         attention_section = None
@@ -393,6 +474,7 @@ def run_wallclock_bench(
             "preset": preset,
             "repeats": repeats,
             "seed": seed,
+            "serve_requests": serve_requests,
             "hidden_size": config.hidden_size,
             "num_heads": config.num_heads,
             "total_tokens": int(np.sum(data.mask)),
@@ -411,6 +493,10 @@ def run_wallclock_bench(
                 "wall_us": wall[VECTORIZED],
                 "reference_wall_us": wall[LOOPED],
                 "speedup_vs_reference": wall[LOOPED] / wall[VECTORIZED],
+                # single-core end-to-end is BLAS/GELU-bound: a floor
+                # breach here warns instead of failing --check
+                "floor": 1.0,
+                "amdahl_capped": True,
             },
             **(
                 {"attention": attention_section}
@@ -426,6 +512,9 @@ def run_wallclock_bench(
             },
             "graph_replay": graph_replay_section,
             "steady_state_alloc": steady_state_alloc_section,
+            "continuous_serving": _continuous_serving_section(
+                config, opt, max_seq_len, alpha, seed, serve_requests
+            ),
         },
         "invariants": {
             "outputs_match_atol_1e-6": outputs_match,
@@ -516,6 +605,17 @@ def format_summary(result: dict[str, Any]) -> str:
             f"{alloc['arena_footprint_bytes'] / (1 << 20):.1f} MiB "
             f"({alloc['arena_overflow_allocs']} overflow allocs)"
         )
+    serving = result["sections"].get("continuous_serving")
+    if serving is not None:
+        cont = serving["continuous"]
+        base = serving["baseline"]
+        lines.append(
+            f"  serving   : {cont['us_per_token']:9.3f} modelled us/token "
+            f"continuous vs {base['us_per_token']:9.3f} bucket "
+            f"({serving['speedup_vs_reference']:.2f}x); steady graph hit "
+            f"rate {cont['steady_hit_rate']:.3f} "
+            f"(tile budget {serving['token_budget']})"
+        )
     inv = result["invariants"]
     lines.append(
         f"  invariants: outputs_match={inv['outputs_match_atol_1e-6']} "
@@ -538,6 +638,27 @@ def check_invariants(result: dict[str, Any]) -> list[str]:
     """
     inv = result["invariants"]
     failures = []
+    for name, section in result["sections"].items():
+        floor = section.get("floor") if isinstance(section, dict) else None
+        if (
+            floor is None
+            or section.get("amdahl_capped")
+            or section.get("wall_clock_floor")
+        ):
+            continue  # no floor, or floor breaches are warnings only
+        if section["speedup_vs_reference"] < floor:
+            failures.append(
+                f"section {name}: speedup_vs_reference "
+                f"{section['speedup_vs_reference']:.3f} below floor {floor}"
+            )
+    serving = result["sections"].get("continuous_serving")
+    if serving is not None:
+        hit_rate = serving["continuous"]["steady_hit_rate"]
+        if hit_rate < serving["hit_rate_floor"]:
+            failures.append(
+                f"continuous serving steady-state graph hit rate "
+                f"{hit_rate:.3f} below floor {serving['hit_rate_floor']}"
+            )
     if not inv["outputs_match_atol_1e-6"]:
         failures.append(
             f"engine outputs diverge (max |diff| {inv['max_abs_diff']:.2e})"
@@ -567,3 +688,34 @@ def check_invariants(result: dict[str, Any]) -> list[str]:
                 f"(budget {budget})"
             )
     return failures
+
+
+def check_warnings(result: dict[str, Any]) -> list[str]:
+    """Floor breaches that are reported but do not fail ``--check``.
+
+    Two section flags downgrade a floor breach to a warning: sections
+    marked ``amdahl_capped`` (reachable speedup is bounded by work
+    identical in both engines, which PR 1 documented up front) and
+    sections marked ``wall_clock_floor`` (the speedup is a host
+    wall-clock measurement, and a loaded CI box can sink it without any
+    code regression).  Hard floors stay reserved for modelled-clock
+    metrics, which are deterministic.
+    """
+    warnings = []
+    for name, section in result["sections"].items():
+        if not isinstance(section, dict):
+            continue
+        if section.get("amdahl_capped"):
+            qualifier = "Amdahl-capped"
+        elif section.get("wall_clock_floor"):
+            qualifier = "wall-clock measurement"
+        else:
+            continue
+        floor = section.get("floor")
+        if floor is not None and section["speedup_vs_reference"] < floor:
+            warnings.append(
+                f"section {name}: speedup_vs_reference "
+                f"{section['speedup_vs_reference']:.3f} below floor {floor} "
+                f"({qualifier}: warning, not failure)"
+            )
+    return warnings

@@ -173,6 +173,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.wallclock import (
         QUICK_OVERRIDES,
         check_invariants,
+        check_warnings,
         format_summary,
         run_wallclock_bench,
         write_bench_json,
@@ -206,6 +207,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(f"wrote {path}")
     if args.check:
         failures = check_invariants(result)
+        for warning in check_warnings(result):
+            # Amdahl-capped floor breaches: visible, but not fatal
+            print(f"invariant WARNING: {warning}", file=sys.stderr)
         if failures:
             for failure in failures:
                 print(f"invariant FAILED: {failure}", file=sys.stderr)
@@ -223,11 +227,21 @@ def cmd_serve_chaos(args: argparse.Namespace) -> int:
         RetryPolicy,
         ServingRuntime,
     )
-    from repro.workloads.batching import TimeoutBatcher
+    from repro.workloads.batching import (
+        BucketBatcher,
+        ContinuousBatcher,
+        FifoBatcher,
+        TimeoutBatcher,
+    )
     from repro.workloads.serving import make_trace
 
     if args.requests <= 0:
         raise ValueError(f"--requests must be positive, got {args.requests}")
+    if args.quick:
+        # CI smoke shape: a few dozen requests on a small model
+        args.requests = min(args.requests, 24)
+        args.layers = min(args.layers, 2)
+        args.max_seq_len = min(args.max_seq_len, 64)
     trace = make_trace(
         args.requests,
         args.max_seq_len,
@@ -236,6 +250,20 @@ def cmd_serve_chaos(args: argparse.Namespace) -> int:
         seed=args.seed,
         deadline_us=args.deadline_us if args.deadline_us > 0 else None,
     )
+    if args.batcher == "continuous":
+        batcher = ContinuousBatcher(
+            token_budget=args.token_budget, timeout_us=args.timeout_us
+        )
+    elif args.batcher == "bucket":
+        batcher = BucketBatcher(
+            batch_size=args.batch_size, timeout_us=args.timeout_us
+        )
+    elif args.batcher == "fifo":
+        batcher = FifoBatcher(batch_size=args.batch_size)
+    else:
+        batcher = TimeoutBatcher(
+            batch_size=args.batch_size, timeout_us=args.timeout_us
+        )
     spec = FaultSpec(
         launch_failure_rate=args.fault_rate / 2.0,
         transient_oom_rate=args.fault_rate / 2.0,
@@ -247,9 +275,7 @@ def cmd_serve_chaos(args: argparse.Namespace) -> int:
     )
     runtime = ServingRuntime(
         BertConfig(num_layers=args.layers),
-        batcher=TimeoutBatcher(
-            batch_size=args.batch_size, timeout_us=args.timeout_us
-        ),
+        batcher=batcher,
         retry=RetryPolicy(max_retries=args.max_retries),
         admission=(
             AdmissionController(high_water_us=args.high_water_us)
@@ -278,6 +304,14 @@ def cmd_serve_chaos(args: argparse.Namespace) -> int:
     if runtime.graph_cache is not None:
         stats.append(CacheStats.from_cache("launch_graphs", runtime.graph_cache))
     print(format_cache_stats(stats))
+    if runtime.graph_cache is not None:
+        kinds = runtime.graph_cache.kind_counts()
+        if kinds:
+            parts = ", ".join(
+                f"{kind}: {c['captures']} captured / {c['replays']} replayed"
+                for kind, c in sorted(kinds.items())
+            )
+            print(f"graph kinds: {parts}")
     return 0
 
 
@@ -405,6 +439,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="kernel-name prefix eligible for faults (repeatable; "
         "default: the fused attention kernels, so degradation can "
         "escape them; pass '' to make every kernel eligible)",
+    )
+    p.add_argument(
+        "--batcher",
+        choices=("timeout", "fifo", "bucket", "continuous"),
+        default="timeout",
+        help="batching policy; 'continuous' packs requests into "
+        "token-budget megabatches quantized to graph-cached tiles",
+    )
+    p.add_argument(
+        "--token-budget",
+        type=int,
+        default=2048,
+        help="valid-token budget per continuous megabatch",
+    )
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke shape (caps requests/layers/seq-len)",
     )
     p.add_argument("--batch-size", type=int, default=8)
     p.add_argument("--timeout-us", type=float, default=2000.0)

@@ -405,3 +405,71 @@ def estimate_model_graphed(
             cap_ctx, config, opt, lens, max_seq_len, mha=effective
         ),
     )
+
+
+def canonical_tile_lengths(tile: int, max_seq_len: int) -> np.ndarray:
+    """The canonical segment layout a token-budget tile is priced as.
+
+    A tile of ``T`` valid tokens is laid out as ``T // max_seq_len``
+    full-length segments plus one ragged remainder — the worst attention
+    composition any megabatch inside the tile can reach (``sum(len_i^2)``
+    is maximised by the longest admissible segments), so the tile's
+    replayed cost never under-prices a real megabatch's attention.  A
+    pure function of ``(tile, max_seq_len)``: this is what makes the
+    tile-keyed launch graph reusable across arbitrary megabatch
+    compositions.
+    """
+    if tile <= 0:
+        raise ValueError(f"tile must be positive, got {tile}")
+    if max_seq_len <= 0:
+        raise ValueError(f"max_seq_len must be positive, got {max_seq_len}")
+    full, remainder = divmod(int(tile), int(max_seq_len))
+    lens = [max_seq_len] * full
+    if remainder:
+        lens.append(remainder)
+    return np.asarray(lens, dtype=np.int64)
+
+
+def estimate_model_tiled(
+    ctx: ExecutionContext,
+    config: BertConfig,
+    opt: OptimizationConfig,
+    tile: int,
+    max_seq_len: int,
+    *,
+    mha: str | None = None,
+    cache: "GraphCache | None" = None,
+) -> float:
+    """Price a shape-quantized megabatch: the tile's canonical launch chain.
+
+    Continuous serving quantizes every megabatch to a token-budget tile
+    and pays the tile's canonical cost (see
+    :func:`canonical_tile_lengths`) regardless of the exact segment
+    composition — exactly like a CUDA-graph deployment that captures one
+    graph per compiled shape and launches the fixed grid for anything
+    that fits.  The graph-cache key is ``(device, config, preset, path,
+    tile, max_seq_len)``: a handful of tiles cover all live traffic, so
+    steady-state pricing is pure :meth:`~repro.gpusim.graph.LaunchGraph.replay`.
+    """
+    lens = canonical_tile_lengths(tile, max_seq_len)
+    effective = mha or forced_mha_path()
+    if cache is None or isinstance(ctx, NullContext):
+        return estimate_model(
+            ctx, config, opt, lens, max_seq_len, mha=effective
+        )
+    key = (
+        "tile",
+        ctx.device,
+        config,
+        opt,
+        effective,
+        int(tile),
+        int(max_seq_len),
+    )
+    return cache.replay_or_capture(
+        key,
+        ctx,
+        lambda cap_ctx: estimate_model(
+            cap_ctx, config, opt, lens, max_seq_len, mha=effective
+        ),
+    )

@@ -273,6 +273,21 @@ class LiveArena:
         self._alloc.release(name)
         self._live_raw -= self._raw_sizes.pop(name)
 
+    def reserve(self, nbytes: int) -> None:
+        """Pre-commit backing capacity: the next :meth:`begin` grows the
+        buffer to at least ``nbytes``.
+
+        Continuous serving sizes the arena from the *token-budget tile*
+        (see :func:`plan_live_megabatch`) rather than from the first
+        megabatch that happens to arrive, so differently-composed
+        megabatches of the same tile never regrow the backing — the
+        warm-up ``np.empty`` overflows are paid at most once per tile
+        instead of once per composition.
+        """
+        if nbytes < 0:
+            raise ValueError(f"cannot reserve {nbytes} bytes")
+        self._wanted_bytes = max(self._wanted_bytes, int(nbytes))
+
 
 def trace_encoder_layer(
     config: BertConfig,
@@ -500,3 +515,39 @@ def plan_live_forward(
     t.alloc("output", batch * max_seq_len * hidden * elem)
     t.free_all()
     return t
+
+
+def plan_live_megabatch(
+    config: BertConfig,
+    opt: OptimizationConfig,
+    tile: int,
+    max_seq_len: int,
+    *,
+    mha: str | None = None,
+    dtype: np.dtype | type = np.float64,
+) -> ActivationTrace:
+    """Symbolic arena plan for a token-budget megabatch tile.
+
+    Plans the tile's *canonical* segment layout (full ``max_seq_len``
+    segments plus a ragged remainder — see
+    :func:`repro.core.estimator.canonical_tile_lengths`), which maximises
+    every buffer class over all megabatch compositions admissible into
+    the tile: the row-proportional buffers (QKV, FFN, layernorm
+    temporaries) scale with total tokens, bounded by the tile, and the
+    attention score bytes ``sum(len_i^2)`` are maximised — with total
+    tokens fixed and each segment capped at ``max_seq_len`` — by the
+    extreme point the canonical layout is.  Replaying this plan through
+    an :class:`ArenaAllocator` therefore sizes a backing buffer that any
+    real megabatch of the tile fits into (up to per-bucket alignment
+    slack, which :meth:`LiveArena.begin` absorbs by growing once).
+    """
+    from repro.core.estimator import canonical_tile_lengths
+
+    return plan_live_forward(
+        config,
+        opt,
+        canonical_tile_lengths(tile, max_seq_len),
+        max_seq_len,
+        mha=mha,
+        dtype=dtype,
+    )

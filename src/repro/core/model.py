@@ -30,8 +30,18 @@ from repro.attention.dispatch import forced_mha_path
 from repro.core.config import BertConfig, OptimizationConfig
 from repro.core.encoder import encoder_layer_packed, encoder_layer_padded
 from repro.core.engine import is_vectorized
-from repro.core.memory_planner import LiveArena
-from repro.core.padding import pack, packing_from_mask, unpack
+from repro.core.estimator import estimate_model_tiled
+from repro.core.memory_planner import (
+    ArenaAllocator,
+    LiveArena,
+    plan_live_megabatch,
+)
+from repro.core.padding import (
+    CrossRequestPacking,
+    pack,
+    packing_from_mask,
+    unpack,
+)
 from repro.core.weights import ModelWeights, init_model_weights
 from repro.gpusim.graph import GraphCache, capture
 from repro.gpusim.stream import (
@@ -102,6 +112,8 @@ class BertEncoderModel:
         # warm the per-layer weight/bias splits and per-head views once so
         # the forward path never re-slices parameters
         self.weights.precompute(self.config.num_heads)
+        #: tiles whose canonical arena plan has already been reserved
+        self._reserved_tiles: set[int] = set()
 
     def forward(
         self,
@@ -164,6 +176,129 @@ class BertEncoderModel:
             )
         graph.replay(context)
         return out.reshape(batch, seq_len, hidden)
+
+    def forward_packed(
+        self,
+        x_tile: np.ndarray,
+        mega: CrossRequestPacking,
+        *,
+        ctx: ExecutionContext | None = None,
+    ) -> np.ndarray:
+        """Run the stack over a pre-packed cross-request megabatch tile.
+
+        ``x_tile`` is a ``[tile, H]`` buffer whose first
+        ``mega.total_tokens`` rows are the merged requests' valid tokens
+        (see :func:`repro.core.padding.pack_segments`); the quantization
+        tail is ignored on input and zeroed on output.  Returns the
+        ``[tile, H]`` packed output — scatter it back per request with
+        :func:`repro.core.padding.scatter_segments`.
+
+        The two planes split the way continuous serving needs them to:
+
+        * **numerics** run launch-free over the *real* segments only
+          (``x_tile[:total]`` under the merged :class:`PackedSeqs`, so
+          attention sees per-request boundaries and results are bitwise
+          what each request would get alone);
+        * **cost** is the tile's canonical launch chain
+          (:func:`~repro.core.estimator.estimate_model_tiled`), keyed by
+          ``(device, config, preset, path, tile)`` in the
+          :attr:`graph_cache` — identical megabatch tiles replay one
+          captured graph regardless of their exact composition, which is
+          what makes the hot serving path graph-replayable.
+
+        With an :attr:`arena`, the backing is pre-reserved from the
+        tile's canonical plan (:func:`plan_live_megabatch`) so
+        differently-composed megabatches of one tile never regrow it;
+        the returned tensor is an arena view valid until the next
+        forward on this model.
+        """
+        if not self.opt.remove_padding:
+            raise ValueError(
+                "forward_packed needs the packed pipeline (remove_padding)"
+            )
+        hidden = self.config.hidden_size
+        if x_tile.ndim != 2 or x_tile.shape != (mega.tile, hidden):
+            raise ValueError(
+                f"expected [{mega.tile}, {hidden}] tile buffer, got "
+                f"{x_tile.shape}"
+            )
+        context = resolve_context(ctx)
+        # cost plane: price (or replay) the canonical tile launch chain.
+        # A NullContext caller owns pricing elsewhere (the serving
+        # runtime prices the tile on its fault-hooked context), so the
+        # chain is skipped entirely rather than estimated into the void.
+        if not isinstance(context, NullContext):
+            estimate_model_tiled(
+                context,
+                self.config,
+                self.opt,
+                mega.tile,
+                mega.packing.max_seq_len,
+                cache=self.graph_cache,
+            )
+        # numeric plane: real segments only, launch-free
+        return self._forward_numeric_packed(x_tile, mega)
+
+    def _forward_numeric_packed(
+        self, x_tile: np.ndarray, mega: CrossRequestPacking
+    ) -> np.ndarray:
+        """Megabatch numerics under a NullContext; returns [tile, H]."""
+        context = NullContext()
+        hidden = self.config.hidden_size
+        total = mega.total_tokens
+        packing = mega.packing
+        x_valid = x_tile[:total]
+        arena = self.arena
+        if (
+            arena is not None
+            and is_vectorized()
+            and np.issubdtype(x_tile.dtype, np.floating)
+        ):
+            dt = x_tile.dtype
+            if mega.tile not in self._reserved_tiles:
+                plan = plan_live_megabatch(
+                    self.config,
+                    self.opt,
+                    mega.tile,
+                    packing.max_seq_len,
+                    mha=forced_mha_path(),
+                    dtype=dt,
+                )
+                arena.reserve(ArenaAllocator(arena.alignment).replay(plan))
+                self._reserved_tiles.add(mega.tile)
+            arena.begin()
+            cur = arena.take("h0", (total, hidden), dt)
+            nxt = arena.take("h1", (total, hidden), dt)
+            np.copyto(cur, x_valid)
+            for layer in self.weights.layers:
+                encoder_layer_packed(
+                    cur,
+                    layer,
+                    self.config,
+                    self.opt,
+                    packing,
+                    ctx=context,
+                    scratch=arena,
+                    out=nxt,
+                )
+                cur, nxt = nxt, cur
+            out = arena.take("output", (mega.tile, hidden), dt)
+            np.copyto(out[:total], cur)
+            out[total:] = 0.0
+            return out
+        hidden_state = x_valid
+        for layer in self.weights.layers:
+            hidden_state = encoder_layer_packed(
+                hidden_state,
+                layer,
+                self.config,
+                self.opt,
+                packing,
+                ctx=context,
+            )
+        out = np.zeros((mega.tile, hidden), dtype=x_tile.dtype)
+        out[:total] = hidden_state
+        return out
 
     def _forward_numeric(
         self,

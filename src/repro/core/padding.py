@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -263,6 +264,170 @@ def packing_from_lengths(
     if cache is not None:
         return cache.get_or_build(lens, max_seq_len)
     return _build_packing(lens, max_seq_len)
+
+
+# ----------------------------------------------------------------------
+# cross-request packing: many requests, one packed buffer
+
+
+class EmptySegmentError(ValueError):
+    """A request contributed zero valid tokens to a cross-request pack.
+
+    The packed layout has no representation for an empty segment (every
+    sentence owns at least one packed row), so the scheduler must shed
+    such a request instead of admitting it into a megabatch.
+    """
+
+
+class TileOverflowError(ValueError):
+    """The merged segments hold more valid tokens than the tile allows."""
+
+
+@dataclass(frozen=True)
+class CrossRequestPacking:
+    """Positioning of many requests merged into one tile-sized packed buffer.
+
+    The continuous batcher admits whole requests into a rolling megabatch
+    bounded by a token budget; this structure is the pack/merge result:
+    each request becomes one *segment* (a sentence of the underlying
+    :class:`PackedSeqs`), segments are concatenated in admission order,
+    and the buffer is quantized to ``tile`` rows — the tail
+    ``tile - total_tokens`` rows are zero-padding that exists *only
+    inside the packed buffer* (no padded ``[B, S]`` layout is ever
+    materialised for it).
+
+    Attributes
+    ----------
+    packing:
+        :class:`PackedSeqs` over the real segments: ``seq_lens[i]`` is
+        request ``i``'s length, ``seq_offsets`` are the per-request
+        segment offsets the scatter-back path indexes with.
+    tile:
+        Quantized row count of the packed buffer (``>= total_tokens``).
+    """
+
+    packing: PackedSeqs
+    tile: int
+
+    def __post_init__(self) -> None:
+        if self.tile < self.packing.total_tokens:
+            raise TileOverflowError(
+                f"{self.packing.total_tokens} merged tokens do not fit a "
+                f"{self.tile}-token tile"
+            )
+
+    @property
+    def num_segments(self) -> int:
+        return self.packing.batch
+
+    @property
+    def total_tokens(self) -> int:
+        """Valid (real) tokens; rows ``total_tokens:tile`` are padding."""
+        return self.packing.total_tokens
+
+    @property
+    def pad_tokens(self) -> int:
+        """Quantization padding inside the buffer — bounded by ``tile - 1``."""
+        return self.tile - self.total_tokens
+
+    @property
+    def seq_lens(self) -> np.ndarray:
+        return self.packing.seq_lens
+
+    @property
+    def segment_offsets(self) -> np.ndarray:
+        """``[num_segments + 1]`` exclusive prefix of segment lengths."""
+        return self.packing.seq_offsets
+
+    def rows_of(self, i: int) -> slice:
+        """Packed row range of segment (request) ``i``."""
+        return self.packing.rows_of(i)
+
+
+def merge_request_lengths(
+    seq_lens: np.ndarray | list[int],
+    max_seq_len: int,
+    tile: int,
+    *,
+    cache: PackingCache | None = _USE_DEFAULT,  # type: ignore[assignment]
+) -> CrossRequestPacking:
+    """Merge per-request lengths into one :class:`CrossRequestPacking`.
+
+    Each request keeps its own segment (attention never crosses segment
+    boundaries); the packed buffer is sized to ``tile`` rows.  Raises
+    :class:`EmptySegmentError` for a zero-length request and
+    :class:`TileOverflowError` when the lengths sum past the tile.
+    """
+    lens = np.asarray(seq_lens, dtype=np.int64)
+    if lens.ndim != 1 or lens.size == 0:
+        raise ValueError("need a non-empty 1-D vector of request lengths")
+    if (lens <= 0).any():
+        i = int(np.flatnonzero(lens <= 0)[0])
+        raise EmptySegmentError(
+            f"request {i} contributes {int(lens[i])} valid tokens; "
+            "a megabatch segment needs at least one"
+        )
+    total = int(lens.sum())
+    if total > tile:
+        raise TileOverflowError(
+            f"{total} merged tokens do not fit a {tile}-token tile"
+        )
+    packing = packing_from_lengths(lens, max_seq_len, cache=cache)
+    return CrossRequestPacking(packing=packing, tile=tile)
+
+
+def pack_segments(
+    segments: Sequence[np.ndarray],
+    mega: CrossRequestPacking,
+    *,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Concatenate per-request ``[L_i, H]`` tensors into the tile buffer.
+
+    Returns a ``[tile, H]`` array whose first ``total_tokens`` rows are
+    the segments in order and whose tail rows are exactly zero (the
+    quantization padding lives only here, never in a padded layout).
+    """
+    if len(segments) != mega.num_segments:
+        raise ValueError(
+            f"{len(segments)} segment tensors != {mega.num_segments} "
+            "merged requests"
+        )
+    hidden = segments[0].shape[-1]
+    if out is None:
+        out = np.empty((mega.tile, hidden), dtype=segments[0].dtype)
+    elif out.shape != (mega.tile, hidden):
+        raise ValueError(
+            f"out shape {out.shape} != tile layout ({mega.tile}, {hidden})"
+        )
+    offsets = mega.segment_offsets
+    for i, seg in enumerate(segments):
+        rows = seg.reshape(-1, hidden)
+        expected = int(mega.seq_lens[i])
+        if rows.shape[0] != expected:
+            raise ValueError(
+                f"segment {i} has {rows.shape[0]} rows, packing expects "
+                f"{expected}"
+            )
+        out[offsets[i] : offsets[i + 1]] = rows
+    out[mega.total_tokens :] = 0.0
+    return out
+
+
+def scatter_segments(
+    packed: np.ndarray, mega: CrossRequestPacking
+) -> list[np.ndarray]:
+    """Split a packed ``[tile, H]`` (or ``[total, H]``) result back into
+    per-request ``[L_i, H]`` views, in admission order.
+
+    The views alias ``packed``; callers that outlive the buffer (e.g. the
+    serving report under an arena-backed model) must copy.
+    """
+    if packed.ndim != 2 or packed.shape[0] < mega.total_tokens:
+        raise ValueError(
+            f"expected at least [{mega.total_tokens}, H], got {packed.shape}"
+        )
+    return [packed[mega.rows_of(i)] for i in range(mega.num_segments)]
 
 
 def pack(

@@ -135,6 +135,11 @@ class GraphCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: graphs captured (eager passes that got frozen) / replayed,
+        #: split per key kind — see :meth:`kind_counts`
+        self.captures = 0
+        self.replays = 0
+        self._kind_counts: dict[str, dict[str, int]] = {}
         self._entries: OrderedDict[Hashable, LaunchGraph] = OrderedDict()
 
     def __len__(self) -> int:
@@ -145,6 +150,34 @@ class GraphCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.captures = 0
+        self.replays = 0
+        self._kind_counts = {}
+
+    @staticmethod
+    def _kind_of(key: Hashable) -> str:
+        """Key kind for the eager/replayed split: the leading string tag
+        of tagged keys (``"estimate"``, ``"tile"``), else ``"model"``."""
+        if isinstance(key, tuple) and key and isinstance(key[0], str):
+            return key[0]
+        return "model"
+
+    def _bump(self, key: Hashable, counter: str) -> None:
+        kind = self._kind_counts.setdefault(
+            self._kind_of(key), {"captures": 0, "replays": 0}
+        )
+        kind[counter] += 1
+
+    def kind_counts(self) -> dict[str, dict[str, int]]:
+        """Eager-capture vs replay counts per key kind.
+
+        ``{"tile": {"captures": 3, "replays": 240}, ...}`` — the serving
+        observability for shape quantization: a healthy continuous
+        deployment shows a handful of ``tile`` captures (one per live
+        tile) against a large replay count, while a per-dispatch batcher
+        scatters captures across unique length signatures.
+        """
+        return {k: dict(v) for k, v in self._kind_counts.items()}
 
     def get(self, key: Hashable) -> LaunchGraph | None:
         """The cached graph for ``key``, or ``None`` (counted as a miss)."""
@@ -154,12 +187,20 @@ class GraphCache:
             return None
         self._entries.move_to_end(key)
         self.hits += 1
+        self.replays += 1
+        self._bump(key, "replays")
         return graph
 
     def put(self, key: Hashable, graph: LaunchGraph) -> LaunchGraph:
-        """Insert ``graph`` under ``key``, evicting the LRU entry if full."""
+        """Insert ``graph`` under ``key``, evicting the LRU entry if full.
+
+        A ``put`` is counted as a capture: both call sites freeze a
+        freshly-run eager stream immediately before storing it.
+        """
         self._entries[key] = graph
         self._entries.move_to_end(key)
+        self.captures += 1
+        self._bump(key, "captures")
         if len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.evictions += 1

@@ -12,6 +12,15 @@ deadline shedding and high-water-mark admission control
 """
 
 from repro.serving.admission import AdmissionController
+from repro.serving.continuous import (
+    DEFAULT_TILES,
+    ContinuousBatcher,
+    TokenBudgetExceededError,
+    build_megabatch,
+    quantize_tile,
+    retile,
+    scatter_outputs,
+)
 from repro.serving.degradation import (
     DEFAULT_LEVELS,
     DegradationLadder,
@@ -40,6 +49,13 @@ from repro.serving.runtime import ServingRuntime
 
 __all__ = [
     "AdmissionController",
+    "DEFAULT_TILES",
+    "ContinuousBatcher",
+    "TokenBudgetExceededError",
+    "build_megabatch",
+    "quantize_tile",
+    "retile",
+    "scatter_outputs",
     "DEFAULT_LEVELS",
     "DegradationLadder",
     "DegradationLevel",

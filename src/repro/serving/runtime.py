@@ -30,13 +30,18 @@ import numpy as np
 from repro.attention.dispatch import force_mha_path
 from repro.core.config import FUSED_MHA, BertConfig, OptimizationConfig
 from repro.core.engine import use_engine
-from repro.core.estimator import estimate_model_graphed
+from repro.core.estimator import estimate_model_graphed, estimate_model_tiled
 from repro.core.model import BertEncoderModel
 from repro.core.parallel import BucketExecutor
 from repro.gpusim.graph import GraphCache
 from repro.gpusim.device import A100_SPEC, DeviceSpec
 from repro.gpusim.errors import TransientFault
-from repro.gpusim.stream import ExecutionContext
+from repro.gpusim.stream import ExecutionContext, NullContext
+from repro.serving.continuous import (
+    build_megabatch,
+    retile,
+    scatter_outputs,
+)
 from repro.serving.admission import AdmissionController
 from repro.serving.degradation import DegradationLadder, DegradationLevel
 from repro.serving.faults import NO_FAULTS, FaultPlan, FaultSpec
@@ -142,10 +147,34 @@ class ServingRuntime:
                 cache=self.graph_cache,
             )
 
+    def _price_tile(
+        self,
+        ctx: ExecutionContext,
+        tile: int,
+        max_seq_len: int,
+        level: DegradationLevel,
+    ) -> float:
+        """Price a continuous megabatch: the tile's canonical launch
+        chain, graph-cached by ``(device, config, preset, path, tile)``
+        so identical tiles replay regardless of their composition."""
+        with use_engine(level.engine), force_mha_path(level.mha_path):
+            return estimate_model_tiled(
+                ctx, self.config, self.opt, tile, max_seq_len,
+                cache=self.graph_cache,
+            )
+
     def _estimate_service(
-        self, requests: list[Request], max_seq_len: int, level: DegradationLevel
+        self,
+        requests: list[Request],
+        max_seq_len: int,
+        level: DegradationLevel,
+        tile: int | None = None,
     ) -> float:
         """Fault-free service estimate for a group at the given level."""
+        if tile is not None:
+            return self._price_tile(
+                ExecutionContext(self.device), tile, max_seq_len, level
+            )
         dispatch = Dispatch(requests=tuple(requests), ready_us=0.0)
         return self._price(
             ExecutionContext(self.device),
@@ -191,15 +220,42 @@ class ServingRuntime:
         return out[0]
 
     def _compute_batch_outputs(
-        self, requests: list[Request], level: DegradationLevel
+        self,
+        requests: list[Request],
+        level: DegradationLevel,
+        *,
+        max_seq_len: int | None = None,
+        tile: int | None = None,
     ) -> list[np.ndarray]:
         """Outputs of one dispatch's served requests, possibly in parallel.
 
-        Requests are independent (disjoint inputs, disjoint outputs), so
-        they fan out across the worker pool.  An arena-backed numerics
-        model serializes: its scratch buffers must not be shared across
-        concurrent forwards.
+        With a ``tile`` (continuous megabatch), all requests merge into
+        one cross-request packed forward and the packed output is
+        scattered back per request — bitwise what each request would get
+        through its own single-request forward, because the numeric
+        plane runs over the real segments only and attention respects
+        per-request segment boundaries.
+
+        Otherwise requests are independent (disjoint inputs, disjoint
+        outputs), so they fan out across the worker pool.  An
+        arena-backed numerics model serializes: its scratch buffers must
+        not be shared across concurrent forwards.
         """
+        if tile is not None and self.numerics.opt.remove_padding:
+            # cross-request packing is a packed-pipeline concept; a
+            # padded-preset numerics model serves per request below
+            # (same bits — every pipeline computes the same function)
+            x_tile, mega = build_megabatch(
+                requests,
+                lambda r: self._request_input(r)[0][0],
+                max_seq_len,
+                tile,
+            )
+            with use_engine(level.engine):
+                out_tile = self.numerics.forward_packed(
+                    x_tile, mega, ctx=NullContext()
+                )
+            return scatter_outputs(out_tile, mega)
         if self.workers > 1 and self.numerics.arena is None:
             with use_engine(level.engine):
                 return self._executor.map(
@@ -277,7 +333,8 @@ class ServingRuntime:
                 # shed members that cannot finish inside their budget even
                 # if the dispatch started right now
                 est = self._estimate_service(
-                    alive, trace.max_seq_len, self.ladder.level
+                    alive, trace.max_seq_len, self.ladder.level,
+                    tile=dispatch.tile,
                 )
                 still_alive = []
                 for request in alive:
@@ -296,12 +353,25 @@ class ServingRuntime:
                 lens = np.asarray(
                     [r.seq_len for r in alive], dtype=np.int64
                 )
-                padded = dispatch_padded_len(
-                    Dispatch(requests=tuple(alive), ready_us=start),
-                    trace.max_seq_len,
-                )
+                tile = None
                 try:
-                    service = self._price(ctx, lens, padded, level)
+                    if dispatch.tile is not None:
+                        # megabatch: survivors of a faulted attempt were
+                        # re-shed above, so this attempt covers only the
+                        # still-affected segments — re-quantized, usually
+                        # onto a smaller (still graph-cached) tile
+                        tile = retile(
+                            int(lens.sum()), self.batcher, dispatch.tile
+                        )
+                        service = self._price_tile(
+                            ctx, tile, trace.max_seq_len, level
+                        )
+                    else:
+                        padded = dispatch_padded_len(
+                            Dispatch(requests=tuple(alive), ready_us=start),
+                            trace.max_seq_len,
+                        )
+                        service = self._price(ctx, lens, padded, level)
                 except TransientFault:
                     # the chain ran up to the faulted kernel: that time is
                     # burnt, then the retry backs off on the sim clock
@@ -337,7 +407,11 @@ class ServingRuntime:
                 gpu_free_at = finish
                 if self.numerics is not None:
                     for request, output in zip(
-                        alive, self._compute_batch_outputs(alive, level)
+                        alive,
+                        self._compute_batch_outputs(
+                            alive, level,
+                            max_seq_len=trace.max_seq_len, tile=tile,
+                        ),
                     ):
                         outputs[request.request_id] = output
                 for request in alive:

@@ -7,7 +7,7 @@ the padding story: a FIFO batcher mixes long and short sentences (worst
 padding for a padded engine, irrelevant for a packed one), while a
 length-bucketed batcher trades queueing delay for tighter batches.
 
-Three policies are provided, each a generator of dispatch decisions over
+Four policies are provided, each a generator of dispatch decisions over
 a :class:`~repro.workloads.serving.ServingTrace`:
 
 * :class:`FifoBatcher` — dispatch in arrival order once ``batch_size``
@@ -16,7 +16,12 @@ a :class:`~repro.workloads.serving.ServingTrace`:
   waiting request has waited ``timeout_us``;
 * :class:`BucketBatcher` — like TimeoutBatcher, but requests are queued
   into length buckets and each dispatch drains one bucket — the serving-
-  side analogue of TurboTransformer's smart batching.
+  side analogue of TurboTransformer's smart batching;
+* :class:`ContinuousBatcher` — token-budget megabatching: requests of
+  any length are merged into one packed dispatch bounded by a *token*
+  budget rather than a request count, and the packed shape is quantized
+  to a small set of tiles (:data:`DEFAULT_TILES`) so the launch-graph
+  cache key recurs under live traffic.
 
 :func:`replay` runs a policy against a framework cost model on a single
 simulated GPU and returns per-request latencies.
@@ -35,21 +40,57 @@ from repro.frameworks.base import Framework
 from repro.workloads.serving import Request, ServingTrace
 
 
+class TokenBudgetExceededError(ValueError):
+    """A single request carries more valid tokens than the token budget.
+
+    An encoder request is a single sequence: its tokens attend to each
+    other, so it cannot be split across megabatches the way a decoder
+    prompt can be chunked.  The batcher rejects it with this typed error
+    instead of silently dropping or deadlocking on it.
+    """
+
+
 @dataclass(frozen=True)
 class Dispatch:
-    """One batch handed to the GPU."""
+    """One batch handed to the GPU.
+
+    ``tile`` is ``None`` for the per-request batchers (FIFO / timeout /
+    bucket).  A continuous megabatch sets it to the quantized token
+    budget the packed buffer is shaped to; segment metadata
+    (:attr:`segment_offsets`) then locates each request's rows inside
+    the packed tensor so results can be scattered back to their owners.
+    """
 
     requests: tuple[Request, ...]
     #: time at which the batch became eligible to start
     ready_us: float
+    #: quantized token-budget tile for megabatch dispatches, else None
+    tile: int | None = None
 
     def __post_init__(self) -> None:
         if not self.requests:
             raise ValueError("a dispatch needs at least one request")
+        if self.tile is not None and self.tile < self.total_tokens:
+            raise ValueError(
+                f"tile {self.tile} cannot hold {self.total_tokens} "
+                "merged tokens"
+            )
 
     @property
     def seq_lens(self) -> np.ndarray:
         return np.asarray([r.seq_len for r in self.requests], dtype=np.int64)
+
+    @property
+    def total_tokens(self) -> int:
+        return int(sum(r.seq_len for r in self.requests))
+
+    @property
+    def segment_offsets(self) -> np.ndarray:
+        """Row offsets of each request's segment in the packed buffer:
+        ``offsets[i]:offsets[i+1]`` are request ``i``'s valid tokens."""
+        offsets = np.zeros(len(self.requests) + 1, dtype=np.int64)
+        np.cumsum(self.seq_lens, out=offsets[1:])
+        return offsets
 
 
 class Batcher(abc.ABC):
@@ -190,6 +231,127 @@ class BucketBatcher(Batcher):
         plan.sort(key=lambda d: d.ready_us)
         self._validate_cover(trace, plan)
         return plan
+
+
+#: default token-budget tiles the continuous batcher quantizes to — a
+#: handful of compiled shapes, the CUDA-graph analogue of
+#: :data:`SHAPE_GRANULARITY` for padded engines
+DEFAULT_TILES = (512, 1024, 2048)
+
+
+def quantize_tile(total_tokens: int, tiles: Sequence[int]) -> int:
+    """Smallest tile that holds ``total_tokens`` valid tokens.
+
+    Quantization padding is therefore bounded by ``tile - 1`` tokens per
+    megabatch (one token over the next-smaller tile is the worst case).
+    """
+    if total_tokens <= 0:
+        raise ValueError(f"total_tokens must be positive, got {total_tokens}")
+    for tile in sorted(tiles):
+        if total_tokens <= tile:
+            return int(tile)
+    raise TokenBudgetExceededError(
+        f"{total_tokens} tokens exceed the largest tile {max(tiles)}"
+    )
+
+
+@dataclass
+class ContinuousBatcher(Batcher):
+    """Token-budget megabatching with shape-quantized dispatches.
+
+    Requests are admitted into a rolling megabatch bounded by
+    ``token_budget`` *valid tokens* (not a request count): a dispatch
+    cuts when the waiting pool reaches the budget or the oldest waiting
+    request ages past ``timeout_us``.  The fill is deadline-aware —
+    requests with the earliest absolute deadlines are packed first, so a
+    tight-deadline straggler is not starved by later bulk arrivals — but
+    the oldest request is always included, which bounds head-of-line
+    wait and guarantees the planner makes progress.
+
+    Each dispatch is quantized to the smallest tile in ``tiles`` that
+    holds its merged tokens (tiles above ``token_budget`` are never
+    used; the budget itself is always available as the largest tile), so
+    the (device, config, preset, tile) launch-graph key recurs and
+    steady-state serving replays captured graphs instead of dispatching
+    eagerly.  A request longer than the budget raises
+    :class:`TokenBudgetExceededError`: an encoder sequence cannot be
+    split across megabatches.
+    """
+
+    token_budget: int = 2048
+    timeout_us: float = 2000.0
+    tiles: tuple[int, ...] = DEFAULT_TILES
+    name: str = "continuous"
+
+    def effective_tiles(self) -> tuple[int, ...]:
+        """Tiles actually used: those under the budget, plus the budget."""
+        under = sorted(t for t in self.tiles if t < self.token_budget)
+        return tuple(under) + (self.token_budget,)
+
+    def plan(self, trace: ServingTrace) -> list[Dispatch]:
+        if self.token_budget <= 0 or self.timeout_us < 0:
+            raise ValueError("invalid batcher parameters")
+        if self.tiles and min(self.tiles) <= 0:
+            raise ValueError("tiles must be positive")
+        for request in trace.requests:
+            if request.seq_len > self.token_budget:
+                raise TokenBudgetExceededError(
+                    f"request {request.request_id} has {request.seq_len} "
+                    f"tokens, more than the {self.token_budget}-token "
+                    "budget; an encoder sequence cannot be split"
+                )
+        plan: list[Dispatch] = []
+        waiting: list[Request] = []
+        for request in trace.requests:
+            # flush any megabatch whose head ages out before this arrival
+            while waiting and (
+                request.arrival_us
+                > waiting[0].arrival_us + self.timeout_us
+            ):
+                plan.append(
+                    self._cut(
+                        waiting, waiting[0].arrival_us + self.timeout_us
+                    )
+                )
+            waiting.append(request)
+            while (
+                sum(r.seq_len for r in waiting) >= self.token_budget
+            ):
+                plan.append(self._cut(waiting, request.arrival_us))
+        while waiting:
+            plan.append(
+                self._cut(waiting, waiting[0].arrival_us + self.timeout_us)
+            )
+        plan.sort(key=lambda d: d.ready_us)
+        self._validate_cover(trace, plan)
+        return plan
+
+    def _cut(self, waiting: list[Request], ready_us: float) -> Dispatch:
+        """Fill one megabatch from ``waiting`` (mutating it) and tile it."""
+        # the head always ships (progress guarantee); the rest of the
+        # budget goes to the tightest deadlines first
+        chosen = {0}
+        used = waiting[0].seq_len
+        by_deadline = sorted(
+            range(1, len(waiting)),
+            key=lambda i: (
+                waiting[i].absolute_deadline_us is None,
+                waiting[i].absolute_deadline_us or 0.0,
+                waiting[i].arrival_us,
+                waiting[i].request_id,
+            ),
+        )
+        for i in by_deadline:
+            if used + waiting[i].seq_len <= self.token_budget:
+                chosen.add(i)
+                used += waiting[i].seq_len
+        cut = [r for i, r in enumerate(waiting) if i in chosen]
+        waiting[:] = [r for i, r in enumerate(waiting) if i not in chosen]
+        return Dispatch(
+            requests=tuple(cut),
+            ready_us=ready_us,
+            tile=quantize_tile(used, self.effective_tiles()),
+        )
 
 
 @dataclass(frozen=True)

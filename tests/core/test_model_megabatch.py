@@ -1,0 +1,152 @@
+"""Cross-request megabatch forward: bitwise oracle, isolation, graphs.
+
+The continuous-batching tentpole rides on ``forward_packed``: many
+requests merged into one tile buffer must compute exactly the bits each
+request would get alone, replay one launch graph per tile regardless of
+composition, and never alias arena scratch across parallel buckets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import FUSED_MHA, BertConfig
+from repro.core.engine import LOOPED, VECTORIZED, use_engine
+from repro.core.memory_planner import LiveArena
+from repro.core.model import BertEncoderModel
+from repro.core.padding import (
+    merge_request_lengths,
+    pack_segments,
+    scatter_segments,
+)
+from repro.core.parallel import use_workers
+from repro.gpusim import ExecutionContext
+from repro.gpusim.graph import GraphCache
+
+MAX_SEQ = 16
+TILE = 64
+
+
+@pytest.fixture()
+def model(small_config, small_weights):
+    return BertEncoderModel(small_config, FUSED_MHA, weights=small_weights)
+
+
+def make_megabatch(small_config, rng, lens):
+    mega = merge_request_lengths(
+        np.asarray(lens, dtype=np.int64), MAX_SEQ, TILE
+    )
+    segments = [
+        rng.normal(size=(length, small_config.hidden_size))
+        for length in lens
+    ]
+    return segments, mega, pack_segments(segments, mega)
+
+
+def looped_oracle(model, segment):
+    """What this request computes when served alone (padded, mask=1)."""
+    x = segment[np.newaxis]
+    mask = np.ones((1, segment.shape[0]), dtype=np.int64)
+    return model.forward(x, mask)[0]
+
+
+class TestBitwiseOracle:
+    @pytest.mark.parametrize("engine", [LOOPED, VECTORIZED])
+    def test_scatter_back_matches_looped_single_request(
+        self, model, small_config, rng, engine
+    ):
+        segments, mega, x_tile = make_megabatch(
+            small_config, rng, [5, 12, 3, 8]
+        )
+        with use_engine(engine):
+            out_tile = model.forward_packed(x_tile, mega)
+            outs = scatter_segments(out_tile, mega)
+            for segment, out in zip(segments, outs):
+                expected = looped_oracle(model, segment)
+                np.testing.assert_array_equal(out, expected)
+
+    def test_quantization_tail_zeroed(self, model, small_config, rng):
+        _, mega, x_tile = make_megabatch(small_config, rng, [5, 12, 3])
+        # garbage in the tail must not leak into (or survive in) the output
+        x_tile[mega.total_tokens :] = 123.0
+        out = model.forward_packed(x_tile, mega)
+        assert not out[mega.total_tokens :].any()
+
+    def test_no_cross_request_leakage(self, model, small_config, rng):
+        # perturbing one request must not change any *other* request's
+        # bits — attention is windowed to per-request segments
+        lens = [5, 12, 3, 8]
+        segments, mega, x_tile = make_megabatch(small_config, rng, lens)
+        baseline = scatter_segments(
+            model.forward_packed(x_tile, mega).copy(), mega
+        )
+        perturbed = [s.copy() for s in segments]
+        perturbed[1] = perturbed[1] + 10.0
+        out = scatter_segments(
+            model.forward_packed(pack_segments(perturbed, mega), mega), mega
+        )
+        for i in (0, 2, 3):
+            np.testing.assert_array_equal(out[i], baseline[i])
+        assert not np.array_equal(out[1], baseline[1])
+
+
+class TestTileGraphReuse:
+    def test_one_capture_then_replays_across_compositions(
+        self, model, small_config, rng
+    ):
+        cache = GraphCache()
+        model.graph_cache = cache
+        ctx = ExecutionContext()
+        for lens in ([5, 12, 3, 8], [16, 16, 16, 16], [1, 1], [30]):
+            lens = [min(length, MAX_SEQ) for length in lens]
+            _, mega, x_tile = make_megabatch(small_config, rng, lens)
+            model.forward_packed(x_tile, mega, ctx=ctx)
+        counts = cache.kind_counts()["tile"]
+        assert counts == {"captures": 1, "replays": 3}
+
+    def test_validation(self, small_config, small_weights, rng):
+        padded = BertEncoderModel(small_config, weights=small_weights)
+        _, mega, x_tile = make_megabatch(small_config, rng, [5, 3])
+        with pytest.raises(ValueError, match="remove_padding"):
+            padded.forward_packed(x_tile, mega)
+        packed = BertEncoderModel(
+            small_config, FUSED_MHA, weights=small_weights
+        )
+        with pytest.raises(ValueError, match="tile buffer"):
+            packed.forward_packed(x_tile[:-1], mega)
+
+
+class TestArenaMegabatch:
+    def test_workers_and_arena_match_serial_no_arena(
+        self, small_config, small_weights, rng
+    ):
+        # satellite: parallel bucket workers over an arena-backed
+        # megabatch must not alias scratch — outputs stay bit-identical
+        # to the serial, allocation-per-op path
+        plain = BertEncoderModel(small_config, FUSED_MHA, weights=small_weights)
+        arena_model = BertEncoderModel(
+            small_config,
+            FUSED_MHA,
+            weights=small_weights,
+            arena=LiveArena(),
+        )
+        segments, mega, x_tile = make_megabatch(
+            small_config, rng, [5, 12, 3, 8, 16, 2]
+        )
+        expected = plain.forward_packed(x_tile.copy(), mega)
+        with use_workers(3):
+            got = arena_model.forward_packed(x_tile, mega)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_tile_reservation_prevents_overflow(
+        self, small_config, small_weights, rng
+    ):
+        # the tile's canonical plan is an upper bound over every
+        # composition, so no megabatch of this tile regrows the arena
+        arena = LiveArena()
+        model = BertEncoderModel(
+            small_config, FUSED_MHA, weights=small_weights, arena=arena
+        )
+        for lens in ([5, 12, 3, 8], [16] * 4, [1, 2, 3], [16, 1, 16, 1]):
+            _, mega, x_tile = make_megabatch(small_config, rng, lens)
+            model.forward_packed(x_tile, mega)
+        assert arena.overflow_allocs == 0

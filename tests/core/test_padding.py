@@ -6,10 +6,15 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.padding import (
+    EmptySegmentError,
     PackedSeqs,
+    TileOverflowError,
+    merge_request_lengths,
     pack,
+    pack_segments,
     packing_from_lengths,
     packing_from_mask,
+    scatter_segments,
     unpack,
 )
 from repro.gpusim import ExecutionContext
@@ -135,3 +140,71 @@ class TestPackUnpackValidation:
                 seq_offsets=np.array([0, 2]),
                 gather_idx=np.array([0]),
             )
+
+
+class TestCrossRequestPacking:
+    """The megabatch merge path: merge_request_lengths / pack_segments /
+    scatter_segments and the edge cases continuous batching exposes."""
+
+    def test_merge_layout(self):
+        mega = merge_request_lengths(np.array([3, 5, 2]), 8, 16)
+        assert mega.tile == 16
+        assert mega.total_tokens == 10
+        assert mega.pad_tokens == 6
+        assert mega.num_segments == 3
+        np.testing.assert_array_equal(
+            mega.segment_offsets, [0, 3, 8, 10]
+        )
+
+    def test_pack_scatter_roundtrip(self, rng):
+        lens = np.array([3, 5, 2])
+        mega = merge_request_lengths(lens, 8, 16)
+        segs = [rng.normal(size=(int(l), 4)) for l in lens]
+        tile = pack_segments(segs, mega)
+        assert tile.shape == (16, 4)
+        # quantization tail zero-padded inside the packed buffer only
+        assert not tile[mega.total_tokens :].any()
+        for seg, back in zip(segs, scatter_segments(tile, mega)):
+            np.testing.assert_array_equal(seg, back)
+
+    def test_scatter_returns_views(self, rng):
+        mega = merge_request_lengths(np.array([2, 2]), 4, 8)
+        tile = pack_segments(
+            [rng.normal(size=(2, 4)) for _ in range(2)], mega
+        )
+        for view in scatter_segments(tile, mega):
+            assert np.shares_memory(view, tile)
+
+    def test_zero_valid_token_request_typed_error(self):
+        with pytest.raises(EmptySegmentError, match="request 1"):
+            merge_request_lengths(np.array([3, 0, 2]), 8, 16)
+
+    def test_request_larger_than_tile_typed_error(self):
+        with pytest.raises(TileOverflowError, match="16-token tile"):
+            merge_request_lengths(np.array([9, 9]), 16, 16)
+        # the typed errors are ValueErrors, so CLI error handling applies
+        assert issubclass(TileOverflowError, ValueError)
+        assert issubclass(EmptySegmentError, ValueError)
+
+    def test_exact_tile_no_quantization_padding(self):
+        # all requests the same length, tile exactly full
+        mega = merge_request_lengths(np.array([4, 4, 4, 4]), 4, 16)
+        assert mega.pad_tokens == 0
+        assert mega.total_tokens == mega.tile
+
+    def test_pack_segments_validates_segments(self, rng):
+        mega = merge_request_lengths(np.array([2, 3]), 4, 8)
+        with pytest.raises(ValueError, match="segment tensors"):
+            pack_segments([rng.normal(size=(2, 4))], mega)
+        with pytest.raises(ValueError, match="rows"):
+            pack_segments(
+                [rng.normal(size=(2, 4)), rng.normal(size=(4, 4))], mega
+            )
+
+    def test_pack_segments_out_reuse(self, rng):
+        mega = merge_request_lengths(np.array([2, 3]), 4, 8)
+        segs = [rng.normal(size=(2, 4)), rng.normal(size=(3, 4))]
+        out = np.full((8, 4), 7.0)
+        result = pack_segments(segs, mega, out=out)
+        assert result is out
+        assert not out[5:].any()

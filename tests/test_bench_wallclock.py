@@ -9,6 +9,7 @@ import pytest
 from repro.bench.wallclock import (
     QUICK_OVERRIDES,
     check_invariants,
+    check_warnings,
     format_summary,
     run_wallclock_bench,
     write_bench_json,
@@ -145,3 +146,68 @@ def test_summary_renders(result):
 def test_unknown_preset_rejected():
     with pytest.raises(ValueError, match="unknown preset"):
         run_wallclock_bench(preset="nope", **QUICK_OVERRIDES)
+
+
+def test_continuous_serving_section(result):
+    serving = result["sections"]["continuous_serving"]
+    for key in (
+        "trace",
+        "token_budget",
+        "baseline",
+        "continuous",
+        "speedup_vs_reference",
+        "floor",
+        "hit_rate_floor",
+    ):
+        assert key in serving, key
+    for run in (serving["baseline"], serving["continuous"]):
+        assert run["gpu_busy_us"] > 0
+        assert run["served_tokens"] > 0
+        assert run["us_per_token"] > 0
+        assert 0.0 <= run["steady_hit_rate"] <= 1.0
+    # acceptance gates: steady-state tile graphs replay, and merged
+    # megabatches price no worse per token than bucketed dispatches
+    assert serving["continuous"]["steady_hit_rate"] >= serving["hit_rate_floor"]
+    assert serving["speedup_vs_reference"] >= serving["floor"]
+    tile = serving["continuous"]["graph_kinds"].get("tile", {})
+    assert tile.get("replays", 0) >= 1
+
+
+def test_floor_fields_present(result):
+    assert result["sections"]["forward"]["floor"] == 1.0
+    assert result["sections"]["forward"]["amdahl_capped"] is True
+    assert result["sections"]["attention"]["floor"] == 1.0
+    assert result["sections"]["attention"]["wall_clock_floor"] is True
+
+
+def test_floor_breach_fails_only_on_modelled_clock_sections(result):
+    # continuous_serving's speedup is a modelled-clock metric
+    # (deterministic), so its floor is a hard --check gate
+    broken = json.loads(json.dumps(result))  # deep copy
+    broken["sections"]["continuous_serving"]["speedup_vs_reference"] = 0.5
+    failures = check_invariants(broken)
+    assert any("continuous_serving" in f and "floor" in f for f in failures)
+    # forward is Amdahl-capped and attention is a noisy wall-clock
+    # measurement: their breaches warn but never fail
+    warned = json.loads(json.dumps(result))
+    warned["sections"]["forward"]["speedup_vs_reference"] = 0.5
+    warned["sections"]["attention"]["speedup_vs_reference"] = 0.5
+    assert not any(
+        "forward" in f or "attention" in f for f in check_invariants(warned)
+    )
+    warnings = check_warnings(warned)
+    assert any("forward" in w and "Amdahl" in w for w in warnings)
+    assert any("attention" in w and "wall-clock" in w for w in warnings)
+
+
+def test_hit_rate_breach_fails(result):
+    broken = json.loads(json.dumps(result))
+    broken["sections"]["continuous_serving"]["continuous"][
+        "steady_hit_rate"
+    ] = 0.1
+    failures = check_invariants(broken)
+    assert any("hit rate" in f for f in failures)
+
+
+def test_summary_mentions_serving(result):
+    assert "serving" in format_summary(result)

@@ -8,14 +8,18 @@ from hypothesis import strategies as st
 from repro.core.config import BertConfig
 from repro.frameworks import ByteTransformer, PyTorchJIT
 from repro.workloads.batching import (
+    DEFAULT_TILES,
     BucketBatcher,
+    ContinuousBatcher,
     Dispatch,
     FifoBatcher,
     TimeoutBatcher,
+    TokenBudgetExceededError,
+    quantize_tile,
     replay,
     shed_expired,
 )
-from repro.workloads.serving import Request, make_trace
+from repro.workloads.serving import Request, ServingTrace, make_trace
 
 CFG = BertConfig(num_layers=2)
 
@@ -210,3 +214,116 @@ class TestShedExpired:
         requests = [Request(0, 0.0, 8)]
         alive, expired = shed_expired(requests, now_us=1e12)
         assert len(alive) == 1 and not expired
+
+
+class TestContinuous:
+    def test_covers_all_requests(self, trace):
+        plan = ContinuousBatcher(token_budget=1024).plan(trace)
+        assert covered_ids(plan) == list(range(trace.num_requests))
+
+    def test_dispatches_respect_token_budget(self, trace):
+        budget = 1024
+        plan = ContinuousBatcher(token_budget=budget).plan(trace)
+        for d in plan:
+            assert d.total_tokens <= budget
+
+    def test_tiles_are_quantized(self, trace):
+        batcher = ContinuousBatcher(token_budget=2048)
+        tiles = batcher.effective_tiles()
+        plan = batcher.plan(trace)
+        for d in plan:
+            assert d.tile == quantize_tile(d.total_tokens, tiles)
+            assert d.tile >= d.total_tokens
+
+    def test_effective_tiles_capped_by_budget(self):
+        batcher = ContinuousBatcher(token_budget=1024)
+        assert batcher.effective_tiles() == (512, 1024)
+        odd = ContinuousBatcher(token_budget=700)
+        assert odd.effective_tiles() == (512, 700)
+
+    def test_segment_offsets_match_lengths(self, trace):
+        plan = ContinuousBatcher(token_budget=1024).plan(trace)
+        for d in plan:
+            offsets = d.segment_offsets
+            assert offsets[0] == 0
+            assert offsets[-1] == d.total_tokens
+            np.testing.assert_array_equal(np.diff(offsets), d.seq_lens)
+
+    def test_oversize_request_typed_error(self):
+        trace = ServingTrace(
+            requests=(Request(request_id=0, arrival_us=0.0, seq_len=300),),
+            max_seq_len=512,
+        )
+        with pytest.raises(TokenBudgetExceededError, match="request 0"):
+            ContinuousBatcher(token_budget=256).plan(trace)
+
+    def test_deadline_aware_fill(self):
+        # Three simultaneous arrivals; the head plus exactly one more fit
+        # the budget. The fill must pick the tightest deadline, not
+        # arrival order.
+        requests = (
+            Request(request_id=0, arrival_us=0.0, seq_len=100),
+            Request(request_id=1, arrival_us=0.0, seq_len=100),
+            Request(request_id=2, arrival_us=0.0, seq_len=100, deadline_us=500.0),
+        )
+        trace = ServingTrace(requests=requests, max_seq_len=128)
+        plan = ContinuousBatcher(token_budget=250, tiles=(64,)).plan(trace)
+        first = sorted(r.request_id for r in plan[0].requests)
+        assert first == [0, 2]
+
+    def test_head_always_dispatched(self):
+        # A head with no deadline must still ride in the first cut even
+        # when every other waiting request has a tighter deadline.
+        requests = tuple(
+            Request(
+                request_id=i,
+                arrival_us=0.0,
+                seq_len=100,
+                deadline_us=None if i == 0 else 400.0,
+            )
+            for i in range(4)
+        )
+        trace = ServingTrace(requests=requests, max_seq_len=128)
+        plan = ContinuousBatcher(token_budget=200, tiles=(64,)).plan(trace)
+        assert 0 in {r.request_id for r in plan[0].requests}
+
+    def test_all_same_length_exact_tile(self):
+        # 8 x 64 = 512 tokens: lands exactly on the smallest tile, no
+        # quantization padding at all.
+        requests = tuple(
+            Request(request_id=i, arrival_us=float(i), seq_len=64)
+            for i in range(8)
+        )
+        trace = ServingTrace(requests=requests, max_seq_len=64)
+        plan = ContinuousBatcher(token_budget=512).plan(trace)
+        assert len(plan) == 1
+        assert plan[0].tile == 512
+        assert plan[0].total_tokens == 512
+
+    def test_quantize_tile_bounds(self):
+        assert quantize_tile(1, DEFAULT_TILES) == 512
+        assert quantize_tile(512, DEFAULT_TILES) == 512
+        assert quantize_tile(513, DEFAULT_TILES) == 1024
+        with pytest.raises(TokenBudgetExceededError):
+            quantize_tile(2049, DEFAULT_TILES)
+        with pytest.raises(ValueError, match="positive"):
+            quantize_tile(0, DEFAULT_TILES)
+
+    def test_dispatch_tile_validation(self):
+        requests = (Request(request_id=0, arrival_us=0.0, seq_len=100),)
+        with pytest.raises(ValueError, match="tile"):
+            Dispatch(requests=requests, ready_us=0.0, tile=64)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        budget=st.integers(64, 512),
+        timeout=st.floats(0.0, 5000.0),
+        seed=st.integers(0, 10),
+    )
+    def test_cover_property(self, budget, timeout, seed):
+        trace = make_trace(30, 64, mean_interarrival_us=300.0, seed=seed)
+        plan = ContinuousBatcher(
+            token_budget=budget, timeout_us=timeout
+        ).plan(trace)
+        assert covered_ids(plan) == list(range(trace.num_requests))
+        assert all(d.total_tokens <= budget for d in plan)
