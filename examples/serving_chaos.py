@@ -15,15 +15,25 @@ Every request is accounted for — served, shed, or failed — and the
 chaos replay's served outputs are bit-identical to the clean replay's
 (the engine fallbacks compute the same function).
 
+The chaos replay runs under full telemetry: it prints the SLO summary
+(availability, error-budget burn, deadline attainment) computed from the
+metrics registry, and exports the merged request-span + kernel timeline
+as a Chrome/Perfetto trace — telemetry observes the replay without
+perturbing a single bit of it.
+
 Run:  python examples/serving_chaos.py
 """
 
 from __future__ import annotations
 
+import tempfile
+from pathlib import Path
+
 import numpy as np
 
 from repro.core.config import BertConfig
 from repro.core.model import BertEncoderModel
+from repro.gpusim.trace import write_telemetry_trace
 from repro.serving import (
     AdmissionController,
     DegradationLadder,
@@ -31,6 +41,7 @@ from repro.serving import (
     NO_FAULTS,
     ServingRuntime,
 )
+from repro.telemetry import SloPolicy, SloReport, Telemetry
 from repro.workloads.batching import TimeoutBatcher
 from repro.workloads.serving import make_trace
 
@@ -69,8 +80,10 @@ def main() -> None:
         slow_factor=4.0,
         target_prefixes=("fused_mha", "fmha_"),
     )
-    chaos = build_runtime(chaos_spec).run(trace)
+    tel = Telemetry()
+    chaos = build_runtime(chaos_spec, telemetry=tel).run(trace)
     print(chaos.render_text())
+    print(SloReport.from_registry(tel.metrics, SloPolicy()).render_text())
 
     both = sorted(set(clean.outputs) & set(chaos.outputs))
     identical = all(
@@ -81,6 +94,10 @@ def main() -> None:
         f"\nserved outputs bit-identical to the clean replay: "
         f"{identical} ({len(both)} requests compared)"
     )
+
+    trace_path = Path(tempfile.gettempdir()) / "serving_chaos_trace.json"
+    write_telemetry_trace(tel, trace_path)
+    print(f"chaos replay telemetry trace written to {trace_path}")
 
     print("\n=== overload replay: tight deadlines + admission control ===")
     overload_trace = make_trace(

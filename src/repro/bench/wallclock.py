@@ -159,6 +159,7 @@ def _continuous_serving_section(
     seed: int,
     num_requests: int,
     token_budget: int = 2048,
+    telemetry: Any = None,
 ) -> dict[str, Any]:
     """Continuous token-budget batching vs the BucketBatcher baseline.
 
@@ -166,6 +167,10 @@ def _continuous_serving_section(
     plane; the *second* run is the steady state reported (graph caches
     and single-request admission estimates are warm), so the numbers
     reflect a long-running deployment rather than cold-start captures.
+
+    ``telemetry`` (a :class:`repro.telemetry.Telemetry`) observes only
+    the continuous batcher's measured steady-state run — one coherent
+    simulated timeline for the exported trace, not three overlapped ones.
     """
     from repro.serving.runtime import ServingRuntime
     from repro.workloads.batching import BucketBatcher, ContinuousBatcher
@@ -174,10 +179,11 @@ def _continuous_serving_section(
     trace = make_trace(num_requests, max_seq_len, alpha=alpha, seed=seed)
     served_tokens = int(sum(r.seq_len for r in trace.requests))
 
-    def steady_run(batcher: Any) -> dict[str, Any]:
+    def steady_run(batcher: Any, tel: Any = None) -> dict[str, Any]:
         rt = ServingRuntime(config, batcher=batcher, opt=opt, use_graph=True)
         rt.run(trace)  # warm-up: graph captures + admission estimates
         hits0, misses0 = rt.graph_cache.hits, rt.graph_cache.misses
+        rt.telemetry = tel  # observe only the measured steady run
         report = rt.run(trace)
         d_hits = rt.graph_cache.hits - hits0
         d_lookups = d_hits + rt.graph_cache.misses - misses0
@@ -191,7 +197,9 @@ def _continuous_serving_section(
         }
 
     baseline = steady_run(BucketBatcher())
-    continuous = steady_run(ContinuousBatcher(token_budget=token_budget))
+    continuous = steady_run(
+        ContinuousBatcher(token_budget=token_budget), tel=telemetry
+    )
     return {
         "trace": {
             "requests": num_requests,
@@ -220,6 +228,7 @@ def run_wallclock_bench(
     repeats: int = 3,
     seed: int = 0,
     serve_requests: int = 48,
+    telemetry: Any = None,
 ) -> dict[str, Any]:
     """Benchmark the vectorized engine against the looped reference.
 
@@ -513,7 +522,13 @@ def run_wallclock_bench(
             "graph_replay": graph_replay_section,
             "steady_state_alloc": steady_state_alloc_section,
             "continuous_serving": _continuous_serving_section(
-                config, opt, max_seq_len, alpha, seed, serve_requests
+                config,
+                opt,
+                max_seq_len,
+                alpha,
+                seed,
+                serve_requests,
+                telemetry=telemetry,
             ),
         },
         "invariants": {

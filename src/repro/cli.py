@@ -14,8 +14,16 @@ Commands:
 * ``serve-chaos`` — chaos-replay a serving trace with injected kernel
   faults, deadlines, retry/backoff and graceful degradation
   (``--workers`` computes independent requests in parallel); prints the
-  cache hit/miss/eviction table;
+  cache hit/miss/eviction table and the SLO summary, and can export the
+  observed replay (``--trace-out`` Chrome trace, ``--metrics-out``
+  JSONL);
+* ``metrics`` — replay a small serving trace with telemetry on and emit
+  the metrics registry (``--format prom|json|text``, ``--check`` parses
+  the Prometheus exposition back);
 * ``devices`` — show the simulated device presets.
+
+``bench`` accepts the same ``--trace-out``/``--metrics-out`` pair; there
+they observe the continuous-serving steady-state run.
 
 Command functions raise ``ValueError``/``GpuSimError`` on bad input;
 :func:`main` converts those into a one-line message and exit code 2, the
@@ -168,6 +176,20 @@ def cmd_selftest(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _export_telemetry(tel, trace_out, metrics_out, process_name) -> None:
+    """Write the Chrome trace and/or JSONL dump a command was asked for."""
+    if trace_out:
+        from repro.gpusim.trace import write_telemetry_trace
+
+        path = write_telemetry_trace(tel, trace_out, process_name=process_name)
+        print(f"telemetry trace written to {path}")
+    if metrics_out:
+        from repro.telemetry import write_telemetry_jsonl
+
+        path = write_telemetry_jsonl(tel, metrics_out)
+        print(f"telemetry JSONL written to {path}")
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     """Wall-clock benchmark: vectorized engine vs looped reference."""
     from repro.bench.wallclock import (
@@ -194,9 +216,19 @@ def cmd_bench(args: argparse.Namespace) -> int:
     )
     if args.quick:
         kwargs.update(QUICK_OVERRIDES)
+    tel = None
+    if args.trace_out or args.metrics_out:
+        from repro.telemetry import Telemetry
+
+        tel = Telemetry()
+        kwargs["telemetry"] = tel
     with use_workers(args.workers):
         result = run_wallclock_bench(**kwargs)
     print(format_summary(result))
+    if tel is not None:
+        _export_telemetry(
+            tel, args.trace_out, args.metrics_out, "bench continuous serving"
+        )
     print(
         format_cache_stats(
             [CacheStats(**d) for d in result.get("cache_stats", [])]
@@ -227,6 +259,7 @@ def cmd_serve_chaos(args: argparse.Namespace) -> int:
         RetryPolicy,
         ServingRuntime,
     )
+    from repro.telemetry import SloPolicy, SloReport, Telemetry
     from repro.workloads.batching import (
         BucketBatcher,
         ContinuousBatcher,
@@ -273,6 +306,7 @@ def cmd_serve_chaos(args: argparse.Namespace) -> int:
             tuple(args.target) if args.target else ("fused_mha", "fmha_")
         ),
     )
+    tel = Telemetry()
     runtime = ServingRuntime(
         BertConfig(num_layers=args.layers),
         batcher=batcher,
@@ -291,6 +325,7 @@ def cmd_serve_chaos(args: argparse.Namespace) -> int:
         device=DEVICES[args.device],
         seed=args.seed,
         workers=args.workers,
+        telemetry=tel,
     )
     print(
         f"chaos replay: {args.requests} requests, fault rate "
@@ -312,6 +347,84 @@ def cmd_serve_chaos(args: argparse.Namespace) -> int:
                 for kind, c in sorted(kinds.items())
             )
             print(f"graph kinds: {parts}")
+    policy = SloPolicy(
+        success_target=args.slo_target,
+        latency_target_us=(
+            args.deadline_us if args.deadline_us > 0 else None
+        ),
+    )
+    print(SloReport.from_registry(tel.metrics, policy).render_text())
+    _export_telemetry(tel, args.trace_out, args.metrics_out, "serve-chaos")
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Replay a small serving trace with telemetry on; emit the registry."""
+    import json
+    from pathlib import Path
+
+    from repro.serving import FaultSpec, ServingRuntime
+    from repro.telemetry import (
+        SloPolicy,
+        SloReport,
+        Telemetry,
+        parse_prometheus,
+    )
+    from repro.workloads.batching import ContinuousBatcher, TimeoutBatcher
+    from repro.workloads.serving import make_trace
+
+    if args.requests <= 0:
+        raise ValueError(f"--requests must be positive, got {args.requests}")
+    if args.quick:
+        args.requests = min(args.requests, 24)
+        args.layers = min(args.layers, 2)
+        args.max_seq_len = min(args.max_seq_len, 64)
+    trace = make_trace(
+        args.requests,
+        args.max_seq_len,
+        alpha=args.alpha,
+        seed=args.seed,
+        deadline_us=args.deadline_us if args.deadline_us > 0 else None,
+    )
+    batcher = (
+        ContinuousBatcher(token_budget=args.token_budget)
+        if args.batcher == "continuous"
+        else TimeoutBatcher()
+    )
+    tel = Telemetry()
+    runtime = ServingRuntime(
+        BertConfig(num_layers=args.layers),
+        batcher=batcher,
+        faults=FaultSpec(
+            launch_failure_rate=args.fault_rate / 2.0,
+            transient_oom_rate=args.fault_rate / 2.0,
+            target_prefixes=("fused_mha", "fmha_"),
+        ),
+        device=DEVICES[args.device],
+        seed=args.seed,
+        telemetry=tel,
+    )
+    runtime.run(trace)
+    exposition = tel.metrics.to_prometheus()
+    if args.format == "prom":
+        text = exposition
+    elif args.format == "json":
+        text = json.dumps(tel.metrics.snapshot(), indent=2, sort_keys=True)
+    else:
+        report = SloReport.from_registry(tel.metrics, SloPolicy())
+        text = report.render_text()
+    if args.out:
+        out = Path(args.out)
+        out.write_text(text if text.endswith("\n") else text + "\n")
+        print(f"wrote {out}")
+    else:
+        print(text)
+    if args.check:
+        series = parse_prometheus(exposition)
+        if not series:
+            print("metrics check FAILED: empty exposition", file=sys.stderr)
+            return 1
+        print(f"prometheus exposition OK: {len(series)} series parsed")
     return 0
 
 
@@ -403,6 +516,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit 1 if any output/stream-identity invariant fails",
     )
+    p.add_argument(
+        "--trace-out",
+        default=None,
+        help="write a Chrome trace of the continuous-serving steady run",
+    )
+    p.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the steady run's span/metric JSONL dump here",
+    )
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(
@@ -476,7 +599,74 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="parallel request-compute worker threads (1 = serial)",
     )
+    p.add_argument(
+        "--slo-target",
+        type=float,
+        default=0.99,
+        help="success-rate SLO target for the error-budget summary",
+    )
+    p.add_argument(
+        "--trace-out",
+        default=None,
+        help="write the merged span + kernel Chrome trace here",
+    )
+    p.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the span/metric JSONL dump here",
+    )
     p.set_defaults(func=cmd_serve_chaos)
+
+    p = sub.add_parser(
+        "metrics",
+        help="replay a small serving trace and emit the metrics registry",
+    )
+    p.add_argument("--requests", type=int, default=64)
+    p.add_argument("--max-seq-len", type=int, default=128)
+    p.add_argument("--alpha", type=float, default=0.6)
+    p.add_argument("--layers", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--device", choices=sorted(DEVICES), default=A100_SPEC.name
+    )
+    p.add_argument(
+        "--deadline-us",
+        type=float,
+        default=0.0,
+        help="per-request latency budget in us (0 = no deadlines)",
+    )
+    p.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.08,
+        help="transient fault probability per targeted launch",
+    )
+    p.add_argument(
+        "--batcher",
+        choices=("timeout", "continuous"),
+        default="continuous",
+    )
+    p.add_argument("--token-budget", type=int, default=1024)
+    p.add_argument(
+        "--format",
+        choices=("prom", "json", "text"),
+        default="prom",
+        help="prom = Prometheus text exposition, json = exact snapshot, "
+        "text = the SLO summary",
+    )
+    p.add_argument("--out", default=None, help="write the output here")
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="re-parse the Prometheus exposition; exit 1 if it is "
+        "malformed or empty",
+    )
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke shape (caps requests/layers/seq-len)",
+    )
+    p.set_defaults(func=cmd_metrics)
 
     p = sub.add_parser("devices", help="show device presets")
     p.set_defaults(func=cmd_devices)

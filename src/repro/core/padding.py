@@ -27,6 +27,28 @@ import numpy as np
 from repro.gpusim.stream import ExecutionContext
 from repro.kernels.packing import pack_tokens, unpack_tokens
 from repro.kernels.prefix_sum import mask_prefix_sum
+from repro.telemetry import current_telemetry
+
+
+def _observe_mega(name: str, mega: "CrossRequestPacking") -> None:
+    """Mark one cross-request pack/scatter in the installed telemetry.
+
+    Observation only (an instant span at the tracer's cursor); a ``None``
+    or foreign-thread telemetry short-circuits, so the numeric plane is
+    untouched with telemetry off and the parallel bucket executor's
+    worker threads never interleave into the span stack.
+    """
+    tel = current_telemetry()
+    if tel is None or not tel.owns_current_thread():
+        return
+    tel.tracer.instant(
+        name,
+        category="packing",
+        segments=mega.num_segments,
+        tokens=mega.total_tokens,
+        tile=mega.tile,
+        pad_tokens=mega.pad_tokens,
+    )
 
 
 @dataclass(frozen=True)
@@ -411,6 +433,7 @@ def pack_segments(
             )
         out[offsets[i] : offsets[i + 1]] = rows
     out[mega.total_tokens :] = 0.0
+    _observe_mega("pack.segments", mega)
     return out
 
 
@@ -427,6 +450,7 @@ def scatter_segments(
         raise ValueError(
             f"expected at least [{mega.total_tokens}, H], got {packed.shape}"
         )
+    _observe_mega("scatter.segments", mega)
     return [packed[mega.rows_of(i)] for i in range(mega.num_segments)]
 
 

@@ -34,6 +34,7 @@ from typing import Any, Callable, Hashable
 from repro.gpusim.device import DeviceSpec
 from repro.gpusim.kernel import KernelLaunch
 from repro.gpusim.stream import ExecutionContext
+from repro.telemetry import current_telemetry
 
 
 @dataclass(frozen=True)
@@ -219,9 +220,40 @@ class GraphCache:
         replayed through ``ctx`` — so hooks observe exactly one pass over
         the launch sequence, the same as eager execution.  Returns the
         delta modelled time in ``ctx``.
+
+        When a :class:`~repro.telemetry.Telemetry` is installed (and the
+        caller is its owner thread), a miss records a ``graph.capture``
+        instant and every replay is wrapped in a ``graph.replay`` span
+        spanning the replayed modelled time — observation only, so the
+        cached graphs and the replayed stream are bit-identical with
+        telemetry on or off.
         """
+        tel = current_telemetry()
+        if tel is not None and not tel.owns_current_thread():
+            tel = None
+        kind = self._kind_of(key)
         graph = self.get(key)
         if graph is None:
+            if tel is not None:
+                tel.tracer.instant(
+                    "graph.capture", category="graph", key_kind=kind
+                )
             graph, _ = capture(ctx.device, fn)
             self.put(key, graph)
-        return graph.replay(ctx)
+        if tel is None:
+            return graph.replay(ctx)
+        span = tel.tracer.begin(
+            "graph.replay",
+            category="graph",
+            key_kind=kind,
+            launches=len(graph),
+        )
+        try:
+            delta = graph.replay(ctx)
+        except BaseException:
+            # a mid-replay fault: close the span at the cursor so the
+            # enclosing attempt span can still end cleanly
+            tel.tracer.end(fault=True)
+            raise
+        tel.tracer.end(end_us=span.start_us + delta, modelled_us=delta)
+        return delta

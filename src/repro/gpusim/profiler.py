@@ -30,6 +30,12 @@ class CacheStats:
     misses: int
     evictions: int
     size: int
+    #: graph caches only: eager passes frozen into graphs / graph replays
+    #: (0 for caches without a capture/replay notion, e.g. packing)
+    captures: int = 0
+    replays: int = 0
+    #: per key kind, ``{"tile": {"captures": 3, "replays": 240}, ...}``
+    kind_counts: dict = field(default_factory=dict)
 
     @property
     def lookups(self) -> int:
@@ -42,13 +48,23 @@ class CacheStats:
 
     @classmethod
     def from_cache(cls, name: str, cache: object) -> "CacheStats":
-        """Snapshot any cache exposing hits/misses/evictions/len."""
+        """Snapshot any cache exposing hits/misses/evictions/len.
+
+        Graph caches additionally expose ``captures``/``replays`` and a
+        per-kind split (:meth:`~repro.gpusim.graph.GraphCache.kind_counts`);
+        those land in the snapshot too, defaulting to zero/empty for
+        plain lookup caches.
+        """
+        kind_counts = getattr(cache, "kind_counts", None)
         return cls(
             name=name,
             hits=int(getattr(cache, "hits", 0)),
             misses=int(getattr(cache, "misses", 0)),
             evictions=int(getattr(cache, "evictions", 0)),
             size=len(cache),  # type: ignore[arg-type]
+            captures=int(getattr(cache, "captures", 0)),
+            replays=int(getattr(cache, "replays", 0)),
+            kind_counts=kind_counts() if callable(kind_counts) else {},
         )
 
 
@@ -56,16 +72,23 @@ def format_cache_stats(
     stats: list[CacheStats] | tuple[CacheStats, ...],
     title: str = "caches",
 ) -> str:
-    """Render cache counters as a fixed-width text table."""
+    """Render cache counters as a fixed-width text table.
+
+    The capture/replay columns show ``-`` for caches that have no
+    capture notion (``captures == replays == 0`` and no per-kind split).
+    """
     lines = [
         f"== {title} ==",
         f"{'cache':<16}{'hits':>8}{'misses':>8}{'evict':>7}"
-        f"{'size':>6}{'hit rate':>10}",
+        f"{'size':>6}{'capt':>6}{'replay':>8}{'hit rate':>10}",
     ]
     for s in stats:
+        graphy = s.captures or s.replays or s.kind_counts
+        capt = f"{s.captures:d}" if graphy else "-"
+        replay = f"{s.replays:d}" if graphy else "-"
         lines.append(
             f"{s.name:<16}{s.hits:>8d}{s.misses:>8d}{s.evictions:>7d}"
-            f"{s.size:>6d}{s.hit_rate:>9.1%}"
+            f"{s.size:>6d}{capt:>6}{replay:>8}{s.hit_rate:>9.1%}"
         )
     return "\n".join(lines)
 

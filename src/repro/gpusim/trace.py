@@ -1,22 +1,166 @@
-"""Chrome-trace export for execution contexts.
+"""Chrome-trace export for execution contexts and telemetry spans.
 
-Serialises a context's timeline into the Trace Event Format understood by
-``chrome://tracing`` and Perfetto, one complete event per kernel launch
-with its category, grid and work counters as arguments — handy for
-eyeballing where a pipeline's time goes and spotting launch-overhead
-dominated regions.
+Serialises timelines into the Trace Event Format understood by
+``chrome://tracing`` and Perfetto.  Two shapes:
+
+* :func:`to_chrome_trace` — one complete event per kernel launch of a
+  single :class:`~repro.gpusim.stream.ExecutionContext`, with its
+  category, grid and work counters as arguments; optionally a layer of
+  telemetry spans stacked above the kernel row.
+* :func:`telemetry_chrome_trace` — a whole serving replay: the
+  request-root spans as async (``b``/``e``) events keyed by request id,
+  the stage spans (dispatch/attempt/graph/packing) as nested complete
+  events on the "stages" thread, and every attempt's kernel records,
+  offset to the global simulated clock, on the "kernels" thread below —
+  so for any request id the trace shows its admission, the megabatch it
+  rode, the graph replay that priced it and any retries it survived,
+  nested above the kernels that served it.
+
+Events are emitted timestamp-sorted per thread (complete events
+additionally longest-first at equal timestamps) so viewers reconstruct
+the nesting exactly as the tracer recorded it.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import Iterable, Sequence
 
 from repro.gpusim.stream import ExecutionContext
 
+#: thread ids of the two timeline rows (spans render above kernels)
+SPAN_TID = 0
+KERNEL_TID = 1
 
-def to_chrome_trace(ctx: ExecutionContext, process_name: str = "gpusim") -> dict:
-    """Build a Trace-Event-Format dict from a context's records."""
+
+def _kernel_event(record, tid: int, offset_us: float = 0.0) -> dict:
+    launch = record.launch
+    return {
+        "name": launch.name,
+        "cat": launch.category,
+        "ph": "X",  # complete event
+        "pid": 0,
+        "tid": tid,
+        "ts": offset_us + record.start_us,
+        "dur": record.time_us,
+        "args": {
+            "grid": launch.grid,
+            "block_threads": launch.block_threads,
+            "gflops": round(launch.flops / 1e9, 4),
+            "dram_mb": round(launch.dram_bytes / 1e6, 4),
+            "hot_mb": round(launch.hot_bytes / 1e6, 4),
+            "compute_unit": launch.compute_unit.value,
+        },
+    }
+
+
+def _span_args(span) -> dict:
+    args = dict(span.attrs)
+    if span.request_id is not None:
+        args["request_id"] = span.request_id
+    if span.batch_id is not None:
+        args["batch_id"] = span.batch_id
+    return args
+
+
+def _span_events(spans: Iterable) -> list[dict]:
+    """Trace events for tracer spans (duck-typed: see
+    :class:`repro.telemetry.spans.Span`).  Request-category spans become
+    async begin/end pairs (they overlap freely across requests); stage
+    spans become complete events on the span thread; zero-duration spans
+    become instants."""
+    events: list[dict] = []
+    for span in spans:
+        if span.end_us is None:
+            continue  # never closed: not representable as a complete event
+        args = _span_args(span)
+        if span.category == "request":
+            ident = (
+                str(span.request_id)
+                if span.request_id is not None
+                else str(span.span_id)
+            )
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.category,
+                    "ph": "b",
+                    "id": ident,
+                    "pid": 0,
+                    "ts": span.start_us,
+                    "args": args,
+                }
+            )
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.category,
+                    "ph": "e",
+                    "id": ident,
+                    "pid": 0,
+                    "ts": span.end_us,
+                    "args": {},
+                }
+            )
+        elif span.is_instant:
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.category,
+                    "ph": "i",
+                    "s": "t",
+                    "pid": 0,
+                    "tid": SPAN_TID,
+                    "ts": span.start_us,
+                    "args": args,
+                }
+            )
+        else:
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.category,
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": SPAN_TID,
+                    "ts": span.start_us,
+                    "dur": span.duration_us,
+                    "args": args,
+                }
+            )
+    return events
+
+
+def _sorted_events(events: list[dict]) -> list[dict]:
+    """Timestamp-sort (stable), longest-first at equal timestamps so an
+    enclosing complete event precedes the children it contains."""
+    return sorted(events, key=lambda e: (e["ts"], -e.get("dur", 0.0)))
+
+
+def _thread_meta(tid: int, name: str) -> dict:
+    return {
+        "name": "thread_name",
+        "ph": "M",
+        "pid": 0,
+        "tid": tid,
+        "args": {"name": name},
+    }
+
+
+def to_chrome_trace(
+    ctx: ExecutionContext,
+    process_name: str = "gpusim",
+    *,
+    spans: Sequence = (),
+) -> dict:
+    """Build a Trace-Event-Format dict from a context's records.
+
+    With ``spans`` (telemetry tracer spans on the same timeline), the
+    kernel events move to their own thread row below the span row, so
+    the request/stage layer stacks visually above the kernel timeline.
+    """
+    kernel_tid = KERNEL_TID if spans else 0
     events: list[dict] = [
         {
             "name": "process_name",
@@ -24,42 +168,78 @@ def to_chrome_trace(ctx: ExecutionContext, process_name: str = "gpusim") -> dict
             "pid": 0,
             "args": {"name": f"{process_name} ({ctx.device.name})"},
         },
+    ]
+    if spans:
+        events.append(_thread_meta(SPAN_TID, "spans"))
+    events.append(_thread_meta(kernel_tid, "stream 0"))
+    timeline = [
+        _kernel_event(record, kernel_tid) for record in ctx.records
+    ]
+    timeline.extend(_span_events(spans))
+    events.extend(_sorted_events(timeline))
+    return {"traceEvents": events, "displayTimeUnit": "ns"}
+
+
+def telemetry_chrome_trace(
+    telemetry,
+    process_name: str = "serving",
+    device_name: str | None = None,
+) -> dict:
+    """One Chrome/Perfetto trace for a whole observed serving replay.
+
+    ``telemetry`` duck-types :class:`repro.telemetry.context.Telemetry`:
+    ``tracer.spans`` supply the request/stage layer and
+    ``kernel_segments`` supply per-attempt kernel records offset onto
+    the global simulated clock.
+    """
+    label = process_name if not device_name else f"{process_name} ({device_name})"
+    events: list[dict] = [
         {
-            "name": "thread_name",
+            "name": "process_name",
             "ph": "M",
             "pid": 0,
-            "tid": 0,
-            "args": {"name": "stream 0"},
+            "args": {"name": label},
         },
+        _thread_meta(SPAN_TID, "stages"),
+        _thread_meta(KERNEL_TID, "kernels"),
     ]
-    for record in ctx.records:
-        launch = record.launch
-        events.append(
-            {
-                "name": launch.name,
-                "cat": launch.category,
-                "ph": "X",  # complete event
-                "pid": 0,
-                "tid": 0,
-                "ts": record.start_us,
-                "dur": record.time_us,
-                "args": {
-                    "grid": launch.grid,
-                    "block_threads": launch.block_threads,
-                    "gflops": round(launch.flops / 1e9, 4),
-                    "dram_mb": round(launch.dram_bytes / 1e6, 4),
-                    "hot_mb": round(launch.hot_bytes / 1e6, 4),
-                    "compute_unit": launch.compute_unit.value,
-                },
-            }
+    timeline = _span_events(telemetry.tracer.spans)
+    for segment in telemetry.kernel_segments:
+        timeline.extend(
+            _kernel_event(record, KERNEL_TID, segment.offset_us)
+            for record in segment.records
         )
+    events.extend(_sorted_events(timeline))
     return {"traceEvents": events, "displayTimeUnit": "ns"}
 
 
 def write_chrome_trace(
-    ctx: ExecutionContext, path: str | Path, process_name: str = "gpusim"
+    ctx: ExecutionContext,
+    path: str | Path,
+    process_name: str = "gpusim",
+    *,
+    spans: Sequence = (),
 ) -> Path:
     """Write the context's timeline as a chrome://tracing JSON file."""
     out = Path(path)
-    out.write_text(json.dumps(to_chrome_trace(ctx, process_name), indent=1))
+    out.write_text(
+        json.dumps(to_chrome_trace(ctx, process_name, spans=spans), indent=1)
+    )
+    return out
+
+
+def write_telemetry_trace(
+    telemetry,
+    path: str | Path,
+    process_name: str = "serving",
+    device_name: str | None = None,
+) -> Path:
+    """Write a whole replay's merged span + kernel trace."""
+    out = Path(path)
+    out.write_text(
+        json.dumps(
+            telemetry_chrome_trace(telemetry, process_name, device_name),
+            indent=1,
+        )
+    )
     return out

@@ -38,6 +38,7 @@ from repro.core.padding import (
     pack_segments,
     scatter_segments,
 )
+from repro.telemetry import current_telemetry
 from repro.workloads.batching import (
     DEFAULT_TILES,
     ContinuousBatcher,
@@ -73,7 +74,17 @@ def build_megabatch(
     """
     lens = np.asarray([r.seq_len for r in requests], dtype=np.int64)
     mega = merge_request_lengths(lens, max_seq_len, tile)
-    return pack_segments([inputs(r) for r in requests], mega), mega
+    packed = pack_segments([inputs(r) for r in requests], mega)
+    tel = current_telemetry()
+    if tel is not None and tel.owns_current_thread():
+        tel.tracer.instant(
+            "megabatch.build",
+            category="packing",
+            segments=len(requests),
+            request_ids=[r.request_id for r in requests],
+            tile=tile,
+        )
+    return packed, mega
 
 
 def scatter_outputs(
@@ -86,7 +97,16 @@ def scatter_outputs(
     forward on an arena-backed model, which is what a serving report
     needs.
     """
-    return [seg.copy() for seg in scatter_segments(out_tile, mega)]
+    outs = [seg.copy() for seg in scatter_segments(out_tile, mega)]
+    tel = current_telemetry()
+    if tel is not None and tel.owns_current_thread():
+        tel.tracer.instant(
+            "megabatch.scatter",
+            category="packing",
+            segments=mega.num_segments,
+            tokens=mega.total_tokens,
+        )
+    return outs
 
 
 def retile(

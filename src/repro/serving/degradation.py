@@ -22,6 +22,8 @@ from dataclasses import dataclass
 
 from repro.attention.dispatch import MHA_PATHS
 from repro.core.engine import ENGINES, LOOPED, VECTORIZED
+from repro.telemetry import current_telemetry
+from repro.telemetry.slo import DEGRADATIONS_TOTAL
 
 #: incident kinds as they appear in transition reasons
 FAULT = "fault"
@@ -149,12 +151,29 @@ class DegradationLadder:
         self._incidents = [t for t in self._incidents if t > horizon]
 
     def _step(self, now_us: float, to_idx: int, reason: str) -> None:
+        from_level = self.levels[self._idx].name
+        to_level = self.levels[to_idx].name
         self.transitions.append(
             LadderTransition(
                 time_us=now_us,
-                from_level=self.levels[self._idx].name,
-                to_level=self.levels[to_idx].name,
+                from_level=from_level,
+                to_level=to_level,
                 reason=reason,
             )
         )
         self._idx = to_idx
+        tel = current_telemetry()
+        if tel is not None and tel.owns_current_thread():
+            tel.metrics.counter(
+                DEGRADATIONS_TOTAL,
+                help="ladder transitions by reason",
+                reason=reason,
+            ).inc()
+            tel.tracer.instant(
+                "ladder.step",
+                category="degradation",
+                t_us=now_us,
+                from_level=from_level,
+                to_level=to_level,
+                reason=reason,
+            )

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.serving.degradation import LadderTransition
 from repro.serving.faults import InjectedFault
+from repro.telemetry import DEFAULT_LATENCY_BUCKETS_US, Histogram
 
 
 class Outcome(enum.Enum):
@@ -119,13 +120,22 @@ class ServingReport:
         for name, group in groups.items():
             if not group:
                 continue
-            lat = np.asarray([o.latency_us for o in group]) / 1000.0
+            # the telemetry Histogram keeps exact samples, so its
+            # percentiles match np.percentile over the raw latencies
+            hist = Histogram(
+                "request_latency_ms",
+                labels=(("group", name),),
+                buckets=[b / 1000.0 for b in DEFAULT_LATENCY_BUCKETS_US],
+            )
+            for o in group:
+                hist.observe(o.latency_us / 1000.0)
+            quantiles = hist.percentiles((50.0, 95.0, 99.0))
             summary[name] = {
-                "count": float(len(group)),
-                "mean_ms": float(lat.mean()),
-                "p50_ms": float(np.percentile(lat, 50)),
-                "p95_ms": float(np.percentile(lat, 95)),
-                "p99_ms": float(np.percentile(lat, 99)),
+                "count": float(hist.count),
+                "mean_ms": hist.mean,
+                "p50_ms": quantiles["p50"],
+                "p95_ms": quantiles["p95"],
+                "p99_ms": quantiles["p99"],
             }
         return summary
 

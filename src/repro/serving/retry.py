@@ -15,6 +15,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.telemetry import DEFAULT_LATENCY_BUCKETS_US, current_telemetry
+from repro.telemetry.slo import BACKOFF_US
+
 
 @dataclass(frozen=True)
 class RetryPolicy:
@@ -55,6 +58,15 @@ class RetryPolicy:
         )
         if self.jitter:
             raw *= 1.0 + self.jitter * float(rng.uniform(-1.0, 1.0))
+        tel = current_telemetry()
+        if tel is not None and tel.owns_current_thread():
+            # observation only: the jitter draw above happened whether or
+            # not telemetry is installed, so replays stay deterministic
+            tel.metrics.histogram(
+                BACKOFF_US,
+                help="retry backoff delays (us)",
+                buckets=DEFAULT_LATENCY_BUCKETS_US,
+            ).observe(raw)
         return raw
 
 

@@ -54,6 +54,15 @@ from repro.serving.report import (
     ServingReport,
 )
 from repro.serving.retry import RetryPolicy
+from repro.telemetry import (
+    COUNT_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS_US,
+    RATIO_BUCKETS,
+    REQUEST_CATEGORY,
+    Telemetry,
+    use_telemetry,
+)
+from repro.telemetry import slo as metric_names
 from repro.workloads.batching import (
     Batcher,
     Dispatch,
@@ -98,6 +107,13 @@ class ServingRuntime:
     workers:
         Thread count for computing independent served requests' numeric
         outputs in parallel.  ``1`` (default) is strictly serial.
+    telemetry:
+        Optional :class:`~repro.telemetry.Telemetry` to observe the run:
+        request/stage spans on the simulated clock, the serving metrics
+        registry and the kernel segments the Chrome exporter nests the
+        spans above.  Telemetry is strictly observational — enabling it
+        is bitwise-neutral to outputs, the outcome log and the modelled
+        timeline (the neutrality regression test asserts this).
     """
 
     def __init__(
@@ -115,6 +131,7 @@ class ServingRuntime:
         seed: int = 0,
         use_graph: bool = True,
         workers: int = 1,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.config = config
         self.batcher = batcher if batcher is not None else TimeoutBatcher()
@@ -128,6 +145,7 @@ class ServingRuntime:
         self.seed = seed
         self.graph_cache = GraphCache() if use_graph else None
         self.workers = workers
+        self.telemetry = telemetry
         self._executor = BucketExecutor(workers)
         self._single_estimates: dict[int, float] = {}
 
@@ -269,12 +287,86 @@ class ServingRuntime:
     # ------------------------------------------------------------------
 
     def run(self, trace: ServingTrace) -> ServingReport:
-        """Chaos-replay ``trace``; every request gets exactly one outcome."""
+        """Chaos-replay ``trace``; every request gets exactly one outcome.
+
+        With :attr:`telemetry` set, the whole replay runs under
+        :func:`~repro.telemetry.use_telemetry`, so instrumented library
+        code (batch cuts, cross-request packing, graph capture/replay,
+        ladder steps) records into the same tracer and registry.
+        """
+        with use_telemetry(self.telemetry):
+            return self._run(trace)
+
+    def _record_settle(
+        self,
+        tel: Telemetry,
+        request: Request,
+        outcome: Outcome,
+        reason: str,
+        latency_us: float | None,
+        retries: int,
+    ) -> None:
+        """Metrics + the request-root span for one settled request."""
+        metrics = tel.metrics
+        metrics.counter(
+            metric_names.REQUESTS_TOTAL,
+            help="settled requests by final outcome",
+            outcome=outcome.value,
+        ).inc()
+        if outcome is Outcome.SHED:
+            metrics.counter(
+                metric_names.SHED_TOTAL,
+                help="shed requests by reason",
+                reason=reason,
+            ).inc()
+        metrics.histogram(
+            metric_names.REQUEST_RETRIES,
+            help="transient-fault retries per request",
+            buckets=COUNT_BUCKETS,
+        ).observe(retries)
+        end_us = max(request.arrival_us, tel.tracer.now_us)
+        if outcome is Outcome.SERVED and latency_us is not None:
+            metrics.histogram(
+                metric_names.REQUEST_LATENCY_US,
+                help="end-to-end latency of served requests (us)",
+                buckets=DEFAULT_LATENCY_BUCKETS_US,
+            ).observe(latency_us)
+            end_us = request.arrival_us + latency_us
+        if request.deadline_us is not None:
+            metrics.counter(
+                metric_names.DEADLINE_REQUESTS_TOTAL,
+                help="settled requests that carried a deadline",
+            ).inc()
+            if (
+                outcome is Outcome.SERVED
+                and latency_us is not None
+                and latency_us <= request.deadline_us
+            ):
+                metrics.counter(
+                    metric_names.DEADLINE_MET_TOTAL,
+                    help="deadline-carrying requests served in time",
+                ).inc()
+        tel.tracer.add_span(
+            "request",
+            category=REQUEST_CATEGORY,
+            start_us=request.arrival_us,
+            end_us=end_us,
+            request_id=request.request_id,
+            seq_len=request.seq_len,
+            outcome=outcome.value,
+            reason=reason,
+            retries=retries,
+        )
+
+    def _run(self, trace: ServingTrace) -> ServingReport:
         self.ladder.reset()
         plan_faults = FaultPlan(self.faults, seed=self.seed)
         jitter_rng = np.random.default_rng([self.seed, 0x5E])
         outcomes: dict[int, RequestOutcome] = {}
         outputs: dict[int, np.ndarray] = {}
+        tel = self.telemetry
+        if tel is not None and not tel.owns_current_thread():
+            tel = None
 
         def settle(
             request: Request,
@@ -295,15 +387,42 @@ class ServingRuntime:
                 retries=retries,
                 level=self.ladder.level.name,
             )
+            if tel is not None:
+                self._record_settle(
+                    tel, request, outcome, reason, latency_us, retries
+                )
 
         # -- admission: reject early under overload ---------------------
         admitted: list[Request] = []
         committed_until = 0.0
         for request in trace.requests:
             backlog = max(0.0, committed_until - request.arrival_us)
+            if tel is not None:
+                tel.tracer.set_now(request.arrival_us)
+                tel.metrics.histogram(
+                    metric_names.ADMISSION_BACKLOG_US,
+                    help="committed backlog seen at each arrival (us)",
+                    buckets=DEFAULT_LATENCY_BUCKETS_US,
+                ).observe(backlog)
             if self.admission is not None and not self.admission.admit(backlog):
+                if tel is not None:
+                    tel.tracer.instant(
+                        "admission.shed",
+                        category="admission",
+                        t_us=request.arrival_us,
+                        request_id=request.request_id,
+                        backlog_us=backlog,
+                    )
                 settle(request, Outcome.SHED, REASON_ADMISSION, None, 0)
                 continue
+            if tel is not None:
+                tel.tracer.instant(
+                    "admission.admit",
+                    category="admission",
+                    t_us=request.arrival_us,
+                    request_id=request.request_id,
+                    backlog_us=backlog,
+                )
             admitted.append(request)
             committed_until = max(
                 committed_until, request.arrival_us
@@ -323,8 +442,21 @@ class ServingRuntime:
         gpu_free_at = 0.0
         busy_us = 0.0
 
-        for dispatch in plan:
+        for batch_id, dispatch in enumerate(plan):
             start = max(dispatch.ready_us, gpu_free_at)
+            if tel is not None:
+                tel.tracer.set_now(start)
+                tel.tracer.begin(
+                    "dispatch.megabatch"
+                    if dispatch.tile is not None
+                    else "dispatch.batch",
+                    category="dispatch",
+                    start_us=start,
+                    batch_id=batch_id,
+                    request_ids=[r.request_id for r in dispatch.requests],
+                    tile=dispatch.tile,
+                    ready_us=dispatch.ready_us,
+                )
             alive, expired = shed_expired(list(dispatch.requests), start)
             for request in expired:
                 self.ladder.record_deadline_miss(start)
@@ -354,6 +486,17 @@ class ServingRuntime:
                     [r.seq_len for r in alive], dtype=np.int64
                 )
                 tile = None
+                padded = None
+                if tel is not None:
+                    tel.tracer.set_now(start)
+                    tel.tracer.begin(
+                        "attempt",
+                        category="attempt",
+                        start_us=start,
+                        attempt=attempt,
+                        level=level.name,
+                        batch=len(alive),
+                    )
                 try:
                     if dispatch.tile is not None:
                         # megabatch: survivors of a faulted attempt were
@@ -378,6 +521,18 @@ class ServingRuntime:
                     partial = ctx.elapsed_us()
                     busy_us += partial
                     now = start + partial
+                    if tel is not None:
+                        tel.tracer.set_now(now)
+                        tel.tracer.end(fault=True)  # the attempt span
+                        tel.add_kernel_segment(start, ctx.records)
+                        tel.metrics.counter(
+                            metric_names.FAULTS_TOTAL,
+                            help="transient faults injected into attempts",
+                        ).inc()
+                        tel.tracer.instant(
+                            "fault", category="fault", t_us=now,
+                            attempt=attempt,
+                        )
                     self.ladder.record_fault(now)
                     if attempt >= self.retry.max_retries:
                         gpu_free_at = now
@@ -391,7 +546,22 @@ class ServingRuntime:
                             )
                         alive = []
                         break
-                    start = now + self.retry.backoff_us(attempt, jitter_rng)
+                    backoff = self.retry.backoff_us(attempt, jitter_rng)
+                    start = now + backoff
+                    if tel is not None:
+                        tel.metrics.counter(
+                            metric_names.RETRIES_TOTAL,
+                            help="dispatch retries after transient faults",
+                        ).inc()
+                        tel.tracer.begin(
+                            "retry.backoff",
+                            category="retry",
+                            start_us=now,
+                            attempt=attempt,
+                            backoff_us=backoff,
+                        )
+                        tel.tracer.set_now(start)
+                        tel.tracer.end()
                     attempt += 1
                     # deadlines keep ticking during backoff
                     alive, expired = shed_expired(alive, start)
@@ -405,6 +575,23 @@ class ServingRuntime:
                 finish = start + service
                 busy_us += service
                 gpu_free_at = finish
+                if tel is not None:
+                    tel.tracer.set_now(finish)
+                    tel.add_kernel_segment(start, ctx.records)
+                    valid = int(lens.sum())
+                    capacity = (
+                        tile if tile is not None else len(alive) * padded
+                    )
+                    tel.metrics.histogram(
+                        metric_names.VALID_TOKEN_UTILIZATION,
+                        help="valid tokens over dispatch capacity",
+                        buckets=RATIO_BUCKETS,
+                    ).observe(valid / capacity)
+                    tel.metrics.histogram(
+                        metric_names.US_PER_TOKEN,
+                        help="modelled service time per valid token (us)",
+                        buckets=COUNT_BUCKETS,
+                    ).observe(service / valid)
                 if self.numerics is not None:
                     for request, output in zip(
                         alive,
@@ -423,7 +610,33 @@ class ServingRuntime:
                         attempt,
                     )
                 self.ladder.record_success(finish)
+                if tel is not None:
+                    tel.tracer.end(served=len(alive))  # the attempt span
                 alive = []
+            if tel is not None:
+                tel.tracer.end()  # the dispatch span
+
+        if tel is not None:
+            tel.tracer.set_now(gpu_free_at)
+            gauges = tel.metrics
+            gauges.gauge(
+                metric_names.GPU_BUSY_US,
+                help="modelled GPU busy time (us)",
+            ).set(busy_us)
+            gauges.gauge(
+                metric_names.MAKESPAN_US,
+                help="modelled makespan of the replay (us)",
+            ).set(gpu_free_at)
+            gauges.gauge(
+                metric_names.GPU_UTILIZATION,
+                help="busy time over makespan",
+            ).set(busy_us / gpu_free_at if gpu_free_at else 0.0)
+            if self.graph_cache is not None:
+                lookups = self.graph_cache.hits + self.graph_cache.misses
+                gauges.gauge(
+                    metric_names.GRAPH_REPLAY_HIT_RATE,
+                    help="launch-graph cache hit rate over the run",
+                ).set(self.graph_cache.hits / lookups if lookups else 0.0)
 
         # -- the no-silent-loss contract, enforced ----------------------
         missing = [

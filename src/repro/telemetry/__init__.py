@@ -1,0 +1,73 @@
+"""End-to-end telemetry: spans, metrics and SLO accounting.
+
+The paper's methodology is profiling-first (the Figure 3 per-category
+breakdown justified every fusion); this package is the serving-side
+continuation of that discipline.  One :class:`Telemetry` object observes
+a whole replay:
+
+* :mod:`~repro.telemetry.spans` — request-scoped span tracing on the
+  simulated clock, with request/megabatch correlation ids;
+* :mod:`~repro.telemetry.metrics` — a counter/gauge/histogram registry
+  with exact quantile snapshots;
+* :mod:`~repro.telemetry.slo` — deadline attainment and error-budget
+  burn computed from the registry;
+* :mod:`~repro.telemetry.export` — the JSONL dump and the strict
+  Prometheus-exposition parser (the Chrome/Perfetto exporter lives in
+  :mod:`repro.gpusim.trace`, stacked above the kernel timeline).
+
+The package imports nothing from the execution stack, so any module —
+kernels, packing, batchers, the graph cache — can call
+:func:`current_telemetry` without creating an import cycle.  The hard
+invariant everywhere: telemetry **observes**; it never launches, never
+advances the simulated clock, never draws randomness.  Enabling it is
+bitwise-neutral to model outputs and to the modelled timeline.
+"""
+
+from repro.telemetry.context import (
+    KernelSegment,
+    Telemetry,
+    current_telemetry,
+    use_telemetry,
+)
+from repro.telemetry.export import (
+    PrometheusFormatError,
+    parse_prometheus,
+    read_telemetry_jsonl,
+    telemetry_to_jsonl,
+    write_telemetry_jsonl,
+)
+from repro.telemetry.metrics import (
+    COUNT_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS_US,
+    RATIO_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.slo import SloPolicy, SloReport
+from repro.telemetry.spans import REQUEST_CATEGORY, Span, SpanTracer
+
+__all__ = [
+    "KernelSegment",
+    "Telemetry",
+    "current_telemetry",
+    "use_telemetry",
+    "PrometheusFormatError",
+    "parse_prometheus",
+    "read_telemetry_jsonl",
+    "telemetry_to_jsonl",
+    "write_telemetry_jsonl",
+    "COUNT_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS_US",
+    "RATIO_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SloPolicy",
+    "SloReport",
+    "REQUEST_CATEGORY",
+    "Span",
+    "SpanTracer",
+]

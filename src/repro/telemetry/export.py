@@ -1,0 +1,151 @@
+"""Text exporters: the JSONL span/metric dump and the exposition parser.
+
+Two flat-file formats complement the Chrome/Perfetto trace (which lives
+in :mod:`repro.gpusim.trace`, next to the kernel-timeline exporter it
+extends):
+
+* **JSONL** — one JSON object per line, ``kind: "span"`` records first
+  (in begin order) followed by ``kind: "metric"`` snapshots.  Greppable,
+  streamable, and the format CI uploads as a workflow artifact.
+* **Prometheus text exposition** — produced by
+  :meth:`~repro.telemetry.metrics.MetricsRegistry.to_prometheus`;
+  :func:`parse_prometheus` here is the strict reader the CI smoke test
+  runs over it (line grammar + duplicate-series detection), so a
+  malformed exposition fails the build rather than a scrape.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from pathlib import Path
+
+from repro.telemetry.context import Telemetry
+
+
+def telemetry_to_jsonl(telemetry: Telemetry) -> str:
+    """Serialise spans then metric snapshots, one JSON object per line."""
+    lines = [
+        json.dumps({"kind": "span", **span.to_dict()}, sort_keys=True)
+        for span in telemetry.tracer.spans
+    ]
+    # the snapshot's own "kind" (counter/gauge/histogram) moves to
+    # metric_kind so "kind" stays the span/metric record discriminator
+    lines.extend(
+        json.dumps(
+            {**entry, "metric_kind": entry["kind"], "kind": "metric"},
+            sort_keys=True,
+        )
+        for entry in telemetry.metrics.snapshot()
+    )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_telemetry_jsonl(telemetry: Telemetry, path: str | Path) -> Path:
+    """Write the JSONL span/metric dump to ``path``."""
+    out = Path(path)
+    out.write_text(telemetry_to_jsonl(telemetry))
+    return out
+
+
+def read_telemetry_jsonl(path: str | Path) -> list[dict]:
+    """Parse a JSONL dump back into a list of record dicts."""
+    return [
+        json.loads(line)
+        for line in Path(path).read_text().splitlines()
+        if line.strip()
+    ]
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition parsing (the CI smoke contract)
+
+
+class PrometheusFormatError(ValueError):
+    """The exposition text violates the line grammar or repeats a series."""
+
+
+_COMMENT_RE = re.compile(
+    r"^# (HELP|TYPE) ([a-zA-Z_:][a-zA-Z0-9_:]*)( .*)?$"
+)
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"           # metric name
+    r"(?:\{((?:[a-zA-Z_][a-zA-Z0-9_]*="      # label name
+    r'"(?:[^"\\]|\\.)*"'                     # quoted, escaped value
+    r",?)*)\})?"                             # optional label block
+    r" (\S+)$"                               # value
+)
+_VALID_TYPES = frozenset(
+    {"counter", "gauge", "histogram", "summary", "untyped"}
+)
+
+
+def _parse_value(raw: str) -> float:
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    if raw == "NaN":
+        return math.nan
+    try:
+        return float(raw)
+    except ValueError as exc:
+        raise PrometheusFormatError(
+            f"unparseable sample value {raw!r}"
+        ) from exc
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Strictly parse a text exposition into ``{series: value}``.
+
+    A *series* key is the sample line's name + label block verbatim
+    (e.g. ``serving_requests_total{outcome="served"}``).  Raises
+    :class:`PrometheusFormatError` on any line that is neither a valid
+    comment nor a valid sample, on a ``TYPE`` naming an unknown type,
+    on a duplicate ``TYPE``/``HELP`` for a name, and on a duplicate
+    series — the failure modes a real scraper would reject.
+    """
+    series: dict[str, float] = {}
+    typed: dict[str, str] = {}
+    helped: set[str] = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            match = _COMMENT_RE.match(line)
+            if not match:
+                raise PrometheusFormatError(
+                    f"line {lineno}: malformed comment {line!r}"
+                )
+            keyword, name = match.group(1), match.group(2)
+            if keyword == "TYPE":
+                declared = (match.group(3) or "").strip()
+                if declared not in _VALID_TYPES:
+                    raise PrometheusFormatError(
+                        f"line {lineno}: unknown metric type {declared!r}"
+                    )
+                if name in typed:
+                    raise PrometheusFormatError(
+                        f"line {lineno}: duplicate TYPE for {name!r}"
+                    )
+                typed[name] = declared
+            else:
+                if name in helped:
+                    raise PrometheusFormatError(
+                        f"line {lineno}: duplicate HELP for {name!r}"
+                    )
+                helped.add(name)
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise PrometheusFormatError(
+                f"line {lineno}: malformed sample {line!r}"
+            )
+        key = line.rsplit(" ", 1)[0]
+        if key in series:
+            raise PrometheusFormatError(
+                f"line {lineno}: duplicate series {key!r}"
+            )
+        series[key] = _parse_value(match.group(3))
+    return series

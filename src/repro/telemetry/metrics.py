@@ -1,0 +1,351 @@
+"""The metrics registry: counters, gauges and histograms.
+
+Prometheus-shaped in-process metrics for the serving pipeline: a metric
+is ``(name, labels)`` — the registry deduplicates, so two call sites
+asking for ``counter("serving_requests_total", outcome="served")`` get
+the *same* counter object.  Three instrument types:
+
+* :class:`Counter` — monotone accumulator (requests, faults, sheds);
+* :class:`Gauge` — last-write-wins level (queue depth, hit rate);
+* :class:`Histogram` — fixed upper-bound buckets for the Prometheus
+  exposition **plus** the raw samples, so quantile snapshots are
+  *exact* (``np.percentile`` over the samples) rather than
+  bucket-interpolated.  That is what lets
+  :meth:`~repro.serving.report.ServingReport.latency_summary` render
+  from the same type the registry aggregates — report and registry can
+  never disagree on a percentile.
+
+Everything is plain Python floats and lists; observing a sample never
+allocates ndarray memory on the hot path and never touches the
+simulated clock, preserving the telemetry-neutrality invariant.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Iterable, Sequence
+
+import numpy as np
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: default histogram buckets for microsecond latencies: 100 us .. 1 s in
+#: a 1-2.5-5 ladder (upper bounds; +Inf is implicit)
+DEFAULT_LATENCY_BUCKETS_US: tuple[float, ...] = (
+    100.0, 250.0, 500.0,
+    1_000.0, 2_500.0, 5_000.0,
+    10_000.0, 25_000.0, 50_000.0,
+    100_000.0, 250_000.0, 500_000.0,
+    1_000_000.0,
+)
+
+#: default buckets for ratios in [0, 1] (fill ratio, utilization)
+RATIO_BUCKETS: tuple[float, ...] = (
+    0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0,
+)
+
+#: default buckets for small non-negative counts (retries, queue depth)
+COUNT_BUCKETS: tuple[float, ...] = (
+    0.0, 1.0, 2.0, 3.0, 5.0, 8.0, 13.0, 21.0, 34.0, 55.0,
+)
+
+
+def _labels_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    for key in labels:
+        if not _LABEL_RE.match(key):
+            raise ValueError(f"invalid label name {key!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class _Metric:
+    """Shared identity: a name plus a sorted label tuple."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, labels: tuple[tuple[str, str], ...]):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.labels = labels
+
+    @property
+    def labels_dict(self) -> dict[str, str]:
+        return dict(self.labels)
+
+
+class Counter(_Metric):
+    """Monotonically increasing accumulator."""
+
+    kind = "counter"
+
+    def __init__(self, name, labels):
+        super().__init__(name, labels)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self.value += amount
+
+
+class Gauge(_Metric):
+    """Last-write-wins level."""
+
+    kind = "gauge"
+
+    def __init__(self, name, labels):
+        super().__init__(name, labels)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram(_Metric):
+    """Fixed-bucket histogram that also keeps exact samples.
+
+    ``buckets`` are finite ascending upper bounds; an implicit ``+Inf``
+    bucket catches the rest.  Bucket counts are **cumulative** in the
+    exposition (Prometheus ``le`` semantics) but stored per-bucket here.
+    Quantiles come from the retained samples (``np.percentile``, linear
+    interpolation) and are therefore exact, not bucket-approximated.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: tuple[tuple[str, str], ...] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_US,
+    ):
+        super().__init__(name, labels)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        if any(not math.isfinite(b) for b in bounds):
+            raise ValueError("bucket bounds must be finite (+Inf is implicit)")
+        if any(b >= c for b, c in zip(bounds, bounds[1:])):
+            raise ValueError(f"bucket bounds must be ascending, got {bounds}")
+        self.buckets = bounds
+        #: per-bucket (non-cumulative) counts; index ``len(buckets)`` is
+        #: the +Inf overflow bucket
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self._samples: list[float] = []
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self._samples.append(value)
+        self.sum += value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def cumulative_counts(self) -> list[int]:
+        """Prometheus ``le`` counts: cumulative, ending at ``count``."""
+        out, running = [], 0
+        for c in self.bucket_counts:
+            running += c
+            out.append(running)
+        return out
+
+    @property
+    def samples(self) -> tuple[float, ...]:
+        return tuple(self._samples)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Exact ``q``-th percentile of the observed samples."""
+        if not self._samples:
+            raise ValueError(f"histogram {self.name!r} has no samples")
+        return float(np.percentile(np.asarray(self._samples), q))
+
+    def percentiles(
+        self, qs: Iterable[float] = (50.0, 95.0, 99.0)
+    ) -> dict[str, float]:
+        return {f"p{g:g}": self.percentile(g) for g in qs}
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_labels(labels: Sequence[tuple[str, str]]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape_label_value(v)}"' for k, v in labels
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class MetricsRegistry:
+    """Get-or-create store of every metric a run produced."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, tuple], _Metric] = {}
+        self._kinds: dict[str, str] = {}
+        self._helps: dict[str, str] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def _get_or_create(self, cls, name, help_text, labels, **kwargs):
+        kind = cls.kind
+        seen = self._kinds.get(name)
+        if seen is not None and seen != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as a {seen}, "
+                f"cannot re-register as a {kind}"
+            )
+        key = (name, _labels_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, key[1], **kwargs)
+            self._metrics[key] = metric
+            self._kinds[name] = kind
+            if help_text:
+                self._helps[name] = help_text
+        elif help_text and name not in self._helps:
+            self._helps[name] = help_text
+        return metric
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_US,
+        **labels,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, labels, buckets=buckets
+        )
+
+    def find(self, name: str, **labels) -> _Metric | None:
+        """Existing metric for ``(name, labels)``, or ``None`` (never
+        creates — the read path for exporters and the SLO layer)."""
+        return self._metrics.get((name, _labels_key(labels)))
+
+    def collect(self) -> list[_Metric]:
+        """All metrics, grouped by name, label-sorted within a name."""
+        return [
+            self._metrics[key]
+            for key in sorted(self._metrics, key=lambda k: (k[0], k[1]))
+        ]
+
+    def family(self, name: str) -> list[_Metric]:
+        """Every label variant registered under ``name``."""
+        return [m for m in self.collect() if m.name == name]
+
+    # ------------------------------------------------------------------
+    # exposition
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format, one series per line.
+
+        Histograms expand into ``_bucket``/``_sum``/``_count`` series
+        with cumulative ``le`` labels, exactly as a Prometheus client
+        library would expose them.
+        """
+        lines: list[str] = []
+        last_name = None
+        for metric in self.collect():
+            if metric.name != last_name:
+                help_text = self._helps.get(metric.name)
+                if help_text:
+                    lines.append(f"# HELP {metric.name} {help_text}")
+                lines.append(f"# TYPE {metric.name} {metric.kind}")
+                last_name = metric.name
+            if isinstance(metric, Histogram):
+                cumulative = metric.cumulative_counts()
+                bounds = [*metric.buckets, math.inf]
+                for bound, count in zip(bounds, cumulative):
+                    labels = (
+                        *metric.labels,
+                        ("le", _format_value(bound)),
+                    )
+                    lines.append(
+                        f"{metric.name}_bucket"
+                        f"{_format_labels(labels)} {count}"
+                    )
+                lines.append(
+                    f"{metric.name}_sum{_format_labels(metric.labels)} "
+                    f"{_format_value(metric.sum)}"
+                )
+                lines.append(
+                    f"{metric.name}_count{_format_labels(metric.labels)} "
+                    f"{metric.count}"
+                )
+            else:
+                lines.append(
+                    f"{metric.name}{_format_labels(metric.labels)} "
+                    f"{_format_value(metric.value)}"
+                )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def snapshot(self) -> list[dict]:
+        """JSON-able dump of every metric (the JSONL exporter payload).
+
+        Histogram entries carry both the fixed-bucket counts and the
+        exact quantile snapshot.
+        """
+        out = []
+        for metric in self.collect():
+            entry: dict = {
+                "name": metric.name,
+                "kind": metric.kind,
+                "labels": metric.labels_dict,
+            }
+            if isinstance(metric, Histogram):
+                entry["count"] = metric.count
+                entry["sum"] = metric.sum
+                entry["buckets"] = {
+                    _format_value(b): c
+                    for b, c in zip(
+                        [*metric.buckets, math.inf],
+                        metric.cumulative_counts(),
+                    )
+                }
+                if metric.count:
+                    entry["mean"] = metric.mean
+                    entry.update(metric.percentiles())
+            else:
+                entry["value"] = metric.value
+            out.append(entry)
+        return out

@@ -37,7 +37,47 @@ import numpy as np
 
 from repro.core.config import BertConfig
 from repro.frameworks.base import Framework
+from repro.telemetry import COUNT_BUCKETS, RATIO_BUCKETS, current_telemetry
+from repro.telemetry.slo import BATCH_FILL_RATIO, QUEUE_DEPTH
 from repro.workloads.serving import Request, ServingTrace
+
+
+def _observe_cut(
+    queue_depth: int,
+    cut: Sequence[Request],
+    ready_us: float,
+    *,
+    tile: int | None = None,
+    fill: float | None = None,
+) -> None:
+    """Record one batch cut into the installed telemetry (if any).
+
+    Observation only: called after the cut is decided, never influencing
+    which requests ship.  ``queue_depth`` is the waiting-pool size
+    *before* the cut — the queue-pressure signal.
+    """
+    tel = current_telemetry()
+    if tel is None or not tel.owns_current_thread():
+        return
+    tel.metrics.histogram(
+        QUEUE_DEPTH,
+        help="waiting requests when a batch was cut",
+        buckets=COUNT_BUCKETS,
+    ).observe(queue_depth)
+    if fill is not None:
+        tel.metrics.histogram(
+            BATCH_FILL_RATIO,
+            help="filled fraction of the batch budget at each cut",
+            buckets=RATIO_BUCKETS,
+        ).observe(fill)
+    tel.tracer.instant(
+        "batch.cut",
+        category="batcher",
+        t_us=ready_us,
+        segments=len(cut),
+        tokens=int(sum(r.seq_len for r in cut)),
+        tile=tile,
+    )
 
 
 class TokenBudgetExceededError(ValueError):
@@ -154,32 +194,38 @@ class TimeoutBatcher(Batcher):
                 request.arrival_us
                 > waiting[0].arrival_us + self.timeout_us
             ):
+                depth = len(waiting)
                 cut = waiting[: self.batch_size]
                 waiting = waiting[self.batch_size :]
+                ready = cut[0].arrival_us + self.timeout_us
+                _observe_cut(
+                    depth, cut, ready, fill=len(cut) / self.batch_size
+                )
                 plan.append(
-                    Dispatch(
-                        requests=tuple(cut),
-                        ready_us=cut[0].arrival_us + self.timeout_us,
-                    )
+                    Dispatch(requests=tuple(cut), ready_us=ready)
                 )
             waiting.append(request)
             if len(waiting) >= self.batch_size:
+                depth = len(waiting)
                 cut = waiting[: self.batch_size]
                 waiting = waiting[self.batch_size :]
+                ready = cut[-1].arrival_us
+                _observe_cut(
+                    depth, cut, ready, fill=len(cut) / self.batch_size
+                )
                 plan.append(
-                    Dispatch(
-                        requests=tuple(cut),
-                        ready_us=cut[-1].arrival_us,
-                    )
+                    Dispatch(requests=tuple(cut), ready_us=ready)
                 )
         while waiting:
+            depth = len(waiting)
             cut = waiting[: self.batch_size]
             waiting = waiting[self.batch_size :]
+            ready = cut[0].arrival_us + self.timeout_us
+            _observe_cut(
+                depth, cut, ready, fill=len(cut) / self.batch_size
+            )
             plan.append(
-                Dispatch(
-                    requests=tuple(cut),
-                    ready_us=cut[0].arrival_us + self.timeout_us,
-                )
+                Dispatch(requests=tuple(cut), ready_us=ready)
             )
         self._validate_cover(trace, plan)
         return plan
@@ -300,6 +346,9 @@ class ContinuousBatcher(Batcher):
                     f"tokens, more than the {self.token_budget}-token "
                     "budget; an encoder sequence cannot be split"
                 )
+        tel = current_telemetry()
+        if tel is not None and not tel.owns_current_thread():
+            tel = None
         plan: list[Dispatch] = []
         waiting: list[Request] = []
         for request in trace.requests:
@@ -314,6 +363,11 @@ class ContinuousBatcher(Batcher):
                     )
                 )
             waiting.append(request)
+            if tel is not None:
+                tel.metrics.counter(
+                    "batcher_admitted_total",
+                    help="requests admitted into the rolling megabatch",
+                ).inc()
             while (
                 sum(r.seq_len for r in waiting) >= self.token_budget
             ):
@@ -345,13 +399,14 @@ class ContinuousBatcher(Batcher):
             if used + waiting[i].seq_len <= self.token_budget:
                 chosen.add(i)
                 used += waiting[i].seq_len
+        depth = len(waiting)
         cut = [r for i, r in enumerate(waiting) if i in chosen]
         waiting[:] = [r for i, r in enumerate(waiting) if i not in chosen]
-        return Dispatch(
-            requests=tuple(cut),
-            ready_us=ready_us,
-            tile=quantize_tile(used, self.effective_tiles()),
+        tile = quantize_tile(used, self.effective_tiles())
+        _observe_cut(
+            depth, cut, ready_us, tile=tile, fill=used / self.token_budget
         )
+        return Dispatch(requests=tuple(cut), ready_us=ready_us, tile=tile)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,148 @@
+"""Metrics registry: exact quantiles, exposition format, strict parser."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (
+    Histogram,
+    MetricsRegistry,
+    PrometheusFormatError,
+    SloPolicy,
+    SloReport,
+    parse_prometheus,
+)
+from repro.telemetry.slo import (
+    DEADLINE_MET_TOTAL,
+    DEADLINE_REQUESTS_TOTAL,
+    REQUEST_LATENCY_US,
+    REQUESTS_TOTAL,
+)
+
+
+class TestHistogram:
+    def test_percentiles_are_exact(self):
+        h = Histogram("lat", buckets=(10.0, 100.0))
+        samples = [3.0, 17.0, 42.0, 99.0, 640.0]
+        for s in samples:
+            h.observe(s)
+        for q in (50, 95, 99):
+            assert h.percentile(q) == float(np.percentile(samples, q))
+
+    def test_cumulative_counts_end_at_count(self):
+        h = Histogram("lat", buckets=(1.0, 10.0))
+        for s in (0.5, 5.0, 5.0, 50.0):
+            h.observe(s)
+        assert h.cumulative_counts() == [1, 3, 4]
+        assert h.count == 4
+
+    def test_empty_percentile_raises(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=(1.0,)).percentile(50)
+
+    def test_bucket_bounds_validated(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=(10.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("lat", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        a = reg.counter("requests_total", outcome="served")
+        b = reg.counter("requests_total", outcome="served")
+        assert a is b
+        assert reg.counter("requests_total", outcome="shed") is not a
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ValueError):
+            reg.gauge("x_total")
+
+    def test_find_never_creates(self):
+        reg = MetricsRegistry()
+        assert reg.find("absent") is None
+        assert len(reg) == 0
+
+
+class TestExposition:
+    def make_registry(self):
+        reg = MetricsRegistry()
+        reg.counter("req_total", help="requests", outcome="served").inc(3)
+        reg.gauge("depth").set(7.5)
+        h = reg.histogram("lat_us", help="latency", buckets=(10.0, 100.0))
+        h.observe(5.0)
+        h.observe(50.0)
+        return reg
+
+    def test_round_trips_through_parser(self):
+        series = parse_prometheus(self.make_registry().to_prometheus())
+        assert series['req_total{outcome="served"}'] == 3.0
+        assert series["depth"] == 7.5
+        assert series['lat_us_bucket{le="+Inf"}'] == 2.0
+        assert series["lat_us_count"] == 2.0
+
+    def test_parser_rejects_duplicate_series(self):
+        with pytest.raises(PrometheusFormatError):
+            parse_prometheus("a 1\na 2\n")
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(PrometheusFormatError):
+            parse_prometheus("not a metric line at all!\n")
+
+    def test_snapshot_is_jsonable_and_exact(self):
+        import json
+
+        snap = self.make_registry().snapshot()
+        json.dumps(snap)  # must not raise
+        hist = next(e for e in snap if e["name"] == "lat_us")
+        assert hist["count"] == 2
+        assert hist["p50"] == 27.5
+
+
+class TestJsonlRoundTrip:
+    def test_spans_then_metrics_with_discriminator(self, tmp_path):
+        from repro.telemetry import (
+            Telemetry,
+            read_telemetry_jsonl,
+            write_telemetry_jsonl,
+        )
+
+        tel = Telemetry()
+        tel.tracer.instant("mark", request_id=1)
+        tel.metrics.counter("hits_total").inc()
+        tel.metrics.histogram("lat_us", buckets=(10.0,)).observe(3.0)
+        path = write_telemetry_jsonl(tel, tmp_path / "t.jsonl")
+        records = read_telemetry_jsonl(path)
+        assert [r["kind"] for r in records] == ["span", "metric", "metric"]
+        metric_kinds = {
+            r["name"]: r["metric_kind"] for r in records if r["kind"] == "metric"
+        }
+        assert metric_kinds == {"hits_total": "counter", "lat_us": "histogram"}
+        assert records[0]["name"] == "mark"
+
+
+class TestSloReport:
+    def test_burn_and_attainment_from_registry(self):
+        reg = MetricsRegistry()
+        reg.counter(REQUESTS_TOTAL, outcome="served").inc(98)
+        reg.counter(REQUESTS_TOTAL, outcome="shed").inc(2)
+        reg.counter(DEADLINE_REQUESTS_TOTAL).inc(100)
+        reg.counter(DEADLINE_MET_TOTAL).inc(97)
+        h = reg.histogram(REQUEST_LATENCY_US)
+        for v in (100.0, 200.0, 300.0):
+            h.observe(v)
+        report = SloReport.from_registry(
+            reg, SloPolicy(success_target=0.99, latency_target_us=250.0)
+        )
+        assert report.total == 100
+        assert report.availability == 0.98
+        # 2% bad against a 1% error budget: burning at 2x
+        assert report.budget_burn == pytest.approx(2.0)
+        assert report.deadline_attainment == 0.97
+        assert not report.availability_met
+        assert report.latency_met is False
+        text = report.render_text()
+        assert "== SLO ==" in text
+        assert "burn" in text

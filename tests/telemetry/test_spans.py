@@ -1,0 +1,109 @@
+"""Span tracer: nesting, correlation inheritance, thread confinement."""
+
+import threading
+
+import pytest
+
+from repro.telemetry import SpanTracer
+
+
+class TestNesting:
+    def test_children_follow_call_order(self):
+        tr = SpanTracer()
+        outer = tr.begin("outer")
+        tr.begin("first")
+        tr.end()
+        tr.begin("second")
+        tr.end()
+        tr.end()
+        assert [s.name for s in tr.children_of(outer)] == ["first", "second"]
+
+    def test_depth_tracks_open_spans(self):
+        tr = SpanTracer()
+        assert tr.depth == 0
+        tr.begin("a")
+        tr.begin("b")
+        assert tr.depth == 2
+        tr.end()
+        assert tr.depth == 1
+
+    def test_end_without_open_span_raises(self):
+        with pytest.raises(RuntimeError):
+            SpanTracer().end()
+
+    def test_end_before_start_raises(self):
+        tr = SpanTracer()
+        tr.begin("a", start_us=100.0)
+        with pytest.raises(ValueError):
+            tr.end(end_us=50.0)
+
+    def test_context_manager_closes_on_exception(self):
+        tr = SpanTracer()
+        with pytest.raises(KeyError):
+            with tr.span("doomed"):
+                raise KeyError("boom")
+        assert tr.depth == 0
+        assert tr.completed()[0].name == "doomed"
+
+
+class TestCorrelation:
+    def test_child_inherits_request_and_batch_ids(self):
+        tr = SpanTracer()
+        tr.begin("dispatch", request_id=7, batch_id=3)
+        child = tr.begin("graph.replay")
+        assert child.request_id == 7
+        assert child.batch_id == 3
+
+    def test_explicit_ids_override_inheritance(self):
+        tr = SpanTracer()
+        tr.begin("dispatch", request_id=7)
+        child = tr.begin("inner", request_id=9)
+        assert child.request_id == 9
+
+    def test_by_request_finds_correlated_spans(self):
+        tr = SpanTracer()
+        tr.instant("admit", request_id=4)
+        tr.add_span(
+            "request", category="request", start_us=0.0, end_us=5.0,
+            request_id=4,
+        )
+        tr.instant("admit", request_id=5)
+        assert [s.request_id for s in tr.by_request(4)] == [4, 4]
+
+
+class TestClockAndThreads:
+    def test_cursor_defaults_span_times(self):
+        tr = SpanTracer()
+        tr.set_now(250.0)
+        span = tr.begin("a")
+        tr.set_now(300.0)
+        tr.end()
+        assert (span.start_us, span.end_us) == (250.0, 300.0)
+
+    def test_end_never_precedes_start_via_cursor(self):
+        # the cursor may rewind (per-request arrival times); a span that
+        # closes at an earlier cursor clamps to its own start
+        tr = SpanTracer()
+        tr.set_now(100.0)
+        tr.begin("a")
+        tr.set_now(40.0)
+        span = tr.end()
+        assert span.end_us == 100.0
+
+    def test_foreign_thread_is_ignored(self):
+        tr = SpanTracer()
+        tr.begin("main-side")
+
+        def record():
+            assert not tr.owns_current_thread()
+            tr.set_now(1e9)
+            tr.begin("worker-side")
+            assert tr.end() is None
+            assert tr.instant("worker-mark") is None
+
+        worker = threading.Thread(target=record)
+        worker.start()
+        worker.join()
+        tr.end()
+        assert [s.name for s in tr.spans] == ["main-side"]
+        assert tr.now_us == 0.0

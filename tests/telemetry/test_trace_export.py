@@ -1,0 +1,239 @@
+"""Chrome-trace export of telemetry: round-trip, ordering, acceptance.
+
+Satellite coverage for :func:`repro.gpusim.trace.to_chrome_trace` with a
+span layer, plus the PR's acceptance criterion: a chaos replay's
+exported trace contains, for a single request id, its admission span,
+the megabatch/tile span it rode, the graph replay that priced it and —
+when chaos fires — its retry spans, all stacked above the kernel events.
+"""
+
+import json
+
+from repro.core.config import BertConfig
+from repro.gpusim import ExecutionContext, KernelLaunch
+from repro.gpusim.trace import (
+    KERNEL_TID,
+    SPAN_TID,
+    telemetry_chrome_trace,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_telemetry_trace,
+)
+from repro.serving import DegradationLadder, FaultSpec, ServingRuntime
+from repro.telemetry import SpanTracer, Telemetry
+from repro.workloads.batching import ContinuousBatcher
+from repro.workloads.serving import make_trace
+
+
+def make_ctx(n=2):
+    ctx = ExecutionContext()
+    for i in range(n):
+        ctx.launch(
+            KernelLaunch(
+                name=f"gemm{i}",
+                category="gemm",
+                grid=64,
+                block_threads=256,
+                flops=1e9,
+                dram_bytes=1e6,
+            )
+        )
+    return ctx
+
+
+def make_tracer_matching(ctx):
+    """A span layer enclosing the context's kernel timeline."""
+    tr = SpanTracer()
+    tr.begin("dispatch", category="dispatch", start_us=0.0, batch_id=0)
+    tr.begin("attempt", category="attempt")
+    tr.instant("mark", t_us=ctx.records[0].time_us)
+    tr.end(end_us=ctx.elapsed_us())
+    tr.end(end_us=ctx.elapsed_us())
+    tr.add_span(
+        "request",
+        category="request",
+        start_us=0.0,
+        end_us=ctx.elapsed_us(),
+        request_id=42,
+    )
+    return tr
+
+
+class TestSpanLayerRoundTrip:
+    def test_exported_json_reparses(self, tmp_path):
+        ctx = make_ctx()
+        tr = make_tracer_matching(ctx)
+        path = write_chrome_trace(
+            ctx, tmp_path / "t.json", spans=tr.spans
+        )
+        loaded = json.loads(path.read_text())
+        assert loaded["traceEvents"]
+        phases = {e["ph"] for e in loaded["traceEvents"]}
+        assert {"M", "X", "i", "b", "e"} <= phases
+
+    def test_timestamps_monotone_per_thread(self):
+        ctx = make_ctx(4)
+        tr = make_tracer_matching(ctx)
+        trace = to_chrome_trace(ctx, spans=tr.spans)
+        by_tid = {}
+        for e in trace["traceEvents"]:
+            if e["ph"] in ("X", "i"):
+                by_tid.setdefault(e["tid"], []).append(e["ts"])
+        for tid, stamps in by_tid.items():
+            assert stamps == sorted(stamps), f"tid {tid} out of order"
+
+    def test_nesting_matches_recorded_call_order(self):
+        ctx = make_ctx()
+        tr = make_tracer_matching(ctx)
+        trace = to_chrome_trace(ctx, spans=tr.spans)
+        complete = [
+            e
+            for e in trace["traceEvents"]
+            if e["ph"] == "X" and e["tid"] == SPAN_TID
+        ]
+        # the enclosing dispatch sorts before the attempt it contains,
+        # and the attempt's interval sits inside the dispatch's
+        assert [e["name"] for e in complete] == ["dispatch", "attempt"]
+        outer, inner = complete
+        assert outer["ts"] <= inner["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"]
+
+    def test_kernels_move_below_span_row(self):
+        ctx = make_ctx()
+        tr = make_tracer_matching(ctx)
+        trace = to_chrome_trace(ctx, spans=tr.spans)
+        kernel_tids = {
+            e["tid"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "X" and e["name"].startswith("gemm")
+        }
+        assert kernel_tids == {KERNEL_TID}
+
+    def test_without_spans_layout_unchanged(self):
+        # the original single-thread export contract must survive
+        trace = to_chrome_trace(make_ctx())
+        complete = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert all(e["tid"] == 0 for e in complete)
+        assert len([e for e in trace["traceEvents"] if e["ph"] == "M"]) == 2
+
+    def test_request_spans_are_async_pairs(self):
+        ctx = make_ctx()
+        tr = make_tracer_matching(ctx)
+        trace = to_chrome_trace(ctx, spans=tr.spans)
+        begins = [e for e in trace["traceEvents"] if e["ph"] == "b"]
+        ends = [e for e in trace["traceEvents"] if e["ph"] == "e"]
+        assert len(begins) == len(ends) == 1
+        assert begins[0]["id"] == ends[0]["id"] == "42"
+
+
+class TestChaosReplayAcceptance:
+    """The PR acceptance criterion, end to end."""
+
+    def run_chaos(self):
+        tel = Telemetry()
+        trace = make_trace(
+            60, 96, mean_interarrival_us=250.0, seed=11
+        )
+        runtime = ServingRuntime(
+            BertConfig(num_heads=4, head_size=16, num_layers=2),
+            batcher=ContinuousBatcher(token_budget=1024),
+            ladder=DegradationLadder(
+                trip_threshold=2, window_us=20_000.0, cooldown_us=15_000.0
+            ),
+            faults=FaultSpec(
+                launch_failure_rate=0.06,
+                transient_oom_rate=0.04,
+                slow_rate=0.05,
+                slow_factor=4.0,
+                target_prefixes=("fused_mha", "fmha_"),
+            ),
+            seed=11,
+            telemetry=tel,
+        )
+        report = runtime.run(trace)
+        return tel, report
+
+    def test_one_request_yields_full_causal_story(self, tmp_path):
+        tel, report = self.run_chaos()
+        retried = [o for o in report.outcomes if o.retries > 0]
+        assert retried, "chaos seed must produce at least one retry"
+        rid = retried[0].request_id
+
+        path = write_telemetry_trace(tel, tmp_path / "chaos.json")
+        events = json.loads(path.read_text())["traceEvents"]
+
+        # request-root async span keyed by the request id
+        roots = [
+            e for e in events if e["ph"] == "b" and e["id"] == str(rid)
+        ]
+        assert len(roots) == 1
+
+        # admission instant for the request
+        admits = [
+            e
+            for e in events
+            if e["ph"] == "i"
+            and e["name"] == "admission.admit"
+            and e["args"].get("request_id") == rid
+        ]
+        assert len(admits) == 1
+
+        # the megabatch/tile dispatch the request rode
+        dispatches = [
+            e
+            for e in events
+            if e["ph"] == "X"
+            and e["name"] == "dispatch.megabatch"
+            and rid in e["args"].get("request_ids", [])
+        ]
+        assert len(dispatches) == 1
+        dispatch = dispatches[0]
+        assert dispatch["args"]["tile"] > 0
+        batch_id = dispatch["args"]["batch_id"]
+
+        # a graph replay priced the megabatch...
+        replays = [
+            e
+            for e in events
+            if e["ph"] == "X"
+            and e["name"] == "graph.replay"
+            and e["args"].get("batch_id") == batch_id
+        ]
+        assert replays
+
+        # ...and the retried request's batch shows its backoff span
+        backoffs = [
+            e
+            for e in events
+            if e["ph"] == "X"
+            and e["name"] == "retry.backoff"
+            and e["args"].get("batch_id") == batch_id
+        ]
+        assert backoffs
+
+        # spans stack above the kernel timeline: kernels live on their
+        # own row, and the dispatch interval covers kernel activity
+        kernels = [
+            e
+            for e in events
+            if e["ph"] == "X" and e.get("tid") == KERNEL_TID
+        ]
+        assert kernels
+        assert all(
+            e.get("tid") == SPAN_TID for e in dispatches + replays
+        )
+        lo = dispatch["ts"]
+        hi = dispatch["ts"] + dispatch["dur"]
+        assert any(lo <= k["ts"] <= hi for k in kernels)
+
+    def test_span_stack_balanced_after_chaos(self):
+        tel, _ = self.run_chaos()
+        assert tel.tracer.depth == 0
+        assert all(s.end_us is not None for s in tel.tracer.spans)
+
+    def test_telemetry_trace_thread_names(self):
+        tel, _ = self.run_chaos()
+        trace = telemetry_chrome_trace(tel, device_name="A100")
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta}
+        assert {"serving (A100)", "stages", "kernels"} <= names

@@ -178,6 +178,60 @@ class TestServeChaos:
         assert rc == 0
         assert "shed=" in capsys.readouterr().out
 
+    def test_slo_summary_always_printed(self, capsys):
+        assert main(self._args("--fault-rate", "0", "--slow-rate", "0")) == 0
+        out = capsys.readouterr().out
+        assert "== SLO ==" in out
+        assert "availability:" in out
+        assert "error budget:" in out
+
+    def test_telemetry_exports(self, capsys, tmp_path):
+        trace = tmp_path / "chaos-trace.json"
+        metrics = tmp_path / "chaos-metrics.jsonl"
+        rc = main(
+            self._args(
+                "--batcher", "continuous",
+                "--trace-out", str(trace),
+                "--metrics-out", str(metrics),
+            )
+        )
+        assert rc == 0
+        events = json.loads(trace.read_text())["traceEvents"]
+        assert any(e.get("name") == "dispatch.megabatch" for e in events)
+        records = [
+            json.loads(line) for line in metrics.read_text().splitlines()
+        ]
+        kinds = {r["kind"] for r in records}
+        assert kinds == {"span", "metric"}
+
+
+class TestMetrics:
+    def test_prometheus_exposition_checked(self, capsys):
+        assert main(["metrics", "--quick", "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "serving_requests_total" in out
+        assert "prometheus exposition OK" in out
+
+    def test_json_format(self, capsys):
+        assert main(["metrics", "--quick", "--format", "json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        names = {e["name"] for e in entries}
+        assert "serving_requests_total" in names
+
+    def test_text_format_is_slo_summary(self, capsys):
+        assert main(["metrics", "--quick", "--format", "text"]) == 0
+        assert "== SLO ==" in capsys.readouterr().out
+
+    def test_out_writes_file(self, capsys, tmp_path):
+        out_path = tmp_path / "m.prom"
+        assert main(
+            ["metrics", "--quick", "--out", str(out_path)]
+        ) == 0
+        from repro.telemetry import parse_prometheus
+
+        series = parse_prometheus(out_path.read_text())
+        assert any(k.startswith("serving_requests_total") for k in series)
+
 
 class TestErrorContract:
     """Invalid arguments exit with code 2 and a one-line message — never
