@@ -36,6 +36,17 @@ Three measurements are reported:
   served token (cost plane) and the steady-state graph-cache hit rate
   of the tile-quantized megabatch path (second trace run, so warm-up
   captures don't dilute the rate).
+* ``host_parallel`` — the Amdahl-cap breaker: one tile-quantized
+  megabatch run serially vs under the configured executor (process
+  workers fork over contiguous segment chunks and mutate a
+  shared-memory arena; thread workers share the buffer directly).
+  Parallel outputs must be **bitwise** serial-equal with an identical
+  launch stream; the nested ``fast_gelu`` block swaps in the tanh GELU
+  and must land within the end-to-end tolerance ``layers *
+  FAST_GELU_ATOL`` (per-application error compounds at most linearly
+  through the depth) without touching the stream.
+  The 1.15× floor is enforced only where it is reachable (>= 2 cores,
+  >= 2 workers, ``fork`` available) and warns elsewhere.
 
 Results are written to ``BENCH_wallclock.json``; required schema keys are
 ``config``, ``wall_us``, ``modelled_us`` and ``speedup_vs_reference``.
@@ -56,6 +67,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 import platform
 import time
 import tracemalloc
@@ -66,7 +78,7 @@ import numpy as np
 
 from repro.attention.dispatch import byte_mha
 from repro.attention.zeropad_softmax_mha import zeropad_softmax_mha
-from repro.core.config import BertConfig, STEPWISE_PRESETS
+from repro.core.config import FAST_GELU, BertConfig, STEPWISE_PRESETS
 from repro.core.engine import LOOPED, VECTORIZED, use_engine
 from repro.core.estimator import estimate_model, estimate_model_graphed
 from repro.core.memory_planner import LiveArena
@@ -75,11 +87,19 @@ from repro.core.padding import (
     PackedSeqs,
     PackingCache,
     default_packing_cache,
+    merge_request_lengths,
     packing_from_mask,
+)
+from repro.core.parallel import (
+    SERIAL_EXECUTOR,
+    fork_available,
+    make_executor,
+    use_executor,
 )
 from repro.gpusim.graph import GraphCache
 from repro.gpusim.profiler import CacheStats
 from repro.gpusim.stream import ExecutionContext, NullContext
+from repro.kernels.activation import FAST_GELU_ATOL
 from repro.kernels.gemm import gemm
 from repro.kernels.prefix_sum import mask_prefix_sum
 from repro.workloads.generator import make_batch
@@ -97,7 +117,7 @@ QUICK_OVERRIDES: dict[str, Any] = {
     "serve_requests": 12,
 }
 
-_PRESETS_BY_LABEL = {p.label: p for p in STEPWISE_PRESETS}
+_PRESETS_BY_LABEL = {p.label: p for p in (*STEPWISE_PRESETS, FAST_GELU)}
 
 
 def _time_best_of(fn: Callable[[], Any], repeats: int) -> float:
@@ -218,6 +238,131 @@ def _continuous_serving_section(
     }
 
 
+def _host_parallel_section(
+    config: BertConfig,
+    opt: Any,
+    data: Any,
+    max_seq_len: int,
+    repeats: int,
+    executor: str,
+    workers: int,
+    seed: int,
+) -> dict[str, Any] | None:
+    """Megabatch segment fan-out: serial vs the configured executor.
+
+    The whole batch is merged into one tile-quantized megabatch (the
+    continuous-serving hot path) and run three ways on the numeric
+    plane: serially, under the configured executor (process workers
+    mutate a shared-memory arena; thread workers the same buffer
+    directly), and under the fast-GELU preset.  The parallel run must
+    be **bitwise** equal to the serial one and leave the modelled
+    launch chain untouched; fast-GELU must land within the documented
+    end-to-end tolerance — one GELU application per layer, each within
+    :data:`~repro.kernels.activation.FAST_GELU_ATOL`, compounds at
+    most linearly in depth (layernorm renormalises between layers, so
+    there is no multiplicative blow-up), hence ``layers * atol`` — with
+    an identical launch stream.  ``None`` when the preset keeps padding
+    (no packed pipeline to fan out).
+    """
+    if not opt.remove_padding:
+        return None
+    cores = os.cpu_count() or 1
+    seq_lens = np.asarray(data.mask.sum(axis=1), dtype=np.int64)
+    total = int(seq_lens.sum())
+    tile = -(-total // 512) * 512
+    mega = merge_request_lengths(seq_lens, max_seq_len, tile, cache=None)
+    flat = data.x.reshape(-1, config.hidden_size)
+    packing = packing_from_mask(data.mask, ctx=NullContext())
+    x_tile = np.zeros((tile, config.hidden_size), dtype=flat.dtype)
+    x_tile[:total] = flat[packing.gather_idx]
+
+    def tile_model(
+        run_opt: Any, shared: bool, ex: Any
+    ) -> BertEncoderModel:
+        model = BertEncoderModel(
+            config, opt=run_opt, seed=seed, arena=LiveArena(shared=shared)
+        )
+        with use_executor(ex):  # warm up: arena reserve + first forward
+            model.forward_packed(x_tile, mega, ctx=NullContext())
+        return model
+
+    def stream_of(model: BertEncoderModel, ex: Any) -> tuple:
+        ctx = ExecutionContext()
+        with use_executor(ex):
+            out = model.forward_packed(x_tile, mega, ctx=ctx)
+        return out, ctx
+
+    def wall_of(model: BertEncoderModel, ex: Any) -> float:
+        with use_executor(ex):
+            return _time_best_of(
+                lambda: model.forward_packed(
+                    x_tile, mega, ctx=NullContext()
+                ),
+                repeats,
+            )
+
+    # the serial reference and the fast-GELU run pin SERIAL_EXECUTOR so
+    # an ambient executor (e.g. the CLI's use_workers wrapper) cannot
+    # leak fan-out into the baselines
+    serial_model = tile_model(opt, False, SERIAL_EXECUTOR)
+    serial_out, serial_ctx = stream_of(serial_model, SERIAL_EXECUTOR)
+    serial_out = serial_out.copy()
+    serial_wall = wall_of(serial_model, SERIAL_EXECUTOR)
+
+    ex = make_executor(executor, workers)
+    par_model = tile_model(opt, ex.needs_shared_memory, ex)
+    par_wall = wall_of(par_model, ex)
+    par_out, par_ctx = stream_of(par_model, ex)
+    outputs_bitwise = bool(np.array_equal(par_out, serial_out))
+    streams_identical = _launches_identical(
+        serial_ctx.records, par_ctx.records
+    )
+    modelled_equal = serial_ctx.elapsed_us() == par_ctx.elapsed_us()
+    ex.shutdown()
+
+    fast_opt = dataclasses.replace(opt, gelu_variant="tanh")
+    fast_model = tile_model(fast_opt, False, SERIAL_EXECUTOR)
+    fast_out, fast_ctx = stream_of(fast_model, SERIAL_EXECUTOR)
+    fast_diff = float(np.max(np.abs(fast_out - serial_out)))
+    fast_wall = wall_of(fast_model, SERIAL_EXECUTOR)
+
+    return {
+        "cores": cores,
+        "executor": ex.kind,
+        "workers": ex.workers,
+        "fork_available": fork_available(),
+        "tile": tile,
+        "segments": int(seq_lens.shape[0]),
+        "total_tokens": total,
+        "wall_us": par_wall,
+        "reference_wall_us": serial_wall,
+        "speedup_vs_reference": serial_wall / par_wall,
+        # the Amdahl-cap breaker needs >= 2 cores and a real fan-out;
+        # without them the floor breach warns instead of failing
+        "floor": 1.15,
+        "amdahl_capped": (
+            cores < 2 or ex.workers < 2 or not fork_available()
+        ),
+        "outputs_bitwise_equal": outputs_bitwise,
+        "launch_streams_identical": streams_identical,
+        "modelled_us_equal": modelled_equal,
+        "fast_gelu": {
+            "wall_us": fast_wall,
+            "reference_wall_us": serial_wall,
+            "speedup_vs_exact": serial_wall / fast_wall,
+            "max_abs_diff": fast_diff,
+            "atol_per_gelu": FAST_GELU_ATOL,
+            "atol": config.num_layers * FAST_GELU_ATOL,
+            "within_atol": bool(
+                fast_diff <= config.num_layers * FAST_GELU_ATOL
+            ),
+            "launch_streams_identical": _launches_identical(
+                serial_ctx.records, fast_ctx.records
+            ),
+        },
+    }
+
+
 def run_wallclock_bench(
     *,
     batch: int = 16,
@@ -228,6 +373,8 @@ def run_wallclock_bench(
     repeats: int = 3,
     seed: int = 0,
     serve_requests: int = 48,
+    executor: str = "process",
+    workers: int | None = None,
     telemetry: Any = None,
 ) -> dict[str, Any]:
     """Benchmark the vectorized engine against the looped reference.
@@ -244,6 +391,8 @@ def run_wallclock_bench(
             f"{sorted(_PRESETS_BY_LABEL)}"
         )
     opt = _PRESETS_BY_LABEL[preset]
+    if workers is None:
+        workers = os.cpu_count() or 1
     config = BertConfig(num_layers=layers)
     data = make_batch(
         batch, max_seq_len, config.hidden_size, alpha=alpha, seed=seed
@@ -474,6 +623,11 @@ def run_wallclock_bench(
             packing_repeats,
         )
 
+    # ---- host-path parallelism: the megabatch segment fan-out --------
+    host_parallel_section = _host_parallel_section(
+        config, opt, data, max_seq_len, repeats, executor, workers, seed
+    )
+
     result: dict[str, Any] = {
         "config": {
             "batch": batch,
@@ -484,6 +638,8 @@ def run_wallclock_bench(
             "repeats": repeats,
             "seed": seed,
             "serve_requests": serve_requests,
+            "executor": executor,
+            "workers": workers,
             "hidden_size": config.hidden_size,
             "num_heads": config.num_heads,
             "total_tokens": int(np.sum(data.mask)),
@@ -521,6 +677,11 @@ def run_wallclock_bench(
             },
             "graph_replay": graph_replay_section,
             "steady_state_alloc": steady_state_alloc_section,
+            **(
+                {"host_parallel": host_parallel_section}
+                if host_parallel_section is not None
+                else {}
+            ),
             "continuous_serving": _continuous_serving_section(
                 config,
                 opt,
@@ -620,6 +781,17 @@ def format_summary(result: dict[str, Any]) -> str:
             f"{alloc['arena_footprint_bytes'] / (1 << 20):.1f} MiB "
             f"({alloc['arena_overflow_allocs']} overflow allocs)"
         )
+    hp = result["sections"].get("host_parallel")
+    if hp is not None:
+        fg = hp["fast_gelu"]
+        lines.append(
+            f"  host-par  : {hp['wall_us'] / 1e3:9.2f} ms "
+            f"{hp['executor']}({hp['workers']}) vs "
+            f"{hp['reference_wall_us'] / 1e3:9.2f} ms serial "
+            f"({hp['speedup_vs_reference']:.2f}x, {hp['cores']} cores); "
+            f"fast-gelu {fg['speedup_vs_exact']:.2f}x, "
+            f"|diff| {fg['max_abs_diff']:.1e} <= {fg['atol']:g}"
+        )
     serving = result["sections"].get("continuous_serving")
     if serving is not None:
         cont = serving["continuous"]
@@ -702,6 +874,37 @@ def check_invariants(result: dict[str, Any]) -> list[str]:
                 f"{alloc['peak_delta_bytes']} bytes "
                 f"(budget {budget})"
             )
+        # satellite gate: plan-driven pre-sizing means the arena never
+        # falls back to np.empty, warm-up included
+        if alloc.get("arena_overflow_allocs", 0) != 0:
+            failures.append(
+                f"arena performed {alloc['arena_overflow_allocs']} "
+                "overflow allocations (pre-sizing should leave zero)"
+            )
+    hp = result["sections"].get("host_parallel")
+    if hp is not None:
+        # the parallel path's correctness invariants are deterministic,
+        # so they gate hard regardless of core count
+        if not hp["outputs_bitwise_equal"]:
+            failures.append(
+                f"{hp['executor']} executor output != serial output"
+            )
+        if not hp["launch_streams_identical"]:
+            failures.append(
+                f"{hp['executor']} executor changed the launch stream"
+            )
+        if not hp["modelled_us_equal"]:
+            failures.append(
+                f"{hp['executor']} executor changed modelled_us"
+            )
+        fg = hp["fast_gelu"]
+        if not fg["within_atol"]:
+            failures.append(
+                f"fast-gelu max |diff| {fg['max_abs_diff']:.2e} exceeds "
+                f"atol {fg['atol']}"
+            )
+        if not fg["launch_streams_identical"]:
+            failures.append("fast-gelu changed the launch stream")
     return failures
 
 

@@ -9,14 +9,15 @@ Commands:
 * ``bench`` — wall-clock benchmark of the host execution engines
   (``--quick`` for a CI smoke run, ``--out`` to write the JSON,
   ``--check`` to gate on the output/stream-identity invariants,
-  ``--workers`` for the parallel bucket executor); prints the cache
-  hit/miss/eviction table;
+  ``--workers``/``--executor`` to pick the fan-out: a thread pool or
+  forked processes over shared-memory arena segments); prints the
+  cache hit/miss/eviction table;
 * ``serve-chaos`` — chaos-replay a serving trace with injected kernel
   faults, deadlines, retry/backoff and graceful degradation
-  (``--workers`` computes independent requests in parallel); prints the
-  cache hit/miss/eviction table and the SLO summary, and can export the
-  observed replay (``--trace-out`` Chrome trace, ``--metrics-out``
-  JSONL);
+  (``--workers``/``--executor`` compute independent requests in
+  parallel); prints the cache hit/miss/eviction table and the SLO
+  summary, and can export the observed replay (``--trace-out`` Chrome
+  trace, ``--metrics-out`` JSONL);
 * ``metrics`` — replay a small serving trace with telemetry on and emit
   the metrics registry (``--format prom|json|text``, ``--check`` parses
   the Prometheus exposition back);
@@ -38,7 +39,8 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.config import STEPWISE_PRESETS, BertConfig
+from repro.core.config import FAST_GELU, STEPWISE_PRESETS, BertConfig
+from repro.core.parallel import EXECUTOR_KINDS
 from repro.core.estimator import estimate_model
 from repro.experiments import ALL_EXPERIMENTS
 from repro.frameworks import all_frameworks
@@ -55,7 +57,11 @@ from repro.gpusim.trace import write_chrome_trace
 from repro.workloads.generator import uniform_lengths
 
 DEVICES = {spec.name: spec for spec in (A100_SPEC, V100_SPEC, A10_SPEC)}
-PRESETS = {preset.label: preset for preset in STEPWISE_PRESETS}
+#: CLI-selectable presets: the Figure 13 ladder plus the opt-in
+#: fast-GELU preset (approximate within FAST_GELU_ATOL, never implied)
+PRESETS = {
+    preset.label: preset for preset in (*STEPWISE_PRESETS, FAST_GELU)
+}
 
 
 def _add_shape_args(parser: argparse.ArgumentParser) -> None:
@@ -213,6 +219,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         preset=args.preset,
         repeats=args.repeats,
         seed=args.seed,
+        executor=args.executor,
+        workers=args.workers,
     )
     if args.quick:
         kwargs.update(QUICK_OVERRIDES)
@@ -222,7 +230,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
         tel = Telemetry()
         kwargs["telemetry"] = tel
-    with use_workers(args.workers):
+    with use_workers(args.workers, kind=args.executor):
         result = run_wallclock_bench(**kwargs)
     print(format_summary(result))
     if tel is not None:
@@ -325,6 +333,7 @@ def cmd_serve_chaos(args: argparse.Namespace) -> int:
         device=DEVICES[args.device],
         seed=args.seed,
         workers=args.workers,
+        executor=args.executor,
         telemetry=tel,
     )
     print(
@@ -509,7 +518,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=1,
-        help="bucket-executor worker threads (1 = serial)",
+        help="executor fan-out width (1 = serial)",
+    )
+    p.add_argument(
+        "--executor",
+        choices=EXECUTOR_KINDS,
+        default="thread",
+        help="how --workers fan out: thread pool or forked processes "
+        "over shared-memory arena segments",
     )
     p.add_argument(
         "--check",
@@ -597,7 +613,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=1,
-        help="parallel request-compute worker threads (1 = serial)",
+        help="parallel request-compute workers (1 = serial)",
+    )
+    p.add_argument(
+        "--executor",
+        choices=EXECUTOR_KINDS,
+        default="thread",
+        help="how --workers fan out: thread pool or forked processes "
+        "over shared-memory arena segments",
     )
     p.add_argument(
         "--slo-target",

@@ -28,7 +28,8 @@ from repro.core.memory_planner import LiveArena
 from repro.core.padding import PackedSeqs
 from repro.core.weights import LayerWeights
 from repro.gpusim.stream import ExecutionContext, resolve_context
-from repro.kernels.activation import add_bias_gelu
+from repro.kernels.activation import add_bias_gelu, resolve_gelu_variant
+from repro.kernels.batched_gemm import tile_gemm
 from repro.kernels.gemm import gemm
 from repro.kernels.grouped_gemm import SchedulerKind
 from repro.kernels.layernorm import (
@@ -68,27 +69,37 @@ def _ffn_block(
     ctx: ExecutionContext,
     out: np.ndarray | None = None,
     tmp: np.ndarray | None = None,
+    gelu_variant: str = "exact",
+    segment_offsets: np.ndarray | None = None,
 ) -> np.ndarray:
-    """GEMM2 + add-bias + GELU, fused into the epilogue or standalone."""
+    """GEMM2 + add-bias + GELU, fused into the epilogue or standalone.
+
+    With ``segment_offsets`` (the packed pipeline), the up-projection is
+    a single-call :func:`tile_gemm` over every segment of the buffer.
+    """
+    def up_gemm(**kwargs: object) -> np.ndarray:
+        if segment_offsets is not None:
+            return tile_gemm(
+                x, weights.ffn_in_weight,
+                segment_offsets=segment_offsets, **kwargs,
+            )
+        return gemm(x, weights.ffn_in_weight, **kwargs)
+
     if fuse_gelu:
-        return gemm(
-            x,
-            weights.ffn_in_weight,
+        return up_gemm(
             bias=weights.ffn_in_bias,
             activation="gelu",
+            gelu_variant=gelu_variant,
             ctx=ctx,
             name="gemm2_fused_bias_gelu",
             category="gemm2",
             out=out,
             tmp=tmp,
         )
-    up = gemm(
-        x, weights.ffn_in_weight, ctx=ctx, name="gemm2", category="gemm2",
-        out=out,
-    )
+    up = up_gemm(ctx=ctx, name="gemm2", category="gemm2", out=out)
     return add_bias_gelu(
         up, weights.ffn_in_bias, ctx=ctx, category="activation",
-        out=out, tmp=tmp,
+        out=out, tmp=tmp, variant=gelu_variant,
     )
 
 
@@ -143,7 +154,10 @@ def encoder_layer_padded(
         "layernorm0",
         context,
     )
-    ffn = _ffn_block(ln0, weights, opt.fuse_gelu, context)
+    ffn = _ffn_block(
+        ln0, weights, opt.fuse_gelu, context,
+        gelu_variant=resolve_gelu_variant(opt.gelu_variant),
+    )
     down = gemm(
         ffn,
         weights.ffn_out_weight,
@@ -184,6 +198,12 @@ def encoder_layer_packed(
     layer performs zero large ndarray allocations in steady state.  The
     two forms are bit-identical: each ``out=`` kernel variant replays the
     allocating variant's op sequence into preplaced storage.
+
+    Every projection (QKV, attention output, both FFN GEMMs) goes
+    through :func:`repro.kernels.batched_gemm.tile_gemm`: one BLAS call
+    covers all of ``packing``'s segments — whether that is a single
+    request's buckets or a whole cross-request megabatch tile — rather
+    than a call per segment.  Same launches, same bits, one dispatch.
     """
     if not opt.remove_padding:
         raise ValueError(
@@ -208,9 +228,10 @@ def encoder_layer_packed(
         else None
     )
     qkv = take("qkv", (tokens, 3 * hidden)) if take else None
-    qkv = gemm(
+    qkv = tile_gemm(
         x_packed,
         weights.qkv_weight,
+        segment_offsets=packing.seq_offsets,
         ctx=context,
         name="gemm0_qkv",
         category="gemm0",
@@ -242,9 +263,10 @@ def encoder_layer_packed(
     if scratch is not None:
         scratch.release("qkv")
     proj = take("proj", (tokens, hidden)) if take else None
-    proj = gemm(
+    proj = tile_gemm(
         attn,
         weights.attn_out_weight,
+        segment_offsets=packing.seq_offsets,
         ctx=context,
         name="gemm1_attn_out",
         category="gemm1",
@@ -276,13 +298,18 @@ def encoder_layer_packed(
         gelu_tmp = take("gelu_tmp", (tokens, config.ffn_size))
     else:
         ffn_up = gelu_tmp = None
-    ffn = _ffn_block(ln0, weights, opt.fuse_gelu, context, ffn_up, gelu_tmp)
+    ffn = _ffn_block(
+        ln0, weights, opt.fuse_gelu, context, ffn_up, gelu_tmp,
+        gelu_variant=resolve_gelu_variant(opt.gelu_variant),
+        segment_offsets=packing.seq_offsets,
+    )
     if scratch is not None:
         scratch.release("gelu_tmp")
     down = take("ffn_down", (tokens, hidden)) if take else None
-    down = gemm(
+    down = tile_gemm(
         ffn,
         weights.ffn_out_weight,
+        segment_offsets=packing.seq_offsets,
         ctx=context,
         name="gemm3_ffn_out",
         category="gemm3",

@@ -10,6 +10,13 @@ touching any tensor.
 Consistency is enforced by tests: for small shapes, running the numeric
 model and the estimator must record identical kernel sequences (same
 names, grids, FLOPs, bytes) and therefore identical modelled times.
+
+The estimated chain depends only on the *shape-relevant* parts of
+:class:`~repro.core.config.OptimizationConfig` (fusion flags, padding
+removal, MHA dispatch).  ``gelu_variant`` is deliberately invisible
+here: the exact and tanh GELU formulas are the same modelled kernel
+(same name, grid, FLOPs, bytes), so ``fast-gelu`` changes host wall
+time only — never an estimate, a graph key's stream, or a priced µs.
 """
 
 from __future__ import annotations

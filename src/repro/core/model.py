@@ -34,14 +34,17 @@ from repro.core.estimator import estimate_model_tiled
 from repro.core.memory_planner import (
     ArenaAllocator,
     LiveArena,
+    plan_live_forward,
     plan_live_megabatch,
 )
 from repro.core.padding import (
     CrossRequestPacking,
     pack,
+    packing_from_lengths,
     packing_from_mask,
     unpack,
 )
+from repro.core.parallel import current_executor, partition_weighted
 from repro.core.weights import ModelWeights, init_model_weights
 from repro.gpusim.graph import GraphCache, capture
 from repro.gpusim.stream import (
@@ -114,6 +117,8 @@ class BertEncoderModel:
         self.weights.precompute(self.config.num_heads)
         #: tiles whose canonical arena plan has already been reserved
         self._reserved_tiles: set[int] = set()
+        #: mask-path shape signatures already pre-sized into the arena
+        self._reserved_shapes: set[tuple] = set()
 
     def forward(
         self,
@@ -239,6 +244,107 @@ class BertEncoderModel:
         # numeric plane: real segments only, launch-free
         return self._forward_numeric_packed(x_tile, mega)
 
+    def prereserve_tiles(
+        self,
+        tiles: tuple[int, ...] | list[int],
+        max_seq_len: int,
+        dtype: np.dtype | type = np.float64,
+    ) -> None:
+        """Pre-size the arena for every tile's canonical megabatch plan.
+
+        Continuous serving calls this once up front with the batcher's
+        tile set, so even the *first* megabatch of each tile runs from
+        converged backing — no warm-up ``np.empty`` overflow allocs.
+        A no-op without an arena or for already-reserved tiles.
+        """
+        if self.arena is None or not self.opt.remove_padding:
+            return
+        for tile in tiles:
+            if tile in self._reserved_tiles:
+                continue
+            plan = plan_live_megabatch(
+                self.config,
+                self.opt,
+                tile,
+                max_seq_len,
+                mha=forced_mha_path(),
+                dtype=dtype,
+            )
+            self.arena.reserve(
+                ArenaAllocator(self.arena.alignment).replay(plan)
+            )
+            self._reserved_tiles.add(tile)
+
+    def _segment_chunks(
+        self, mega: CrossRequestPacking
+    ) -> list[tuple[int, int]] | None:
+        """Deterministic contiguous segment chunks for executor fan-out.
+
+        ``None`` when fan-out cannot pay: a serial executor, a single
+        segment, or fewer than two resulting chunks.  Chunks are
+        balanced by segment token count (the row count every projection
+        GEMM scales with) via
+        :func:`~repro.core.parallel.partition_weighted`, so the same
+        megabatch always splits identically — the deterministic
+        segment→worker assignment behind the bitwise contract.
+        """
+        executor = current_executor()
+        if executor.workers <= 1 or mega.num_segments <= 1:
+            return None
+        chunks = partition_weighted(
+            mega.packing.seq_lens, executor.workers
+        )
+        return chunks if len(chunks) > 1 else None
+
+    def _run_packed_chunks(
+        self,
+        x_valid: np.ndarray,
+        mega: CrossRequestPacking,
+        chunks: list[tuple[int, int]],
+        out: np.ndarray,
+    ) -> np.ndarray:
+        """Fan the megabatch's segment chunks out over the executor.
+
+        Each worker runs the whole layer stack over its contiguous row
+        range — issuing **one** tile GEMM per projection covering all of
+        its segments — and writes its rows of ``out``.  Workers return
+        ``None``: under the process executor the only bytes that travel
+        are the shared-memory writes into ``out``.
+
+        Bitwise-equal to the serial megabatch by construction: BLAS
+        row-splits ``m`` (chunking rows never changes GEMM bits), every
+        non-GEMM op is row- or segment-local, and attention buckets are
+        composition-invariant (the megabatch-vs-per-request equivalence
+        the packing tests pin down).
+        """
+        context = NullContext()
+        offsets = mega.packing.seq_offsets
+        max_seq_len = mega.packing.max_seq_len
+        sub_packs = [
+            packing_from_lengths(
+                mega.packing.seq_lens[s0:s1], max_seq_len, cache=None
+            )
+            for s0, s1 in chunks
+        ]
+
+        def run_chunk(i: int) -> None:
+            s0, s1 = chunks[i]
+            r0, r1 = int(offsets[s0]), int(offsets[s1])
+            h = x_valid[r0:r1]
+            for layer in self.weights.layers:
+                h = encoder_layer_packed(
+                    h,
+                    layer,
+                    self.config,
+                    self.opt,
+                    sub_packs[i],
+                    ctx=context,
+                )
+            out[r0:r1] = h
+
+        current_executor().map(run_chunk, range(len(chunks)))
+        return out
+
     def _forward_numeric_packed(
         self, x_tile: np.ndarray, mega: CrossRequestPacking
     ) -> np.ndarray:
@@ -249,24 +355,28 @@ class BertEncoderModel:
         packing = mega.packing
         x_valid = x_tile[:total]
         arena = self.arena
+        chunks = self._segment_chunks(mega)
+        executor = current_executor()
         if (
             arena is not None
             and is_vectorized()
             and np.issubdtype(x_tile.dtype, np.floating)
         ):
             dt = x_tile.dtype
-            if mega.tile not in self._reserved_tiles:
-                plan = plan_live_megabatch(
-                    self.config,
-                    self.opt,
-                    mega.tile,
-                    packing.max_seq_len,
-                    mha=forced_mha_path(),
-                    dtype=dt,
-                )
-                arena.reserve(ArenaAllocator(arena.alignment).replay(plan))
-                self._reserved_tiles.add(mega.tile)
+            self.prereserve_tiles((mega.tile,), packing.max_seq_len, dt)
             arena.begin()
+            if chunks is not None:
+                out = arena.take("output", (mega.tile, hidden), dt)
+                if not executor.needs_shared_memory or (
+                    arena.shared and arena.owns(out)
+                ):
+                    self._run_packed_chunks(x_valid, mega, chunks, out)
+                    out[total:] = 0.0
+                    return out
+                # the arena is not shared-memory backed, or the output
+                # landed in a private overflow buffer: process workers'
+                # writes would die with the fork, so run serially instead
+                arena.release("output")
             cur = arena.take("h0", (total, hidden), dt)
             nxt = arena.take("h1", (total, hidden), dt)
             np.copyto(cur, x_valid)
@@ -284,6 +394,11 @@ class BertEncoderModel:
                 cur, nxt = nxt, cur
             out = arena.take("output", (mega.tile, hidden), dt)
             np.copyto(out[:total], cur)
+            out[total:] = 0.0
+            return out
+        if chunks is not None and not executor.needs_shared_memory:
+            out = np.empty((mega.tile, hidden), dtype=x_tile.dtype)
+            self._run_packed_chunks(x_valid, mega, chunks, out)
             out[total:] = 0.0
             return out
         hidden_state = x_valid
@@ -320,6 +435,28 @@ class BertEncoderModel:
             ):
                 tokens = packing.total_tokens
                 dt = flat.dtype
+                # pre-size the backing from the shape's symbolic plan so
+                # even the first forward per shape is served entirely
+                # from the backing — zero warm-up np.empty overflows
+                shape_key = (
+                    packing.seq_lens.tobytes(),
+                    seq_len,
+                    dt.str,
+                    forced_mha_path(),
+                )
+                if shape_key not in self._reserved_shapes:
+                    plan = plan_live_forward(
+                        self.config,
+                        self.opt,
+                        packing.seq_lens,
+                        seq_len,
+                        mha=forced_mha_path(),
+                        dtype=dt,
+                    )
+                    arena.reserve(
+                        ArenaAllocator(arena.alignment).replay(plan)
+                    )
+                    self._reserved_shapes.add(shape_key)
                 arena.begin()
                 cur = arena.take("h0", (tokens, hidden), dt)
                 nxt = arena.take("h1", (tokens, hidden), dt)

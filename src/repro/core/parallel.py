@@ -3,32 +3,105 @@
 Length buckets share no data — each bucket reads its own gather of the
 packed QKV tensor and scatters to a disjoint row set of the output — and
 independent serving requests are likewise disjoint.  This module provides
-the one executor both fan-outs use: a thin thread pool (NumPy's BLAS and
-ufunc loops release the GIL, so threads give real parallelism on the
-matmul-heavy bucket bodies) with a serial fast path when ``workers == 1``
-or there is only one item, so the default configuration adds zero
-overhead and an identical execution order.
+the executors both fan-outs use:
+
+* :class:`BucketExecutor` — a thin thread pool (NumPy's BLAS and ufunc
+  loops release the GIL, so threads give real parallelism on the
+  matmul-heavy bucket bodies) with a serial fast path when
+  ``workers == 1`` or there is only one item, so the default
+  configuration adds zero overhead and an identical execution order.
+* :class:`ProcessExecutor` — ``fork``-based process fan-out for the
+  host paths the GIL *does* cap (scipy's erf, small ufunc chains).
+  Workers are forked per :meth:`ProcessExecutor.map` call, so callables
+  and their closures are inherited copy-on-write — nothing is pickled
+  on the way in.  Results come back over a pipe per worker; callables
+  that write into :class:`multiprocessing.shared_memory`-backed buffers
+  (see ``LiveArena(shared=True)``) can return ``None`` and skip result
+  pickling entirely, which is how the megabatch engine avoids moving
+  activations between processes.
+
+Deterministic assignment: :func:`partition_weighted` cuts an item list
+into *contiguous* chunks balanced by weight, so the same inputs always
+land on the same worker in the same order — the property the bitwise
+serial-equivalence contract rests on.
 
 Thread-safety contract: submitted callables must not allocate from a
 shared :class:`~repro.core.memory_planner.LiveArena` (the engine
 pre-acquires every bucket's scratch before fanning out) and must not
 touch the module-global engine/dispatch switches (callers set those
-before the fan-out).
+before the fan-out).  Process workers additionally must not mutate any
+parent state except shared-memory buffers: every other write dies with
+the forked page.
 """
 
 from __future__ import annotations
 
 import contextlib
+import multiprocessing
+import traceback
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
+import numpy as np
+
 __all__ = [
     "BucketExecutor",
+    "EXECUTOR_KINDS",
+    "ProcessExecutor",
     "SERIAL_EXECUTOR",
     "current_executor",
+    "fork_available",
+    "inplace_executor",
+    "make_executor",
+    "partition_weighted",
     "use_executor",
     "use_workers",
 ]
+
+#: the executor kinds :func:`make_executor` accepts, CLI-visible order
+EXECUTOR_KINDS = ("serial", "thread", "process")
+
+
+def fork_available() -> bool:
+    """Whether the platform supports the ``fork`` start method.
+
+    :class:`ProcessExecutor` only fans out where ``fork`` exists (Linux,
+    macOS): ``spawn`` would have to pickle the callable and re-import
+    the world, which defeats the zero-copy contract.  Elsewhere it
+    degrades to the serial fast path.
+    """
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def partition_weighted(
+    weights: Sequence[float] | np.ndarray, parts: int
+) -> list[tuple[int, int]]:
+    """Cut ``range(len(weights))`` into ≤ ``parts`` contiguous chunks.
+
+    Chunks are balanced by cumulative weight (each cut lands where the
+    running total crosses ``i/parts`` of the whole) and every chunk is
+    non-empty.  The result depends only on ``(weights, parts)`` — the
+    deterministic segment→worker assignment that keeps parallel outputs
+    bitwise equal to the serial path.
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    n = int(w.shape[0])
+    if n == 0:
+        return []
+    parts = max(1, min(int(parts), n))
+    if parts == 1:
+        return [(0, n)]
+    cum = np.cumsum(w)
+    total = float(cum[-1])
+    bounds = [0]
+    for i in range(1, parts):
+        target = total * i / parts
+        j = int(np.searchsorted(cum, target))
+        j = max(j, bounds[-1] + 1)  # never an empty chunk
+        j = min(j, n - (parts - i))  # leave room for the rest
+        bounds.append(j)
+    bounds.append(n)
+    return [(bounds[i], bounds[i + 1]) for i in range(parts)]
 
 
 class BucketExecutor:
@@ -39,11 +112,19 @@ class BucketExecutor:
     always come back in item order regardless of completion order.
     """
 
+    #: processes share nothing implicitly; threads (and serial) do
+    needs_shared_memory = False
+
     def __init__(self, workers: int = 1) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self._pool: ThreadPoolExecutor | None = None
+
+    @property
+    def kind(self) -> str:
+        """``"serial"`` or ``"thread"`` — how :meth:`map` fans out."""
+        return "serial" if self.workers == 1 else "thread"
 
     def map(
         self, fn: Callable[[Any], Any], items: Iterable[Any]
@@ -71,32 +152,171 @@ class BucketExecutor:
         self.shutdown()
 
 
+def _process_worker(conn: Any, fn: Callable[[Any], Any], chunk: list) -> None:
+    """Forked worker body: run the chunk, ship results (or the error)."""
+    try:
+        # the fork inherited the parent thread's executor stack — reset
+        # it so work inside the child runs serially instead of forking
+        # grandchildren
+        _current_stack().clear()
+        conn.send(("ok", [fn(item) for item in chunk]))
+    except BaseException as exc:  # noqa: BLE001 — shipped to the parent
+        conn.send(("err", f"{type(exc).__name__}: {exc}\n"
+                   f"{traceback.format_exc()}"))
+    finally:
+        conn.close()
+
+
+class ProcessExecutor:
+    """Run independent callables across ``workers`` forked processes.
+
+    Each :meth:`map` call forks up to ``workers`` children over
+    contiguous, weight-balanced item chunks (:func:`partition_weighted`
+    with unit weights), collects each child's results over a pipe, and
+    re-raises any child exception in the parent.  Results come back in
+    item order.
+
+    ``fork`` semantics are the whole point: children inherit the
+    callable, its closure, model weights and any
+    :class:`~repro.core.memory_planner.LiveArena` views copy-on-write —
+    nothing is pickled going in.  Only *return values* are pickled
+    coming back, so callables that mutate shared-memory buffers and
+    return ``None`` move zero activation bytes between processes.
+
+    Falls back to the inline serial path when ``workers == 1``, there is
+    at most one item, or the platform lacks ``fork`` — identical
+    execution order, zero overhead, same bits.
+    """
+
+    kind = "process"
+    #: workers only observe parent writes through shared-memory buffers
+    needs_shared_memory = True
+
+    def __init__(self, workers: int = 1) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+
+    def map(
+        self, fn: Callable[[Any], Any], items: Iterable[Any]
+    ) -> list[Any]:
+        """``[fn(item) for item in items]`` across forked workers."""
+        work: Sequence[Any] = list(items)
+        if self.workers == 1 or len(work) <= 1 or not fork_available():
+            return [fn(item) for item in work]
+        ctx = multiprocessing.get_context("fork")
+        chunks = partition_weighted(np.ones(len(work)), self.workers)
+        children = []
+        for start, end in chunks:
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_process_worker,
+                args=(child_conn, fn, list(work[start:end])),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()  # parent keeps only the read end
+            children.append((proc, parent_conn))
+        results: list[Any] = []
+        error: str | None = None
+        for proc, conn in children:
+            try:
+                status, payload = conn.recv()
+            except EOFError:
+                status, payload = "err", "worker exited before sending results"
+            finally:
+                conn.close()
+            if status == "ok":
+                results.extend(payload)
+            elif error is None:
+                error = payload
+        for proc, _ in children:
+            proc.join()
+        if error is not None:
+            raise RuntimeError(f"process worker failed: {error}")
+        return results
+
+    def shutdown(self) -> None:
+        """Nothing persistent to tear down (workers are per-``map``)."""
+
+    def __enter__(self) -> "ProcessExecutor":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()
+
+
+def make_executor(kind: str, workers: int = 1) -> BucketExecutor | ProcessExecutor:
+    """Build an executor by CLI name: serial / thread / process."""
+    if kind == "serial":
+        return BucketExecutor(1)
+    if kind == "thread":
+        return BucketExecutor(workers)
+    if kind == "process":
+        return ProcessExecutor(workers)
+    raise ValueError(f"unknown executor {kind!r}; pick one of {EXECUTOR_KINDS}")
+
+
 #: the process-default executor: serial, stateless, shared freely
 SERIAL_EXECUTOR = BucketExecutor(1)
 
-_current: list[BucketExecutor] = []
+# The executor stack is *per-thread*: a pool worker thread starts with
+# an empty stack and therefore runs its own nested fan-outs (e.g. the
+# attention bucket loop inside a megabatch segment chunk) serially —
+# submitting back into the pool you are a worker of is a deadlock.
+_tls = __import__("threading").local()
 
 
-def current_executor() -> BucketExecutor:
-    """The innermost active executor, or the serial default."""
-    return _current[-1] if _current else SERIAL_EXECUTOR
+def _current_stack() -> list:
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = []
+        _tls.stack = stack
+    return stack
+
+
+def current_executor() -> BucketExecutor | ProcessExecutor:
+    """The innermost executor activated *on this thread*, else serial."""
+    stack = _current_stack()
+    return stack[-1] if stack else SERIAL_EXECUTOR
+
+
+def inplace_executor() -> BucketExecutor | ProcessExecutor:
+    """The current executor, demoted to serial when it cannot fan out
+    callables that mutate ordinary (non-shared-memory) buffers in place.
+
+    Bucket-style workers write their rows of a caller-owned ndarray and
+    return ``None``; under :class:`ProcessExecutor` those writes die
+    with the forked page unless the target is shared-memory backed.
+    Fan-out sites that cannot guarantee that use this accessor, so a
+    process executor only parallelises the fan-outs that opted in
+    (the megabatch segment chunks, whose output the model pins to a
+    ``LiveArena(shared=True)`` before fanning out).
+    """
+    executor = current_executor()
+    return SERIAL_EXECUTOR if executor.needs_shared_memory else executor
 
 
 @contextlib.contextmanager
-def use_executor(executor: BucketExecutor) -> Iterator[BucketExecutor]:
-    """Make ``executor`` current within the ``with`` block."""
-    _current.append(executor)
+def use_executor(
+    executor: BucketExecutor | ProcessExecutor,
+) -> Iterator[BucketExecutor | ProcessExecutor]:
+    """Make ``executor`` current (for this thread) within the block."""
+    stack = _current_stack()
+    stack.append(executor)
     try:
         yield executor
     finally:
-        popped = _current.pop()
+        popped = stack.pop()
         assert popped is executor, "use_executor stack corrupted"
 
 
 @contextlib.contextmanager
-def use_workers(workers: int) -> Iterator[BucketExecutor]:
+def use_workers(
+    workers: int, kind: str = "thread"
+) -> Iterator[BucketExecutor | ProcessExecutor]:
     """Shorthand: a fresh ``workers``-wide executor, shut down on exit."""
-    executor = BucketExecutor(workers)
+    executor = make_executor(kind, workers)
     try:
         with use_executor(executor):
             yield executor

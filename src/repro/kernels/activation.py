@@ -10,21 +10,89 @@ comparison:
 * fusion into the GEMM epilogue is expressed by calling
   :func:`repro.kernels.gemm.gemm` with ``bias=...`` and
   ``activation="gelu"`` — no standalone kernel, no extra tensor traffic.
+
+GELU variants
+-------------
+Two host formulas compute the activation; **both price as the same
+kernel** — variant selection is a numeric-plane concern only, so the
+launch stream and modelled µs are unchanged by it:
+
+* ``"exact"`` — ``x * Phi(x)`` via ``scipy.special.erf`` (the default,
+  bitwise-stable reference);
+* ``"tanh"`` — the tanh approximation BERT implementations ship, about
+  an order of magnitude cheaper on the host than erf; its worst-case
+  error against exact GELU is :data:`FAST_GELU_ATOL` (the documented
+  tolerance the ``fast-gelu`` preset is bench-gated against).
+
+:func:`force_gelu_variant` mirrors
+:func:`repro.attention.dispatch.force_mha_path`: the degradation ladder
+pins conservative rungs to ``"exact"`` regardless of the preset.
 """
 
 from __future__ import annotations
 
+import contextlib
 import math
+from typing import Iterator
 
 import numpy as np
 from scipy.special import erf
 
+from repro.core.memory_planner import KERNEL_SCRATCH
 from repro.gpusim.kernel import ComputeUnit, KernelLaunch
 from repro.gpusim.memory import tensor_bytes
 from repro.gpusim.stream import ExecutionContext, resolve_context
 
 #: rows of the (rows x hidden) tensor processed per thread block
 _ROWS_PER_BLOCK = 4
+
+#: the host GELU formulas a preset may select
+GELU_VARIANTS = ("exact", "tanh")
+
+#: documented worst-case |tanh-GELU - exact-GELU| over the reals for
+#: ONE application; the maximum of the error curve sits near |x| ~ 2
+#: and is independent of scale, so this bounds the per-element error of
+#: any activation tensor.  Through a full model the error compounds at
+#: most linearly in depth (one GELU per layer, layernorm renormalises
+#: between layers), so the end-to-end bound the bench gates against is
+#: ``num_layers * FAST_GELU_ATOL``.
+FAST_GELU_ATOL = 5e-4
+
+_forced_variant: list[str] = []
+
+
+def forced_gelu_variant() -> str | None:
+    """The innermost forced GELU variant, or ``None``."""
+    return _forced_variant[-1] if _forced_variant else None
+
+
+@contextlib.contextmanager
+def force_gelu_variant(variant: str) -> Iterator[None]:
+    """Pin the GELU formula within the ``with`` block.
+
+    The degradation ladder uses this to hold conservative rungs on the
+    exact formula even when the serving preset is ``fast-gelu`` —
+    mirroring :func:`repro.attention.dispatch.force_mha_path`.
+    """
+    if variant not in GELU_VARIANTS:
+        raise ValueError(
+            f"unknown GELU variant {variant!r}; pick one of {GELU_VARIANTS}"
+        )
+    _forced_variant.append(variant)
+    try:
+        yield
+    finally:
+        _forced_variant.pop()
+
+
+def resolve_gelu_variant(variant: str) -> str:
+    """``variant`` unless a :func:`force_gelu_variant` block overrides it."""
+    if variant not in GELU_VARIANTS:
+        raise ValueError(
+            f"unknown GELU variant {variant!r}; pick one of {GELU_VARIANTS}"
+        )
+    forced = forced_gelu_variant()
+    return forced if forced is not None else variant
 
 
 def gelu_reference(x: np.ndarray) -> np.ndarray:
@@ -52,9 +120,50 @@ def gelu_into(
 
 
 def gelu_tanh(x: np.ndarray) -> np.ndarray:
-    """The tanh approximation of GELU used by BERT implementations."""
+    """The tanh approximation of GELU used by BERT implementations.
+
+    The cube is ``(x*x)*x`` rather than ``x**3``: ``np.power`` rounds
+    differently in the last bit, and :func:`gelu_tanh_into` must be able
+    to replay this expression bitwise from plain multiplies.
+    """
     c = math.sqrt(2.0 / math.pi)
-    return 0.5 * x * (1.0 + np.tanh(c * (x + 0.044715 * x**3)))
+    return 0.5 * x * (1.0 + np.tanh(c * (x + 0.044715 * ((x * x) * x))))
+
+
+def gelu_tanh_into(
+    x: np.ndarray, *, out: np.ndarray, tmp: np.ndarray
+) -> np.ndarray:
+    """:func:`gelu_tanh` into caller-provided storage, bit for bit.
+
+    The same ufunc sequence with ``out=`` targets — including the
+    ``(x*x)*x`` cube — so the two forms agree bitwise.  ``out`` may
+    alias ``x``; ``tmp`` must not alias either and must match ``x``'s
+    shape.
+    """
+    c = math.sqrt(2.0 / math.pi)
+    np.multiply(x, x, out=tmp)
+    np.multiply(tmp, x, out=tmp)
+    np.multiply(tmp, 0.044715, out=tmp)
+    np.add(x, tmp, out=tmp)
+    np.multiply(tmp, c, out=tmp)
+    np.tanh(tmp, out=tmp)
+    np.add(tmp, 1.0, out=tmp)
+    np.multiply(x, 0.5, out=out)
+    np.multiply(out, tmp, out=out)
+    return out
+
+
+def apply_gelu(
+    x: np.ndarray,
+    *,
+    out: np.ndarray,
+    tmp: np.ndarray,
+    variant: str = "exact",
+) -> np.ndarray:
+    """Dispatch to the in-place formula for ``variant`` (post-forcing)."""
+    v = resolve_gelu_variant(variant)
+    into = gelu_into if v == "exact" else gelu_tanh_into
+    return into(x, out=out, tmp=tmp)
 
 
 def _elementwise_launch(
@@ -137,6 +246,7 @@ def add_bias_gelu(
     category: str = "activation",
     out: np.ndarray | None = None,
     tmp: np.ndarray | None = None,
+    variant: str = "exact",
 ) -> np.ndarray:
     """Fused-elementwise (but not GEMM-fused) add-bias + GELU kernel.
 
@@ -144,7 +254,11 @@ def add_bias_gelu(
     element-wise fusion (e.g. XLA, JIT) launches after an unfused GEMM.
     When ``out``/``tmp`` are given (both or neither) the result lands in
     ``out`` with zero tensor allocations, bit-identical to the allocating
-    path; ``out`` may alias ``x``.
+    path; ``out`` may alias ``x``.  Without ``out``, only the result
+    tensor is allocated — the erf/tanh temporary comes from the pooled
+    :data:`~repro.core.memory_planner.KERNEL_SCRATCH`.  ``variant``
+    selects the host formula; the launch descriptor is the same either
+    way (see module docstring).
     """
     if x.ndim != 2:
         raise ValueError(f"add_bias_gelu expects a 2-D tensor, got {x.shape}")
@@ -155,8 +269,10 @@ def add_bias_gelu(
         add_bias_gelu_launch(rows, cols, category)
     )
     if out is None:
-        return gelu_reference(x + bias)
-    if tmp is None:
+        out = x + bias
+        tmp = KERNEL_SCRATCH.take(out.shape, out.dtype)
+    elif tmp is None:
         raise ValueError("out= requires a tmp= buffer of the same shape")
-    np.add(x, bias, out=out)
-    return gelu_into(out, out=out, tmp=tmp)
+    else:
+        np.add(x, bias, out=out)
+    return apply_gelu(out, out=out, tmp=tmp, variant=variant)

@@ -4,6 +4,14 @@ This is the primitive conventional MHA implementations rely on — and the
 reason they cannot exploit variable lengths: every sub-problem in the
 batch must share one ``(m, n, k)`` shape, so inputs are padded to the
 longest sequence and the padded FLOPs are burned for real (§III-D).
+
+:func:`tile_gemm` is the opposite end of the spectrum: the host mirror
+of the paper's *grouped* GEMM.  The per-segment projections of a packed
+megabatch all share ``(n, k)`` and stack contiguously along ``m``, so —
+instead of one BLAS call per segment, each paying its own dispatch and
+threading ramp — a single call covers every segment of the tile at
+once, exactly as the grouped kernel amortises CTA scheduling across
+variable-length sub-problems.
 """
 
 from __future__ import annotations
@@ -15,7 +23,7 @@ import numpy as np
 from repro.gpusim.kernel import ComputeUnit, KernelLaunch
 from repro.gpusim.memory import tensor_bytes
 from repro.gpusim.stream import ExecutionContext, resolve_context
-from repro.kernels.gemm import gemm_efficiency, select_tile
+from repro.kernels.gemm import gemm, gemm_efficiency, select_tile
 
 
 def batched_gemm_launch(
@@ -82,3 +90,60 @@ def batched_gemm(
         batched_gemm_launch(batch_count, m, n, k, name=name, category=category)
     )
     return a @ b_eff
+
+
+def tile_gemm(
+    x_packed: np.ndarray,
+    w: np.ndarray,
+    *,
+    segment_offsets: np.ndarray,
+    bias: np.ndarray | None = None,
+    activation: str | None = None,
+    gelu_variant: str = "exact",
+    ctx: ExecutionContext | None = None,
+    name: str = "gemm",
+    category: str = "gemm",
+    out: np.ndarray | None = None,
+    tmp: np.ndarray | None = None,
+) -> np.ndarray:
+    """Project every segment of a packed tile buffer in **one** BLAS call.
+
+    ``x_packed`` is the ``[T, K]`` concatenation of variable-length
+    segments whose row boundaries are ``segment_offsets`` (monotone,
+    ``offsets[0] == 0``, ``offsets[-1] == T`` — the prefix sums of
+    :class:`~repro.core.padding.PackedSeqs`).  Because every segment
+    shares the same weight ``w``, the per-segment products are row
+    blocks of one ``T x N`` GEMM, and BLAS row-splits ``m`` (never
+    ``k``), so the single call is bitwise identical to looping the
+    segments — while paying one dispatch instead of ``num_segments``.
+
+    Cost plane: delegates to :func:`repro.kernels.gemm.gemm` with the
+    same name/category, so the launch descriptor — and therefore the
+    captured graph and modelled µs — is exactly what the packed
+    pipeline always priced.  The grouping is a host-scheduling win, not
+    a cost-model change.
+    """
+    offs = np.asarray(segment_offsets, dtype=np.int64)
+    if offs.ndim != 1 or offs.shape[0] < 2:
+        raise ValueError(
+            f"segment_offsets must hold >= 2 boundaries, got {offs.shape}"
+        )
+    if offs[0] != 0 or offs[-1] != x_packed.shape[0]:
+        raise ValueError(
+            f"segment_offsets {offs[0]}..{offs[-1]} do not cover the "
+            f"{x_packed.shape[0]}-row packed buffer"
+        )
+    if np.any(np.diff(offs) < 0):
+        raise ValueError("segment_offsets must be non-decreasing")
+    return gemm(
+        x_packed,
+        w,
+        bias=bias,
+        activation=activation,
+        gelu_variant=gelu_variant,
+        ctx=ctx,
+        name=name,
+        category=category,
+        out=out,
+        tmp=tmp,
+    )

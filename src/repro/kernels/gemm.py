@@ -15,10 +15,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.memory_planner import KERNEL_SCRATCH
 from repro.gpusim.kernel import ComputeUnit, KernelLaunch
 from repro.gpusim.memory import BYTES_PER_ELEMENT, tensor_bytes
 from repro.gpusim.stream import ExecutionContext, resolve_context
-from repro.kernels.activation import gelu_into, gelu_reference
+from repro.kernels.activation import apply_gelu
 
 #: sustained fraction of tensor-core peak for a large, well-shaped GEMM
 BASE_TC_EFFICIENCY = 0.78
@@ -111,6 +112,7 @@ def gemm(
     category: str = "gemm",
     out: np.ndarray | None = None,
     tmp: np.ndarray | None = None,
+    gelu_variant: str = "exact",
 ) -> np.ndarray:
     """Compute ``a @ b`` with an optional fused bias/activation epilogue.
 
@@ -122,7 +124,12 @@ def gemm(
     ``out`` routes the product (and epilogue) into caller storage with
     zero tensor allocations and bit-identical values — ``np.matmul`` with
     ``out=`` issues the same BLAS call.  A GELU epilogue additionally
-    needs ``tmp`` (same shape as ``out``, no aliasing).
+    needs ``tmp`` (same shape as ``out``, no aliasing); without ``out``
+    the epilogue temporary comes from the pooled
+    :data:`~repro.core.memory_planner.KERNEL_SCRATCH`, so the allocating
+    form still performs exactly one tensor allocation.  ``gelu_variant``
+    picks the host formula (``"exact"``/``"tanh"``); the launch
+    descriptor and modelled time are identical for both.
     """
     if a.ndim != 2 or b.ndim != 2:
         raise ValueError(
@@ -143,7 +150,12 @@ def gemm(
         if bias is not None:
             out = out + bias
         if activation == "gelu":
-            out = gelu_reference(out)
+            apply_gelu(
+                out,
+                out=out,
+                tmp=KERNEL_SCRATCH.take(out.shape, out.dtype),
+                variant=gelu_variant,
+            )
     else:
         np.matmul(a, b, out=out)
         if bias is not None:
@@ -153,7 +165,7 @@ def gemm(
                 raise ValueError(
                     "gelu epilogue with out= requires a tmp= buffer"
                 )
-            gelu_into(out, out=out, tmp=tmp)
+            apply_gelu(out, out=out, tmp=tmp, variant=gelu_variant)
     if bias is not None:
         epilogue_bytes += tensor_bytes(n)
 

@@ -32,11 +32,20 @@ DEADLINE_MISS = "deadline-miss"
 
 @dataclass(frozen=True)
 class DegradationLevel:
-    """One rung: a host engine plus an attention dispatch path."""
+    """One rung: a host engine plus an attention dispatch path.
+
+    ``exact_gelu`` pins the rung to the exact (erf) GELU formula via
+    :func:`repro.kernels.activation.force_gelu_variant` even when the
+    serving preset selected ``fast-gelu``: conservative rungs trade
+    host speed for the bitwise reference numerics, the same direction
+    every other knob on the ladder steps.  Under an exact preset the
+    pin is an identity, so default serving stays bitwise unchanged.
+    """
 
     name: str
     engine: str
     mha_path: str
+    exact_gelu: bool = False
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -50,13 +59,14 @@ class DegradationLevel:
 
 
 #: the default ladder, most aggressive first: full vectorized fused
-#: serving, then the conservative looped host engine, then progressively
-#: less fused attention kernels
+#: serving, then the conservative looped host engine (which also drops
+#: any fast-GELU approximation), then progressively less fused
+#: attention kernels
 DEFAULT_LEVELS: tuple[DegradationLevel, ...] = (
     DegradationLevel("full", VECTORIZED, "fused"),
-    DegradationLevel("looped-host", LOOPED, "fused"),
-    DegradationLevel("zeropad-softmax", LOOPED, "zeropad"),
-    DegradationLevel("unfused-cublas", LOOPED, "cublas"),
+    DegradationLevel("looped-host", LOOPED, "fused", exact_gelu=True),
+    DegradationLevel("zeropad-softmax", LOOPED, "zeropad", exact_gelu=True),
+    DegradationLevel("unfused-cublas", LOOPED, "cublas", exact_gelu=True),
 )
 
 

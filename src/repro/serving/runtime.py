@@ -25,6 +25,8 @@ replay of the same requests.  The chaos test suite asserts exactly that.
 
 from __future__ import annotations
 
+import contextlib
+
 import numpy as np
 
 from repro.attention.dispatch import force_mha_path
@@ -32,12 +34,14 @@ from repro.core.config import FUSED_MHA, BertConfig, OptimizationConfig
 from repro.core.engine import use_engine
 from repro.core.estimator import estimate_model_graphed, estimate_model_tiled
 from repro.core.model import BertEncoderModel
-from repro.core.parallel import BucketExecutor
+from repro.core.parallel import make_executor, use_executor
 from repro.gpusim.graph import GraphCache
+from repro.kernels.activation import force_gelu_variant
 from repro.gpusim.device import A100_SPEC, DeviceSpec
 from repro.gpusim.errors import TransientFault
 from repro.gpusim.stream import ExecutionContext, NullContext
 from repro.serving.continuous import (
+    ContinuousBatcher,
     build_megabatch,
     retile,
     scatter_outputs,
@@ -105,8 +109,14 @@ class ServingRuntime:
         and a mid-replay fault never touches the (immutable) cached
         graph, so chaos replays are unchanged bit for bit.
     workers:
-        Thread count for computing independent served requests' numeric
-        outputs in parallel.  ``1`` (default) is strictly serial.
+        Worker count for computing served requests' numeric outputs in
+        parallel.  ``1`` (default) is strictly serial.
+    executor:
+        How ``workers`` fan out: ``"thread"`` (default), ``"process"``
+        (forked workers — pair with a shared-memory arena so megabatch
+        segment chunks write one buffer), or ``"serial"``.  Executor
+        choice never changes served bits, the outcome log or the
+        modelled timeline — only host wall-clock.
     telemetry:
         Optional :class:`~repro.telemetry.Telemetry` to observe the run:
         request/stage spans on the simulated clock, the serving metrics
@@ -131,6 +141,7 @@ class ServingRuntime:
         seed: int = 0,
         use_graph: bool = True,
         workers: int = 1,
+        executor: str = "thread",
         telemetry: Telemetry | None = None,
     ) -> None:
         self.config = config
@@ -146,7 +157,7 @@ class ServingRuntime:
         self.graph_cache = GraphCache() if use_graph else None
         self.workers = workers
         self.telemetry = telemetry
-        self._executor = BucketExecutor(workers)
+        self._executor = make_executor(executor, workers)
         self._single_estimates: dict[int, float] = {}
 
     # ------------------------------------------------------------------
@@ -255,34 +266,52 @@ class ServingRuntime:
         per-request segment boundaries.
 
         Otherwise requests are independent (disjoint inputs, disjoint
-        outputs), so they fan out across the worker pool.  An
-        arena-backed numerics model serializes: its scratch buffers must
-        not be shared across concurrent forwards.
+        outputs), so they fan out across the worker pool: threads need a
+        non-arena numerics model (scratch buffers must not be shared
+        across concurrent forwards); forked process workers each run on
+        a copy-on-write snapshot, so they tolerate an arena.
+
+        Degraded rungs with ``exact_gelu`` pin the GELU formula for the
+        whole computation — identity under exact presets, the
+        conservative fallback under ``fast-gelu``.
         """
+        pin_gelu = (
+            force_gelu_variant("exact")
+            if level.exact_gelu
+            else contextlib.nullcontext()
+        )
         if tile is not None and self.numerics.opt.remove_padding:
             # cross-request packing is a packed-pipeline concept; a
             # padded-preset numerics model serves per request below
-            # (same bits — every pipeline computes the same function)
+            # (same bits — every pipeline computes the same function).
+            # forward_packed consults the current executor: with workers
+            # it fans contiguous segment chunks out (bitwise-equal to
+            # serial by the deterministic-assignment contract).
             x_tile, mega = build_megabatch(
                 requests,
                 lambda r: self._request_input(r)[0][0],
                 max_seq_len,
                 tile,
             )
-            with use_engine(level.engine):
+            with pin_gelu, use_engine(level.engine), \
+                    use_executor(self._executor):
                 out_tile = self.numerics.forward_packed(
                     x_tile, mega, ctx=NullContext()
                 )
             return scatter_outputs(out_tile, mega)
-        if self.workers > 1 and self.numerics.arena is None:
-            with use_engine(level.engine):
+        if self._executor.workers > 1 and (
+            self.numerics.arena is None
+            or self._executor.needs_shared_memory
+        ):
+            with pin_gelu, use_engine(level.engine):
                 return self._executor.map(
-                    lambda r: self.numerics.forward(
-                        *self._request_input(r)
-                    )[0],
+                    lambda r: np.array(
+                        self.numerics.forward(*self._request_input(r))[0]
+                    ),
                     requests,
                 )
-        return [self._compute_output(r, level) for r in requests]
+        with pin_gelu:
+            return [self._compute_output(r, level) for r in requests]
 
     # ------------------------------------------------------------------
 
@@ -360,6 +389,16 @@ class ServingRuntime:
 
     def _run(self, trace: ServingTrace) -> ServingReport:
         self.ladder.reset()
+        if self.numerics is not None and isinstance(
+            self.batcher, ContinuousBatcher
+        ):
+            # size the arena for every tile the batcher can emit before
+            # the first dispatch: steady-state serving then never pays a
+            # warm-up overflow alloc (and a shared arena is immediately
+            # usable by process workers)
+            self.numerics.prereserve_tiles(
+                self.batcher.effective_tiles(), trace.max_seq_len
+            )
         plan_faults = FaultPlan(self.faults, seed=self.seed)
         jitter_rng = np.random.default_rng([self.seed, 0x5E])
         outcomes: dict[int, RequestOutcome] = {}

@@ -1,15 +1,25 @@
-"""BucketExecutor semantics: ordering, fan-out, context stacking."""
+"""Executor semantics: ordering, fan-out, context stacking, forking."""
 
 import threading
 
+import numpy as np
 import pytest
 
 from repro.core.parallel import (
     SERIAL_EXECUTOR,
     BucketExecutor,
+    ProcessExecutor,
     current_executor,
+    fork_available,
+    inplace_executor,
+    make_executor,
+    partition_weighted,
     use_executor,
     use_workers,
+)
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="platform lacks the fork start method"
 )
 
 
@@ -101,3 +111,144 @@ class TestCurrentExecutor:
             with use_executor(ex):
                 raise RuntimeError("boom")
         assert current_executor() is SERIAL_EXECUTOR
+
+    def test_stack_is_thread_local(self):
+        # a pool worker thread must see the serial default, not the
+        # executor it is running under — submitting nested fan-outs back
+        # into your own pool deadlocks it
+        with use_workers(2) as ex:
+            seen = ex.map(lambda i: current_executor(), range(4))
+        assert all(e is SERIAL_EXECUTOR for e in seen)
+
+    def test_nested_fanout_inside_worker_does_not_deadlock(self):
+        def body(i):
+            # would deadlock if this re-entered the 2-wide outer pool
+            return sum(current_executor().map(lambda j: j * i, range(8)))
+
+        with use_workers(2) as ex:
+            assert ex.map(body, range(6)) == [28 * i for i in range(6)]
+
+    def test_inplace_executor_demotes_process_to_serial(self):
+        with use_executor(ProcessExecutor(4)):
+            assert inplace_executor() is SERIAL_EXECUTOR
+        thread_ex = BucketExecutor(3)
+        with use_executor(thread_ex):
+            assert inplace_executor() is thread_ex
+        assert inplace_executor() is SERIAL_EXECUTOR
+
+
+class TestPartitionWeighted:
+    def test_covers_range_contiguously(self):
+        parts = partition_weighted([3, 1, 4, 1, 5, 9, 2, 6], 3)
+        assert parts[0][0] == 0 and parts[-1][1] == 8
+        assert all(
+            parts[i][1] == parts[i + 1][0] for i in range(len(parts) - 1)
+        )
+        assert all(end > start for start, end in parts)
+
+    def test_balances_by_weight(self):
+        # one huge item up front: it gets a chunk to itself
+        parts = partition_weighted([100, 1, 1, 1, 1, 1], 3)
+        assert parts[0] == (0, 1)
+
+    def test_never_more_parts_than_items(self):
+        assert partition_weighted([1.0, 2.0], 5) == [(0, 1), (1, 2)]
+
+    def test_single_part_and_empty(self):
+        assert partition_weighted([1, 2, 3], 1) == [(0, 3)]
+        assert partition_weighted([], 4) == []
+
+    def test_deterministic(self):
+        w = np.arange(1, 40) % 7 + 1
+        assert partition_weighted(w, 4) == partition_weighted(list(w), 4)
+
+
+class TestMakeExecutor:
+    def test_kinds(self):
+        assert make_executor("serial", 8).workers == 1
+        thread = make_executor("thread", 3)
+        assert isinstance(thread, BucketExecutor) and thread.workers == 3
+        proc = make_executor("process", 3)
+        assert isinstance(proc, ProcessExecutor) and proc.workers == 3
+
+    def test_kind_property(self):
+        assert BucketExecutor(1).kind == "serial"
+        assert BucketExecutor(2).kind == "thread"
+        assert ProcessExecutor(2).kind == "process"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            make_executor("greenlet", 2)
+
+
+class TestProcessExecutor:
+    def test_workers_validated(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            ProcessExecutor(0)
+
+    def test_serial_fast_path(self):
+        ex = ProcessExecutor(1)
+        main = threading.current_thread()
+        assert ex.map(lambda i: threading.current_thread(), [0, 1]) == [
+            main,
+            main,
+        ]
+
+    @needs_fork
+    def test_results_in_item_order(self):
+        with ProcessExecutor(3) as ex:
+            assert ex.map(lambda i: i * i, range(10)) == [
+                i * i for i in range(10)
+            ]
+
+    @needs_fork
+    def test_runs_in_separate_processes(self):
+        import os
+
+        parent = os.getpid()
+        pids = ProcessExecutor(2).map(lambda i: os.getpid(), range(4))
+        assert all(pid != parent for pid in pids)
+        assert len(set(pids)) == 2  # one fork per chunk
+
+    @needs_fork
+    def test_closures_inherited_without_pickling(self):
+        # a lambda over local state (unpicklable callables are fine:
+        # nothing is pickled on the way in under fork)
+        big = np.arange(1000)
+
+        def body(i):
+            return int(big[i]) + i
+
+        assert ProcessExecutor(2).map(body, [1, 5, 9]) == [2, 10, 18]
+
+    @needs_fork
+    def test_worker_exception_propagates_with_traceback(self):
+        def boom(i):
+            if i == 3:
+                raise KeyError(f"item {i}")
+            return i
+
+        with pytest.raises(RuntimeError, match="KeyError"):
+            ProcessExecutor(2).map(boom, range(6))
+
+    @needs_fork
+    def test_parent_state_writes_die_with_the_fork(self):
+        cell = {"value": 0}
+
+        def mutate(i):
+            cell["value"] = 99
+            return cell["value"]
+
+        assert ProcessExecutor(2).map(mutate, range(4)) == [99] * 4
+        assert cell["value"] == 0
+
+    @needs_fork
+    def test_forked_child_runs_nested_fanout_serially(self):
+        def body(i):
+            # the child must not fork grandchildren: its inherited
+            # executor stack is cleared on entry
+            return current_executor() is SERIAL_EXECUTOR
+
+        ex = ProcessExecutor(2)
+        with use_executor(ex):
+            assert ex.map(body, range(4)) == [True] * 4

@@ -9,11 +9,18 @@ from hypothesis import strategies as st
 
 from repro.gpusim import ExecutionContext
 from repro.kernels.activation import (
+    FAST_GELU_ATOL,
     add_bias,
     add_bias_gelu,
+    apply_gelu,
+    force_gelu_variant,
+    forced_gelu_variant,
     gelu,
+    gelu_into,
     gelu_reference,
     gelu_tanh,
+    gelu_tanh_into,
+    resolve_gelu_variant,
 )
 
 
@@ -92,3 +99,81 @@ class TestKernels:
     def test_requires_2d(self, rng):
         with pytest.raises(ValueError, match="2-D"):
             gelu(rng.normal(size=(2, 3, 4)))
+
+
+class TestGeluVariants:
+    def test_tanh_into_bitwise_matches_allocating(self, rng):
+        x = rng.normal(size=(64, 32)) * 3
+        out = np.empty_like(x)
+        tmp = np.empty_like(x)
+        gelu_tanh_into(x, out=out, tmp=tmp)
+        np.testing.assert_array_equal(out, gelu_tanh(x))
+
+    def test_exact_into_bitwise_matches_allocating(self, rng):
+        x = rng.normal(size=(64, 32)) * 3
+        out = np.empty_like(x)
+        tmp = np.empty_like(x)
+        gelu_into(x, out=out, tmp=tmp)
+        np.testing.assert_array_equal(out, gelu_reference(x))
+
+    def test_tanh_within_documented_atol(self, rng):
+        # FAST_GELU_ATOL is the documented worst case over the reals;
+        # a dense sweep through the error curve's maximum must respect it
+        x = np.linspace(-8.0, 8.0, 200_001)
+        diff = np.abs(gelu_tanh(x) - gelu_reference(x))
+        assert 0 < float(diff.max()) <= FAST_GELU_ATOL
+
+    def test_apply_gelu_dispatches_by_variant(self, rng):
+        x = rng.normal(size=(8, 16))
+        for variant, reference in (
+            ("exact", gelu_reference),
+            ("tanh", gelu_tanh),
+        ):
+            out, tmp = np.empty_like(x), np.empty_like(x)
+            apply_gelu(x, out=out, tmp=tmp, variant=variant)
+            np.testing.assert_array_equal(out, reference(x))
+
+    def test_apply_gelu_allows_out_aliasing_x(self, rng):
+        x = rng.normal(size=(8, 16))
+        expected = gelu_tanh(x)
+        buf = x.copy()
+        apply_gelu(buf, out=buf, tmp=np.empty_like(x), variant="tanh")
+        np.testing.assert_array_equal(buf, expected)
+
+    def test_force_overrides_and_restores(self):
+        assert forced_gelu_variant() is None
+        assert resolve_gelu_variant("tanh") == "tanh"
+        with force_gelu_variant("exact"):
+            assert forced_gelu_variant() == "exact"
+            assert resolve_gelu_variant("tanh") == "exact"
+        assert forced_gelu_variant() is None
+        assert resolve_gelu_variant("tanh") == "tanh"
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError, match="unknown GELU variant"):
+            resolve_gelu_variant("relu")
+        with pytest.raises(ValueError, match="unknown GELU variant"):
+            with force_gelu_variant("relu"):
+                pass
+
+    def test_add_bias_gelu_variant_numerics_and_launch(self, rng):
+        x = rng.normal(size=(6, 8))
+        b = rng.normal(size=8)
+        exact_ctx, tanh_ctx = ExecutionContext(), ExecutionContext()
+        exact = add_bias_gelu(x, b, ctx=exact_ctx, variant="exact")
+        fast = add_bias_gelu(x, b, ctx=tanh_ctx, variant="tanh")
+        np.testing.assert_array_equal(fast, gelu_tanh(x + b))
+        assert float(np.abs(fast - exact).max()) <= FAST_GELU_ATOL
+        # variant selection is numeric-plane only: identical launches
+        assert [r.launch for r in exact_ctx.records] == [
+            r.launch for r in tanh_ctx.records
+        ]
+
+    def test_add_bias_gelu_out_matches_allocating_tanh(self, rng):
+        x = rng.normal(size=(6, 8))
+        b = rng.normal(size=8)
+        out, tmp = np.empty_like(x), np.empty_like(x)
+        add_bias_gelu(x, b, out=out, tmp=tmp, variant="tanh")
+        np.testing.assert_array_equal(
+            out, add_bias_gelu(x, b, variant="tanh")
+        )

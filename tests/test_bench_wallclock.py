@@ -211,3 +211,79 @@ def test_hit_rate_breach_fails(result):
 
 def test_summary_mentions_serving(result):
     assert "serving" in format_summary(result)
+
+
+def test_host_parallel_section(result):
+    hp = result["sections"]["host_parallel"]
+    for key in (
+        "cores",
+        "executor",
+        "workers",
+        "fork_available",
+        "tile",
+        "segments",
+        "total_tokens",
+        "wall_us",
+        "reference_wall_us",
+        "speedup_vs_reference",
+        "floor",
+        "amdahl_capped",
+    ):
+        assert key in hp, key
+    assert hp["floor"] == 1.15
+    # the deterministic gates hold regardless of host speed
+    assert hp["outputs_bitwise_equal"] is True
+    assert hp["launch_streams_identical"] is True
+    assert hp["modelled_us_equal"] is True
+    fg = hp["fast_gelu"]
+    assert fg["wall_us"] > 0
+    assert fg["atol"] > 0
+    assert 0 < fg["max_abs_diff"] <= fg["atol"]
+    assert fg["within_atol"] is True
+    assert fg["launch_streams_identical"] is True
+
+
+def test_host_parallel_deterministic_gates_always_fail_hard(result):
+    broken = json.loads(json.dumps(result))  # deep copy
+    hp = broken["sections"]["host_parallel"]
+    hp["outputs_bitwise_equal"] = False
+    hp["modelled_us_equal"] = False
+    hp["fast_gelu"]["within_atol"] = False
+    failures = check_invariants(broken)
+    assert any("executor output != serial output" in f for f in failures)
+    assert any("executor changed modelled_us" in f for f in failures)
+    assert any("fast-gelu" in f and "atol" in f for f in failures)
+
+
+def test_host_parallel_floor_warns_when_amdahl_capped(result):
+    capped = json.loads(json.dumps(result))
+    hp = capped["sections"]["host_parallel"]
+    hp["speedup_vs_reference"] = 0.5
+    hp["amdahl_capped"] = True
+    assert not any(
+        "host_parallel" in f for f in check_invariants(capped)
+    )
+    assert any(
+        "host_parallel" in w for w in check_warnings(capped)
+    )
+    # on a real multi-core fan-out the same breach is a hard failure
+    uncapped = json.loads(json.dumps(capped))
+    uncapped["sections"]["host_parallel"]["amdahl_capped"] = False
+    assert any(
+        "host_parallel" in f and "floor" in f
+        for f in check_invariants(uncapped)
+    )
+
+
+def test_arena_overflow_gate(result):
+    assert (
+        result["sections"]["steady_state_alloc"]["arena_overflow_allocs"]
+        == 0
+    )
+    broken = json.loads(json.dumps(result))
+    broken["sections"]["steady_state_alloc"]["arena_overflow_allocs"] = 3
+    assert any("overflow" in f for f in check_invariants(broken))
+
+
+def test_summary_mentions_host_parallel(result):
+    assert "host-par" in format_summary(result)
