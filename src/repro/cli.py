@@ -21,6 +21,14 @@ Commands:
 * ``metrics`` — replay a small serving trace with telemetry on and emit
   the metrics registry (``--format prom|json|text``, ``--check`` parses
   the Prometheus exposition back);
+* ``loadtest`` — replay open-loop multi-tenant traffic (Poisson /
+  bursty / diurnal arrivals, seeded flash crowds) through the admission
+  gateway and print per-tenant SLO reports; the scenario is sized as
+  fractions of the modelled GPU capacity so the flash crowd genuinely
+  overloads the system.  ``--check`` gates conservation, SLO-tenant
+  deadline attainment, batch-first shedding and (with ``--oracle``)
+  bitwise equality of served outputs against the per-request oracle;
+  ``--report-out`` writes the per-tenant report JSON for CI artifacts;
 * ``devices`` — show the simulated device presets.
 
 ``bench`` accepts the same ``--trace-out``/``--metrics-out`` pair; there
@@ -367,6 +375,316 @@ def cmd_serve_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    """Replay open-loop multi-tenant traffic through the gateway."""
+    import json
+    from pathlib import Path
+
+    from repro.core.config import FUSED_MHA
+    from repro.core.model import BertEncoderModel
+    from repro.serving import (
+        AdmissionGateway,
+        Outcome,
+        QosClass,
+        REASON_QUEUE_OVERFLOW,
+        ServingRuntime,
+        TenantPolicy,
+    )
+    from repro.telemetry import SloPolicy, SloReport, Telemetry
+    from repro.workloads.batching import ContinuousBatcher
+    from repro.workloads.generator import LengthDistribution
+    from repro.workloads.traffic import (
+        DiurnalArrivals,
+        FlashCrowd,
+        LengthProfile,
+        MmppArrivals,
+        PoissonArrivals,
+        TenantTraffic,
+        generate_traffic,
+    )
+
+    if args.horizon_us <= 0:
+        raise ValueError(f"--horizon-us must be positive, got {args.horizon_us}")
+    if not 0.0 < args.slo_load < 1.0 or not 0.0 < args.batch_load < 1.0:
+        raise ValueError("--slo-load and --batch-load must be in (0, 1)")
+    if not 0.0 < args.batch_limit < 1.0:
+        raise ValueError(f"--batch-limit must be in (0, 1), got {args.batch_limit}")
+    if args.quick:
+        # CI smoke shape: tiny hidden size so the bitwise oracle is
+        # cheap, a short horizon, and a throttled virtual service rate
+        # so the capacity-relative scenario stays a few hundred requests
+        args.horizon_us = min(args.horizon_us, 150_000.0)
+        args.layers = min(args.layers, 2)
+        args.max_seq_len = min(args.max_seq_len, 128)
+        args.heads = min(args.heads, 2)
+        args.head_size = min(args.head_size, 16)
+        args.oracle = True
+        if args.service_tokens_per_s <= 0:
+            args.service_tokens_per_s = 250_000.0
+
+    config = BertConfig(
+        num_heads=args.heads, head_size=args.head_size, num_layers=args.layers
+    )
+    batcher = ContinuousBatcher(
+        token_budget=args.token_budget, timeout_us=args.timeout_us
+    )
+    tel = Telemetry()
+    numerics = (
+        BertEncoderModel(config, FUSED_MHA, seed=args.seed)
+        if args.oracle
+        else None
+    )
+    runtime = ServingRuntime(
+        config,
+        batcher=batcher,
+        device=DEVICES[args.device],
+        numerics=numerics,
+        seed=args.seed,
+        telemetry=tel,
+    )
+    # virtual drain rate the scenario is sized against: the cost model's
+    # capacity by default, an explicit throttle for the CI smoke shape
+    if args.service_tokens_per_s > 0:
+        rate = args.service_tokens_per_s / 1e6
+    else:
+        rate = runtime.estimate_service_rate(args.max_seq_len)
+    capacity_s = rate * 1e6  # sequence tokens per simulated second
+
+    # -- scenario: 2 tenants, sized as fractions of capacity -----------
+    slo_profile = LengthProfile.zipf_mixed(args.max_seq_len)
+    batch_profile = LengthProfile.single(
+        args.max_seq_len, LengthDistribution.UNIFORM, alpha=0.7
+    )
+    mean_slo = float(slo_profile.sample(4096, np.random.default_rng(0)).mean())
+    mean_batch = float(
+        batch_profile.sample(4096, np.random.default_rng(1)).mean()
+    )
+    slo_req_rate = args.slo_load * capacity_s / mean_slo
+    batch_req_rate = args.batch_load * capacity_s / mean_batch
+    crowd = FlashCrowd(
+        start_us=0.35 * args.horizon_us,
+        duration_us=0.25 * args.horizon_us,
+        multiplier=args.crowd_multiplier,
+    )
+    if args.quick:
+        slo_arrivals = PoissonArrivals(slo_req_rate)
+        batch_arrivals = PoissonArrivals(batch_req_rate)
+    else:
+        # richer arrival mix off the CI path: a diurnal swing for the
+        # interactive tenant (phased so the flash crowd lands on the
+        # downslope, not on top of the peak) and bursty MMPP batch
+        slo_arrivals = DiurnalArrivals(
+            slo_req_rate, period_us=args.horizon_us, depth=0.2, phase=0.5
+        )
+        probe = MmppArrivals(1.0)
+        batch_arrivals = MmppArrivals(
+            batch_req_rate / (probe.mean_rate_per_us * 1e6)
+        )
+    tenants = [
+        TenantTraffic(
+            "interactive",
+            slo_arrivals,
+            slo_profile,
+            deadline_us=args.deadline_us,
+            flash_crowds=(crowd,),
+        ),
+        TenantTraffic("analytics", batch_arrivals, batch_profile),
+    ]
+    trace = generate_traffic(tenants, args.horizon_us, seed=args.seed)
+
+    limit_tokens_s = args.batch_limit * capacity_s
+    policies = [
+        TenantPolicy(
+            "interactive",
+            qos=QosClass.LATENCY_SLO,
+            weight=args.slo_weight,
+            max_queue_tokens=1 << 30,  # bounded only by global pressure
+            slo_target=args.slo_target,
+            attainment_target=args.attainment_target,
+        ),
+        TenantPolicy(
+            "analytics",
+            qos=QosClass.THROUGHPUT_BATCH,
+            weight=1.0,
+            rate_tokens_per_s=limit_tokens_s,
+            # a small burst so the crowd actually empties the bucket
+            # inside the horizon; never below one max-length request
+            burst_tokens=max(args.max_seq_len, 0.01 * limit_tokens_s),
+            # ~3 ms of capacity queued before oldest-shed kicks in
+            max_queue_tokens=max(4 * args.max_seq_len, int(rate * 3_000.0)),
+            slo_target=0.5,  # bulk traffic: no availability promise
+        ),
+    ]
+    runtime.gateway = AdmissionGateway(
+        policies,
+        service_rate_tokens_per_us=rate,
+        quantum_tokens=args.quantum,
+        max_total_queue_tokens=max(
+            8 * args.max_seq_len, int(rate * 40_000.0)
+        ),
+    )
+
+    crowd_end_ms = (crowd.start_us + crowd.duration_us) / 1000
+    print(
+        f"loadtest: {trace.num_requests} requests / "
+        f"{args.horizon_us / 1000:.0f} ms horizon, capacity "
+        f"{capacity_s / 1e6:.2f}M tokens/s"
+        f"{' (throttled)' if args.service_tokens_per_s > 0 else ''}, "
+        f"seed {args.seed}"
+    )
+    print(
+        f"  interactive: latency-slo, {args.slo_load:.0%} load, "
+        f"{args.crowd_multiplier:g}x flash crowd "
+        f"{crowd.start_us / 1000:.0f}-{crowd_end_ms:.0f} ms, "
+        f"deadline {args.deadline_us / 1000:.0f} ms"
+    )
+    print(
+        f"  analytics:   throughput-batch, {args.batch_load:.0%} load, "
+        f"rate-limited to {args.batch_limit:.0%}"
+    )
+    report = runtime.run(trace)
+    print(report.render_text())
+
+    # -- per-tenant SLO table ------------------------------------------
+    tenant_reports: dict[str, SloReport] = {}
+    print("== per-tenant SLO ==")
+    print(
+        f"  {'tenant':<13}{'qos':<18}{'total':>6}{'served':>7}{'shed':>6}"
+        f"{'rej':>5}{'avail':>8}{'attain':>8}{'p99 ms':>8}{'burn':>7}"
+    )
+    for policy in policies:
+        slo = SloReport.for_tenant(
+            tel.metrics,
+            policy.name,
+            SloPolicy(success_target=policy.slo_target),
+        )
+        tenant_reports[policy.name] = slo
+        attainment = slo.deadline_attainment
+        burn = slo.budget_burn
+        p99 = slo.latency_quantile_us
+        print(
+            f"  {policy.name:<13}{policy.qos.value:<18}{slo.total:>6}"
+            f"{slo.served:>7}{slo.shed:>6}{slo.rejected:>5}"
+            f"{slo.availability:>8.2%}"
+            + (
+                f"{attainment:>8.2%}"
+                if attainment is not None
+                else f"{'n/a':>8}"
+            )
+            + (f"{p99 / 1000:>8.2f}" if p99 is not None else f"{'n/a':>8}")
+            + (f"{burn:>6.2f}x" if burn is not None else f"{'n/a':>7}")
+        )
+
+    # -- gates ----------------------------------------------------------
+    failures: list[str] = []
+    counts = report.counts()
+    settled = (
+        counts["served"] + counts["shed"] + counts["failed"]
+        + counts["rejected"]
+    )
+    if settled != trace.num_requests:
+        failures.append(
+            f"conservation: {settled} settled of {trace.num_requests}"
+        )
+    if counts["failed"]:
+        failures.append(f"{counts['failed']} requests failed")
+    for policy in policies:
+        slo = tenant_reports[policy.name]
+        if policy.qos is QosClass.LATENCY_SLO:
+            attainment = slo.deadline_attainment
+            if attainment is None or attainment < policy.attainment_target:
+                got = "n/a" if attainment is None else f"{attainment:.2%}"
+                failures.append(
+                    f"{policy.name}: deadline attainment {got} < target "
+                    f"{policy.attainment_target:.2%}"
+                )
+            overflow = sum(
+                1
+                for o in report.by_tenant(policy.name)
+                if o.outcome is Outcome.SHED
+                and o.reason == REASON_QUEUE_OVERFLOW
+            )
+            if overflow:
+                failures.append(
+                    f"{policy.name}: {overflow} latency-slo requests shed "
+                    "by overload while batch traffic remained"
+                )
+    if args.crowd_multiplier > 1.0:
+        absorbed = sum(
+            tenant_reports[p.name].shed + tenant_reports[p.name].rejected
+            for p in policies
+            if p.qos is QosClass.THROUGHPUT_BATCH
+        )
+        if absorbed == 0:
+            failures.append(
+                "flash crowd produced no batch-tenant sheds/rejections "
+                "(overload never materialised)"
+            )
+    oracle_checked = 0
+    if numerics is not None:
+        oracle = BertEncoderModel(config, FUSED_MHA, seed=args.seed)
+        by_id = {r.request_id: r for r in trace.requests}
+        for rid in sorted(report.outputs):
+            request = by_id[rid]
+            rng = np.random.default_rng([args.seed, rid])
+            x = rng.standard_normal((1, request.seq_len, config.hidden_size))
+            mask = np.ones((1, request.seq_len))
+            if not np.array_equal(report.outputs[rid], oracle.forward(x, mask)[0]):
+                failures.append(
+                    f"request {rid}: served output != per-request oracle"
+                )
+                break
+            oracle_checked += 1
+        print(
+            f"oracle: {oracle_checked}/{len(report.outputs)} served outputs "
+            "bitwise-equal to the per-request forward"
+        )
+
+    if args.report_out:
+        payload = {
+            "seed": args.seed,
+            "horizon_us": args.horizon_us,
+            "capacity_tokens_per_s": capacity_s,
+            "crowd_multiplier": args.crowd_multiplier,
+            "totals": counts,
+            "oracle_checked": oracle_checked,
+            "gate_failures": failures,
+            "tenants": {
+                policy.name: {
+                    "qos": policy.qos.value,
+                    "weight": policy.weight,
+                    "total": tenant_reports[policy.name].total,
+                    "served": tenant_reports[policy.name].served,
+                    "shed": tenant_reports[policy.name].shed,
+                    "rejected": tenant_reports[policy.name].rejected,
+                    "availability": tenant_reports[policy.name].availability,
+                    "deadline_attainment": (
+                        tenant_reports[policy.name].deadline_attainment
+                    ),
+                    "p99_latency_us": (
+                        tenant_reports[policy.name].latency_quantile_us
+                    ),
+                    "error_budget_burn": (
+                        tenant_reports[policy.name].budget_burn
+                    ),
+                    "attainment_target": policy.attainment_target,
+                }
+                for policy in policies
+            },
+        }
+        out = Path(args.report_out)
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"per-tenant SLO report written to {out}")
+
+    if args.check:
+        if failures:
+            for failure in failures:
+                print(f"loadtest gate FAILED: {failure}", file=sys.stderr)
+            return 1
+        print("all loadtest gates hold")
+    return 0
+
+
 def cmd_metrics(args: argparse.Namespace) -> int:
     """Replay a small serving trace with telemetry on; emit the registry."""
     import json
@@ -639,6 +957,112 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the span/metric JSONL dump here",
     )
     p.set_defaults(func=cmd_serve_chaos)
+
+    p = sub.add_parser(
+        "loadtest",
+        help="replay open-loop multi-tenant traffic through the "
+        "admission gateway; per-tenant SLO report and CI gates",
+    )
+    p.add_argument(
+        "--horizon-us",
+        type=float,
+        default=1_000_000.0,
+        help="simulated traffic horizon in us",
+    )
+    p.add_argument("--max-seq-len", type=int, default=256)
+    p.add_argument("--layers", type=int, default=4)
+    p.add_argument("--heads", type=int, default=12)
+    p.add_argument("--head-size", type=int, default=64)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--device", choices=sorted(DEVICES), default=A100_SPEC.name
+    )
+    p.add_argument("--token-budget", type=int, default=1024)
+    p.add_argument("--timeout-us", type=float, default=2000.0)
+    p.add_argument(
+        "--deadline-us",
+        type=float,
+        default=25_000.0,
+        help="latency budget attached to every interactive request",
+    )
+    p.add_argument(
+        "--slo-load",
+        type=float,
+        default=0.25,
+        help="interactive steady offered load as a fraction of capacity",
+    )
+    p.add_argument(
+        "--batch-load",
+        type=float,
+        default=0.55,
+        help="analytics steady offered load as a fraction of capacity",
+    )
+    p.add_argument(
+        "--batch-limit",
+        type=float,
+        default=0.4,
+        help="analytics token-bucket sustained rate as a capacity fraction",
+    )
+    p.add_argument(
+        "--slo-weight",
+        type=float,
+        default=3.0,
+        help="interactive DRR weight (analytics is 1.0)",
+    )
+    p.add_argument(
+        "--crowd-multiplier",
+        type=float,
+        default=3.0,
+        help="flash-crowd arrival multiplier over the interactive "
+        "steady rate (1.0 disables the crowd gate)",
+    )
+    p.add_argument(
+        "--quantum", type=int, default=256, help="DRR quantum in tokens"
+    )
+    p.add_argument(
+        "--service-tokens-per-s",
+        type=float,
+        default=0.0,
+        help="override the virtual drain rate the scenario is sized "
+        "against (0 = derive it from the cost model; --quick throttles "
+        "it so the oracle-checked trace stays small)",
+    )
+    p.add_argument(
+        "--slo-target",
+        type=float,
+        default=0.99,
+        help="interactive availability target (error-budget burn)",
+    )
+    p.add_argument(
+        "--attainment-target",
+        type=float,
+        default=0.99,
+        help="interactive deadline-attainment floor --check enforces",
+    )
+    p.add_argument(
+        "--oracle",
+        action="store_true",
+        help="run the numeric plane and bitwise-compare every served "
+        "output to its per-request forward (implied by --quick)",
+    )
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke shape: tiny model, short horizon, throttled "
+        "capacity, oracle on",
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if any gate fails: conservation, zero failures, "
+        "SLO-tenant attainment, batch-first shedding, oracle equality",
+    )
+    p.add_argument(
+        "--report-out",
+        default=None,
+        help="write the per-tenant SLO report JSON here (CI artifact)",
+    )
+    p.set_defaults(func=cmd_loadtest)
 
     p = sub.add_parser(
         "metrics",

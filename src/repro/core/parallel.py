@@ -38,6 +38,8 @@ from __future__ import annotations
 
 import contextlib
 import multiprocessing
+import os
+import time
 import traceback
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Iterable, Iterator, Sequence
@@ -152,8 +154,23 @@ class BucketExecutor:
         self.shutdown()
 
 
-def _process_worker(conn: Any, fn: Callable[[Any], Any], chunk: list) -> None:
-    """Forked worker body: run the chunk, ship results (or the error)."""
+def _process_worker(
+    conn: Any,
+    fn: Callable[[Any], Any],
+    chunk: list,
+    verdict: str | None = None,
+) -> None:
+    """Forked worker body: run the chunk, ship results (or the error).
+
+    ``verdict`` is the chaos fate the parent drew for this chunk before
+    forking (see ``FaultPlan.worker_verdict``): ``"worker-kill"`` dies
+    with a nonzero exit before computing anything, ``"worker-hang"``
+    sleeps forever so the parent's wall-clock guard has to reap it.
+    """
+    if verdict == "worker-kill":
+        os._exit(3)
+    if verdict == "worker-hang":
+        time.sleep(86_400.0)
     try:
         # the fork inherited the parent thread's executor stack — reset
         # it so work inside the child runs serially instead of forking
@@ -192,15 +209,84 @@ class ProcessExecutor:
     #: workers only observe parent writes through shared-memory buffers
     needs_shared_memory = True
 
-    def __init__(self, workers: int = 1) -> None:
+    def __init__(
+        self,
+        workers: int = 1,
+        *,
+        wall_clock_guard_s: float = 30.0,
+        fault_hook: Callable[[int], str | None] | None = None,
+    ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if wall_clock_guard_s <= 0:
+            raise ValueError(
+                f"wall_clock_guard_s must be positive, got "
+                f"{wall_clock_guard_s}"
+            )
         self.workers = workers
+        #: host wall-clock budget per worker chunk: a worker that has
+        #: not delivered results within it is declared hung and reaped
+        self.wall_clock_guard_s = wall_clock_guard_s
+        #: chaos hook (e.g. ``FaultPlan.worker_verdict``): called with
+        #: the global chunk ordinal before each fork; may sentence the
+        #: child to die ("worker-kill") or hang ("worker-hang")
+        self.fault_hook = fault_hook
+        #: recovery log, one ``"died"`` / ``"hung"`` entry per chunk
+        #: that was re-executed serially in the parent
+        self.recoveries: list[str] = []
+        self._chunk_ordinal = 0
+
+    def _recover(
+        self,
+        kind: str,
+        fn: Callable[[Any], Any],
+        chunk: Sequence[Any],
+    ) -> list[Any]:
+        """Re-execute a lost worker's chunk serially in the parent.
+
+        ``fn`` is deterministic and side-effect-free outside its own
+        outputs (the executor contract), so the serial re-execution is
+        bitwise what the worker would have returned.  Each recovery is
+        logged and counted in telemetry so chaos runs can assert that
+        worker loss was survived, not silently absorbed.
+        """
+        self.recoveries.append(kind)
+        from repro.telemetry import current_telemetry
+        from repro.telemetry.slo import EXECUTOR_WORKER_RECOVERIES_TOTAL
+
+        tel = current_telemetry()
+        if tel is not None and tel.owns_current_thread():
+            tel.metrics.counter(
+                EXECUTOR_WORKER_RECOVERIES_TOTAL,
+                help="worker chunks re-executed serially after loss",
+                kind=kind,
+            ).inc()
+        return [fn(item) for item in chunk]
+
+    def arm_chaos(
+        self, fault_hook: Callable[[int], str | None] | None
+    ) -> None:
+        """Install (or clear) a chaos verdict hook for a fresh run.
+
+        Resets the chunk ordinal and the recovery log so the verdict
+        stream — keyed by ordinal — is reproducible run over run.
+        """
+        self.fault_hook = fault_hook
+        self._chunk_ordinal = 0
+        self.recoveries = []
 
     def map(
         self, fn: Callable[[Any], Any], items: Iterable[Any]
     ) -> list[Any]:
-        """``[fn(item) for item in items]`` across forked workers."""
+        """``[fn(item) for item in items]`` across forked workers.
+
+        Worker loss is survived, not propagated: a child that exits
+        without delivering results (nonzero exit, killed) or exceeds
+        :attr:`wall_clock_guard_s` is reaped and its chunk re-executed
+        serially in the parent — bitwise the same results, one
+        recovery logged per lost chunk.  A child that delivers an
+        *exception* is a genuine error and still raises.
+        """
         work: Sequence[Any] = list(items)
         if self.workers == 1 or len(work) <= 1 or not fork_available():
             return [fn(item) for item in work]
@@ -208,29 +294,51 @@ class ProcessExecutor:
         chunks = partition_weighted(np.ones(len(work)), self.workers)
         children = []
         for start, end in chunks:
+            # the verdict is drawn in the parent before forking so the
+            # chaos RNG stream never depends on child scheduling
+            ordinal = self._chunk_ordinal
+            self._chunk_ordinal += 1
+            verdict = (
+                self.fault_hook(ordinal)
+                if self.fault_hook is not None
+                else None
+            )
             parent_conn, child_conn = ctx.Pipe(duplex=False)
             proc = ctx.Process(
                 target=_process_worker,
-                args=(child_conn, fn, list(work[start:end])),
+                args=(child_conn, fn, list(work[start:end]), verdict),
                 daemon=True,
             )
             proc.start()
             child_conn.close()  # parent keeps only the read end
-            children.append((proc, parent_conn))
+            children.append((proc, parent_conn, (start, end)))
         results: list[Any] = []
         error: str | None = None
-        for proc, conn in children:
+        for proc, conn, (start, end) in children:
+            status: str
+            payload: Any
             try:
-                status, payload = conn.recv()
+                if conn.poll(self.wall_clock_guard_s):
+                    status, payload = conn.recv()
+                else:
+                    # hung past the wall-clock guard: reap and recover
+                    proc.terminate()
+                    proc.join()
+                    status, payload = "lost", "hung"
             except EOFError:
-                status, payload = "err", "worker exited before sending results"
+                # the worker died (nonzero exit / killed) before
+                # delivering results
+                status, payload = "lost", "died"
             finally:
                 conn.close()
             if status == "ok":
                 results.extend(payload)
+            elif status == "lost":
+                proc.join()
+                results.extend(self._recover(payload, fn, work[start:end]))
             elif error is None:
                 error = payload
-        for proc, _ in children:
+        for proc, _, _ in children:
             proc.join()
         if error is not None:
             raise RuntimeError(f"process worker failed: {error}")

@@ -145,8 +145,15 @@ def gemm(
         raise ValueError(f"bias shape {bias.shape} != ({n},)")
     if activation not in (None, "gelu"):
         raise ValueError(f"unsupported activation {activation!r}")
+    # BLAS dispatches an M=1 matmul to its gemv kernel, whose reduction
+    # order differs from the row results every M >= 2 operand gets from
+    # the gemm kernel — breaking the row-wise bitwise contract packed
+    # tiles and the per-request oracle rely on (a 1-token sequence
+    # through `forward` must match its row inside a packed megabatch).
+    # Duplicate the row so BLAS stays on the gemm path and keep row 0;
+    # the launch descriptor below still prices the real m=1 problem.
     if out is None:
-        out = a @ b
+        out = (np.concatenate([a, a], axis=0) @ b)[:1] if m == 1 else a @ b
         if bias is not None:
             out = out + bias
         if activation == "gelu":
@@ -157,7 +164,10 @@ def gemm(
                 variant=gelu_variant,
             )
     else:
-        np.matmul(a, b, out=out)
+        if m == 1:
+            np.copyto(out, (np.concatenate([a, a], axis=0) @ b)[:1])
+        else:
+            np.matmul(a, b, out=out)
         if bias is not None:
             np.add(out, bias, out=out)
         if activation == "gelu":

@@ -5,13 +5,27 @@ reproduction's serving emulator survive it: seeded fault injection into
 the kernel-launch path (:mod:`~repro.serving.faults`), retry with
 exponential backoff on the simulated clock (:mod:`~repro.serving.retry`),
 deadline shedding and high-water-mark admission control
-(:mod:`~repro.serving.admission`), graceful engine degradation
+(:mod:`~repro.serving.admission`), a multi-tenant admission gateway with
+QoS classes, weighted-fair sharing and overload protection
+(:mod:`~repro.serving.gateway`), graceful engine degradation
 (:mod:`~repro.serving.degradation`), and per-request outcome accounting
 (:mod:`~repro.serving.report`), all orchestrated by
 :class:`~repro.serving.runtime.ServingRuntime`.
 """
 
 from repro.serving.admission import AdmissionController
+from repro.serving.gateway import (
+    AdmissionGateway,
+    GatewayEvent,
+    GatewayResult,
+    QosClass,
+    REASON_QUEUE_OVERFLOW,
+    REASON_RATE_LIMIT,
+    REASON_UNKNOWN_TENANT,
+    ScheduledRequest,
+    TenantPolicy,
+    TokenBucket,
+)
 from repro.serving.continuous import (
     DEFAULT_TILES,
     ContinuousBatcher,
@@ -32,6 +46,8 @@ from repro.serving.faults import (
     NO_FAULTS,
     SLOW_KERNEL,
     TRANSIENT_OOM,
+    WORKER_HANG,
+    WORKER_KILL,
     FaultPlan,
     FaultSpec,
     InjectedFault,
@@ -49,6 +65,18 @@ from repro.serving.runtime import ServingRuntime
 
 __all__ = [
     "AdmissionController",
+    "AdmissionGateway",
+    "GatewayEvent",
+    "GatewayResult",
+    "QosClass",
+    "REASON_QUEUE_OVERFLOW",
+    "REASON_RATE_LIMIT",
+    "REASON_UNKNOWN_TENANT",
+    "ScheduledRequest",
+    "TenantPolicy",
+    "TokenBucket",
+    "WORKER_HANG",
+    "WORKER_KILL",
     "DEFAULT_TILES",
     "ContinuousBatcher",
     "TokenBudgetExceededError",

@@ -28,6 +28,7 @@ from repro.telemetry.slo import DEGRADATIONS_TOTAL
 #: incident kinds as they appear in transition reasons
 FAULT = "fault"
 DEADLINE_MISS = "deadline-miss"
+BUDGET_BURN = "budget-burn"
 
 
 @dataclass(frozen=True)
@@ -132,6 +133,18 @@ class DegradationLadder:
     def record_deadline_miss(self, now_us: float) -> None:
         """A request shed for its deadline at simulated ``now_us``."""
         self._incident(now_us, DEADLINE_MISS)
+
+    def record_budget_burn(self, now_us: float) -> None:
+        """A latency-SLO tenant's error budget is burning at ``now_us``.
+
+        The multi-tenant gateway path feeds this signal when a
+        latency-SLO tenant's running error-budget burn exceeds 1.0:
+        degradation then trips for the *batch-class* dispatches (which
+        the runtime prices at the ladder's current rung) while SLO-class
+        dispatches stay pinned to the top rung — batch tenants give up
+        speed before SLO tenants give up anything.
+        """
+        self._incident(now_us, BUDGET_BURN)
 
     def record_success(self, now_us: float) -> None:
         """A dispatch served cleanly; may recover one rung after cool-down."""

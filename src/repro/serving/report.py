@@ -27,12 +27,20 @@ class Outcome(enum.Enum):
     SERVED = "served"
     SHED = "shed"
     FAILED = "failed"
+    #: turned away at the gateway with explicit backpressure (rate
+    #: limit / unknown tenant) — the client was *told* to go away,
+    #: distinct from shedding work that had been accepted
+    REJECTED = "rejected"
 
 
 #: reasons attached to non-served outcomes
 REASON_ADMISSION = "admission"
 REASON_DEADLINE = "deadline"
 REASON_RETRY_BUDGET = "retry-budget"
+#: gateway reasons (see :mod:`repro.serving.gateway`): token-bucket
+#: rejection with a retry-after, bounded-queue oldest-shed overflow
+REASON_RATE_LIMIT = "rate-limit"
+REASON_QUEUE_OVERFLOW = "queue-overflow"
 
 
 @dataclass(frozen=True)
@@ -49,6 +57,8 @@ class RequestOutcome:
     retries: int
     #: degradation level the request was finally handled at
     level: str
+    #: owning tenant ("" for single-tenant traces)
+    tenant: str = ""
 
 
 @dataclass(frozen=True)
@@ -69,6 +79,17 @@ class ServingReport:
     def by_outcome(self, outcome: Outcome) -> tuple[RequestOutcome, ...]:
         return tuple(o for o in self.outcomes if o.outcome is outcome)
 
+    def by_tenant(self, tenant: str) -> tuple[RequestOutcome, ...]:
+        return tuple(o for o in self.outcomes if o.tenant == tenant)
+
+    @property
+    def tenants(self) -> tuple[str, ...]:
+        """Distinct tenants in outcome order (single-tenant: ``("",)``)."""
+        seen: dict[str, None] = {}
+        for o in self.outcomes:
+            seen.setdefault(o.tenant)
+        return tuple(seen)
+
     @property
     def served(self) -> tuple[RequestOutcome, ...]:
         return self.by_outcome(Outcome.SERVED)
@@ -80,6 +101,10 @@ class ServingReport:
     @property
     def failed(self) -> tuple[RequestOutcome, ...]:
         return self.by_outcome(Outcome.FAILED)
+
+    @property
+    def rejected(self) -> tuple[RequestOutcome, ...]:
+        return self.by_outcome(Outcome.REJECTED)
 
     @property
     def num_requests(self) -> int:
@@ -96,6 +121,7 @@ class ServingReport:
             ),
             "shed": len(self.shed),
             "failed": len(self.failed),
+            "rejected": len(self.rejected),
         }
 
     def latency_summary(self) -> dict[str, dict[str, float]]:

@@ -26,6 +26,8 @@ replay of the same requests.  The chaos test suite asserts exactly that.
 from __future__ import annotations
 
 import contextlib
+from collections import deque
+from dataclasses import replace
 
 import numpy as np
 
@@ -34,7 +36,7 @@ from repro.core.config import FUSED_MHA, BertConfig, OptimizationConfig
 from repro.core.engine import use_engine
 from repro.core.estimator import estimate_model_graphed, estimate_model_tiled
 from repro.core.model import BertEncoderModel
-from repro.core.parallel import make_executor, use_executor
+from repro.core.parallel import ProcessExecutor, make_executor, use_executor
 from repro.gpusim.graph import GraphCache
 from repro.kernels.activation import force_gelu_variant
 from repro.gpusim.device import A100_SPEC, DeviceSpec
@@ -49,6 +51,7 @@ from repro.serving.continuous import (
 from repro.serving.admission import AdmissionController
 from repro.serving.degradation import DegradationLadder, DegradationLevel
 from repro.serving.faults import NO_FAULTS, FaultPlan, FaultSpec
+from repro.serving.gateway import AdmissionGateway, QosClass
 from repro.serving.report import (
     Outcome,
     REASON_ADMISSION,
@@ -90,6 +93,19 @@ class ServingRuntime:
         Transient-fault retry policy.
     admission:
         High-water-mark admission controller; ``None`` admits everything.
+    gateway:
+        Optional multi-tenant :class:`~repro.serving.gateway.AdmissionGateway`.
+        When set it *replaces* the single-tenant admission pre-pass:
+        requests are rate-limited, queued and released per tenant with
+        weighted fairness, then batched per QoS class so every dispatch
+        is class-pure.  Latency-SLO dispatches replay with priority and
+        are always priced at the ladder's top rung; throughput-batch
+        dispatches take the ladder's current rung, so degradation (and
+        error-budget-burn pressure from SLO tenants) slows batch
+        traffic first.  All rungs compute bitwise-identical outputs, so
+        the class split never changes served bits.  If the gateway has
+        no ``service_rate`` yet the runtime fills it in from the cost
+        model (:meth:`estimate_service_rate`) at the start of the run.
     ladder:
         Degradation ladder; a fresh default ladder when omitted.  The
         ladder is reset at the start of every :meth:`run`.
@@ -133,6 +149,7 @@ class ServingRuntime:
         batcher: Batcher | None = None,
         retry: RetryPolicy | None = None,
         admission: AdmissionController | None = None,
+        gateway: AdmissionGateway | None = None,
         ladder: DegradationLadder | None = None,
         faults: FaultSpec = NO_FAULTS,
         opt: OptimizationConfig = FUSED_MHA,
@@ -148,6 +165,7 @@ class ServingRuntime:
         self.batcher = batcher if batcher is not None else TimeoutBatcher()
         self.retry = retry if retry is not None else RetryPolicy()
         self.admission = admission
+        self.gateway = gateway
         self.ladder = ladder if ladder is not None else DegradationLadder()
         self.faults = faults
         self.opt = opt
@@ -211,6 +229,25 @@ class ServingRuntime:
             dispatch_padded_len(dispatch, max_seq_len),
             level,
         )
+
+    def estimate_service_rate(self, max_seq_len: int) -> float:
+        """Modelled drain capacity in sequence tokens per simulated µs.
+
+        Prices one full top-rung tile (the continuous batcher's budget
+        tile when one is configured, else a 512-token tile capped at
+        the trace shape) and divides tokens by modelled time — the rate
+        the gateway's virtual DRR drain server runs at, derived from
+        the same cost model the dispatches are priced with.
+        """
+        if isinstance(self.batcher, ContinuousBatcher):
+            tile = max(self.batcher.effective_tiles())
+        else:
+            tile = max(64, min(512, max_seq_len))
+        service = self._price_tile(
+            ExecutionContext(self.device), tile, max_seq_len,
+            self.ladder.levels[0],
+        )
+        return tile / service
 
     def _single_estimate(self, seq_len: int, max_seq_len: int) -> float:
         """Cached one-request service estimate at the top level."""
@@ -375,6 +412,47 @@ class ServingRuntime:
                     metric_names.DEADLINE_MET_TOTAL,
                     help="deadline-carrying requests served in time",
                 ).inc()
+        if request.tenant:
+            # tenant-labelled mirrors of the serving series; new metric
+            # names so the un-labelled global series (and everything
+            # reading them) stay exactly as before
+            metrics.counter(
+                metric_names.TENANT_REQUESTS_TOTAL,
+                help="settled requests by tenant and final outcome",
+                tenant=request.tenant,
+                outcome=outcome.value,
+            ).inc()
+            if outcome is Outcome.SHED:
+                metrics.counter(
+                    metric_names.TENANT_SHED_TOTAL,
+                    help="shed requests by tenant and reason",
+                    tenant=request.tenant,
+                    reason=reason,
+                ).inc()
+            if outcome is Outcome.SERVED and latency_us is not None:
+                metrics.histogram(
+                    metric_names.TENANT_REQUEST_LATENCY_US,
+                    help="end-to-end served latency by tenant (us)",
+                    buckets=DEFAULT_LATENCY_BUCKETS_US,
+                    tenant=request.tenant,
+                ).observe(latency_us)
+            if request.deadline_us is not None:
+                metrics.counter(
+                    metric_names.TENANT_DEADLINE_REQUESTS_TOTAL,
+                    help="deadline-carrying settled requests by tenant",
+                    tenant=request.tenant,
+                ).inc()
+                if (
+                    outcome is Outcome.SERVED
+                    and latency_us is not None
+                    and latency_us <= request.deadline_us
+                ):
+                    metrics.counter(
+                        metric_names.TENANT_DEADLINE_MET_TOTAL,
+                        help="deadline-carrying requests served in time, "
+                        "by tenant",
+                        tenant=request.tenant,
+                    ).inc()
         tel.tracer.add_span(
             "request",
             category=REQUEST_CATEGORY,
@@ -400,9 +478,27 @@ class ServingRuntime:
                 self.batcher.effective_tiles(), trace.max_seq_len
             )
         plan_faults = FaultPlan(self.faults, seed=self.seed)
+        if isinstance(self._executor, ProcessExecutor):
+            # worker chaos rides the same seeded plan as kernel chaos;
+            # re-arming resets the chunk-ordinal stream per run
+            self._executor.arm_chaos(
+                plan_faults.worker_verdict
+                if (
+                    self.faults.worker_kill_rate > 0.0
+                    or self.faults.worker_hang_rate > 0.0
+                )
+                else None
+            )
         jitter_rng = np.random.default_rng([self.seed, 0x5E])
         outcomes: dict[int, RequestOutcome] = {}
         outputs: dict[int, np.ndarray] = {}
+        gateway = self.gateway
+        #: gateway-admitted requests by id, keyed to the *original*
+        #: (pre-re-anchoring) request — settling always accounts against
+        #: the original arrival and deadline
+        originals: dict[int, Request] = {}
+        #: per-SLO-tenant running [settled, bad] counts for budget burn
+        burn_stats: dict[str, list[int]] = {}
         tel = self.telemetry
         if tel is not None and not tel.owns_current_thread():
             tel = None
@@ -413,75 +509,234 @@ class ServingRuntime:
             reason: str,
             latency_us: float | None,
             retries: int,
+            *,
+            now_us: float | None = None,
+            level: str | None = None,
         ) -> None:
-            if request.request_id in outcomes:
+            orig = originals.get(request.request_id, request)
+            if (
+                latency_us is not None
+                and orig.arrival_us != request.arrival_us
+            ):
+                # dispatches hold gateway-re-anchored requests; fold the
+                # gateway queue wait back in so the recorded latency is
+                # end-to-end from the original arrival
+                latency_us += request.arrival_us - orig.arrival_us
+            if orig.request_id in outcomes:
                 raise RuntimeError(
-                    f"request {request.request_id} settled twice"
+                    f"request {orig.request_id} settled twice"
                 )
-            outcomes[request.request_id] = RequestOutcome(
-                request_id=request.request_id,
+            outcomes[orig.request_id] = RequestOutcome(
+                request_id=orig.request_id,
                 outcome=outcome,
                 reason=reason,
                 latency_us=latency_us,
                 retries=retries,
-                level=self.ladder.level.name,
+                level=level if level is not None else self.ladder.level.name,
+                tenant=orig.tenant,
             )
+            if gateway is not None:
+                policy = gateway.policies.get(orig.tenant)
+                if policy is not None and policy.qos is QosClass.LATENCY_SLO:
+                    stats = burn_stats.setdefault(orig.tenant, [0, 0])
+                    stats[0] += 1
+                    if outcome is not Outcome.SERVED:
+                        stats[1] += 1
+                    budget = 1.0 - policy.slo_target
+                    if budget > 0.0 and stats[1] / stats[0] > budget:
+                        # the tenant's error budget is burning: pressure
+                        # the ladder so *batch-class* dispatches degrade
+                        # (SLO dispatches stay pinned to the top rung)
+                        t = now_us
+                        if t is None:
+                            t = orig.arrival_us + (latency_us or 0.0)
+                        self.ladder.record_budget_burn(t)
             if tel is not None:
                 self._record_settle(
-                    tel, request, outcome, reason, latency_us, retries
+                    tel, orig, outcome, reason, latency_us, retries
                 )
 
-        # -- admission: reject early under overload ---------------------
-        admitted: list[Request] = []
-        committed_until = 0.0
-        for request in trace.requests:
-            backlog = max(0.0, committed_until - request.arrival_us)
-            if tel is not None:
-                tel.tracer.set_now(request.arrival_us)
-                tel.metrics.histogram(
-                    metric_names.ADMISSION_BACKLOG_US,
-                    help="committed backlog seen at each arrival (us)",
-                    buckets=DEFAULT_LATENCY_BUCKETS_US,
-                ).observe(backlog)
-            if self.admission is not None and not self.admission.admit(backlog):
+        #: (qos, pending dispatches) in replay-priority order; qos is
+        #: None on the single-tenant path
+        queues: list[tuple[QosClass | None, deque[Dispatch]]] = []
+
+        if gateway is not None:
+            # -- multi-tenant gateway pre-pass --------------------------
+            if gateway.service_rate is None:
+                gateway.service_rate = self.estimate_service_rate(
+                    trace.max_seq_len
+                )
+            gate = gateway.process(trace)
+            for event in gate.rejected:
+                if tel is not None:
+                    tel.tracer.set_now(event.t_us)
+                    tel.metrics.counter(
+                        metric_names.GATEWAY_REJECTED_TOTAL,
+                        help="gateway rejections by tenant and reason",
+                        tenant=event.request.tenant,
+                        reason=event.reason,
+                    ).inc()
+                    if event.retry_after_us is not None and np.isfinite(
+                        event.retry_after_us
+                    ):
+                        tel.metrics.histogram(
+                            metric_names.GATEWAY_RETRY_AFTER_US,
+                            help="retry-after attached to rate-limit "
+                            "rejections (us)",
+                            buckets=DEFAULT_LATENCY_BUCKETS_US,
+                        ).observe(event.retry_after_us)
+                    tel.tracer.instant(
+                        "gateway.reject",
+                        category="gateway",
+                        t_us=event.t_us,
+                        request_id=event.request.request_id,
+                        tenant=event.request.tenant,
+                        reason=event.reason,
+                    )
+                settle(
+                    event.request, Outcome.REJECTED, event.reason, None, 0,
+                    now_us=event.t_us,
+                )
+            for event in gate.shed:
+                if tel is not None:
+                    tel.tracer.set_now(event.t_us)
+                    tel.tracer.instant(
+                        "gateway.shed",
+                        category="gateway",
+                        t_us=event.t_us,
+                        request_id=event.request.request_id,
+                        tenant=event.request.tenant,
+                        reason=event.reason,
+                    )
+                settle(
+                    event.request, Outcome.SHED, event.reason, None, 0,
+                    now_us=event.t_us,
+                )
+            by_class: dict[QosClass, list[Request]] = {
+                QosClass.LATENCY_SLO: [],
+                QosClass.THROUGHPUT_BATCH: [],
+            }
+            for sched in gate.admitted:
+                orig = sched.request
+                originals[orig.request_id] = orig
+                wait = sched.release_us - orig.arrival_us
+                if tel is not None:
+                    tel.tracer.set_now(sched.release_us)
+                    tel.metrics.histogram(
+                        metric_names.GATEWAY_RELEASE_WAIT_US,
+                        help="gateway queue wait of admitted requests (us)",
+                        buckets=DEFAULT_LATENCY_BUCKETS_US,
+                    ).observe(wait)
+                deadline = orig.deadline_us
+                if deadline is not None:
+                    deadline = deadline - wait
+                    if deadline <= 0.0:
+                        # the deadline expired while queued at the gateway
+                        self.ladder.record_deadline_miss(sched.release_us)
+                        settle(
+                            orig, Outcome.SHED, REASON_DEADLINE, None, 0,
+                            now_us=sched.release_us,
+                        )
+                        continue
+                by_class[gateway.qos_of(orig.tenant)].append(
+                    replace(
+                        orig,
+                        arrival_us=sched.release_us,
+                        deadline_us=deadline,
+                    )
+                )
+            # class-pure plans: each QoS class is batched on its own, so
+            # a dispatch is degradable (batch) or protected (SLO) as a
+            # whole; SLO before batch is the replay priority order
+            for qos in (QosClass.LATENCY_SLO, QosClass.THROUGHPUT_BATCH):
+                reqs = by_class[qos]
+                if not reqs:
+                    continue
+                sub_trace = ServingTrace(
+                    requests=tuple(reqs), max_seq_len=trace.max_seq_len
+                )
+                class_plan = sorted(
+                    self.batcher.plan(sub_trace), key=lambda d: d.ready_us
+                )
+                queues.append((qos, deque(class_plan)))
+        else:
+            # -- admission: reject early under overload -----------------
+            admitted: list[Request] = []
+            committed_until = 0.0
+            for request in trace.requests:
+                backlog = max(0.0, committed_until - request.arrival_us)
+                if tel is not None:
+                    tel.tracer.set_now(request.arrival_us)
+                    tel.metrics.histogram(
+                        metric_names.ADMISSION_BACKLOG_US,
+                        help="committed backlog seen at each arrival (us)",
+                        buckets=DEFAULT_LATENCY_BUCKETS_US,
+                    ).observe(backlog)
+                if self.admission is not None and not self.admission.admit(
+                    backlog
+                ):
+                    if tel is not None:
+                        tel.tracer.instant(
+                            "admission.shed",
+                            category="admission",
+                            t_us=request.arrival_us,
+                            request_id=request.request_id,
+                            backlog_us=backlog,
+                        )
+                    settle(request, Outcome.SHED, REASON_ADMISSION, None, 0)
+                    continue
                 if tel is not None:
                     tel.tracer.instant(
-                        "admission.shed",
+                        "admission.admit",
                         category="admission",
                         t_us=request.arrival_us,
                         request_id=request.request_id,
                         backlog_us=backlog,
                     )
-                settle(request, Outcome.SHED, REASON_ADMISSION, None, 0)
-                continue
-            if tel is not None:
-                tel.tracer.instant(
-                    "admission.admit",
-                    category="admission",
-                    t_us=request.arrival_us,
-                    request_id=request.request_id,
-                    backlog_us=backlog,
-                )
-            admitted.append(request)
-            committed_until = max(
-                committed_until, request.arrival_us
-            ) + self._single_estimate(request.seq_len, trace.max_seq_len)
+                admitted.append(request)
+                committed_until = max(
+                    committed_until, request.arrival_us
+                ) + self._single_estimate(request.seq_len, trace.max_seq_len)
 
-        # -- batch plan over the admitted sub-trace ---------------------
-        if admitted:
-            sub_trace = ServingTrace(
-                requests=tuple(admitted), max_seq_len=trace.max_seq_len
-            )
-            plan = sorted(
-                self.batcher.plan(sub_trace), key=lambda d: d.ready_us
-            )
-        else:
-            plan = []
+            # -- batch plan over the admitted sub-trace -----------------
+            if admitted:
+                sub_trace = ServingTrace(
+                    requests=tuple(admitted), max_seq_len=trace.max_seq_len
+                )
+                plan = sorted(
+                    self.batcher.plan(sub_trace), key=lambda d: d.ready_us
+                )
+                queues.append((None, deque(plan)))
+
+        def dispatch_level(qos: QosClass | None) -> DegradationLevel:
+            """Rung a dispatch of the given class is priced/served at:
+            latency-SLO dispatches are pinned to the top rung; batch
+            (and single-tenant) dispatches ride the ladder."""
+            if qos is QosClass.LATENCY_SLO:
+                return self.ladder.levels[0]
+            return self.ladder.level
 
         gpu_free_at = 0.0
         busy_us = 0.0
+        batch_id = -1
 
-        for batch_id, dispatch in enumerate(plan):
+        while any(q for _, q in queues):
+            qos: QosClass | None = None
+            picked: deque[Dispatch] | None = None
+            for cls, q in queues:
+                # queues are priority-ordered (SLO before batch): the
+                # first class with a ready head takes the free GPU
+                if q and q[0].ready_us <= gpu_free_at:
+                    qos, picked = cls, q
+                    break
+            if picked is None:
+                # nothing ready yet: jump to the earliest future head
+                qos, picked = min(
+                    ((cls, q) for cls, q in queues if q),
+                    key=lambda item: item[1][0].ready_us,
+                )
+            dispatch = picked.popleft()
+            batch_id += 1
             start = max(dispatch.ready_us, gpu_free_at)
             if tel is not None:
                 tel.tracer.set_now(start)
@@ -499,12 +754,15 @@ class ServingRuntime:
             alive, expired = shed_expired(list(dispatch.requests), start)
             for request in expired:
                 self.ladder.record_deadline_miss(start)
-                settle(request, Outcome.SHED, REASON_DEADLINE, None, 0)
+                settle(
+                    request, Outcome.SHED, REASON_DEADLINE, None, 0,
+                    now_us=start,
+                )
             if alive:
                 # shed members that cannot finish inside their budget even
                 # if the dispatch started right now
                 est = self._estimate_service(
-                    alive, trace.max_seq_len, self.ladder.level,
+                    alive, trace.max_seq_len, dispatch_level(qos),
                     tile=dispatch.tile,
                 )
                 still_alive = []
@@ -512,14 +770,17 @@ class ServingRuntime:
                     limit = request.absolute_deadline_us
                     if limit is not None and start + est > limit:
                         self.ladder.record_deadline_miss(start)
-                        settle(request, Outcome.SHED, REASON_DEADLINE, None, 0)
+                        settle(
+                            request, Outcome.SHED, REASON_DEADLINE, None, 0,
+                            now_us=start,
+                        )
                     else:
                         still_alive.append(request)
                 alive = still_alive
 
             attempt = 0
             while alive:
-                level = self.ladder.level
+                level = dispatch_level(qos)
                 ctx = plan_faults.install(ExecutionContext(self.device))
                 lens = np.asarray(
                     [r.seq_len for r in alive], dtype=np.int64
@@ -582,6 +843,7 @@ class ServingRuntime:
                                 REASON_RETRY_BUDGET,
                                 None,
                                 attempt,
+                                now_us=now,
                             )
                         alive = []
                         break
@@ -608,7 +870,7 @@ class ServingRuntime:
                         self.ladder.record_deadline_miss(start)
                         settle(
                             request, Outcome.SHED, REASON_DEADLINE, None,
-                            attempt,
+                            attempt, now_us=start,
                         )
                     continue
                 finish = start + service
@@ -647,6 +909,8 @@ class ServingRuntime:
                         "",
                         finish - request.arrival_us,
                         attempt,
+                        now_us=finish,
+                        level=level.name,
                     )
                 self.ladder.record_success(finish)
                 if tel is not None:
@@ -686,7 +950,7 @@ class ServingRuntime:
         if missing:
             raise RuntimeError(
                 f"serving runtime lost requests {missing}: every request "
-                "must settle as served/shed/failed"
+                "must settle as served/shed/failed/rejected"
             )
 
         return ServingReport(

@@ -43,6 +43,20 @@ GPU_BUSY_US = "serving_gpu_busy_us"
 MAKESPAN_US = "serving_makespan_us"
 GPU_UTILIZATION = "serving_gpu_utilization"
 
+# per-tenant series the multi-tenant gateway path populates (labelled
+# by ``tenant`` — and ``outcome``/``reason`` where noted); the global
+# single-tenant series above stay exactly as they were, so every
+# pre-gateway consumer is untouched
+TENANT_REQUESTS_TOTAL = "serving_tenant_requests_total"
+TENANT_SHED_TOTAL = "serving_tenant_shed_total"
+TENANT_DEADLINE_REQUESTS_TOTAL = "serving_tenant_deadline_requests_total"
+TENANT_DEADLINE_MET_TOTAL = "serving_tenant_deadline_met_total"
+TENANT_REQUEST_LATENCY_US = "serving_tenant_request_latency_us"
+GATEWAY_REJECTED_TOTAL = "gateway_rejected_total"
+GATEWAY_RETRY_AFTER_US = "gateway_retry_after_us"
+GATEWAY_RELEASE_WAIT_US = "gateway_release_wait_us"
+EXECUTOR_WORKER_RECOVERIES_TOTAL = "executor_worker_recoveries_total"
+
 
 @dataclass(frozen=True)
 class SloPolicy:
@@ -90,6 +104,11 @@ class SloReport:
     #: observed latency at ``policy.latency_quantile`` (``None`` when
     #: nothing was served)
     latency_quantile_us: float | None
+    #: gateway rejections (rate limit / unknown tenant); they count
+    #: against availability like sheds do
+    rejected: int = 0
+    #: tenant the report covers ("" = the whole replay)
+    tenant: str = ""
 
     @classmethod
     def from_registry(
@@ -97,34 +116,98 @@ class SloReport:
     ) -> "SloReport":
         """Evaluate the counters/histograms a runtime run populated."""
         policy = policy if policy is not None else SloPolicy()
-        served = int(
-            getattr(
-                registry.find(REQUESTS_TOTAL, outcome="served"), "value", 0
+
+        def outcome_count(outcome: str) -> int:
+            return int(
+                getattr(
+                    registry.find(REQUESTS_TOTAL, outcome=outcome),
+                    "value",
+                    0,
+                )
             )
-        )
-        shed = int(
-            getattr(registry.find(REQUESTS_TOTAL, outcome="shed"), "value", 0)
-        )
-        failed = int(
-            getattr(
-                registry.find(REQUESTS_TOTAL, outcome="failed"), "value", 0
-            )
-        )
+
+        served = outcome_count("served")
+        shed = outcome_count("shed")
+        failed = outcome_count("failed")
+        rejected = outcome_count("rejected")
         latency = registry.find(REQUEST_LATENCY_US)
         quantile_us = None
         if isinstance(latency, Histogram) and latency.count:
             quantile_us = latency.percentile(policy.latency_quantile)
         return cls(
             policy=policy,
-            total=served + shed + failed,
+            total=served + shed + failed + rejected,
             served=served,
             shed=shed,
             failed=failed,
+            rejected=rejected,
             with_deadline=int(
                 _counter_sum(registry, DEADLINE_REQUESTS_TOTAL)
             ),
             deadline_met=int(_counter_sum(registry, DEADLINE_MET_TOTAL)),
             latency_quantile_us=quantile_us,
+        )
+
+    @classmethod
+    def for_tenant(
+        cls,
+        registry: MetricsRegistry,
+        tenant: str,
+        policy: SloPolicy | None = None,
+    ) -> "SloReport":
+        """One tenant's attainment, from the tenant-labelled series.
+
+        Reads the ``serving_tenant_*`` counters/histogram the gateway
+        path populates — the same registry the exporters dump, so the
+        per-tenant verdict printed by ``repro loadtest`` can never
+        disagree with the exported metrics.
+        """
+        policy = policy if policy is not None else SloPolicy()
+
+        def outcome_count(outcome: str) -> int:
+            return int(
+                getattr(
+                    registry.find(
+                        TENANT_REQUESTS_TOTAL, tenant=tenant, outcome=outcome
+                    ),
+                    "value",
+                    0,
+                )
+            )
+
+        served = outcome_count("served")
+        shed = outcome_count("shed")
+        failed = outcome_count("failed")
+        rejected = outcome_count("rejected")
+        latency = registry.find(TENANT_REQUEST_LATENCY_US, tenant=tenant)
+        quantile_us = None
+        if isinstance(latency, Histogram) and latency.count:
+            quantile_us = latency.percentile(policy.latency_quantile)
+        with_deadline = int(
+            getattr(
+                registry.find(TENANT_DEADLINE_REQUESTS_TOTAL, tenant=tenant),
+                "value",
+                0,
+            )
+        )
+        met = int(
+            getattr(
+                registry.find(TENANT_DEADLINE_MET_TOTAL, tenant=tenant),
+                "value",
+                0,
+            )
+        )
+        return cls(
+            policy=policy,
+            total=served + shed + failed + rejected,
+            served=served,
+            shed=shed,
+            failed=failed,
+            rejected=rejected,
+            with_deadline=with_deadline,
+            deadline_met=met,
+            latency_quantile_us=quantile_us,
+            tenant=tenant,
         )
 
     # ------------------------------------------------------------------

@@ -11,6 +11,17 @@ from repro.workloads.generator import (
     zipf_lengths,
 )
 from repro.workloads.serving import Request, ServingTrace, make_trace
+from repro.workloads.traffic import (
+    ArrivalProcess,
+    DiurnalArrivals,
+    FlashCrowd,
+    LengthComponent,
+    LengthProfile,
+    MmppArrivals,
+    PoissonArrivals,
+    TenantTraffic,
+    generate_traffic,
+)
 
 __all__ = [
     "LengthDistribution",
@@ -24,4 +35,13 @@ __all__ = [
     "Request",
     "ServingTrace",
     "make_trace",
+    "ArrivalProcess",
+    "DiurnalArrivals",
+    "FlashCrowd",
+    "LengthComponent",
+    "LengthProfile",
+    "MmppArrivals",
+    "PoissonArrivals",
+    "TenantTraffic",
+    "generate_traffic",
 ]

@@ -327,6 +327,14 @@ class ContinuousBatcher(Batcher):
     token_budget: int = 2048
     timeout_us: float = 2000.0
     tiles: tuple[int, ...] = DEFAULT_TILES
+    #: fraction of the head request's deadline budget it may spend
+    #: waiting in the queue before the megabatch is cut regardless of
+    #: fill.  Under sustained arrivals the budget cut keeps firing and
+    #: the plain head timeout never does — without this bound a head
+    #: request with a deadline tighter than ``timeout_us`` would sit
+    #: behind deadline-sorted later arrivals until it could only be
+    #: shed (the head-timeout starvation bug).
+    deadline_slack: float = 0.5
     name: str = "continuous"
 
     def effective_tiles(self) -> tuple[int, ...]:
@@ -334,9 +342,28 @@ class ContinuousBatcher(Batcher):
         under = sorted(t for t in self.tiles if t < self.token_budget)
         return tuple(under) + (self.token_budget,)
 
+    def _head_due_us(self, head: Request) -> float:
+        """Latest instant the head may still be waiting uncut.
+
+        The plain policy is ``arrival + timeout_us``; a head carrying a
+        deadline must ship earlier — after ``deadline_slack`` of its
+        budget — so the dispatch still has the remaining
+        ``(1 - deadline_slack)`` of the budget to actually run in.
+        """
+        due = head.arrival_us + self.timeout_us
+        if head.deadline_us is not None:
+            due = min(
+                due, head.arrival_us + self.deadline_slack * head.deadline_us
+            )
+        return due
+
     def plan(self, trace: ServingTrace) -> list[Dispatch]:
         if self.token_budget <= 0 or self.timeout_us < 0:
             raise ValueError("invalid batcher parameters")
+        if not 0.0 < self.deadline_slack <= 1.0:
+            raise ValueError(
+                f"deadline_slack must be in (0, 1], got {self.deadline_slack}"
+            )
         if self.tiles and min(self.tiles) <= 0:
             raise ValueError("tiles must be positive")
         for request in trace.requests:
@@ -352,15 +379,13 @@ class ContinuousBatcher(Batcher):
         plan: list[Dispatch] = []
         waiting: list[Request] = []
         for request in trace.requests:
-            # flush any megabatch whose head ages out before this arrival
+            # flush any megabatch whose head ages out — or would burn
+            # too much of its deadline budget — before this arrival
             while waiting and (
-                request.arrival_us
-                > waiting[0].arrival_us + self.timeout_us
+                request.arrival_us > self._head_due_us(waiting[0])
             ):
                 plan.append(
-                    self._cut(
-                        waiting, waiting[0].arrival_us + self.timeout_us
-                    )
+                    self._cut(waiting, self._head_due_us(waiting[0]))
                 )
             waiting.append(request)
             if tel is not None:
@@ -373,9 +398,7 @@ class ContinuousBatcher(Batcher):
             ):
                 plan.append(self._cut(waiting, request.arrival_us))
         while waiting:
-            plan.append(
-                self._cut(waiting, waiting[0].arrival_us + self.timeout_us)
-            )
+            plan.append(self._cut(waiting, self._head_due_us(waiting[0])))
         plan.sort(key=lambda d: d.ready_us)
         self._validate_cover(trace, plan)
         return plan
@@ -383,11 +406,17 @@ class ContinuousBatcher(Batcher):
     def _cut(self, waiting: list[Request], ready_us: float) -> Dispatch:
         """Fill one megabatch from ``waiting`` (mutating it) and tile it."""
         # the head always ships (progress guarantee); the rest of the
-        # budget goes to the tightest deadlines first
+        # budget goes to the tightest deadlines first, among requests
+        # that have actually arrived by the cut instant (a timeout cut
+        # fires before later queue members exist)
         chosen = {0}
         used = waiting[0].seq_len
         by_deadline = sorted(
-            range(1, len(waiting)),
+            (
+                i
+                for i in range(1, len(waiting))
+                if waiting[i].arrival_us <= ready_us
+            ),
             key=lambda i: (
                 waiting[i].absolute_deadline_us is None,
                 waiting[i].absolute_deadline_us or 0.0,

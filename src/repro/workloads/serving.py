@@ -27,6 +27,9 @@ class Request:
     #: microseconds of arriving, or the serving runtime sheds it.
     #: ``None`` means the request waits forever (the pre-SLO behaviour).
     deadline_us: float | None = None
+    #: owning tenant for multi-tenant serving; ``""`` is the anonymous
+    #: single-tenant default every pre-gateway trace uses.
+    tenant: str = ""
 
     @property
     def absolute_deadline_us(self) -> float | None:

@@ -1,0 +1,470 @@
+"""Open-loop multi-tenant traffic generation on the simulated clock.
+
+Every trace the stack has replayed so far was a fixed request list with
+one length distribution and memoryless arrivals — fine for engine
+benchmarks, useless for overload behaviour, which is driven by *how*
+traffic arrives: bursts, diurnal swings and flash crowds.  This module
+generates open-loop traffic (arrivals never wait for service — the
+defining property of real overload) from composable pieces:
+
+* arrival processes — :class:`PoissonArrivals` (memoryless),
+  :class:`MmppArrivals` (two-state Markov-modulated Poisson: a bursty
+  process that alternates between a quiet and a hot rate with seeded
+  dwell times) and :class:`DiurnalArrivals` (sinusoidal rate over a
+  configurable period, sampled by thinning);
+* :class:`FlashCrowd` — a seeded, reproducible spike window that
+  superposes extra Poisson arrivals at ``(multiplier - 1)`` times the
+  tenant's steady rate, so a 3x flash crowd means 3x the steady arrival
+  rate inside the window;
+* :class:`LengthProfile` — a Zipf-mixed sequence-length sampler: a
+  weighted mixture of the :mod:`repro.workloads.generator` component
+  distributions, because production tenants are rarely one clean
+  distribution (a chat tenant is mostly-short-zipf with a uniform tail
+  of long prompts);
+* :class:`TenantTraffic` — one tenant's (arrival process x length
+  profile x deadline x flash crowds) bundle;
+* :func:`generate_traffic` — merge every tenant's seeded substream into
+  one :class:`~repro.workloads.serving.ServingTrace`, requests tagged
+  with their tenant and globally sorted by arrival.
+
+Determinism contract: every sampler draws from a generator seeded by
+``(seed, tenant_index, stream_tag)`` only, so the same ``(tenants,
+horizon, seed)`` triple always produces the identical trace — the
+property the ``repro loadtest`` CI gate and the rate-limit determinism
+tests rest on.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.workloads.generator import (
+    LengthDistribution,
+    fixed_lengths,
+    normal_lengths,
+    uniform_lengths,
+    zipf_lengths,
+)
+from repro.workloads.serving import Request, ServingTrace
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "MmppArrivals",
+    "DiurnalArrivals",
+    "FlashCrowd",
+    "LengthComponent",
+    "LengthProfile",
+    "TenantTraffic",
+    "generate_traffic",
+]
+
+# stream tags: independent seeded substreams per tenant
+_ARRIVALS = 0xA1
+_LENGTHS = 0x1E
+_CROWD = 0xFC
+
+
+class ArrivalProcess(abc.ABC):
+    """A seeded point process of arrival times over a horizon."""
+
+    @property
+    @abc.abstractmethod
+    def mean_rate_per_us(self) -> float:
+        """Long-run mean arrival rate (events per simulated us)."""
+
+    @abc.abstractmethod
+    def sample(
+        self, horizon_us: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Sorted arrival times in ``(0, horizon_us]``."""
+
+    @staticmethod
+    def _validate_horizon(horizon_us: float) -> None:
+        if horizon_us <= 0:
+            raise ValueError(f"horizon_us must be positive, got {horizon_us}")
+
+
+def _poisson_times(
+    rate_per_us: float, horizon_us: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Homogeneous Poisson arrival times over ``(0, horizon_us]``."""
+    if rate_per_us <= 0.0:
+        return np.empty(0, dtype=np.float64)
+    # draw in blocks of the expected count (+ slack) until past horizon
+    times: list[np.ndarray] = []
+    t = 0.0
+    block = max(16, int(rate_per_us * horizon_us * 1.2) + 8)
+    while t <= horizon_us:
+        gaps = rng.exponential(1.0 / rate_per_us, size=block)
+        chunk = t + np.cumsum(gaps)
+        times.append(chunk)
+        t = float(chunk[-1])
+    all_times = np.concatenate(times)
+    return all_times[all_times <= horizon_us]
+
+
+@dataclass(frozen=True)
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals at a constant mean rate."""
+
+    rate_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s <= 0:
+            raise ValueError(
+                f"rate_per_s must be positive, got {self.rate_per_s}"
+            )
+
+    @property
+    def mean_rate_per_us(self) -> float:
+        return self.rate_per_s / 1e6
+
+    def sample(
+        self, horizon_us: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        self._validate_horizon(horizon_us)
+        return _poisson_times(self.mean_rate_per_us, horizon_us, rng)
+
+
+@dataclass(frozen=True)
+class MmppArrivals(ArrivalProcess):
+    """Two-state Markov-modulated Poisson process (bursty traffic).
+
+    The process alternates between a *quiet* state at ``rate_per_s`` and
+    a *hot* state at ``burst_factor * rate_per_s``; dwell times in each
+    state are exponential with the given means.  This is the standard
+    minimal model for bursty request traffic: the marginal rate matches
+    a Poisson process of the same mean, but arrivals clump, which is
+    exactly what stresses a token-budget batcher's head-of-line logic.
+    """
+
+    rate_per_s: float
+    burst_factor: float = 4.0
+    mean_quiet_us: float = 50_000.0
+    mean_burst_us: float = 10_000.0
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s <= 0:
+            raise ValueError(
+                f"rate_per_s must be positive, got {self.rate_per_s}"
+            )
+        if self.burst_factor < 1.0:
+            raise ValueError(
+                f"burst_factor must be >= 1, got {self.burst_factor}"
+            )
+        if min(self.mean_quiet_us, self.mean_burst_us) <= 0:
+            raise ValueError("state dwell means must be positive")
+
+    @property
+    def mean_rate_per_us(self) -> float:
+        # time-weighted average of the two state rates
+        quiet_w = self.mean_quiet_us
+        burst_w = self.mean_burst_us
+        base = self.rate_per_s / 1e6
+        return base * (
+            (quiet_w + self.burst_factor * burst_w) / (quiet_w + burst_w)
+        )
+
+    def sample(
+        self, horizon_us: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        self._validate_horizon(horizon_us)
+        base = self.rate_per_s / 1e6
+        times: list[np.ndarray] = []
+        t = 0.0
+        hot = False  # always start quiet: deterministic phase
+        while t < horizon_us:
+            dwell = float(
+                rng.exponential(
+                    self.mean_burst_us if hot else self.mean_quiet_us
+                )
+            )
+            end = min(t + dwell, horizon_us)
+            rate = base * (self.burst_factor if hot else 1.0)
+            seg = _poisson_times(rate, end - t, rng) if end > t else None
+            if seg is not None and seg.size:
+                times.append(t + seg)
+            t = end
+            hot = not hot
+        if not times:
+            return np.empty(0, dtype=np.float64)
+        return np.sort(np.concatenate(times))
+
+
+@dataclass(frozen=True)
+class DiurnalArrivals(ArrivalProcess):
+    """Sinusoidal-rate arrivals: rate(t) = mean * (1 + depth*sin(...)).
+
+    ``period_us`` is the full cycle ("a day" on the simulated clock —
+    hours of wall time compress into milliseconds of simulated time);
+    ``depth`` in [0, 1) scales the swing.  Sampling is by thinning
+    against the peak rate, which is exact for an inhomogeneous Poisson
+    process.
+    """
+
+    rate_per_s: float
+    period_us: float = 1_000_000.0
+    depth: float = 0.5
+    #: phase offset as a fraction of the period (0 starts at the mean,
+    #: rising — i.e. "morning")
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s <= 0 or self.period_us <= 0:
+            raise ValueError("rate_per_s and period_us must be positive")
+        if not 0.0 <= self.depth < 1.0:
+            raise ValueError(f"depth must be in [0, 1), got {self.depth}")
+
+    @property
+    def mean_rate_per_us(self) -> float:
+        return self.rate_per_s / 1e6
+
+    def rate_at(self, t_us: float) -> float:
+        """Instantaneous rate (per us) at simulated time ``t_us``."""
+        angle = 2.0 * np.pi * (t_us / self.period_us + self.phase)
+        return self.mean_rate_per_us * (1.0 + self.depth * np.sin(angle))
+
+    def sample(
+        self, horizon_us: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        self._validate_horizon(horizon_us)
+        peak = self.mean_rate_per_us * (1.0 + self.depth)
+        candidates = _poisson_times(peak, horizon_us, rng)
+        if not candidates.size:
+            return candidates
+        keep = rng.random(candidates.size) * peak
+        rates = np.asarray([self.rate_at(t) for t in candidates])
+        return candidates[keep < rates]
+
+
+@dataclass(frozen=True)
+class FlashCrowd:
+    """A seeded arrival spike: ``multiplier``x the steady rate in a window.
+
+    Implemented by superposing an extra Poisson stream at
+    ``(multiplier - 1) * steady_rate`` inside ``[start_us, start_us +
+    duration_us)`` — the superposition of Poisson processes is Poisson,
+    so inside the window the tenant genuinely arrives at ``multiplier``
+    times its steady rate, and the spike is reproducible from the seed
+    alone.
+    """
+
+    start_us: float
+    duration_us: float
+    multiplier: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.start_us < 0 or self.duration_us <= 0:
+            raise ValueError(
+                "start_us must be >= 0 and duration_us positive"
+            )
+        if self.multiplier <= 1.0:
+            raise ValueError(
+                f"multiplier must be > 1, got {self.multiplier}"
+            )
+
+    def extra_arrivals(
+        self,
+        steady_rate_per_us: float,
+        horizon_us: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        end = min(self.start_us + self.duration_us, horizon_us)
+        if end <= self.start_us:
+            return np.empty(0, dtype=np.float64)
+        extra_rate = (self.multiplier - 1.0) * steady_rate_per_us
+        return self.start_us + _poisson_times(
+            extra_rate, end - self.start_us, rng
+        )
+
+
+@dataclass(frozen=True)
+class LengthComponent:
+    """One weighted component of a mixed length profile."""
+
+    weight: float
+    distribution: LengthDistribution
+    #: mean/max ratio for uniform and normal components (ignored by
+    #: zipf, whose shape is fixed, and fixed, which pins the max)
+    alpha: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"weight must be positive, got {self.weight}")
+
+    def sample(
+        self, n: int, max_seq_len: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        if self.distribution is LengthDistribution.UNIFORM:
+            return uniform_lengths(n, max_seq_len, self.alpha, rng)
+        if self.distribution is LengthDistribution.NORMAL:
+            return normal_lengths(n, max_seq_len, self.alpha, rng)
+        if self.distribution is LengthDistribution.ZIPF:
+            return zipf_lengths(n, max_seq_len, rng)
+        if self.distribution is LengthDistribution.FIXED:
+            return fixed_lengths(n, max_seq_len)
+        raise ValueError(f"unknown distribution {self.distribution!r}")
+
+
+@dataclass(frozen=True)
+class LengthProfile:
+    """A weighted mixture of length distributions for one tenant.
+
+    Each request independently picks a component with probability
+    proportional to its weight, then samples its length from it.  The
+    canonical production shape is :meth:`zipf_mixed`: a heavy-tailed
+    zipf body (most requests short) with a uniform long-prompt tail.
+    """
+
+    max_seq_len: int
+    components: tuple[LengthComponent, ...]
+
+    def __post_init__(self) -> None:
+        if self.max_seq_len < 1:
+            raise ValueError("max_seq_len must be >= 1")
+        if not self.components:
+            raise ValueError("a length profile needs >= 1 component")
+
+    @classmethod
+    def zipf_mixed(
+        cls, max_seq_len: int, *, long_tail_weight: float = 0.2,
+        tail_alpha: float = 0.8,
+    ) -> "LengthProfile":
+        """Zipf body + a ``long_tail_weight`` uniform long-prompt tail."""
+        if not 0.0 <= long_tail_weight < 1.0:
+            raise ValueError(
+                f"long_tail_weight must be in [0, 1), got {long_tail_weight}"
+            )
+        components = [
+            LengthComponent(1.0 - long_tail_weight, LengthDistribution.ZIPF)
+        ]
+        if long_tail_weight > 0:
+            components.append(
+                LengthComponent(
+                    long_tail_weight, LengthDistribution.UNIFORM, tail_alpha
+                )
+            )
+        return cls(max_seq_len=max_seq_len, components=tuple(components))
+
+    @classmethod
+    def single(
+        cls,
+        max_seq_len: int,
+        distribution: LengthDistribution = LengthDistribution.UNIFORM,
+        alpha: float = 0.6,
+    ) -> "LengthProfile":
+        return cls(
+            max_seq_len=max_seq_len,
+            components=(LengthComponent(1.0, distribution, alpha),),
+        )
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """``n`` lengths from the mixture, in draw order."""
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        weights = np.asarray([c.weight for c in self.components])
+        probs = weights / weights.sum()
+        choice = rng.choice(len(self.components), size=n, p=probs)
+        lens = np.empty(n, dtype=np.int64)
+        for idx, component in enumerate(self.components):
+            sel = choice == idx
+            count = int(sel.sum())
+            if count:
+                lens[sel] = component.sample(count, self.max_seq_len, rng)
+        return lens
+
+
+@dataclass(frozen=True)
+class TenantTraffic:
+    """One tenant's traffic shape: arrivals, lengths, deadline, spikes."""
+
+    name: str
+    arrivals: ArrivalProcess
+    lengths: LengthProfile
+    #: relative latency budget attached to every request (``None`` =
+    #: deadline-free, the usual throughput-batch posture)
+    deadline_us: float | None = None
+    flash_crowds: tuple[FlashCrowd, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a tenant needs a non-empty name")
+        if self.deadline_us is not None and self.deadline_us <= 0:
+            raise ValueError(
+                f"deadline_us must be positive, got {self.deadline_us}"
+            )
+
+    def sample_arrivals(
+        self, horizon_us: float, rng: np.random.Generator,
+        crowd_rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Steady arrivals plus every flash crowd's extra stream, sorted."""
+        streams = [self.arrivals.sample(horizon_us, rng)]
+        steady = self.arrivals.mean_rate_per_us
+        for crowd in self.flash_crowds:
+            streams.append(
+                crowd.extra_arrivals(steady, horizon_us, crowd_rng)
+            )
+        merged = np.concatenate(streams)
+        return np.sort(merged)
+
+
+def generate_traffic(
+    tenants: list[TenantTraffic] | tuple[TenantTraffic, ...],
+    horizon_us: float,
+    *,
+    seed: int = 0,
+) -> ServingTrace:
+    """Generate one merged multi-tenant trace over ``horizon_us``.
+
+    Each tenant draws from three independent substreams seeded by
+    ``(seed, tenant_index, tag)`` — arrivals, lengths, flash crowds — so
+    adding a flash crowd to one tenant never perturbs another tenant's
+    requests (or even that tenant's steady arrivals).  Request ids are
+    assigned in global arrival order; ties break by tenant order, then
+    per-tenant sequence.  The trace's ``max_seq_len`` is the maximum of
+    the tenants' profile maxima.
+    """
+    if not tenants:
+        raise ValueError("generate_traffic needs at least one tenant")
+    names = [t.name for t in tenants]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate tenant names in {names}")
+    ArrivalProcess._validate_horizon(horizon_us)
+    max_seq_len = max(t.lengths.max_seq_len for t in tenants)
+    # (arrival_us, tenant_idx, per_tenant_seq) triples for a stable sort
+    entries: list[tuple[float, int, int, int, TenantTraffic]] = []
+    for idx, tenant in enumerate(tenants):
+        arr_rng = np.random.default_rng([seed, idx, _ARRIVALS])
+        crowd_rng = np.random.default_rng([seed, idx, _CROWD])
+        len_rng = np.random.default_rng([seed, idx, _LENGTHS])
+        arrivals = tenant.sample_arrivals(horizon_us, arr_rng, crowd_rng)
+        lens = tenant.lengths.sample(arrivals.size, len_rng)
+        for k in range(arrivals.size):
+            entries.append(
+                (float(arrivals[k]), idx, k, int(lens[k]), tenant)
+            )
+    if not entries:
+        raise ValueError(
+            "no arrivals in the horizon; raise rates or the horizon"
+        )
+    entries.sort(key=lambda e: (e[0], e[1], e[2]))
+    requests = tuple(
+        Request(
+            request_id=rid,
+            arrival_us=arrival,
+            seq_len=length,
+            deadline_us=tenant.deadline_us,
+            tenant=tenant.name,
+        )
+        for rid, (arrival, _, _, length, tenant) in enumerate(entries)
+    )
+    return ServingTrace(requests=requests, max_seq_len=max_seq_len)

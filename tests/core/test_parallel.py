@@ -252,3 +252,100 @@ class TestProcessExecutor:
         ex = ProcessExecutor(2)
         with use_executor(ex):
             assert ex.map(body, range(4)) == [True] * 4
+
+
+class TestProcessExecutorRecovery:
+    """Worker loss is survived: chunks re-run serially, bitwise-equal."""
+
+    @needs_fork
+    def test_killed_worker_chunk_recovered_bitwise(self):
+        rows = np.arange(12, dtype=np.float64).reshape(4, 3)
+
+        def body(i):
+            return np.tanh(rows[i] * 0.5) + i
+
+        expected = [body(i) for i in range(4)]
+        ex = ProcessExecutor(
+            2, fault_hook=lambda ordinal: "worker-kill" if ordinal == 0 else None
+        )
+        got = ex.map(body, range(4))
+        assert all(np.array_equal(g, e) for g, e in zip(got, expected))
+        assert ex.recoveries == ["died"]
+
+    @needs_fork
+    def test_hung_worker_reaped_by_wall_clock_guard(self):
+        ex = ProcessExecutor(
+            2,
+            wall_clock_guard_s=0.5,
+            fault_hook=lambda ordinal: "worker-hang" if ordinal == 1 else None,
+        )
+        assert ex.map(lambda i: i * 3, range(6)) == [0, 3, 6, 9, 12, 15]
+        assert ex.recoveries == ["hung"]
+
+    @needs_fork
+    def test_every_worker_lost_still_completes(self):
+        ex = ProcessExecutor(3, fault_hook=lambda ordinal: "worker-kill")
+        assert ex.map(lambda i: i + 1, range(9)) == list(range(1, 10))
+        assert ex.recoveries == ["died", "died", "died"]
+
+    @needs_fork
+    def test_recovery_counted_in_telemetry(self):
+        from repro.telemetry import Telemetry, use_telemetry
+        from repro.telemetry.slo import EXECUTOR_WORKER_RECOVERIES_TOTAL
+
+        tel = Telemetry()
+        ex = ProcessExecutor(
+            2, fault_hook=lambda ordinal: "worker-kill" if ordinal == 0 else None
+        )
+        with use_telemetry(tel):
+            ex.map(lambda i: i, range(4))
+        counter = tel.metrics.counter(
+            EXECUTOR_WORKER_RECOVERIES_TOTAL, kind="died"
+        )
+        assert counter.value == 1
+
+    @needs_fork
+    def test_arm_chaos_resets_ordinals_and_log(self):
+        verdicts = []
+
+        def hook(ordinal):
+            verdicts.append(ordinal)
+            return "worker-kill" if ordinal == 0 else None
+
+        ex = ProcessExecutor(2, fault_hook=hook)
+        ex.map(lambda i: i, range(4))
+        assert ex.recoveries == ["died"]
+        ex.arm_chaos(hook)  # fresh run: ordinals restart at 0
+        ex.map(lambda i: i, range(4))
+        assert verdicts == [0, 1, 0, 1]
+        assert ex.recoveries == ["died"]  # log was reset, not appended
+
+    @needs_fork
+    def test_genuine_exception_still_raises_under_chaos(self):
+        def boom(i):
+            if i == 2:
+                raise ValueError(f"item {i}")
+            return i
+
+        ex = ProcessExecutor(2, fault_hook=lambda ordinal: None)
+        with pytest.raises(RuntimeError, match="ValueError"):
+            ex.map(boom, range(4))
+        assert ex.recoveries == []
+
+    def test_wall_clock_guard_validated(self):
+        with pytest.raises(ValueError, match="wall_clock_guard_s"):
+            ProcessExecutor(2, wall_clock_guard_s=0.0)
+
+    def test_fault_plan_verdict_stream_is_deterministic(self):
+        from repro.serving.faults import FaultPlan, FaultSpec
+
+        spec = FaultSpec(worker_kill_rate=0.3, worker_hang_rate=0.3)
+        a = FaultPlan(spec, seed=5)
+        b = FaultPlan(spec, seed=5)
+        stream = [a.worker_verdict(i) for i in range(64)]
+        assert stream == [b.worker_verdict(i) for i in range(64)]
+        assert "worker-kill" in stream and "worker-hang" in stream
+        assert None in stream
+        # a different seed draws a different fate stream
+        c = FaultPlan(spec, seed=6)
+        assert stream != [c.worker_verdict(i) for i in range(64)]

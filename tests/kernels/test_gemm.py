@@ -136,3 +136,43 @@ class TestCostModel:
         tile = select_tile(128, 128)
         with pytest.raises(ValueError, match="positive"):
             gemm_efficiency(0, 128, 64, tile)
+
+
+class TestRowSliceBitwise:
+    """A 1-row gemm must be bitwise the matching row of a larger gemm.
+
+    BLAS routes M=1 problems to gemv, whose reduction order differs
+    from the dgemm rows every M >= 2 operand gets — which would break
+    the packed-tile / per-request-oracle contract for 1-token
+    sequences.  The kernel pins M=1 to the gemm path.
+    """
+
+    def test_single_row_matches_row_of_big_gemm(self, rng):
+        a = rng.normal(size=(5, 96))
+        b = rng.normal(size=(96, 64))
+        big = gemm(a, b)
+        for i in range(a.shape[0]):
+            assert np.array_equal(gemm(a[i : i + 1], b), big[i : i + 1])
+
+    def test_single_row_out_path_matches(self, rng):
+        a = rng.normal(size=(3, 48))
+        b = rng.normal(size=(48, 32))
+        big = gemm(a, b)
+        out = np.empty((1, 32))
+        gemm(a[1:2], b, out=out)
+        assert np.array_equal(out, big[1:2])
+
+    def test_single_row_epilogue_matches(self, rng):
+        a = rng.normal(size=(4, 40))
+        b = rng.normal(size=(40, 24))
+        bias = rng.normal(size=24)
+        big = gemm(a, b, bias=bias, activation="gelu")
+        assert np.array_equal(
+            gemm(a[2:3], b, bias=bias, activation="gelu"), big[2:3]
+        )
+
+    def test_cost_model_still_prices_one_row(self):
+        ctx = ExecutionContext()
+        gemm(np.ones((1, 32)), np.ones((32, 16)), ctx=ctx)
+        (record,) = ctx.records
+        assert record.launch.flops == gemm_flops(1, 16, 32)

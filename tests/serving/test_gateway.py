@@ -1,0 +1,285 @@
+"""Gateway invariants: fairness, rate limiting, precedence, conservation."""
+
+import numpy as np
+import pytest
+
+from repro.serving.gateway import (
+    AdmissionGateway,
+    QosClass,
+    REASON_QUEUE_OVERFLOW,
+    REASON_RATE_LIMIT,
+    REASON_UNKNOWN_TENANT,
+    TenantPolicy,
+    TokenBucket,
+)
+from repro.workloads.serving import Request, ServingTrace
+
+
+def make_trace(rows, max_seq_len=256):
+    """Trace from (arrival_us, seq_len, tenant[, deadline]) tuples."""
+    requests = tuple(
+        Request(
+            request_id=i,
+            arrival_us=float(row[0]),
+            seq_len=int(row[1]),
+            deadline_us=row[3] if len(row) > 3 else None,
+            tenant=row[2],
+        )
+        for i, row in enumerate(sorted(rows, key=lambda r: r[0]))
+    )
+    return ServingTrace(requests=requests, max_seq_len=max_seq_len)
+
+
+def flood(tenant, *, rate_us, seq_len, start=0.0, end=100_000.0):
+    """A deterministic dense arrival stream for one tenant."""
+    t, rows = start, []
+    while t < end:
+        rows.append((t, seq_len, tenant))
+        t += rate_us
+    return rows
+
+
+class TestTokenBucket:
+    def test_refills_continuously_and_is_all_or_nothing(self):
+        bucket = TokenBucket(rate_per_us=1.0, burst=100.0)
+        assert bucket.take(0.0, 100.0)
+        assert not bucket.take(0.0, 1.0)
+        assert not bucket.take(49.0, 50.0)  # only 49 back so far
+        assert bucket.take(50.0, 50.0)
+
+    def test_retry_after_reports_exact_wait(self):
+        bucket = TokenBucket(rate_per_us=2.0, burst=100.0)
+        assert bucket.take(0.0, 100.0)
+        assert bucket.retry_after_us(0.0, 60.0) == pytest.approx(30.0)
+        assert bucket.retry_after_us(10.0, 10.0) == 0.0
+
+    def test_oversized_request_never_fits(self):
+        bucket = TokenBucket(rate_per_us=1.0, burst=64.0)
+        assert not bucket.take(1e9, 65.0)
+        assert bucket.retry_after_us(1e9, 65.0) == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            TokenBucket(0.0, 10.0)
+        with pytest.raises(ValueError, match=">= 0"):
+            TokenBucket(1.0, 10.0).take(0.0, -1.0)
+
+
+class TestTenantPolicy:
+    def test_default_burst_is_one_second_of_rate(self):
+        bucket = TenantPolicy("t", rate_tokens_per_s=5_000.0).make_bucket()
+        assert bucket.burst == 5_000.0
+        assert bucket.rate_per_us == pytest.approx(5e-3)
+
+    def test_no_rate_limit_means_no_bucket(self):
+        assert TenantPolicy("t").make_bucket() is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="name"):
+            TenantPolicy("")
+        with pytest.raises(ValueError, match="weight"):
+            TenantPolicy("t", weight=0.0)
+        with pytest.raises(ValueError, match="slo_target"):
+            TenantPolicy("t", slo_target=0.0)
+
+
+class TestGatewayBasics:
+    def test_needs_service_rate(self):
+        gw = AdmissionGateway([TenantPolicy("a")])
+        with pytest.raises(ValueError, match="service rate"):
+            gw.process(make_trace([(1.0, 8, "a")]))
+
+    def test_unknown_tenant_rejected_allow_list(self):
+        gw = AdmissionGateway(
+            [TenantPolicy("a")], service_rate_tokens_per_us=1.0
+        )
+        result = gw.process(make_trace([(1.0, 8, "a"), (2.0, 8, "ghost")]))
+        assert len(result.admitted) == 1
+        assert result.rejected[0].reason == REASON_UNKNOWN_TENANT
+        assert result.rejected[0].request.tenant == "ghost"
+        assert gw.qos_of("ghost") is QosClass.THROUGHPUT_BATCH
+
+    def test_duplicate_policies_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            AdmissionGateway([TenantPolicy("a"), TenantPolicy("a")])
+
+    def test_conservation_and_per_tenant_counts(self):
+        gw = AdmissionGateway(
+            [
+                TenantPolicy("a", max_queue_tokens=256),
+                TenantPolicy("b", rate_tokens_per_s=100_000.0, burst_tokens=64),
+            ],
+            service_rate_tokens_per_us=0.05,
+        )
+        trace = make_trace(
+            flood("a", rate_us=50.0, seq_len=64, end=20_000.0)
+            + flood("b", rate_us=50.0, seq_len=64, end=20_000.0)
+        )
+        result = gw.process(trace)  # validates conservation internally
+        counts = gw.process(trace).per_tenant_counts()
+        total = sum(
+            c["admitted"] + c["rejected"] + c["shed"] for c in counts.values()
+        )
+        assert total == len(trace.requests)
+        assert len(result.admitted) + len(result.rejected) + len(
+            result.shed
+        ) == len(trace.requests)
+
+    def test_deterministic_across_runs(self):
+        gw = AdmissionGateway(
+            [
+                TenantPolicy(
+                    "a", rate_tokens_per_s=200_000.0, burst_tokens=512
+                ),
+                TenantPolicy("b", max_queue_tokens=512),
+            ],
+            service_rate_tokens_per_us=0.1,
+        )
+        trace = make_trace(
+            flood("a", rate_us=17.0, seq_len=48, end=30_000.0)
+            + flood("b", rate_us=31.0, seq_len=96, end=30_000.0)
+        )
+        first, second = gw.process(trace), gw.process(trace)
+        assert first.admitted == second.admitted
+        assert first.rejected == second.rejected
+        assert first.shed == second.shed
+        # rate-limit rejections carry an actionable retry-after
+        limited = [
+            e for e in first.rejected if e.reason == REASON_RATE_LIMIT
+        ]
+        assert limited
+        assert all(
+            e.retry_after_us is not None and e.retry_after_us > 0
+            for e in limited
+        )
+
+
+class TestWeightedFairness:
+    def test_drr_converges_to_weight_ratio(self):
+        """Sustained-backlog token shares converge to weights within 5%."""
+        horizon = 200_000.0
+        gw = AdmissionGateway(
+            [
+                TenantPolicy("heavy", weight=3.0, max_queue_tokens=1 << 30),
+                TenantPolicy("light", weight=1.0, max_queue_tokens=1 << 30),
+            ],
+            service_rate_tokens_per_us=1.0,
+            quantum_tokens=64,
+        )
+        # both tenants offer ~4x capacity with different request sizes,
+        # so fairness must hold in tokens, not request counts
+        trace = make_trace(
+            flood("heavy", rate_us=10.0, seq_len=40, end=horizon)
+            + flood("light", rate_us=35.0, seq_len=140, end=horizon)
+        )
+        result = gw.process(trace)
+        released = {"heavy": 0, "light": 0}
+        for s in result.admitted:
+            if s.release_us <= horizon:
+                released[s.request.tenant] += s.request.seq_len
+        share = released["heavy"] / (released["heavy"] + released["light"])
+        assert share == pytest.approx(0.75, abs=0.05)
+
+    def test_work_conserving_when_one_tenant_idle(self):
+        gw = AdmissionGateway(
+            [
+                TenantPolicy("a", weight=3.0),
+                TenantPolicy("b", weight=1.0),
+            ],
+            service_rate_tokens_per_us=1.0,
+        )
+        # only b sends: it gets the whole server despite weight 1
+        trace = make_trace(flood("b", rate_us=100.0, seq_len=50, end=10_000.0))
+        result = gw.process(trace)
+        assert len(result.admitted) == len(trace.requests)
+        assert not result.shed and not result.rejected
+
+    def test_release_pacing_respects_service_rate(self):
+        gw = AdmissionGateway(
+            [TenantPolicy("a", max_queue_tokens=1 << 30)],
+            service_rate_tokens_per_us=0.5,
+        )
+        trace = make_trace([(0.1, 100, "a"), (0.2, 100, "a"), (0.3, 100, "a")])
+        releases = sorted(s.release_us for s in gw.process(trace).admitted)
+        # each 100-token request occupies the virtual server for 200 us
+        assert releases[1] - releases[0] == pytest.approx(200.0)
+        assert releases[2] - releases[1] == pytest.approx(200.0)
+
+
+class TestOverloadProtection:
+    def test_per_tenant_bound_sheds_oldest_first(self):
+        gw = AdmissionGateway(
+            # queue bound fits two 100-token requests
+            [TenantPolicy("a", max_queue_tokens=200)],
+            service_rate_tokens_per_us=1e-6,  # effectively frozen server
+        )
+        trace = make_trace(
+            [(1.0, 100, "a"), (2.0, 100, "a"), (3.0, 100, "a"), (4.0, 100, "a")]
+        )
+        result = gw.process(trace)
+        # request 0 ships instantly (idle server), then the frozen
+        # server backs the queue up: the bound fits two requests, so the
+        # third queued arrival evicts the oldest queued one
+        shed_ids = [e.request.request_id for e in result.shed]
+        assert shed_ids == [1]
+        assert sorted(
+            s.request.request_id for s in result.admitted
+        ) == [0, 2, 3]
+        assert all(e.reason == REASON_QUEUE_OVERFLOW for e in result.shed)
+
+    def test_oversized_request_rejected_not_queue_flushed(self):
+        gw = AdmissionGateway(
+            [TenantPolicy("a", max_queue_tokens=64)],
+            service_rate_tokens_per_us=1e-6,
+        )
+        result = gw.process(make_trace([(1.0, 32, "a"), (2.0, 128, "a")]))
+        assert [e.request.request_id for e in result.rejected] == [1]
+        assert not result.shed  # the queued 32-token request survived
+
+    def test_global_shed_takes_batch_class_first(self):
+        """The preemption invariant: SLO requests are never shed by
+        global pressure while any batch-class request remains queued."""
+        gw = AdmissionGateway(
+            [
+                TenantPolicy(
+                    "slo", qos=QosClass.LATENCY_SLO, max_queue_tokens=1 << 30
+                ),
+                TenantPolicy(
+                    "bulk",
+                    qos=QosClass.THROUGHPUT_BATCH,
+                    max_queue_tokens=1 << 30,
+                ),
+            ],
+            service_rate_tokens_per_us=2.0,
+            max_total_queue_tokens=500,
+        )
+        # slo offers 1 token/us (inside its fair share of the 2/us
+        # server, so its queue stays short); bulk offers 5 tokens/us and
+        # stays backlogged for the whole horizon — so every global-bound
+        # victim must be bulk-class
+        rows = flood("slo", rate_us=50.0, seq_len=50, end=5_000.0) + flood(
+            "bulk", rate_us=10.0, seq_len=50, end=5_000.0
+        )
+        result = gw.process(make_trace(rows))
+        assert result.shed  # the global bound engaged
+        assert all(e.request.tenant == "bulk" for e in result.shed)
+        assert all(
+            e.reason == REASON_QUEUE_OVERFLOW for e in result.shed
+        )
+
+    def test_slo_only_overload_still_bounded(self):
+        gw = AdmissionGateway(
+            [TenantPolicy("slo", qos=QosClass.LATENCY_SLO)],
+            service_rate_tokens_per_us=1e-6,
+            max_total_queue_tokens=300,
+        )
+        trace = make_trace(flood("slo", rate_us=5.0, seq_len=100, end=200.0))
+        result = gw.process(trace)
+        # with no batch tenants to absorb it, the bound applies to SLO
+        assert result.shed
+        assert all(e.request.tenant == "slo" for e in result.shed)
+        admitted_tokens = sum(s.request.seq_len for s in result.admitted)
+        shed_tokens = sum(e.request.seq_len for e in result.shed)
+        assert admitted_tokens + shed_tokens == sum(
+            r.seq_len for r in trace.requests
+        )

@@ -28,8 +28,17 @@ from repro.serving import (
     RetryPolicy,
     ServingRuntime,
 )
+from repro.serving import (
+    AdmissionGateway,
+    QosClass,
+    REASON_RATE_LIMIT,
+    TenantPolicy,
+)
+from repro.serving.degradation import BUDGET_BURN
+from repro.telemetry import Telemetry
+from repro.telemetry.slo import SloReport
 from repro.workloads.batching import TimeoutBatcher
-from repro.workloads.serving import make_trace
+from repro.workloads.serving import Request, ServingTrace, make_trace
 
 CONFIG = BertConfig(num_heads=4, head_size=16, num_layers=2)
 
@@ -187,3 +196,161 @@ class TestReport:
     def test_outputs_empty_without_numerics(self):
         report = runtime(NO_FAULTS).run(trace(10))
         assert report.outputs == {}
+
+
+def tenant_trace(rows, max_seq_len=128):
+    """Trace from (arrival_us, seq_len, tenant[, deadline]) tuples."""
+    requests = tuple(
+        Request(
+            request_id=i,
+            arrival_us=float(row[0]),
+            seq_len=int(row[1]),
+            deadline_us=row[3] if len(row) > 3 else None,
+            tenant=row[2],
+        )
+        for i, row in enumerate(sorted(rows, key=lambda r: r[0]))
+    )
+    return ServingTrace(requests=requests, max_seq_len=max_seq_len)
+
+
+def gateway_runtime(gateway, *, numerics=False, telemetry=None, seed=7):
+    return ServingRuntime(
+        CONFIG,
+        batcher=TimeoutBatcher(batch_size=8, timeout_us=2000.0),
+        ladder=DegradationLadder(
+            trip_threshold=2, window_us=20_000.0, cooldown_us=15_000.0
+        ),
+        numerics=BertEncoderModel(CONFIG, seed=seed) if numerics else None,
+        telemetry=telemetry,
+        gateway=gateway,
+        seed=seed,
+    )
+
+
+class TestGatewayPath:
+    """The multi-tenant pre-pass composed with the replay runtime."""
+
+    def mixed_rows(self, n=24):
+        rows = []
+        for i in range(n):
+            rows.append((400.0 * i, 32 + (i % 4) * 24, "slo", 40_000.0))
+            rows.append((400.0 * i + 150.0, 64, "bulk"))
+        return rows
+
+    def mixed_gateway(self, **overrides):
+        kwargs = dict(service_rate_tokens_per_us=0.5)
+        kwargs.update(overrides)
+        return AdmissionGateway(
+            [
+                TenantPolicy(
+                    "slo",
+                    qos=QosClass.LATENCY_SLO,
+                    weight=3.0,
+                    slo_target=0.99,
+                ),
+                TenantPolicy("bulk", qos=QosClass.THROUGHPUT_BATCH),
+            ],
+            **kwargs,
+        )
+
+    def test_served_bits_match_per_request_oracle(self):
+        trace = tenant_trace(self.mixed_rows())
+        report = gateway_runtime(self.mixed_gateway(), numerics=True).run(
+            trace
+        )
+        assert report.served and report.outputs
+        oracle = BertEncoderModel(CONFIG, seed=7)
+        hidden = CONFIG.hidden_size
+        for rid, got in report.outputs.items():
+            req = next(r for r in trace.requests if r.request_id == rid)
+            rng = np.random.default_rng([7, rid])
+            x = rng.standard_normal((1, req.seq_len, hidden))
+            mask = np.ones((1, req.seq_len))
+            assert np.array_equal(got, oracle.forward(x, mask)[0])
+
+    def test_conservation_with_rejections_and_sheds(self):
+        gw = self.mixed_gateway()
+        # throttle bulk hard so rate-limit rejections actually occur
+        gw = AdmissionGateway(
+            [
+                TenantPolicy("slo", qos=QosClass.LATENCY_SLO, weight=3.0),
+                TenantPolicy(
+                    "bulk",
+                    qos=QosClass.THROUGHPUT_BATCH,
+                    rate_tokens_per_s=20_000.0,
+                    burst_tokens=64.0,
+                    max_queue_tokens=256,
+                ),
+            ],
+            service_rate_tokens_per_us=0.05,
+        )
+        trace = tenant_trace(self.mixed_rows(40))
+        report = gateway_runtime(gw).run(trace)
+        counts = report.counts()
+        assert counts["rejected"] > 0
+        assert (
+            counts["served"]
+            + counts["shed"]
+            + counts["failed"]
+            + counts["rejected"]
+        ) == trace.num_requests
+        ids = sorted(o.request_id for o in report.outcomes)
+        assert ids == [r.request_id for r in trace.requests]
+        limited = [
+            o for o in report.outcomes if o.outcome is Outcome.REJECTED
+        ]
+        assert limited
+        assert all(o.reason == REASON_RATE_LIMIT for o in limited)
+        assert all(o.tenant == "bulk" for o in limited)
+
+    def test_deadline_expired_in_gateway_queue_is_shed(self):
+        # a near-frozen drain server: queued SLO requests outlive their
+        # deadlines at the gateway and must settle as deadline sheds
+        gw = self.mixed_gateway(service_rate_tokens_per_us=1e-4)
+        rows = [(10.0 * i, 64, "slo", 2_000.0) for i in range(12)]
+        report = gateway_runtime(gw).run(tenant_trace(rows))
+        deadline_sheds = [
+            o
+            for o in report.outcomes
+            if o.outcome is Outcome.SHED and o.reason == REASON_DEADLINE
+        ]
+        assert deadline_sheds
+        assert len(report.outcomes) == 12
+
+    def test_budget_burn_pressures_the_ladder(self):
+        # each 64-token request holds the drain server 6.4 ms: queued
+        # arrivals outlive their 2 ms deadlines back to back, so the
+        # burn incidents cluster inside the ladder's 20 ms trip window
+        gw = self.mixed_gateway(service_rate_tokens_per_us=0.01)
+        rows = [(10.0 * i, 64, "slo", 2_000.0) for i in range(12)]
+        rt = gateway_runtime(gw)
+        rt.run(tenant_trace(rows))
+        assert any(
+            t.reason.startswith(BUDGET_BURN)
+            for t in rt.ladder.transitions
+        )
+
+    def test_per_tenant_slo_report_matches_outcome_log(self):
+        tel = Telemetry()
+        trace = tenant_trace(self.mixed_rows())
+        report = gateway_runtime(
+            self.mixed_gateway(), telemetry=tel
+        ).run(trace)
+        for tenant in ("slo", "bulk"):
+            view = SloReport.for_tenant(tel.metrics, tenant)
+            settled = report.by_tenant(tenant)
+            assert view.total == len(settled)
+            assert view.served == sum(
+                1 for o in settled if o.outcome is Outcome.SERVED
+            )
+
+    def test_gateway_run_is_deterministic(self):
+        trace = tenant_trace(self.mixed_rows())
+        a = gateway_runtime(self.mixed_gateway(), numerics=True).run(trace)
+        b = gateway_runtime(self.mixed_gateway(), numerics=True).run(trace)
+        assert [o.outcome for o in a.outcomes] == [
+            o.outcome for o in b.outcomes
+        ]
+        assert all(
+            np.array_equal(a.outputs[k], b.outputs[k]) for k in a.outputs
+        )

@@ -205,6 +205,40 @@ class TestServeChaos:
         assert kinds == {"span", "metric"}
 
 
+class TestLoadtest:
+    def test_quick_check_passes_and_writes_report(self, capsys, tmp_path):
+        report = tmp_path / "slo-report.json"
+        rc = main(
+            [
+                "loadtest",
+                "--quick",
+                "--check",
+                "--report-out", str(report),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "all loadtest gates hold" in out
+        assert "interactive" in out and "analytics" in out
+        payload = json.loads(report.read_text())
+        assert payload["gate_failures"] == []
+        assert payload["oracle_checked"] > 0
+        assert set(payload["tenants"]) == {"interactive", "analytics"}
+
+    def test_quick_run_is_seed_deterministic(self, capsys, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["loadtest", "--quick", "--report-out", str(a)]) == 0
+        assert main(["loadtest", "--quick", "--report-out", str(b)]) == 0
+        capsys.readouterr()
+        assert json.loads(a.read_text()) == json.loads(b.read_text())
+
+    def test_invalid_load_rejected(self, capsys):
+        assert main(["loadtest", "--slo-load", "1.5"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+
 class TestMetrics:
     def test_prometheus_exposition_checked(self, capsys):
         assert main(["metrics", "--quick", "--check"]) == 0

@@ -21,6 +21,7 @@ CASES = {
     "batching_policies.py": "fifo",
     "seq2seq_decoder.py": "oracle",
     "serving_chaos.py": "bit-identical to the clean replay: True",
+    "loadtest.py": "no silent loss: True",
 }
 
 

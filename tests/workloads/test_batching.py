@@ -327,3 +327,70 @@ class TestContinuous:
         ).plan(trace)
         assert covered_ids(plan) == list(range(trace.num_requests))
         assert all(d.total_tokens <= budget for d in plan)
+
+
+class TestContinuousHeadStarvation:
+    """Regression: a tight-deadline head must not starve behind the
+    plain head timeout while deadline-sorted later arrivals fill cuts."""
+
+    @staticmethod
+    def stream(head_deadline_us):
+        rows = [
+            Request(
+                request_id=0,
+                arrival_us=0.0,
+                seq_len=32,
+                deadline_us=head_deadline_us,
+            )
+        ]
+        rows += [
+            Request(
+                request_id=i,
+                arrival_us=100.0 * i,
+                seq_len=32,
+                deadline_us=50_000.0,
+            )
+            for i in range(1, 20)
+        ]
+        return ServingTrace(requests=tuple(rows), max_seq_len=64)
+
+    def test_tight_deadline_head_ships_within_its_slack(self):
+        batcher = ContinuousBatcher(
+            token_budget=4096, timeout_us=2_000.0, deadline_slack=0.5
+        )
+        plan = batcher.plan(self.stream(head_deadline_us=1_000.0))
+        head_dispatch = next(
+            d
+            for d in plan
+            if any(r.request_id == 0 for r in d.requests)
+        )
+        # cut after half the deadline budget, not the 2 ms timeout —
+        # the remaining half is left to actually run in
+        assert head_dispatch.ready_us == pytest.approx(500.0)
+        assert covered_ids(plan) == list(range(20))
+
+    def test_deadline_free_head_keeps_the_plain_timeout(self):
+        batcher = ContinuousBatcher(token_budget=4096, timeout_us=2_000.0)
+        rows = self.stream(head_deadline_us=None)
+        plan = batcher.plan(rows)
+        head_dispatch = next(
+            d
+            for d in plan
+            if any(r.request_id == 0 for r in d.requests)
+        )
+        assert head_dispatch.ready_us == pytest.approx(2_000.0)
+
+    def test_cut_only_packs_arrived_requests(self):
+        # a deadline-forced early cut must not include requests that
+        # arrive after the cut instant
+        batcher = ContinuousBatcher(token_budget=4096, timeout_us=2_000.0)
+        plan = batcher.plan(self.stream(head_deadline_us=1_000.0))
+        for d in plan:
+            assert all(r.arrival_us <= d.ready_us for r in d.requests)
+
+    def test_deadline_slack_validated(self):
+        trace = self.stream(head_deadline_us=1_000.0)
+        with pytest.raises(ValueError, match="deadline_slack"):
+            ContinuousBatcher(deadline_slack=0.0).plan(trace)
+        with pytest.raises(ValueError, match="deadline_slack"):
+            ContinuousBatcher(deadline_slack=1.5).plan(trace)

@@ -1,0 +1,232 @@
+"""Open-loop traffic generation: determinism, rates, crowds, mixtures."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.generator import LengthDistribution
+from repro.workloads.traffic import (
+    DiurnalArrivals,
+    FlashCrowd,
+    LengthComponent,
+    LengthProfile,
+    MmppArrivals,
+    PoissonArrivals,
+    TenantTraffic,
+    generate_traffic,
+)
+
+
+def two_tenants(crowd=()):
+    return [
+        TenantTraffic(
+            "chat",
+            PoissonArrivals(2_000.0),
+            LengthProfile.zipf_mixed(128),
+            deadline_us=20_000.0,
+            flash_crowds=crowd,
+        ),
+        TenantTraffic(
+            "bulk",
+            MmppArrivals(1_000.0),
+            LengthProfile.single(256, LengthDistribution.UNIFORM, alpha=0.7),
+        ),
+    ]
+
+
+class TestArrivalProcesses:
+    def test_poisson_rate_converges(self):
+        proc = PoissonArrivals(5_000.0)  # 5e-3 per us
+        times = proc.sample(2_000_000.0, np.random.default_rng(0))
+        assert times.size == pytest.approx(10_000, rel=0.05)
+        assert np.all(np.diff(times) >= 0)
+        assert times.min() > 0 and times.max() <= 2_000_000.0
+
+    def test_mmpp_mean_rate_matches_formula(self):
+        proc = MmppArrivals(
+            2_000.0, burst_factor=4.0, mean_quiet_us=50_000, mean_burst_us=10_000
+        )
+        times = proc.sample(20_000_000.0, np.random.default_rng(1))
+        empirical = times.size / 20_000_000.0
+        assert empirical == pytest.approx(proc.mean_rate_per_us, rel=0.1)
+
+    def test_mmpp_is_burstier_than_poisson(self):
+        horizon = 5_000_000.0
+        bins = np.arange(0.0, horizon + 1, 10_000.0)
+        mmpp = np.histogram(
+            MmppArrivals(2_000.0, burst_factor=6.0).sample(
+                horizon, np.random.default_rng(2)
+            ),
+            bins,
+        )[0]
+        poisson = np.histogram(
+            PoissonArrivals(2_000.0).sample(horizon, np.random.default_rng(2)),
+            bins,
+        )[0]
+        # index of dispersion (var/mean): 1 for Poisson, >1 for MMPP
+        assert mmpp.var() / mmpp.mean() > 2.0
+        assert poisson.var() / poisson.mean() < 1.5
+
+    def test_diurnal_rate_swings_with_phase(self):
+        proc = DiurnalArrivals(
+            2_000.0, period_us=1_000_000.0, depth=0.8, phase=0.0
+        )
+        times = proc.sample(1_000_000.0, np.random.default_rng(3))
+        # first half-period is the "day" (sin > 0), second the "night"
+        day = (times < 500_000.0).sum()
+        night = times.size - day
+        assert day > 1.5 * night
+        assert proc.rate_at(250_000.0) > proc.rate_at(750_000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            PoissonArrivals(0.0)
+        with pytest.raises(ValueError, match="burst_factor"):
+            MmppArrivals(1_000.0, burst_factor=0.5)
+        with pytest.raises(ValueError, match="depth"):
+            DiurnalArrivals(1_000.0, depth=1.0)
+        with pytest.raises(ValueError, match="horizon_us"):
+            PoissonArrivals(1_000.0).sample(0.0, np.random.default_rng(0))
+
+
+class TestFlashCrowd:
+    def test_multiplies_rate_inside_window_only(self):
+        crowd = FlashCrowd(start_us=100_000.0, duration_us=50_000.0, multiplier=3.0)
+        extra = crowd.extra_arrivals(
+            0.002, 1_000_000.0, np.random.default_rng(0)
+        )
+        assert np.all(extra >= 100_000.0) and np.all(extra <= 150_000.0)
+        # extra stream runs at (multiplier - 1) * steady inside the window
+        assert extra.size == pytest.approx(0.002 * 2.0 * 50_000.0, rel=0.2)
+
+    def test_truncated_by_horizon(self):
+        crowd = FlashCrowd(start_us=90.0, duration_us=100.0, multiplier=5.0)
+        extra = crowd.extra_arrivals(0.5, 100.0, np.random.default_rng(0))
+        assert np.all(extra <= 100.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="multiplier"):
+            FlashCrowd(0.0, 10.0, multiplier=1.0)
+        with pytest.raises(ValueError, match="duration"):
+            FlashCrowd(0.0, 0.0)
+
+
+class TestLengthProfile:
+    def test_zipf_mixed_is_heavy_tailed_with_long_tail(self):
+        profile = LengthProfile.zipf_mixed(512, long_tail_weight=0.3)
+        lens = profile.sample(20_000, np.random.default_rng(0))
+        assert lens.min() >= 1 and lens.max() <= 512
+        # bimodal production shape: plenty of short zipf-body requests
+        # AND a sizeable long-prompt population
+        assert (lens <= 64).mean() > 0.25
+        assert (lens > 256).mean() > 0.25
+
+    def test_mixture_weights_respected(self):
+        profile = LengthProfile(
+            max_seq_len=100,
+            components=(
+                LengthComponent(3.0, LengthDistribution.FIXED),
+                LengthComponent(1.0, LengthDistribution.ZIPF),
+            ),
+        )
+        lens = profile.sample(8_000, np.random.default_rng(1))
+        assert (lens == 100).mean() == pytest.approx(0.75, abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="component"):
+            LengthProfile(max_seq_len=10, components=())
+        with pytest.raises(ValueError, match="long_tail_weight"):
+            LengthProfile.zipf_mixed(64, long_tail_weight=1.0)
+        with pytest.raises(ValueError, match="weight"):
+            LengthComponent(0.0, LengthDistribution.ZIPF)
+
+
+class TestGenerateTraffic:
+    def test_trace_is_deterministic_in_the_seed(self):
+        a = generate_traffic(two_tenants(), 500_000.0, seed=7)
+        b = generate_traffic(two_tenants(), 500_000.0, seed=7)
+        c = generate_traffic(two_tenants(), 500_000.0, seed=8)
+        assert a.requests == b.requests
+        assert a.requests != c.requests
+
+    def test_requests_tagged_sorted_and_ids_sequential(self):
+        trace = generate_traffic(two_tenants(), 300_000.0, seed=0)
+        arrivals = [r.arrival_us for r in trace.requests]
+        assert arrivals == sorted(arrivals)
+        assert [r.request_id for r in trace.requests] == list(
+            range(len(trace.requests))
+        )
+        tenants = {r.tenant for r in trace.requests}
+        assert tenants == {"chat", "bulk"}
+        assert trace.max_seq_len == 256
+        for r in trace.requests:
+            if r.tenant == "chat":
+                assert r.deadline_us == 20_000.0
+            else:
+                assert r.deadline_us is None
+
+    def test_flash_crowd_is_isolated_to_its_substream(self):
+        crowd = FlashCrowd(100_000.0, 50_000.0, multiplier=4.0)
+        calm = generate_traffic(two_tenants(), 400_000.0, seed=3)
+        spiky = generate_traffic(two_tenants((crowd,)), 400_000.0, seed=3)
+        # the other tenant's requests are untouched by the crowd
+        calm_bulk = [
+            (r.arrival_us, r.seq_len)
+            for r in calm.requests
+            if r.tenant == "bulk"
+        ]
+        spiky_bulk = [
+            (r.arrival_us, r.seq_len)
+            for r in spiky.requests
+            if r.tenant == "bulk"
+        ]
+        assert calm_bulk == spiky_bulk
+        # and the crowd tenant gained arrivals inside the window only
+        def window_count(trace):
+            return sum(
+                1
+                for r in trace.requests
+                if r.tenant == "chat" and 100_000.0 <= r.arrival_us < 150_000.0
+            )
+
+        def outside_count(trace):
+            return sum(
+                1
+                for r in trace.requests
+                if r.tenant == "chat"
+                and not 100_000.0 <= r.arrival_us < 150_000.0
+            )
+
+        assert window_count(spiky) > 2.5 * window_count(calm)
+        assert outside_count(spiky) == outside_count(calm)
+
+    def test_crowd_multiplies_window_rate(self):
+        crowd = FlashCrowd(0.0, 1_000_000.0, multiplier=3.0)
+        tenant = TenantTraffic(
+            "t",
+            PoissonArrivals(2_000.0),
+            LengthProfile.single(64),
+            flash_crowds=(crowd,),
+        )
+        trace = generate_traffic([tenant], 1_000_000.0, seed=0)
+        assert len(trace.requests) == pytest.approx(6_000, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one tenant"):
+            generate_traffic([], 1000.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            generate_traffic(
+                [
+                    TenantTraffic("x", PoissonArrivals(1.0), LengthProfile.single(8)),
+                    TenantTraffic("x", PoissonArrivals(1.0), LengthProfile.single(8)),
+                ],
+                1000.0,
+            )
+        with pytest.raises(ValueError, match="no arrivals"):
+            generate_traffic(
+                [
+                    TenantTraffic(
+                        "x", PoissonArrivals(0.001), LengthProfile.single(8)
+                    )
+                ],
+                10.0,
+            )
