@@ -238,6 +238,237 @@ def _continuous_serving_section(
     }
 
 
+def _sharded_serving_section(
+    devices: int,
+    shard_mode: str,
+    seed: int,
+) -> dict[str, Any] | None:
+    """Multi-device sharded serving: scaling, bitwise oracle, crossover.
+
+    Three legs, all deterministic:
+
+    * ``scaling`` — the Σlen²-routed data-parallel replay on the cost
+      plane: one saturating trace replayed on 1, 2, 4, … ``devices``
+      devices; the modelled-makespan speedup must clear a hard floor
+      (0.8× the device count, 6.5× at 8 devices) because the modelled
+      clock is deterministic.  With ``--shard tp|both`` the headline
+      leg reruns in that mode instead; tensor parallelism is
+      comm-bound by construction, so those modes report speedup
+      without a floor.
+    * ``bitwise`` — the numeric plane under sharding: every served
+      output must be byte-identical to the per-request oracle forward,
+      clean and under seeded chaos — including chaos aimed exclusively
+      at the interconnect collectives (``allreduce*``), which must
+      actually fire.
+    * ``crossover`` — the tile × device comm/compute sweep: eager
+      tensor-parallel estimates per (tile, tp) cell with the profiler's
+      collective share, plus the analytic ring/tree crossover payloads.
+
+    ``None`` when ``devices < 2`` (nothing to shard).
+    """
+    if devices < 2:
+        return None
+    from repro.core.estimator import estimate_model
+    from repro.core.sharding import ShardSpec
+    from repro.gpusim.interconnect import (
+        NVLINK3_LINK,
+        crossover_bytes,
+        make_cluster,
+    )
+    from repro.gpusim.profiler import ProfileReport
+    from repro.serving.runtime import ServingRuntime
+    from repro.serving.faults import FaultSpec
+    from repro.serving.sharded import ShardConfig
+    from repro.workloads.batching import ContinuousBatcher
+    from repro.workloads.serving import make_trace
+
+    opt = _PRESETS_BY_LABEL["fused MHA"]
+
+    # ---- scaling leg (cost plane, hard-floored) ----------------------
+    # Saturating shape: arrivals outpace one device so the makespan is
+    # work-bound, small tiles keep per-device dispatch granularity fine
+    # enough that ceil(dispatches / devices) does not cap the speedup.
+    scale_config = BertConfig(num_layers=4)
+    scale_trace = make_trace(
+        384, 128, alpha=0.6, mean_interarrival_us=1.0, seed=3
+    )
+
+    def replay(num_devices: int, mode: str) -> Any:
+        sharding = None
+        if num_devices > 1:
+            sharding = ShardConfig(
+                devices=num_devices,
+                mode=mode,
+                tp_size=2 if mode == "both" else None,
+            )
+        runtime = ServingRuntime(
+            scale_config,
+            batcher=ContinuousBatcher(token_budget=512, timeout_us=100.0),
+            seed=5,
+            sharding=sharding,
+        )
+        return runtime.run(scale_trace)
+
+    base = replay(1, "dp")
+    scale_points = sorted({d for d in (2, 4, devices) if d <= devices})
+    points = []
+    for d in scale_points:
+        mode = shard_mode if d == devices else "dp"
+        if mode == "both" and d % 2:
+            mode = "dp"  # 'both' needs tp_size=2 to divide the devices
+        report = replay(d, mode)
+        speedup = base.makespan_us / report.makespan_us
+        busy = list(report.device_busy_us)
+        mean_busy = sum(busy) / len(busy) if busy else 0.0
+        point = {
+            "devices": d,
+            "mode": mode,
+            "makespan_us": report.makespan_us,
+            "speedup_vs_single_device": speedup,
+            "served": len(report.served),
+            "device_busy_us": busy,
+            "imbalance": (max(busy) / mean_busy) if mean_busy else 1.0,
+            "work_steals": report.work_steals,
+        }
+        if mode == "dp":
+            # modelled-clock metric: deterministic, so the floor is hard
+            point["floor"] = 6.5 if d >= 8 else 0.8 * d
+        else:
+            point["comm_bound"] = True
+        points.append(point)
+    headline = points[-1]
+    scaling = {
+        "trace": {"requests": 384, "max_seq_len": 128, "alpha": 0.6},
+        "base_makespan_us": base.makespan_us,
+        "points": points,
+    }
+
+    # ---- bitwise oracle legs (numeric plane) -------------------------
+    oracle_config = BertConfig(num_heads=2, head_size=16, num_layers=2)
+    oracle_trace = make_trace(24, 64, alpha=0.6, seed=seed)
+    oracle = BertEncoderModel(oracle_config, _PRESETS_BY_LABEL["fused MHA"],
+                              seed=seed)
+
+    def bitwise_leg(
+        sharding: ShardConfig, faults: FaultSpec | None = None
+    ) -> dict[str, Any]:
+        runtime = ServingRuntime(
+            oracle_config,
+            batcher=ContinuousBatcher(token_budget=256, timeout_us=200.0),
+            numerics=BertEncoderModel(
+                oracle_config, _PRESETS_BY_LABEL["fused MHA"], seed=seed
+            ),
+            faults=faults if faults is not None else FaultSpec(),
+            seed=seed,
+            sharding=sharding,
+        )
+        report = runtime.run(oracle_trace)
+        by_id = {r.request_id: r for r in oracle_trace.requests}
+        mismatches = 0
+        for rid in sorted(report.outputs):
+            request = by_id[rid]
+            rng = np.random.default_rng([seed, rid])
+            x = rng.standard_normal(
+                (1, request.seq_len, oracle_config.hidden_size)
+            )
+            mask = np.ones((1, request.seq_len))
+            if not np.array_equal(
+                report.outputs[rid], oracle.forward(x, mask)[0]
+            ):
+                mismatches += 1
+        collective_faults = sum(
+            1
+            for fault in report.injected_faults
+            if fault.kernel.startswith("allreduce")
+        )
+        return {
+            "devices": sharding.devices,
+            "mode": sharding.mode,
+            "served": len(report.served),
+            "checked": len(report.outputs),
+            "outputs_bitwise_equal": mismatches == 0,
+            "fault_counts": report.fault_counts(),
+            "collective_faults_injected": collective_faults,
+            "work_steals": report.work_steals,
+        }
+
+    bitwise = {
+        "dp_clean": bitwise_leg(
+            ShardConfig(devices=min(4, devices), mode="dp")
+        ),
+        "dp_compute_chaos": bitwise_leg(
+            ShardConfig(devices=min(4, devices), mode="dp"),
+            FaultSpec(launch_failure_rate=0.05, transient_oom_rate=0.05),
+        ),
+        # chaos aimed only at the interconnect: the retry path must
+        # survive collective-kernel failures bit for bit
+        "tp_collective_chaos": bitwise_leg(
+            ShardConfig(devices=2, mode="tp"),
+            FaultSpec(
+                launch_failure_rate=0.1, target_prefixes=("allreduce",)
+            ),
+        ),
+    }
+
+    # ---- tile x device comm/compute crossover ------------------------
+    sweep_config = BertConfig(num_layers=4)
+    rows = []
+    for tile in (128, 256, 512, 1024, 2048):
+        seq_lens = np.asarray([tile], dtype=np.int64)
+        base_ctx = ExecutionContext()
+        base_us = estimate_model(base_ctx, sweep_config, opt, seq_lens, tile)
+        for d in (2, 4, 8):
+            cluster = make_cluster(d)
+            ctx = ExecutionContext(cluster.device, cluster=cluster)
+            total_us = estimate_model(
+                ctx, sweep_config, opt, seq_lens, tile,
+                shard=ShardSpec(tp=d, rank=0),
+            )
+            profile = ProfileReport.from_context(ctx)
+            rows.append(
+                {
+                    "tile": tile,
+                    "tp": d,
+                    "total_us": total_us,
+                    "comm_fraction": profile.comm_fraction,
+                    "speedup_vs_single_device": base_us / total_us,
+                }
+            )
+    # smallest tile where the tensor-parallel estimate beats one device
+    tp_break_even = {
+        str(d): next(
+            (
+                r["tile"]
+                for r in rows
+                if r["tp"] == d and r["speedup_vs_single_device"] > 1.0
+            ),
+            None,
+        )
+        for d in (2, 4, 8)
+    }
+    crossover = {
+        "rows": rows,
+        "tp_break_even_tile": tp_break_even,
+        "ring_tree_crossover_bytes": {
+            str(d): crossover_bytes(d, NVLINK3_LINK) for d in (2, 4, 8)
+        },
+    }
+
+    section: dict[str, Any] = {
+        "devices": devices,
+        "mode": shard_mode,
+        "speedup_vs_reference": headline["speedup_vs_single_device"],
+        "scaling": scaling,
+        "bitwise": bitwise,
+        "crossover": crossover,
+    }
+    if "floor" in headline:
+        section["floor"] = headline["floor"]
+    else:
+        section["comm_bound"] = True
+    return section
+
+
 def _host_parallel_section(
     config: BertConfig,
     opt: Any,
@@ -375,6 +606,8 @@ def run_wallclock_bench(
     serve_requests: int = 48,
     executor: str = "process",
     workers: int | None = None,
+    devices: int = 8,
+    shard: str = "dp",
     telemetry: Any = None,
 ) -> dict[str, Any]:
     """Benchmark the vectorized engine against the looped reference.
@@ -628,6 +861,9 @@ def run_wallclock_bench(
         config, opt, data, max_seq_len, repeats, executor, workers, seed
     )
 
+    # ---- multi-device sharded serving --------------------------------
+    sharded_serving_section = _sharded_serving_section(devices, shard, seed)
+
     result: dict[str, Any] = {
         "config": {
             "batch": batch,
@@ -640,6 +876,8 @@ def run_wallclock_bench(
             "serve_requests": serve_requests,
             "executor": executor,
             "workers": workers,
+            "devices": devices,
+            "shard": shard,
             "hidden_size": config.hidden_size,
             "num_heads": config.num_heads,
             "total_tokens": int(np.sum(data.mask)),
@@ -680,6 +918,11 @@ def run_wallclock_bench(
             **(
                 {"host_parallel": host_parallel_section}
                 if host_parallel_section is not None
+                else {}
+            ),
+            **(
+                {"sharded_serving": sharded_serving_section}
+                if sharded_serving_section is not None
                 else {}
             ),
             "continuous_serving": _continuous_serving_section(
@@ -792,6 +1035,26 @@ def format_summary(result: dict[str, Any]) -> str:
             f"fast-gelu {fg['speedup_vs_exact']:.2f}x, "
             f"|diff| {fg['max_abs_diff']:.1e} <= {fg['atol']:g}"
         )
+    sharded = result["sections"].get("sharded_serving")
+    if sharded is not None:
+        head = sharded["scaling"]["points"][-1]
+        tp_leg = sharded["bitwise"]["tp_collective_chaos"]
+        bitwise_ok = all(
+            leg["outputs_bitwise_equal"]
+            for leg in sharded["bitwise"].values()
+        )
+        lines.append(
+            f"  sharded   : {head['mode']} x{head['devices']} modelled "
+            f"speedup {head['speedup_vs_single_device']:.2f}x"
+            + (
+                f" (floor {head['floor']:g})"
+                if "floor" in head
+                else " (comm-bound)"
+            )
+            + f"; imbalance {head['imbalance']:.3f}, "
+            f"steals {head['work_steals']}; oracle bitwise={bitwise_ok} "
+            f"({tp_leg['collective_faults_injected']} collective faults)"
+        )
     serving = result["sections"].get("continuous_serving")
     if serving is not None:
         cont = serving["continuous"]
@@ -837,6 +1100,38 @@ def check_invariants(result: dict[str, Any]) -> list[str]:
             failures.append(
                 f"section {name}: speedup_vs_reference "
                 f"{section['speedup_vs_reference']:.3f} below floor {floor}"
+            )
+    sharded = result["sections"].get("sharded_serving")
+    if sharded is not None:
+        for point in sharded["scaling"]["points"]:
+            floor = point.get("floor")
+            if (
+                floor is not None
+                and point["speedup_vs_single_device"] < floor
+            ):
+                failures.append(
+                    f"sharded serving at {point['devices']} devices: "
+                    f"modelled speedup "
+                    f"{point['speedup_vs_single_device']:.3f} below floor "
+                    f"{floor:g}"
+                )
+        for name, leg in sharded["bitwise"].items():
+            if leg["served"] == 0:
+                failures.append(f"sharded bitwise leg {name}: nothing served")
+            if not leg["outputs_bitwise_equal"]:
+                failures.append(
+                    f"sharded bitwise leg {name}: served outputs != "
+                    "per-request oracle"
+                )
+        if (
+            sharded["bitwise"]["tp_collective_chaos"][
+                "collective_faults_injected"
+            ]
+            < 1
+        ):
+            failures.append(
+                "collective-targeted chaos injected no faults into "
+                "allreduce kernels"
             )
     serving = result["sections"].get("continuous_serving")
     if serving is not None:

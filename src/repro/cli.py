@@ -62,6 +62,7 @@ from repro.gpusim import (
 )
 from repro.gpusim.roofline import roofline_report
 from repro.gpusim.trace import write_chrome_trace
+from repro.serving.sharded import SHARD_MODES
 from repro.workloads.generator import uniform_lengths
 
 DEVICES = {spec.name: spec for spec in (A100_SPEC, V100_SPEC, A10_SPEC)}
@@ -229,8 +230,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
         seed=args.seed,
         executor=args.executor,
         workers=args.workers,
+        devices=args.devices,
+        shard=args.shard,
     )
     if args.quick:
+        # --quick shrinks shapes but never the device count: the CI
+        # smoke leg pins --devices explicitly and must keep it
         kwargs.update(QUICK_OVERRIDES)
     tel = None
     if args.trace_out or args.metrics_out:
@@ -322,6 +327,15 @@ def cmd_serve_chaos(args: argparse.Namespace) -> int:
             tuple(args.target) if args.target else ("fused_mha", "fmha_")
         ),
     )
+    sharding = None
+    if args.devices > 1:
+        from repro.serving.sharded import ShardConfig
+
+        sharding = ShardConfig(
+            devices=args.devices,
+            mode=args.shard,
+            tp_size=2 if args.shard == "both" else None,
+        )
     tel = Telemetry()
     runtime = ServingRuntime(
         BertConfig(num_layers=args.layers),
@@ -343,12 +357,28 @@ def cmd_serve_chaos(args: argparse.Namespace) -> int:
         workers=args.workers,
         executor=args.executor,
         telemetry=tel,
+        sharding=sharding,
     )
     print(
         f"chaos replay: {args.requests} requests, fault rate "
         f"{args.fault_rate:.0%} (+{args.slow_rate:.0%} slow), seed {args.seed}"
+        + (
+            f", {args.devices} devices ({args.shard})"
+            if args.devices > 1
+            else ""
+        )
     )
-    print(runtime.run(trace).render_text())
+    report = runtime.run(trace)
+    print(report.render_text())
+    if args.devices > 1:
+        busy = report.device_busy_us
+        mean_busy = sum(busy) / len(busy) if busy else 0.0
+        imbalance = (max(busy) / mean_busy) if mean_busy else 1.0
+        print(
+            "  devices: "
+            + ", ".join(f"d{i} {b / 1000:.2f} ms" for i, b in enumerate(busy))
+            + f"; imbalance {imbalance:.3f}, steals {report.work_steals}"
+        )
     from repro.core.padding import default_packing_cache
     from repro.gpusim.profiler import CacheStats, format_cache_stats
 
@@ -851,6 +881,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 if any output/stream-identity invariant fails",
     )
     p.add_argument(
+        "--devices",
+        type=int,
+        default=8,
+        help="device count for the sharded-serving section "
+        "(1 skips the section; --quick never overrides this)",
+    )
+    p.add_argument(
+        "--shard",
+        choices=SHARD_MODES,
+        default="dp",
+        help="sharding mode of the headline scaling leg: data parallel "
+        "(hard-floored), tensor parallel, or both (tp groups of 2)",
+    )
+    p.add_argument(
         "--trace-out",
         default=None,
         help="write a Chrome trace of the continuous-serving steady run",
@@ -945,6 +989,19 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.99,
         help="success-rate SLO target for the error-budget summary",
+    )
+    p.add_argument(
+        "--devices",
+        type=int,
+        default=1,
+        help="spread the replay over this many simulated devices",
+    )
+    p.add_argument(
+        "--shard",
+        choices=SHARD_MODES,
+        default="dp",
+        help="how --devices shard: data parallel (Σlen²-routed "
+        "replicas), tensor parallel (one group), or both (tp=2 groups)",
     )
     p.add_argument(
         "--trace-out",

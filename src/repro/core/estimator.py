@@ -21,6 +21,8 @@ time only — never an estimate, a graph key's stream, or a priced µs.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 
 from repro.attention.dispatch import forced_mha_path
@@ -28,7 +30,10 @@ from repro.attention.fused_long import FMHA_GROUPED_EFFICIENCY
 from repro.attention.fused_short import fused_short_launch, supports
 from repro.attention.standard import standard_mha_launches
 from repro.core.config import BertConfig, OptimizationConfig
+from repro.core.sharding import ShardSpec
+from repro.gpusim.errors import LaunchConfigError
 from repro.gpusim.graph import GraphCache
+from repro.gpusim.interconnect import all_reduce_launch
 from repro.gpusim.stream import ExecutionContext, NullContext
 from repro.kernels.activation import add_bias_gelu_launch
 from repro.kernels.batched_gemm import batched_gemm_launch
@@ -230,6 +235,16 @@ def estimate_byte_mha(
     estimate_fused_long_mha(ctx, seq_lens, config, scheduler)
 
 
+def _require_cluster(ctx: ExecutionContext, what: str):
+    """The context's cluster, or a clear error for sharded estimates."""
+    if ctx.cluster is None:
+        raise LaunchConfigError(
+            f"a {what} needs an interconnect to price its all-reduces; "
+            "pass cluster= to ExecutionContext"
+        )
+    return ctx.cluster
+
+
 def _estimate_layernorm(
     ctx: ExecutionContext, rows: int, hidden: int, fused: bool, category: str
 ) -> None:
@@ -246,9 +261,13 @@ def _estimate_ffn(
     config: BertConfig,
     fuse_gelu: bool,
     name_prefix: str = "",
+    ffn: int | None = None,
 ) -> None:
+    """The up-projection GEMM (+GELU); ``ffn`` overrides the output
+    width for column-sharded tensor parallelism."""
     hidden = config.hidden_size
-    ffn = config.ffn_size
+    if ffn is None:
+        ffn = config.ffn_size
     if fuse_gelu:
         ctx.launch(
             gemm_launch(
@@ -278,6 +297,7 @@ def estimate_encoder_layer(
     max_seq_len: int,
     *,
     mha: str | None = None,
+    shard: ShardSpec | None = None,
 ) -> None:
     """One encoder layer's launch chain for either pipeline.
 
@@ -286,7 +306,18 @@ def estimate_encoder_layer(
     :func:`~repro.attention.dispatch.force_mha_path` override if one is
     active (the degradation ladder's hook), else ``opt`` exactly as the
     numeric pipelines do.
+
+    ``shard`` prices one tensor-parallel rank's slice of the layer
+    (Megatron column/row sharding): the QKV projection and FFN up
+    projection are column-sharded, attention runs this rank's heads,
+    the two output projections are row-sharded and each followed by a
+    priced all-reduce of the ``[rows, hidden]`` activation — the two
+    sync points per layer.  Layernorms stay replicated (full width).
+    The default / ``tp == 1`` spec emits the exact unsharded stream
+    with no collectives.
     """
+    if shard is None:
+        shard = ShardSpec()
     batch = len(seq_lens)
     hidden = config.hidden_size
     if opt.remove_padding:
@@ -294,8 +325,23 @@ def estimate_encoder_layer(
     else:
         rows = batch * max_seq_len
 
+    heads_r = shard.shard_dim(config.num_heads)
+    if heads_r == 0:
+        raise LaunchConfigError(
+            f"rank {shard.rank} of tp={shard.tp} holds no attention heads "
+            f"(model has {config.num_heads})"
+        )
+    # this rank's attention width; == hidden when unsharded, and
+    # hidden_size is num_heads * head_size so the per-rank config below
+    # reports it as its hidden_size
+    attn_r = heads_r * config.head_size
+    rank_cfg = (
+        config if heads_r == config.num_heads
+        else replace(config, num_heads=heads_r)
+    )
+
     ctx.launch(
-        gemm_launch(rows, 3 * hidden, hidden, name="gemm0_qkv", category="gemm0")
+        gemm_launch(rows, 3 * attn_r, hidden, name="gemm0_qkv", category="gemm0")
     )
 
     if mha is None:
@@ -308,29 +354,48 @@ def estimate_encoder_layer(
         else:
             mha = "cublas"
     if mha == "standard":
-        estimate_standard_mha(ctx, batch, max_seq_len, config)
+        estimate_standard_mha(ctx, batch, max_seq_len, rank_cfg)
     elif mha == "cublas":
-        estimate_unfused_cublas_mha(ctx, batch, max_seq_len, config)
+        estimate_unfused_cublas_mha(ctx, batch, max_seq_len, rank_cfg)
     elif mha == "zeropad":
-        estimate_zeropad_mha(ctx, seq_lens, max_seq_len, config)
+        estimate_zeropad_mha(ctx, seq_lens, max_seq_len, rank_cfg)
     elif mha == "fused":
-        estimate_byte_mha(ctx, seq_lens, config, opt)
+        estimate_byte_mha(ctx, seq_lens, rank_cfg, opt)
     else:
         raise ValueError(f"unknown mha override {mha!r}")
 
     ctx.launch(
         gemm_launch(
-            rows, hidden, hidden, name="gemm1_attn_out", category="gemm1"
+            rows, hidden, attn_r, name="gemm1_attn_out", category="gemm1"
         )
     )
+    if shard.is_sharded:
+        ctx.launch(
+            all_reduce_launch(
+                tensor_bytes(rows, hidden),
+                _require_cluster(ctx, "tensor-parallel estimate"),
+                devices=shard.tp,
+                name=None,
+            )
+        )
     _estimate_layernorm(ctx, rows, hidden, opt.fuse_layernorm, "layernorm0")
-    _estimate_ffn(ctx, rows, config, opt.fuse_gelu)
+    ffn_r = shard.shard_dim(config.ffn_size)
+    _estimate_ffn(ctx, rows, config, opt.fuse_gelu, ffn=ffn_r)
     ctx.launch(
         gemm_launch(
-            rows, hidden, config.ffn_size, name="gemm3_ffn_out",
+            rows, hidden, ffn_r, name="gemm3_ffn_out",
             category="gemm3",
         )
     )
+    if shard.is_sharded:
+        ctx.launch(
+            all_reduce_launch(
+                tensor_bytes(rows, hidden),
+                _require_cluster(ctx, "tensor-parallel estimate"),
+                devices=shard.tp,
+                name=None,
+            )
+        )
     _estimate_layernorm(ctx, rows, hidden, opt.fuse_layernorm, "layernorm1")
 
 
@@ -342,10 +407,13 @@ def estimate_model(
     max_seq_len: int,
     *,
     mha: str | None = None,
+    shard: ShardSpec | None = None,
 ) -> float:
     """The full model's launch chain; returns the modelled time in us.
 
-    ``mha`` forwards to :func:`estimate_encoder_layer` for every layer.
+    ``mha`` and ``shard`` forward to :func:`estimate_encoder_layer` for
+    every layer; pack/unpack stay full-width (activations are
+    replicated outside the sharded projections).
     """
     batch = len(seq_lens)
     hidden = config.hidden_size
@@ -356,13 +424,15 @@ def estimate_model(
         ctx.launch(pack_launch(tokens, hidden))
         for _ in range(config.num_layers):
             estimate_encoder_layer(
-                ctx, config, opt, seq_lens, max_seq_len, mha=mha
+                ctx, config, opt, seq_lens, max_seq_len, mha=mha,
+                shard=shard,
             )
         ctx.launch(unpack_launch(tokens, batch * max_seq_len, hidden))
     else:
         for _ in range(config.num_layers):
             estimate_encoder_layer(
-                ctx, config, opt, seq_lens, max_seq_len, mha=mha
+                ctx, config, opt, seq_lens, max_seq_len, mha=mha,
+                shard=shard,
             )
     return ctx.elapsed_us() - before
 
@@ -375,33 +445,39 @@ def estimate_model_graphed(
     max_seq_len: int,
     *,
     mha: str | None = None,
+    shard: ShardSpec | None = None,
     cache: "GraphCache | None" = None,
 ) -> float:
     """:func:`estimate_model` through a launch-graph cache.
 
     The estimator's launch stream is a pure function of
-    ``(device, config, opt, effective mha path, max_seq_len, lengths)``;
-    the first call per key captures it, repeats replay it through
-    ``ctx`` (records appended bit-identically, :attr:`launch_hook` runs
-    per replayed launch) without re-running a single descriptor builder
-    or pricing pass.  This is the serving runtime's admission hot path.
+    ``(device, cluster, config, opt, effective mha path, shard,
+    max_seq_len, lengths)``; the first call per key captures it, repeats
+    replay it through ``ctx`` (records appended bit-identically,
+    :attr:`launch_hook` runs per replayed launch) without re-running a
+    single descriptor builder or pricing pass.  This is the serving
+    runtime's admission hot path.
 
     The dispatch override is resolved *before* keying so the degradation
-    ladder never replays a stale path's stream.  Falls back to the plain
+    ladder never replays a stale path's stream; the cluster and shard
+    participate unconditionally so a single-device capture can never
+    answer a sharded lookup (or vice versa).  Falls back to the plain
     estimator when ``cache`` is ``None`` or ``ctx`` prices nothing.
     """
     if cache is None or isinstance(ctx, NullContext):
         return estimate_model(
-            ctx, config, opt, seq_lens, max_seq_len, mha=mha
+            ctx, config, opt, seq_lens, max_seq_len, mha=mha, shard=shard
         )
     lens = np.asarray(seq_lens, dtype=np.int64)
     effective = mha or forced_mha_path()
     key = (
         "estimate",
         ctx.device,
+        ctx.cluster,
         config,
         opt,
         effective,
+        shard,
         int(max_seq_len),
         lens.tobytes(),
     )
@@ -409,7 +485,8 @@ def estimate_model_graphed(
         key,
         ctx,
         lambda cap_ctx: estimate_model(
-            cap_ctx, config, opt, lens, max_seq_len, mha=effective
+            cap_ctx, config, opt, lens, max_seq_len, mha=effective,
+            shard=shard,
         ),
     )
 
@@ -445,6 +522,7 @@ def estimate_model_tiled(
     max_seq_len: int,
     *,
     mha: str | None = None,
+    shard: ShardSpec | None = None,
     cache: "GraphCache | None" = None,
 ) -> float:
     """Price a shape-quantized megabatch: the tile's canonical launch chain.
@@ -454,22 +532,26 @@ def estimate_model_tiled(
     :func:`canonical_tile_lengths`) regardless of the exact segment
     composition — exactly like a CUDA-graph deployment that captures one
     graph per compiled shape and launches the fixed grid for anything
-    that fits.  The graph-cache key is ``(device, config, preset, path,
-    tile, max_seq_len)``: a handful of tiles cover all live traffic, so
-    steady-state pricing is pure :meth:`~repro.gpusim.graph.LaunchGraph.replay`.
+    that fits.  The graph-cache key is ``(device, cluster, config,
+    preset, path, shard, tile, max_seq_len)`` — one graph per (tile,
+    device count, rank, shard mode) composition, so a handful of tiles
+    cover all live traffic and steady-state pricing is pure
+    :meth:`~repro.gpusim.graph.LaunchGraph.replay`.
     """
     lens = canonical_tile_lengths(tile, max_seq_len)
     effective = mha or forced_mha_path()
     if cache is None or isinstance(ctx, NullContext):
         return estimate_model(
-            ctx, config, opt, lens, max_seq_len, mha=effective
+            ctx, config, opt, lens, max_seq_len, mha=effective, shard=shard
         )
     key = (
         "tile",
         ctx.device,
+        ctx.cluster,
         config,
         opt,
         effective,
+        shard,
         int(tile),
         int(max_seq_len),
     )
@@ -477,6 +559,7 @@ def estimate_model_tiled(
         key,
         ctx,
         lambda cap_ctx: estimate_model(
-            cap_ctx, config, opt, lens, max_seq_len, mha=effective
+            cap_ctx, config, opt, lens, max_seq_len, mha=effective,
+            shard=shard,
         ),
     )

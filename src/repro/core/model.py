@@ -45,6 +45,7 @@ from repro.core.padding import (
     unpack,
 )
 from repro.core.parallel import current_executor, partition_weighted
+from repro.core.sharding import ShardSpec
 from repro.core.weights import ModelWeights, init_model_weights
 from repro.gpusim.graph import GraphCache, capture
 from repro.gpusim.stream import (
@@ -188,6 +189,7 @@ class BertEncoderModel:
         mega: CrossRequestPacking,
         *,
         ctx: ExecutionContext | None = None,
+        shard: "ShardSpec | None" = None,
     ) -> np.ndarray:
         """Run the stack over a pre-packed cross-request megabatch tile.
 
@@ -216,6 +218,14 @@ class BertEncoderModel:
         differently-composed megabatches of one tile never regrow it;
         the returned tensor is an arena view valid until the next
         forward on this model.
+
+        ``shard`` prices one tensor-parallel rank's slice of the chain
+        (sharded GEMMs + the two all-reduces per layer; the context must
+        carry a cluster).  The numeric plane is *not* resharded: a real
+        all-reduce sums per-rank partials in a different float order
+        than the single-device GEMM, which would break the bitwise
+        oracle, so the exact numerics run once while the cost plane
+        models each rank's stream — see DESIGN.md §14.
         """
         if not self.opt.remove_padding:
             raise ValueError(
@@ -239,6 +249,7 @@ class BertEncoderModel:
                 self.opt,
                 mega.tile,
                 mega.packing.max_seq_len,
+                shard=shard,
                 cache=self.graph_cache,
             )
         # numeric plane: real segments only, launch-free

@@ -76,7 +76,10 @@ def fork_available() -> bool:
 
 
 def partition_weighted(
-    weights: Sequence[float] | np.ndarray, parts: int
+    weights: Sequence[float] | np.ndarray,
+    parts: int,
+    *,
+    quadratic: bool = False,
 ) -> list[tuple[int, int]]:
     """Cut ``range(len(weights))`` into ≤ ``parts`` contiguous chunks.
 
@@ -85,8 +88,20 @@ def partition_weighted(
     non-empty.  The result depends only on ``(weights, parts)`` — the
     deterministic segment→worker assignment that keeps parallel outputs
     bitwise equal to the serial path.
+
+    ``quadratic=True`` balances by the *squares* of the weights.  For
+    sequence lengths that is the Σlen² attention-work balance the
+    unpadded-BERT scaling literature calls for: attention scales with
+    len² per segment, so balancing raw token counts systematically
+    overloads whichever device drew the long sequences.  Because every
+    cut lands at most one item past the ideal fractional split, each
+    chunk's weight is within ``max(w)`` (or ``max(w²)`` in quadratic
+    mode) of the ideal ``total/parts`` — the bound the property tests
+    pin down.
     """
     w = np.asarray(weights, dtype=np.float64)
+    if quadratic:
+        w = w * w
     n = int(w.shape[0])
     if n == 0:
         return []

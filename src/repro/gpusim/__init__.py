@@ -32,6 +32,21 @@ from repro.gpusim.errors import (
     TransientOom,
 )
 from repro.gpusim.graph import GraphCache, LaunchGraph, capture
+from repro.gpusim.interconnect import (
+    COLLECTIVE_CATEGORY,
+    NVLINK3_LINK,
+    PCIE4_LINK,
+    ClusterSpec,
+    LinkSpec,
+    all_gather_launch,
+    all_reduce_launch,
+    choose_all_reduce_algo,
+    collective_time_us,
+    crossover_bytes,
+    gather_launch,
+    make_cluster,
+    scatter_launch,
+)
 from repro.gpusim.kernel import ComputeUnit, KernelLaunch
 from repro.gpusim.occupancy import OccupancyResult, blocks_per_sm
 from repro.gpusim.profiler import (
@@ -64,6 +79,19 @@ __all__ = [
     "DeviceSpec",
     "ComputeUnit",
     "KernelLaunch",
+    "COLLECTIVE_CATEGORY",
+    "NVLINK3_LINK",
+    "PCIE4_LINK",
+    "ClusterSpec",
+    "LinkSpec",
+    "all_gather_launch",
+    "all_reduce_launch",
+    "choose_all_reduce_algo",
+    "collective_time_us",
+    "crossover_bytes",
+    "gather_launch",
+    "make_cluster",
+    "scatter_launch",
     "OccupancyResult",
     "blocks_per_sm",
     "CacheStats",

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Hashable
 
 from repro.gpusim.device import DeviceSpec
+from repro.gpusim.interconnect import ClusterSpec
 from repro.gpusim.kernel import KernelLaunch
 from repro.gpusim.stream import ExecutionContext
 from repro.telemetry import current_telemetry
@@ -49,6 +50,12 @@ class LaunchGraph:
     device: DeviceSpec
     launches: tuple[KernelLaunch, ...]
     times_us: tuple[float, ...]
+    #: the interconnect topology the stream was captured on (``None``
+    #: for single-device captures).  Replay refuses a different
+    #: topology: collective prices are a function of the cluster, so a
+    #: cross-topology replay would smuggle one fabric's timings onto
+    #: another.
+    cluster: ClusterSpec | None = None
 
     def __post_init__(self) -> None:
         if len(self.launches) != len(self.times_us):
@@ -64,6 +71,7 @@ class LaunchGraph:
             device=ctx.device,
             launches=tuple(r.launch for r in ctx.records),
             times_us=tuple(r.time_us for r in ctx.records),
+            cluster=ctx.cluster,
         )
 
     def __len__(self) -> int:
@@ -96,6 +104,13 @@ class LaunchGraph:
                 f"graph captured on {self.device.name!r} cannot replay "
                 f"on {ctx.device.name!r}"
             )
+        if ctx.cluster != self.cluster:
+            mine = self.cluster.name if self.cluster else "single-device"
+            theirs = ctx.cluster.name if ctx.cluster else "single-device"
+            raise ValueError(
+                f"graph captured on topology {mine!r} cannot replay on "
+                f"{theirs!r}"
+            )
         before = ctx.elapsed_us()
         replay_launch = ctx.replay_launch
         for launch, time_us in zip(self.launches, self.times_us):
@@ -104,16 +119,20 @@ class LaunchGraph:
 
 
 def capture(
-    device: DeviceSpec, fn: Callable[[ExecutionContext], Any]
+    device: DeviceSpec,
+    fn: Callable[[ExecutionContext], Any],
+    cluster: ClusterSpec | None = None,
 ) -> tuple[LaunchGraph, Any]:
     """Run ``fn`` against a fresh hook-free context and freeze its stream.
 
     Returns ``(graph, fn's return value)``.  The capture context never
     has a launch hook: captured times are clean base times, and a fault
     plan installed on the caller's context keeps its ordinal counter
-    untouched until the stream is actually replayed.
+    untouched until the stream is actually replayed.  ``cluster`` gives
+    the capture context an interconnect (required when ``fn`` launches
+    collectives) and stamps the graph's topology guard.
     """
-    ctx = ExecutionContext(device)
+    ctx = ExecutionContext(device, cluster=cluster)
     result = fn(ctx)
     return LaunchGraph.from_context(ctx), result
 
@@ -238,7 +257,7 @@ class GraphCache:
                 tel.tracer.instant(
                     "graph.capture", category="graph", key_kind=kind
                 )
-            graph, _ = capture(ctx.device, fn)
+            graph, _ = capture(ctx.device, fn, cluster=ctx.cluster)
             self.put(key, graph)
         if tel is None:
             return graph.replay(ctx)

@@ -62,6 +62,15 @@ class KernelLaunch:
         scheduler-visit time in grouped GEMM.
     tags:
         Free-form metadata for tests and reports.
+    comm_bytes / comm_devices / comm_algo:
+        Collective-communication descriptor (see
+        :mod:`repro.gpusim.interconnect`).  A launch with
+        ``comm_devices >= 2`` is a *collective*: it is priced by the
+        execution context's cluster link model instead of the device
+        roofline, but flows through streams, graphs, hooks and traces
+        exactly like a compute kernel.  ``comm_bytes`` is the payload,
+        ``comm_algo`` the transfer schedule (``"ring"``, ``"tree"``,
+        ``"ring-ag"``, ``"p2p"``).
     """
 
     name: str
@@ -77,6 +86,9 @@ class KernelLaunch:
     regs_per_thread: int = 64
     extra_overhead_us: float = 0.0
     tags: tuple[str, ...] = field(default=())
+    comm_bytes: float = 0.0
+    comm_devices: int = 0
+    comm_algo: str = ""
 
     def __post_init__(self) -> None:
         if self.grid <= 0:
@@ -96,6 +108,19 @@ class KernelLaunch:
             raise ValueError("resource usage must be non-negative")
         if self.extra_overhead_us < 0:
             raise ValueError("extra_overhead_us must be non-negative")
+        if self.comm_bytes < 0:
+            raise ValueError("comm_bytes must be non-negative")
+        if self.comm_devices < 0:
+            raise ValueError("comm_devices must be non-negative")
+        if self.comm_devices >= 2 and not self.comm_algo:
+            raise ValueError(
+                f"collective launch {self.name!r} needs a comm_algo"
+            )
+
+    @property
+    def is_collective(self) -> bool:
+        """Whether this launch is priced by the interconnect model."""
+        return self.comm_devices >= 2
 
     @property
     def total_threads(self) -> int:

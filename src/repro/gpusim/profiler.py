@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.gpusim.interconnect import COLLECTIVE_CATEGORY
 from repro.gpusim.stream import ExecutionContext
 
 
@@ -138,6 +139,16 @@ class ProfileReport:
 
     def fractions(self) -> dict[str, float]:
         return {name: self.fraction(name) for name in self.categories}
+
+    @property
+    def comm_fraction(self) -> float:
+        """Share of total time spent in interconnect collectives.
+
+        The communication side of the comm/compute crossover: on a
+        sharded timeline this is exactly the all-reduce/all-gather/p2p
+        share, 0.0 on any single-device timeline.
+        """
+        return self.fraction(COLLECTIVE_CATEGORY)
 
     def sorted_categories(self) -> list[CategoryProfile]:
         return sorted(

@@ -17,6 +17,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
 from repro.gpusim.device import A100_SPEC, DeviceSpec
+from repro.gpusim.errors import LaunchConfigError
+from repro.gpusim.interconnect import ClusterSpec, collective_time_us
 from repro.gpusim.kernel import KernelLaunch
 from repro.gpusim.timing import kernel_time_us
 
@@ -51,14 +53,34 @@ class ExecutionContext:
     where one request's encoder runs as a dependent kernel chain.
     """
 
-    def __init__(self, device: DeviceSpec = A100_SPEC) -> None:
+    def __init__(
+        self,
+        device: DeviceSpec = A100_SPEC,
+        cluster: ClusterSpec | None = None,
+    ) -> None:
         self.device = device
+        #: the interconnect this stream's device belongs to; ``None``
+        #: for a single-device context.  Collective launches require it
+        #: — they are priced by the cluster's link model.
+        self.cluster = cluster
         self.records: list[KernelRecord] = []
         self._elapsed_us = 0.0
         #: optional fault-injection hook (see :data:`LaunchHook`); the
         #: default ``None`` keeps the launch path byte-identical to a
         #: hook-free context
         self.launch_hook: LaunchHook | None = None
+
+    def _price(self, launch: KernelLaunch) -> float:
+        """Base modelled time: device roofline, or the cluster link
+        model for collectives (see :mod:`repro.gpusim.interconnect`)."""
+        if launch.is_collective:
+            if self.cluster is None:
+                raise LaunchConfigError(
+                    f"collective launch {launch.name!r} on a context "
+                    "without a cluster; pass cluster= to ExecutionContext"
+                )
+            return collective_time_us(launch, self.cluster)
+        return kernel_time_us(launch, self.device)
 
     def launch(self, launch: KernelLaunch) -> KernelRecord:
         """Price ``launch`` on this context's device and append it.
@@ -67,7 +89,7 @@ class ExecutionContext:
         raise a transient fault (aborting the launch before anything is
         recorded) or stretch the modelled latency.
         """
-        time_us = kernel_time_us(launch, self.device)
+        time_us = self._price(launch)
         if self.launch_hook is not None:
             time_us *= self.launch_hook(launch, len(self.records))
         record = KernelRecord(
@@ -118,7 +140,7 @@ class ExecutionContext:
 
     def fork(self) -> "ExecutionContext":
         """A fresh context on the same device (for measuring a sub-region)."""
-        return ExecutionContext(self.device)
+        return ExecutionContext(self.device, cluster=self.cluster)
 
     def merge(self, other: "ExecutionContext") -> None:
         """Append another context's records, shifting their timestamps."""

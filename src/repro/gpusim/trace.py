@@ -191,8 +191,27 @@ def telemetry_chrome_trace(
     ``tracer.spans`` supply the request/stage layer and
     ``kernel_segments`` supply per-attempt kernel records offset onto
     the global simulated clock.
+
+    A sharded replay fans out: each device's kernels render on their own
+    ``kernels d<N>`` lane (segments carry the executing replica in
+    ``KernelSegment.device``) and collective launches — recognised by
+    their ``"collective"`` category — land on one shared
+    ``interconnect`` lane between the device timelines, so all-reduces
+    show up as spans bridging the per-device streams.  A single-device
+    replay without collectives emits exactly the legacy two-lane layout,
+    byte for byte.
     """
     label = process_name if not device_name else f"{process_name} ({device_name})"
+    segments = telemetry.kernel_segments
+    devices = sorted({getattr(seg, "device", 0) for seg in segments})
+    if not devices:
+        devices = [0]
+    has_collective = any(
+        record.launch.category == "collective"
+        for seg in segments
+        for record in seg.records
+    )
+    sharded = len(devices) > 1 or has_collective
     events: list[dict] = [
         {
             "name": "process_name",
@@ -201,12 +220,32 @@ def telemetry_chrome_trace(
             "args": {"name": label},
         },
         _thread_meta(SPAN_TID, "stages"),
-        _thread_meta(KERNEL_TID, "kernels"),
     ]
+    if sharded:
+        kernel_tid = {
+            dev: KERNEL_TID + i for i, dev in enumerate(devices)
+        }
+        for dev in devices:
+            events.append(
+                _thread_meta(kernel_tid[dev], f"kernels d{dev}")
+            )
+        interconnect_tid = KERNEL_TID + len(devices)
+        events.append(_thread_meta(interconnect_tid, "interconnect"))
+    else:
+        kernel_tid = {devices[0]: KERNEL_TID}
+        interconnect_tid = KERNEL_TID
+        events.append(_thread_meta(KERNEL_TID, "kernels"))
     timeline = _span_events(telemetry.tracer.spans)
     for segment in telemetry.kernel_segments:
+        tid = kernel_tid[getattr(segment, "device", 0)]
         timeline.extend(
-            _kernel_event(record, KERNEL_TID, segment.offset_us)
+            _kernel_event(
+                record,
+                interconnect_tid
+                if record.launch.category == "collective"
+                else tid,
+                segment.offset_us,
+            )
             for record in segment.records
         )
     events.extend(_sorted_events(timeline))

@@ -75,6 +75,10 @@ class ServingReport:
     #: served numeric outputs by request id (empty when the runtime ran
     #: on the cost plane only); never part of equality/log comparisons
     outputs: dict[int, np.ndarray] = field(default_factory=dict, compare=False)
+    #: per-device modelled busy time; ``(gpu_busy_us,)`` on one device
+    device_busy_us: tuple[float, ...] = ()
+    #: dispatches executed away from their routed home device
+    work_steals: int = 0
 
     def by_outcome(self, outcome: Outcome) -> tuple[RequestOutcome, ...]:
         return tuple(o for o in self.outcomes if o.outcome is outcome)

@@ -61,6 +61,7 @@ from repro.serving.report import (
     ServingReport,
 )
 from repro.serving.retry import RetryPolicy
+from repro.serving.sharded import ShardConfig, ShardRouter
 from repro.telemetry import (
     COUNT_BUCKETS,
     DEFAULT_LATENCY_BUCKETS_US,
@@ -140,6 +141,17 @@ class ServingRuntime:
         spans above.  Telemetry is strictly observational — enabling it
         is bitwise-neutral to outputs, the outcome log and the modelled
         timeline (the neutrality regression test asserts this).
+    sharding:
+        Multi-device :class:`~repro.serving.sharded.ShardConfig`.  Data
+        parallel replicas each run the plan of their Σlen²-routed slice
+        of the admitted stream (work stealing moves a ready dispatch to
+        an idle device; faulted retries stay on the device that ran the
+        attempt).  Tensor-parallel groups price every dispatch at rank
+        0's sharded kernel chain, all-reduces included.  The numeric
+        plane is untouched in every mode — outputs stay bitwise equal
+        to the single-device per-request oracle (see DESIGN.md §14).
+        The default single-device config reproduces the unsharded
+        runtime exactly.
     """
 
     def __init__(
@@ -160,6 +172,7 @@ class ServingRuntime:
         workers: int = 1,
         executor: str = "thread",
         telemetry: Telemetry | None = None,
+        sharding: ShardConfig | None = None,
     ) -> None:
         self.config = config
         self.batcher = batcher if batcher is not None else TimeoutBatcher()
@@ -177,6 +190,18 @@ class ServingRuntime:
         self.telemetry = telemetry
         self._executor = make_executor(executor, workers)
         self._single_estimates: dict[int, float] = {}
+        self.sharding = sharding if sharding is not None else ShardConfig()
+        #: the priced interconnect (None on a single device)
+        self.cluster = self.sharding.build_cluster(device)
+        #: rank-0 tensor-parallel shard every dispatch is priced at
+        self.shard = self.sharding.shard_spec
+        #: independent data-parallel serving lanes
+        self.replicas = self.sharding.replicas
+        self._router = ShardRouter(self.replicas)
+
+    def _new_ctx(self) -> ExecutionContext:
+        """A pricing context on this runtime's device and interconnect."""
+        return ExecutionContext(self.device, cluster=self.cluster)
 
     # ------------------------------------------------------------------
     # pricing helpers (cost plane)
@@ -191,7 +216,7 @@ class ServingRuntime:
         with use_engine(level.engine), force_mha_path(level.mha_path):
             return estimate_model_graphed(
                 ctx, self.config, self.opt, seq_lens, padded_len,
-                cache=self.graph_cache,
+                shard=self.shard, cache=self.graph_cache,
             )
 
     def _price_tile(
@@ -202,12 +227,13 @@ class ServingRuntime:
         level: DegradationLevel,
     ) -> float:
         """Price a continuous megabatch: the tile's canonical launch
-        chain, graph-cached by ``(device, config, preset, path, tile)``
-        so identical tiles replay regardless of their composition."""
+        chain, graph-cached by ``(device, cluster, config, preset, path,
+        shard, tile)`` so identical tiles replay regardless of their
+        composition."""
         with use_engine(level.engine), force_mha_path(level.mha_path):
             return estimate_model_tiled(
                 ctx, self.config, self.opt, tile, max_seq_len,
-                cache=self.graph_cache,
+                shard=self.shard, cache=self.graph_cache,
             )
 
     def _estimate_service(
@@ -220,11 +246,11 @@ class ServingRuntime:
         """Fault-free service estimate for a group at the given level."""
         if tile is not None:
             return self._price_tile(
-                ExecutionContext(self.device), tile, max_seq_len, level
+                self._new_ctx(), tile, max_seq_len, level
             )
         dispatch = Dispatch(requests=tuple(requests), ready_us=0.0)
         return self._price(
-            ExecutionContext(self.device),
+            self._new_ctx(),
             dispatch.seq_lens,
             dispatch_padded_len(dispatch, max_seq_len),
             level,
@@ -244,17 +270,20 @@ class ServingRuntime:
         else:
             tile = max(64, min(512, max_seq_len))
         service = self._price_tile(
-            ExecutionContext(self.device), tile, max_seq_len,
+            self._new_ctx(), tile, max_seq_len,
             self.ladder.levels[0],
         )
-        return tile / service
+        # data-parallel replicas drain independently: aggregate capacity
+        # scales with the lane count (tp groups are one lane — their
+        # speedup is already in the sharded chain's modelled time)
+        return tile / service * self.replicas
 
     def _single_estimate(self, seq_len: int, max_seq_len: int) -> float:
         """Cached one-request service estimate at the top level."""
         cached = self._single_estimates.get(seq_len)
         if cached is None:
             cached = self._price(
-                ExecutionContext(self.device),
+                self._new_ctx(),
                 np.asarray([seq_len], dtype=np.int64),
                 min(max_seq_len, seq_len),
                 self.ladder.levels[0],
@@ -556,9 +585,26 @@ class ServingRuntime:
                     tel, orig, outcome, reason, latency_us, retries
                 )
 
-        #: (qos, pending dispatches) in replay-priority order; qos is
-        #: None on the single-tenant path
-        queues: list[tuple[QosClass | None, deque[Dispatch]]] = []
+        #: (qos, home device, pending dispatches) in replay-priority
+        #: order; qos is None on the single-tenant path.  Each entry is
+        #: one data-parallel replica's plan over its Σlen²-routed slice
+        #: of a class — a single queue on device 0 when unsharded.
+        queues: list[tuple[QosClass | None, int, deque[Dispatch]]] = []
+
+        def plan_routed(
+            qos: QosClass | None, requests: list[Request]
+        ) -> None:
+            """Route a class across replicas and plan each slice."""
+            for dev, bucket in enumerate(self._router.route(requests)):
+                if not bucket:
+                    continue
+                sub_trace = ServingTrace(
+                    requests=tuple(bucket), max_seq_len=trace.max_seq_len
+                )
+                routed_plan = sorted(
+                    self.batcher.plan(sub_trace), key=lambda d: d.ready_us
+                )
+                queues.append((qos, dev, deque(routed_plan)))
 
         if gateway is not None:
             # -- multi-tenant gateway pre-pass --------------------------
@@ -647,18 +693,11 @@ class ServingRuntime:
                 )
             # class-pure plans: each QoS class is batched on its own, so
             # a dispatch is degradable (batch) or protected (SLO) as a
-            # whole; SLO before batch is the replay priority order
+            # whole; SLO before batch is the replay priority order, and
+            # each class is Σlen²-routed across the replicas on its own
             for qos in (QosClass.LATENCY_SLO, QosClass.THROUGHPUT_BATCH):
-                reqs = by_class[qos]
-                if not reqs:
-                    continue
-                sub_trace = ServingTrace(
-                    requests=tuple(reqs), max_seq_len=trace.max_seq_len
-                )
-                class_plan = sorted(
-                    self.batcher.plan(sub_trace), key=lambda d: d.ready_us
-                )
-                queues.append((qos, deque(class_plan)))
+                if by_class[qos]:
+                    plan_routed(qos, by_class[qos])
         else:
             # -- admission: reject early under overload -----------------
             admitted: list[Request] = []
@@ -694,19 +733,17 @@ class ServingRuntime:
                         backlog_us=backlog,
                     )
                 admitted.append(request)
+                # replicas drain the backlog in parallel, so each
+                # admitted request commits 1/replicas of its estimate
                 committed_until = max(
                     committed_until, request.arrival_us
-                ) + self._single_estimate(request.seq_len, trace.max_seq_len)
+                ) + self._single_estimate(
+                    request.seq_len, trace.max_seq_len
+                ) / self.replicas
 
             # -- batch plan over the admitted sub-trace -----------------
             if admitted:
-                sub_trace = ServingTrace(
-                    requests=tuple(admitted), max_seq_len=trace.max_seq_len
-                )
-                plan = sorted(
-                    self.batcher.plan(sub_trace), key=lambda d: d.ready_us
-                )
-                queues.append((None, deque(plan)))
+                plan_routed(None, admitted)
 
         def dispatch_level(qos: QosClass | None) -> DegradationLevel:
             """Rung a dispatch of the given class is priced/served at:
@@ -716,28 +753,58 @@ class ServingRuntime:
                 return self.ladder.levels[0]
             return self.ladder.level
 
-        gpu_free_at = 0.0
-        busy_us = 0.0
+        free = [0.0] * self.replicas
+        busy = [0.0] * self.replicas
+        steals = 0
         batch_id = -1
 
-        while any(q for _, q in queues):
+        while any(q for _, _, q in queues):
             qos: QosClass | None = None
+            home = 0
             picked: deque[Dispatch] | None = None
-            for cls, q in queues:
+            for cls, dev, q in queues:
                 # queues are priority-ordered (SLO before batch): the
-                # first class with a ready head takes the free GPU
-                if q and q[0].ready_us <= gpu_free_at:
-                    qos, picked = cls, q
+                # first class with a head ready on its free home device
+                # runs next
+                if q and q[0].ready_us <= free[dev]:
+                    qos, home, picked = cls, dev, q
                     break
             if picked is None:
-                # nothing ready yet: jump to the earliest future head
-                qos, picked = min(
-                    ((cls, q) for cls, q in queues if q),
-                    key=lambda item: item[1][0].ready_us,
+                # nothing ready on its home device yet: take the head
+                # that can start earliest (ready time vs device free
+                # time; on one device this is exactly the earliest head)
+                qos, home, picked = min(
+                    ((cls, dev, q) for cls, dev, q in queues if q),
+                    key=lambda item: max(
+                        item[2][0].ready_us, free[item[1]]
+                    ),
                 )
             dispatch = picked.popleft()
             batch_id += 1
-            start = max(dispatch.ready_us, gpu_free_at)
+            # work stealing: a routed dispatch runs on whichever device
+            # can start it soonest; ties stay home, so the single-device
+            # runtime never "steals" from itself
+            exec_dev = home
+            if self.replicas > 1:
+                best = min(
+                    range(self.replicas),
+                    key=lambda d: (max(dispatch.ready_us, free[d]), d),
+                )
+                if max(dispatch.ready_us, free[best]) < max(
+                    dispatch.ready_us, free[home]
+                ):
+                    exec_dev = best
+                    steals += 1
+                    if tel is not None:
+                        tel.tracer.instant(
+                            "dispatch.steal",
+                            category="dispatch",
+                            t_us=max(dispatch.ready_us, free[best]),
+                            batch_id=batch_id,
+                            home=home,
+                            device=best,
+                        )
+            start = max(dispatch.ready_us, free[exec_dev])
             if tel is not None:
                 tel.tracer.set_now(start)
                 tel.tracer.begin(
@@ -781,7 +848,7 @@ class ServingRuntime:
             attempt = 0
             while alive:
                 level = dispatch_level(qos)
-                ctx = plan_faults.install(ExecutionContext(self.device))
+                ctx = plan_faults.install(self._new_ctx())
                 lens = np.asarray(
                     [r.seq_len for r in alive], dtype=np.int64
                 )
@@ -817,14 +884,18 @@ class ServingRuntime:
                         service = self._price(ctx, lens, padded, level)
                 except TransientFault:
                     # the chain ran up to the faulted kernel: that time is
-                    # burnt, then the retry backs off on the sim clock
+                    # burnt on the device that ran the attempt, and the
+                    # retry stays on that same device (segment-scoped,
+                    # device-local — no cross-device re-route mid-request)
                     partial = ctx.elapsed_us()
-                    busy_us += partial
+                    busy[exec_dev] += partial
                     now = start + partial
                     if tel is not None:
                         tel.tracer.set_now(now)
                         tel.tracer.end(fault=True)  # the attempt span
-                        tel.add_kernel_segment(start, ctx.records)
+                        tel.add_kernel_segment(
+                            start, ctx.records, device=exec_dev
+                        )
                         tel.metrics.counter(
                             metric_names.FAULTS_TOTAL,
                             help="transient faults injected into attempts",
@@ -835,7 +906,7 @@ class ServingRuntime:
                         )
                     self.ladder.record_fault(now)
                     if attempt >= self.retry.max_retries:
-                        gpu_free_at = now
+                        free[exec_dev] = now
                         for request in alive:
                             settle(
                                 request,
@@ -874,11 +945,13 @@ class ServingRuntime:
                         )
                     continue
                 finish = start + service
-                busy_us += service
-                gpu_free_at = finish
+                busy[exec_dev] += service
+                free[exec_dev] = finish
                 if tel is not None:
                     tel.tracer.set_now(finish)
-                    tel.add_kernel_segment(start, ctx.records)
+                    tel.add_kernel_segment(
+                        start, ctx.records, device=exec_dev
+                    )
                     valid = int(lens.sum())
                     capacity = (
                         tile if tile is not None else len(alive) * padded
@@ -919,8 +992,10 @@ class ServingRuntime:
             if tel is not None:
                 tel.tracer.end()  # the dispatch span
 
+        busy_us = sum(busy)
+        makespan_us = max(free)
         if tel is not None:
-            tel.tracer.set_now(gpu_free_at)
+            tel.tracer.set_now(makespan_us)
             gauges = tel.metrics
             gauges.gauge(
                 metric_names.GPU_BUSY_US,
@@ -929,11 +1004,33 @@ class ServingRuntime:
             gauges.gauge(
                 metric_names.MAKESPAN_US,
                 help="modelled makespan of the replay (us)",
-            ).set(gpu_free_at)
+            ).set(makespan_us)
             gauges.gauge(
                 metric_names.GPU_UTILIZATION,
-                help="busy time over makespan",
-            ).set(busy_us / gpu_free_at if gpu_free_at else 0.0)
+                help="busy time over makespan, across all replicas",
+            ).set(
+                busy_us / (makespan_us * self.replicas)
+                if makespan_us
+                else 0.0
+            )
+            if self.replicas > 1:
+                # per-device series only exist on multi-device runs, so
+                # a single-device registry is unchanged byte for byte
+                for dev, dev_busy in enumerate(busy):
+                    gauges.gauge(
+                        metric_names.DEVICE_BUSY_US,
+                        help="modelled busy time per device (us)",
+                        device=str(dev),
+                    ).set(dev_busy)
+                mean_busy = busy_us / self.replicas
+                gauges.gauge(
+                    metric_names.DEVICE_IMBALANCE,
+                    help="max over mean per-device busy time",
+                ).set(max(busy) / mean_busy if mean_busy else 0.0)
+                gauges.counter(
+                    metric_names.STEALS_TOTAL,
+                    help="dispatches run away from their routed device",
+                ).inc(steals)
             if self.graph_cache is not None:
                 lookups = self.graph_cache.hits + self.graph_cache.misses
                 gauges.gauge(
@@ -961,6 +1058,8 @@ class ServingRuntime:
             injected_faults=tuple(plan_faults.injected),
             top_level=self.ladder.levels[0].name,
             gpu_busy_us=busy_us,
-            makespan_us=gpu_free_at,
+            makespan_us=makespan_us,
             outputs=outputs,
+            device_busy_us=tuple(busy),
+            work_steals=steals,
         )

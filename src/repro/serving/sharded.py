@@ -1,0 +1,182 @@
+"""Multi-device sharding for the serving tier.
+
+:class:`ShardConfig` declares how the serving runtime spreads work over
+an N-device cluster:
+
+* ``"dp"`` — data parallel: every device holds the full model and the
+  :class:`ShardRouter` splits the admitted request stream across
+  per-device batcher plans, balanced by Σlen² (attention work), not
+  request count.
+* ``"tp"`` — tensor parallel: all devices cooperate on every megabatch
+  (Megatron column/row sharding with two all-reduces per layer, see
+  :class:`~repro.core.sharding.ShardSpec`); one logical queue.
+* ``"both"`` — ``devices // tp_size`` data-parallel replicas, each a
+  ``tp_size``-way tensor-parallel group.
+
+The router balances *work*: per-segment attention cost scales with
+len², so an equal-count split systematically overloads whichever device
+draws the long sequences (the unpadded-BERT distributed-training
+observation).  Routing is windowed and deterministic — a pure function
+of ``(requests, replicas)`` — so sharded replays stay reproducible and
+the bitwise-oracle contract survives re-routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.parallel import partition_weighted
+from repro.core.sharding import ShardSpec
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.interconnect import (
+    NVLINK3_LINK,
+    ClusterSpec,
+    LinkSpec,
+    make_cluster,
+)
+from repro.workloads.serving import Request
+
+#: accepted sharding modes
+SHARD_MODES = ("dp", "tp", "both")
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """How the serving runtime spreads a trace over ``devices`` GPUs."""
+
+    devices: int = 1
+    mode: str = "dp"
+    #: tensor-parallel group size; defaults to ``devices`` for ``"tp"``
+    #: and is required for ``"both"``
+    tp_size: int | None = None
+    link: LinkSpec = NVLINK3_LINK
+
+    def __post_init__(self) -> None:
+        if self.devices < 1:
+            raise ValueError(f"devices must be >= 1, got {self.devices}")
+        if self.mode not in SHARD_MODES:
+            raise ValueError(
+                f"mode must be one of {SHARD_MODES}, got {self.mode!r}"
+            )
+        if self.mode == "dp":
+            if self.tp_size not in (None, 1):
+                raise ValueError("dp mode does not take a tp_size")
+        elif self.mode == "tp":
+            if self.tp_size is not None and self.tp_size != self.devices:
+                raise ValueError(
+                    f"tp mode uses all {self.devices} devices as one "
+                    f"group, got tp_size={self.tp_size}"
+                )
+        else:  # both
+            if self.tp_size is None:
+                raise ValueError("mode='both' needs an explicit tp_size")
+            if self.tp_size < 2:
+                raise ValueError(
+                    f"tp_size must be >= 2 for mode='both', got "
+                    f"{self.tp_size}"
+                )
+            if self.devices % self.tp_size != 0:
+                raise ValueError(
+                    f"tp_size {self.tp_size} must divide devices "
+                    f"{self.devices}"
+                )
+
+    @property
+    def tp(self) -> int:
+        """Tensor-parallel group size (1 when not tensor parallel)."""
+        if self.mode == "tp":
+            return self.devices
+        if self.mode == "both":
+            return int(self.tp_size)  # type: ignore[arg-type]
+        return 1
+
+    @property
+    def replicas(self) -> int:
+        """Independent data-parallel serving lanes."""
+        return self.devices // self.tp
+
+    @property
+    def shard_spec(self) -> ShardSpec | None:
+        """The rank-0 shard each replica prices its forwards at.
+
+        Rank 0 holds the largest head/FFN share (remainders go low), so
+        its kernel chain is the tensor-parallel group's critical path —
+        pricing rank 0 prices the group.  ``None`` when not sharded.
+        """
+        if self.tp == 1:
+            return None
+        return ShardSpec(tp=self.tp, rank=0)
+
+    def build_cluster(self, device: DeviceSpec) -> ClusterSpec | None:
+        """The priced interconnect, or ``None`` on a single device."""
+        if self.devices == 1:
+            return None
+        return make_cluster(self.devices, device=device, link=self.link)
+
+
+class ShardRouter:
+    """Deterministic Σlen²-balanced request routing across replicas.
+
+    Requests are consumed in arrival order in windows of
+    ``replicas * window_per_replica``; inside each window
+    :func:`~repro.core.parallel.partition_weighted` (quadratic mode)
+    cuts the window into contiguous chunks of near-equal attention
+    work, and chunks land heaviest-first on the least-loaded replica.
+    Contiguous cuts keep every replica's stream in arrival order, which
+    keeps per-device batcher plans well-formed; windowing keeps the
+    balance adaptive over a drifting length mix without ever looking
+    ahead more than one window.
+    """
+
+    def __init__(self, replicas: int, window_per_replica: int = 8) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        if window_per_replica < 1:
+            raise ValueError(
+                f"window_per_replica must be >= 1, got {window_per_replica}"
+            )
+        self.replicas = replicas
+        self.window_per_replica = window_per_replica
+
+    def route(self, requests: Sequence[Request]) -> list[list[Request]]:
+        """Split ``requests`` into one arrival-ordered list per replica."""
+        reqs = list(requests)
+        if self.replicas == 1:
+            return [reqs]
+        buckets: list[list[Request]] = [[] for _ in range(self.replicas)]
+        load = [0.0] * self.replicas
+        window = self.replicas * self.window_per_replica
+        for w0 in range(0, len(reqs), window):
+            win = reqs[w0:w0 + window]
+            lens = [r.seq_len for r in win]
+            chunks = partition_weighted(lens, self.replicas, quadratic=True)
+            work = [
+                float(sum(l * l for l in lens[s:e])) for s, e in chunks
+            ]
+            # heaviest chunk claims the least-loaded replica first
+            order = sorted(
+                range(len(chunks)), key=lambda i: (-work[i], i)
+            )
+            assigned: list[tuple[int, int]] = []
+            for ci in order:
+                dev = min(
+                    range(self.replicas), key=lambda d: (load[d], d)
+                )
+                load[dev] += work[ci]
+                assigned.append((ci, dev))
+            # append in chunk order so each bucket stays arrival-ordered
+            # even when one replica wins several chunks of the window
+            for ci, dev in sorted(assigned):
+                s, e = chunks[ci]
+                buckets[dev].extend(win[s:e])
+        return buckets
+
+    def routed_work(
+        self, buckets: Sequence[Sequence[Request]]
+    ) -> list[float]:
+        """Σlen² per bucket — the balance the imbalance gauge reports."""
+        return [
+            float(sum(r.seq_len * r.seq_len for r in bucket))
+            for bucket in buckets
+        ]

@@ -42,10 +42,13 @@ class KernelSegment:
     (``launch`` / ``time_us`` / ``start_us``); the segment's
     ``offset_us`` is the simulated instant the attempt started, so a
     record's global timestamp is ``offset_us + record.start_us``.
+    ``device`` is the data-parallel replica the attempt executed on —
+    the Chrome exporter renders one kernel lane per device.
     """
 
     offset_us: float
     records: tuple
+    device: int = 0
 
 
 class Telemetry:
@@ -67,14 +70,18 @@ class Telemetry:
         return threading.get_ident() == self._owner
 
     def add_kernel_segment(
-        self, offset_us: float, records: Sequence
+        self, offset_us: float, records: Sequence, device: int = 0
     ) -> None:
         """Adopt an execution context's records at ``offset_us``."""
         if not self.owns_current_thread():
             return
         if records:
             self.kernel_segments.append(
-                KernelSegment(offset_us=offset_us, records=tuple(records))
+                KernelSegment(
+                    offset_us=offset_us,
+                    records=tuple(records),
+                    device=device,
+                )
             )
 
     def kernel_event_count(self) -> int:

@@ -57,6 +57,13 @@ GATEWAY_RETRY_AFTER_US = "gateway_retry_after_us"
 GATEWAY_RELEASE_WAIT_US = "gateway_release_wait_us"
 EXECUTOR_WORKER_RECOVERIES_TOTAL = "executor_worker_recoveries_total"
 
+# multi-device sharded serving (labelled by ``device`` where noted);
+# only populated when the runtime runs with > 1 device, so every
+# single-device consumer sees an unchanged registry
+DEVICE_BUSY_US = "serving_device_busy_us"
+DEVICE_IMBALANCE = "serving_device_imbalance"
+STEALS_TOTAL = "serving_work_steals_total"
+
 
 @dataclass(frozen=True)
 class SloPolicy:

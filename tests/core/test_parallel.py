@@ -162,6 +162,38 @@ class TestPartitionWeighted:
         w = np.arange(1, 40) % 7 + 1
         assert partition_weighted(w, 4) == partition_weighted(list(w), 4)
 
+    def test_quadratic_mode_matches_squared_weights(self):
+        lens = [32] + [8] * 12
+        got = partition_weighted(lens, 2, quadratic=True)
+        squared = partition_weighted([l * l for l in lens], 2)
+        assert got == squared
+        # by Σlen² the long sequence alone outweighs the rest combined
+        # (32² > 12·8²), while by raw tokens it is only a quarter of the
+        # total — quadratic mode must isolate it, linear must not
+        assert got[0] == (0, 1)
+        assert partition_weighted(lens, 2)[0] != (0, 1)
+
+    def test_quadratic_balance_bound_on_zipf_lengths(self):
+        # property: every chunk's Σlen² is within max(len²) of the ideal
+        # total/parts share, for Zipf-mixed length profiles (the serving
+        # traffic shape) across seeds and part counts
+        rng = np.random.default_rng(7)
+        for seed in range(8):
+            lens = np.minimum(
+                rng.zipf(1.3, size=96).astype(np.int64) * 8, 512
+            )
+            for parts in (2, 4, 8):
+                chunks = partition_weighted(lens, parts, quadratic=True)
+                work = np.asarray(
+                    [float(np.sum(lens[s:e] ** 2)) for s, e in chunks]
+                )
+                ideal = float(np.sum(lens.astype(np.float64) ** 2)) / len(
+                    chunks
+                )
+                bound = float(np.max(lens.astype(np.float64) ** 2))
+                assert np.max(work) <= ideal + bound + 1e-6
+                assert np.min(work) >= ideal - bound - 1e-6
+
 
 class TestMakeExecutor:
     def test_kinds(self):

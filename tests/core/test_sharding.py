@@ -1,0 +1,175 @@
+"""Tests for tensor-parallel sharding on the cost plane."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import FUSED_MHA, BertConfig
+from repro.core.estimator import (
+    estimate_model,
+    estimate_model_graphed,
+    estimate_model_tiled,
+)
+from repro.core.sharding import UNSHARDED, ShardSpec
+from repro.gpusim import A100_SPEC, ExecutionContext, make_cluster
+from repro.gpusim.errors import LaunchConfigError
+from repro.gpusim.graph import GraphCache
+
+CONFIG = BertConfig(num_layers=2)
+SEQ_LENS = np.asarray([64, 128, 48], dtype=np.int64)
+MAX_SEQ_LEN = 128
+
+
+def _stream(ctx):
+    return [(r.launch, r.time_us) for r in ctx.records]
+
+
+# ----------------------------------------------------------------------
+# ShardSpec
+
+
+def test_shard_spec_validation():
+    with pytest.raises(ValueError):
+        ShardSpec(tp=0)
+    with pytest.raises(ValueError):
+        ShardSpec(tp=2, rank=2)
+    with pytest.raises(ValueError):
+        ShardSpec(tp=2, rank=-1)
+
+
+def test_unsharded_is_the_identity():
+    assert not UNSHARDED.is_sharded
+    assert UNSHARDED.shard_dim(12) == 12
+
+
+def test_shard_dim_remainder_goes_to_low_ranks():
+    # 12 heads over 8 ranks: ranks 0-3 hold 2, ranks 4-7 hold 1
+    dims = [ShardSpec(tp=8, rank=r).shard_dim(12) for r in range(8)]
+    assert dims == [2, 2, 2, 2, 1, 1, 1, 1]
+    assert sum(dims) == 12
+    # evenly divisible: everyone equal
+    assert {ShardSpec(tp=4, rank=r).shard_dim(12) for r in range(4)} == {3}
+
+
+# ----------------------------------------------------------------------
+# estimator integration
+
+
+def test_tp1_shard_emits_the_exact_unsharded_stream():
+    plain = ExecutionContext(A100_SPEC)
+    estimate_model(plain, CONFIG, FUSED_MHA, SEQ_LENS, MAX_SEQ_LEN)
+    tp1 = ExecutionContext(A100_SPEC)
+    estimate_model(
+        tp1, CONFIG, FUSED_MHA, SEQ_LENS, MAX_SEQ_LEN, shard=ShardSpec()
+    )
+    assert _stream(plain) == _stream(tp1)
+
+
+@pytest.mark.parametrize("tp", [2, 4, 8])
+def test_sharded_estimate_prices_two_all_reduces_per_layer(tp):
+    cluster = make_cluster(tp)
+    ctx = ExecutionContext(A100_SPEC, cluster=cluster)
+    estimate_model(
+        ctx, CONFIG, FUSED_MHA, SEQ_LENS, MAX_SEQ_LEN,
+        shard=ShardSpec(tp=tp, rank=0),
+    )
+    collectives = [r for r in ctx.records if r.launch.is_collective]
+    assert len(collectives) == 2 * CONFIG.num_layers
+    assert all(r.launch.comm_devices == tp for r in collectives)
+    assert all(
+        r.launch.name.startswith("allreduce") for r in collectives
+    )
+
+
+def test_sharded_estimate_without_cluster_is_a_config_error():
+    ctx = ExecutionContext(A100_SPEC)  # no interconnect priced
+    with pytest.raises(LaunchConfigError):
+        estimate_model(
+            ctx, CONFIG, FUSED_MHA, SEQ_LENS, MAX_SEQ_LEN,
+            shard=ShardSpec(tp=2, rank=0),
+        )
+
+
+def test_rank_zero_is_the_critical_path():
+    cluster = make_cluster(8)
+    times = []
+    for rank in range(8):
+        ctx = ExecutionContext(A100_SPEC, cluster=cluster)
+        estimate_model(
+            ctx, CONFIG, FUSED_MHA, SEQ_LENS, MAX_SEQ_LEN,
+            shard=ShardSpec(tp=8, rank=rank),
+        )
+        times.append(ctx.elapsed_us())
+    assert max(times) == times[0]
+
+
+def test_rank_with_zero_heads_rejected():
+    # 16-way sharding of 12 heads leaves the top ranks empty
+    cluster = make_cluster(16)
+    ctx = ExecutionContext(A100_SPEC, cluster=cluster)
+    with pytest.raises(LaunchConfigError):
+        estimate_model(
+            ctx, CONFIG, FUSED_MHA, SEQ_LENS, MAX_SEQ_LEN,
+            shard=ShardSpec(tp=16, rank=15),
+        )
+
+
+def test_sharding_reduces_per_rank_compute_time():
+    base = ExecutionContext(A100_SPEC)
+    estimate_model(base, CONFIG, FUSED_MHA, SEQ_LENS, MAX_SEQ_LEN)
+    cluster = make_cluster(4)
+    ctx = ExecutionContext(A100_SPEC, cluster=cluster)
+    estimate_model(
+        ctx, CONFIG, FUSED_MHA, SEQ_LENS, MAX_SEQ_LEN,
+        shard=ShardSpec(tp=4, rank=0),
+    )
+    compute_us = sum(
+        r.time_us for r in ctx.records if not r.launch.is_collective
+    )
+    assert compute_us < base.elapsed_us()
+
+
+# ----------------------------------------------------------------------
+# graph-cache keying
+
+
+def test_graph_keys_include_the_shard():
+    cache = GraphCache()
+    cluster = make_cluster(8)
+
+    def run(shard):
+        ctx = ExecutionContext(A100_SPEC, cluster=cluster)
+        estimate_model_graphed(
+            ctx, CONFIG, FUSED_MHA, SEQ_LENS, MAX_SEQ_LEN,
+            shard=shard, cache=cache,
+        )
+        return ctx
+
+    # 12 heads over 8 ranks is uneven: rank 0 holds 2, rank 7 holds 1
+    rank0 = run(ShardSpec(tp=8, rank=0))
+    misses_after_first = cache.misses
+    # a different rank is a different key: must capture, not replay
+    rank7 = run(ShardSpec(tp=8, rank=7))
+    assert cache.misses > misses_after_first
+    assert _stream(rank0) != _stream(rank7)
+    # the same shard replays bit-identically
+    again = run(ShardSpec(tp=8, rank=0))
+    assert _stream(again) == _stream(rank0)
+
+
+def test_tiled_estimate_shards_and_caches():
+    cache = GraphCache()
+    cluster = make_cluster(4)
+
+    def run():
+        ctx = ExecutionContext(A100_SPEC, cluster=cluster)
+        us = estimate_model_tiled(
+            ctx, CONFIG, FUSED_MHA, 512, MAX_SEQ_LEN,
+            shard=ShardSpec(tp=4, rank=0), cache=cache,
+        )
+        return us, ctx
+
+    first_us, first_ctx = run()
+    second_us, _ = run()
+    assert cache.hits >= 1
+    assert first_us == second_us
+    assert any(r.launch.is_collective for r in first_ctx.records)

@@ -1,0 +1,205 @@
+"""Tests for the priced interconnect: collective cost model + guards."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import (
+    A100_SPEC,
+    NVLINK3_LINK,
+    PCIE4_LINK,
+    ClusterSpec,
+    ExecutionContext,
+    LinkSpec,
+    all_gather_launch,
+    all_reduce_launch,
+    choose_all_reduce_algo,
+    collective_time_us,
+    crossover_bytes,
+    gather_launch,
+    make_cluster,
+    scatter_launch,
+)
+from repro.gpusim.errors import LaunchConfigError, TransientFault
+from repro.gpusim.graph import LaunchGraph, capture
+from repro.gpusim.interconnect import (
+    all_gather_us,
+    p2p_us,
+    ring_all_reduce_us,
+    tree_all_reduce_us,
+)
+
+CLUSTER8 = make_cluster(8)
+MB = 1 << 20
+
+
+# ----------------------------------------------------------------------
+# cost-model monotonicity
+
+
+@pytest.mark.parametrize(
+    "fn", [ring_all_reduce_us, tree_all_reduce_us, all_gather_us, p2p_us]
+)
+def test_monotone_in_payload(fn):
+    times = [fn(nbytes, 8, NVLINK3_LINK) for nbytes in (1, MB, 16 * MB)]
+    assert times == sorted(times)
+    assert times[0] < times[-1]
+
+
+@pytest.mark.parametrize(
+    "fn", [ring_all_reduce_us, tree_all_reduce_us, all_gather_us, p2p_us]
+)
+def test_monotone_in_devices(fn):
+    times = [fn(4 * MB, d, NVLINK3_LINK) for d in (2, 4, 8, 16)]
+    assert times == sorted(times)
+    assert times[0] < times[-1]
+
+
+def test_slower_link_costs_more():
+    assert ring_all_reduce_us(4 * MB, 8, PCIE4_LINK) > ring_all_reduce_us(
+        4 * MB, 8, NVLINK3_LINK
+    )
+
+
+# ----------------------------------------------------------------------
+# ring/tree crossover
+
+
+def test_crossover_separates_the_regimes():
+    bytes_at = crossover_bytes(8, NVLINK3_LINK)
+    assert 0.0 < bytes_at < float("inf")
+    below, above = int(bytes_at / 2), int(bytes_at * 2)
+    assert tree_all_reduce_us(below, 8, NVLINK3_LINK) < ring_all_reduce_us(
+        below, 8, NVLINK3_LINK
+    )
+    assert ring_all_reduce_us(above, 8, NVLINK3_LINK) < tree_all_reduce_us(
+        above, 8, NVLINK3_LINK
+    )
+
+
+def test_choose_algo_matches_crossover():
+    bytes_at = crossover_bytes(8, NVLINK3_LINK)
+    assert choose_all_reduce_algo(int(bytes_at / 2), 8, NVLINK3_LINK) == "tree"
+    assert choose_all_reduce_algo(int(bytes_at * 2), 8, NVLINK3_LINK) == "ring"
+
+
+def test_ring_always_wins_at_two_devices():
+    # N=2: identical hop counts and the ring moves half the data
+    assert crossover_bytes(2, NVLINK3_LINK) == 0.0
+    for nbytes in (1, MB, 64 * MB):
+        assert choose_all_reduce_algo(nbytes, 2, NVLINK3_LINK) == "ring"
+
+
+def test_auto_algo_resolved_at_build_time_deterministically():
+    # "auto" resolves when the descriptor is built, so a seeded chaos
+    # replay can never flip ring vs tree between attempts
+    nbytes = int(crossover_bytes(8, NVLINK3_LINK) * 2)
+    launches = [all_reduce_launch(nbytes, CLUSTER8) for _ in range(5)]
+    assert {l.comm_algo for l in launches} == {"ring"}
+    assert {l.name for l in launches} == {"allreduce_ring"}
+
+
+# ----------------------------------------------------------------------
+# pricing through the execution context
+
+
+def test_collective_priced_into_the_stream():
+    ctx = ExecutionContext(A100_SPEC, cluster=CLUSTER8)
+    launch = all_reduce_launch(4 * MB, CLUSTER8)
+    ctx.launch(launch)
+    assert ctx.elapsed_us() > 0.0
+    assert ctx.records[-1].launch is launch
+    assert ctx.records[-1].launch.is_collective
+    expected = collective_time_us(launch, CLUSTER8)
+    assert ctx.records[-1].time_us == expected
+
+
+def test_collective_without_cluster_is_a_config_error():
+    ctx = ExecutionContext(A100_SPEC)
+    with pytest.raises(LaunchConfigError):
+        ctx.launch(all_reduce_launch(MB, CLUSTER8))
+
+
+def test_collective_larger_than_cluster_rejected():
+    small = make_cluster(2)
+    launch = all_reduce_launch(MB, CLUSTER8)  # 8-device collective
+    with pytest.raises(LaunchConfigError):
+        collective_time_us(launch, small)
+
+
+@pytest.mark.parametrize(
+    "build", [all_gather_launch, scatter_launch, gather_launch]
+)
+def test_other_collectives_price(build):
+    ctx = ExecutionContext(A100_SPEC, cluster=CLUSTER8)
+    ctx.launch(build(4 * MB, CLUSTER8))
+    assert ctx.elapsed_us() > 0.0
+
+
+def test_launch_hook_fires_on_collectives():
+    """Chaos must be able to hit comm kernels like compute kernels."""
+    seen: list[str] = []
+    attempts = {"n": 0}
+
+    def hook(launch, ordinal):
+        seen.append(launch.name)
+        if launch.name.startswith("allreduce"):
+            attempts["n"] += 1
+            if attempts["n"] == 1:
+                raise TransientFault("injected collective failure")
+        return 1.0
+
+    ctx = ExecutionContext(A100_SPEC, cluster=CLUSTER8)
+    ctx.launch_hook = hook
+    launch = all_reduce_launch(4 * MB, CLUSTER8)
+    with pytest.raises(TransientFault):
+        ctx.launch(launch)
+    ctx.launch(launch)  # the retry succeeds
+    assert attempts["n"] == 2
+    assert all(name.startswith("allreduce") for name in seen)
+
+
+# ----------------------------------------------------------------------
+# cross-topology graph replay guard
+
+
+def test_single_device_capture_cannot_replay_on_cluster():
+    launch = all_reduce_launch(MB, CLUSTER8)
+
+    def body(ctx):
+        ctx.launch(launch)
+
+    graph, _ = capture(A100_SPEC, body, cluster=CLUSTER8)
+    ctx = ExecutionContext(A100_SPEC)  # single device: no interconnect
+    with pytest.raises(ValueError, match="topology"):
+        graph.replay(ctx)
+
+
+def test_cluster_mismatch_rejected_both_ways():
+    def body(ctx):
+        pass
+
+    single, _ = capture(A100_SPEC, body)
+    four, _ = capture(A100_SPEC, body, cluster=make_cluster(4))
+    with pytest.raises(ValueError, match="topology"):
+        single.replay(ExecutionContext(A100_SPEC, cluster=CLUSTER8))
+    with pytest.raises(ValueError, match="topology"):
+        four.replay(ExecutionContext(A100_SPEC, cluster=CLUSTER8))
+    # the matching topology replays fine
+    four.replay(ExecutionContext(A100_SPEC, cluster=make_cluster(4)))
+
+
+# ----------------------------------------------------------------------
+# spec validation
+
+
+def test_cluster_spec_validation():
+    with pytest.raises(ValueError):
+        make_cluster(1)
+    with pytest.raises(ValueError):
+        LinkSpec("bad", bandwidth_gbs=-1.0, latency_us=1.0)
+
+
+def test_duplex_bandwidth_applies_efficiency():
+    assert NVLINK3_LINK.duplex_bandwidth_gbs == pytest.approx(
+        NVLINK3_LINK.bandwidth_gbs * NVLINK3_LINK.bidirectional_efficiency
+    )

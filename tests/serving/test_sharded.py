@@ -1,0 +1,341 @@
+"""Acceptance suite for multi-device sharded serving.
+
+The contracts:
+
+* the Σlen²-balanced router is deterministic, keeps every replica's
+  stream in arrival order, and genuinely balances attention work;
+* a one-device :class:`ShardConfig` reproduces the single-device
+  runtime exactly (routing, stealing and per-device accounting are all
+  identity at D=1);
+* sharded served outputs are bitwise-equal to the per-request oracle —
+  data parallel, tensor parallel, clean and under seeded chaos,
+  including chaos aimed exclusively at the interconnect collectives;
+* telemetry stays an observer: per-device gauges/lanes appear only on
+  multi-device runs and attaching telemetry never changes the replay.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import BertConfig
+from repro.core.model import BertEncoderModel
+from repro.serving import FaultSpec, NO_FAULTS, ServingRuntime
+from repro.serving.sharded import ShardConfig, ShardRouter
+from repro.telemetry import Telemetry
+from repro.telemetry.slo import (
+    DEVICE_BUSY_US,
+    DEVICE_IMBALANCE,
+    STEALS_TOTAL,
+)
+from repro.gpusim.trace import telemetry_chrome_trace
+from repro.workloads.batching import ContinuousBatcher
+from repro.workloads.serving import Request, make_trace
+
+CONFIG = BertConfig(num_heads=2, head_size=16, num_layers=2)
+
+#: chaos aimed only at the interconnect collectives
+COMM_CHAOS = FaultSpec(
+    launch_failure_rate=0.1, target_prefixes=("allreduce",)
+)
+COMPUTE_CHAOS = FaultSpec(
+    launch_failure_rate=0.05,
+    transient_oom_rate=0.05,
+    target_prefixes=("fused_mha", "fmha_"),
+)
+
+
+def runtime(sharding=None, faults=NO_FAULTS, *, seed=7, numerics=False,
+            telemetry=None):
+    return ServingRuntime(
+        CONFIG,
+        batcher=ContinuousBatcher(token_budget=256, timeout_us=200.0),
+        faults=faults,
+        numerics=BertEncoderModel(CONFIG, seed=seed) if numerics else None,
+        seed=seed,
+        sharding=sharding,
+        telemetry=telemetry,
+    )
+
+
+def trace(n=24, **kwargs):
+    kwargs.setdefault("seed", 7)
+    return make_trace(n, 64, **kwargs)
+
+
+def assert_oracle_bitwise(report, t, seed=7):
+    """Every served output equals the per-request forward, bit for bit."""
+    oracle = BertEncoderModel(CONFIG, seed=seed)
+    by_id = {r.request_id: r for r in t.requests}
+    assert report.outputs, "nothing served to check"
+    for rid, out in report.outputs.items():
+        request = by_id[rid]
+        rng = np.random.default_rng([seed, rid])
+        x = rng.standard_normal((1, request.seq_len, CONFIG.hidden_size))
+        mask = np.ones((1, request.seq_len))
+        assert np.array_equal(out, oracle.forward(x, mask)[0]), (
+            f"request {rid} diverged from the oracle"
+        )
+
+
+# ----------------------------------------------------------------------
+# ShardConfig
+
+
+class TestShardConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardConfig(devices=0)
+        with pytest.raises(ValueError):
+            ShardConfig(devices=4, mode="zz")
+        with pytest.raises(ValueError):
+            ShardConfig(devices=4, mode="dp", tp_size=2)
+        with pytest.raises(ValueError):
+            ShardConfig(devices=4, mode="tp", tp_size=2)
+        with pytest.raises(ValueError):
+            ShardConfig(devices=4, mode="both")  # needs tp_size
+        with pytest.raises(ValueError):
+            ShardConfig(devices=6, mode="both", tp_size=4)  # must divide
+
+    def test_derived_shapes(self):
+        dp = ShardConfig(devices=8, mode="dp")
+        assert (dp.tp, dp.replicas) == (1, 8)
+        assert dp.shard_spec is None
+        tp = ShardConfig(devices=8, mode="tp")
+        assert (tp.tp, tp.replicas) == (8, 1)
+        assert tp.shard_spec.tp == 8 and tp.shard_spec.rank == 0
+        both = ShardConfig(devices=8, mode="both", tp_size=2)
+        assert (both.tp, both.replicas) == (2, 4)
+
+    def test_single_device_builds_no_cluster(self):
+        from repro.gpusim import A100_SPEC
+
+        assert ShardConfig().build_cluster(A100_SPEC) is None
+        assert (
+            ShardConfig(devices=4).build_cluster(A100_SPEC).num_devices == 4
+        )
+
+
+# ----------------------------------------------------------------------
+# the Σlen² router
+
+
+def _requests(lens):
+    return [
+        Request(request_id=i, seq_len=length, arrival_us=float(i))
+        for i, length in enumerate(lens)
+    ]
+
+
+class TestShardRouter:
+    def test_single_replica_is_a_passthrough(self):
+        reqs = _requests([5, 9, 3])
+        assert ShardRouter(1).route(reqs) == [reqs]
+
+    def test_partition_is_exact_and_deterministic(self):
+        rng = np.random.default_rng(0)
+        reqs = _requests(rng.integers(1, 64, size=100).tolist())
+        router = ShardRouter(4)
+        buckets = router.route(reqs)
+        again = router.route(reqs)
+        assert buckets == again
+        routed = [r.request_id for bucket in buckets for r in bucket]
+        assert sorted(routed) == [r.request_id for r in reqs]
+
+    def test_buckets_stay_in_arrival_order(self):
+        rng = np.random.default_rng(1)
+        reqs = _requests(rng.integers(1, 64, size=96).tolist())
+        for bucket in ShardRouter(4).route(reqs):
+            arrivals = [r.arrival_us for r in bucket]
+            assert arrivals == sorted(arrivals)
+
+    def test_quadratic_balance_beats_round_robin_on_skewed_lengths(self):
+        # a few giants among many shorts: count-balanced routing
+        # overloads whoever draws the giants; Σlen² routing must not
+        rng = np.random.default_rng(2)
+        lens = np.minimum(rng.zipf(1.3, size=128) * 8, 512).tolist()
+        reqs = _requests(lens)
+        router = ShardRouter(4)
+        work = router.routed_work(router.route(reqs))
+        round_robin = [
+            [r for i, r in enumerate(reqs) if i % 4 == d] for d in range(4)
+        ]
+        rr_work = router.routed_work(round_robin)
+        assert max(work) / (sum(work) / 4) <= max(rr_work) / (
+            sum(rr_work) / 4
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardRouter(0)
+        with pytest.raises(ValueError):
+            ShardRouter(2, window_per_replica=0)
+
+
+# ----------------------------------------------------------------------
+# single-device identity
+
+
+class TestSingleDeviceIdentity:
+    def test_explicit_one_device_config_changes_nothing(self):
+        t = trace(32)
+        plain = runtime().run(t)
+        configured = runtime(ShardConfig(devices=1)).run(t)
+        assert plain.outcome_log() == configured.outcome_log()
+        assert plain.makespan_us == configured.makespan_us
+        assert configured.device_busy_us == (configured.gpu_busy_us,)
+        assert configured.work_steals == 0
+
+
+# ----------------------------------------------------------------------
+# bitwise oracle under sharding
+
+
+class TestShardedBitwiseOracle:
+    @pytest.mark.parametrize(
+        "sharding",
+        [
+            ShardConfig(devices=4, mode="dp"),
+            ShardConfig(devices=2, mode="tp"),
+            ShardConfig(devices=4, mode="both", tp_size=2),
+        ],
+        ids=["dp4", "tp2", "both4"],
+    )
+    def test_clean_outputs_match_oracle(self, sharding):
+        t = trace()
+        report = runtime(sharding, numerics=True).run(t)
+        assert len(report.served) == t.num_requests
+        assert_oracle_bitwise(report, t)
+
+    def test_dp_outputs_match_oracle_under_compute_chaos(self):
+        t = trace()
+        report = runtime(
+            ShardConfig(devices=4, mode="dp"), COMPUTE_CHAOS, numerics=True
+        ).run(t)
+        assert report.injected_faults
+        assert_oracle_bitwise(report, t)
+
+    def test_tp_outputs_match_oracle_under_collective_chaos(self):
+        t = trace()
+        report = runtime(
+            ShardConfig(devices=2, mode="tp"), COMM_CHAOS, numerics=True
+        ).run(t)
+        collective_faults = [
+            f
+            for f in report.injected_faults
+            if f.kernel.startswith("allreduce")
+        ]
+        assert collective_faults, "chaos never hit a collective kernel"
+        assert_oracle_bitwise(report, t)
+
+    def test_sharded_replay_is_deterministic(self):
+        t = trace()
+        sharding = ShardConfig(devices=4, mode="dp")
+        a = runtime(sharding, COMPUTE_CHAOS).run(t)
+        b = runtime(sharding, COMPUTE_CHAOS).run(t)
+        assert a.outcome_log() == b.outcome_log()
+        assert a.device_busy_us == b.device_busy_us
+        assert a.work_steals == b.work_steals
+
+
+# ----------------------------------------------------------------------
+# work stealing and device-local retries
+
+
+class TestWorkStealing:
+    def test_saturating_trace_steals_and_balances(self):
+        t = trace(96, mean_interarrival_us=1.0)
+        report = runtime(ShardConfig(devices=4, mode="dp")).run(t)
+        assert report.work_steals > 0
+        assert len(report.device_busy_us) == 4
+        assert all(b > 0 for b in report.device_busy_us)
+
+    def test_sum_of_device_busy_is_gpu_busy(self):
+        t = trace(48, mean_interarrival_us=1.0)
+        report = runtime(ShardConfig(devices=4, mode="dp")).run(t)
+        assert report.gpu_busy_us == pytest.approx(
+            sum(report.device_busy_us)
+        )
+
+
+# ----------------------------------------------------------------------
+# telemetry: per-device series, lanes, and neutrality
+
+
+class TestShardedTelemetry:
+    def test_per_device_gauges_only_on_multi_device_runs(self):
+        t = trace(32, mean_interarrival_us=1.0)
+        single_tel = Telemetry()
+        runtime(telemetry=single_tel).run(t)
+        assert not list(single_tel.metrics.family(DEVICE_BUSY_US))
+        assert not list(single_tel.metrics.family(DEVICE_IMBALANCE))
+
+        tel = Telemetry()
+        runtime(
+            ShardConfig(devices=4, mode="dp"), telemetry=tel
+        ).run(t)
+        busy = list(tel.metrics.family(DEVICE_BUSY_US))
+        assert len(busy) == 4
+        labels = {dict(m.labels)["device"] for m in busy}
+        assert labels == {"0", "1", "2", "3"}
+        assert list(tel.metrics.family(DEVICE_IMBALANCE))
+        assert list(tel.metrics.family(STEALS_TOTAL))
+
+    def test_telemetry_is_bitwise_neutral_on_sharded_runs(self):
+        t = trace()
+        sharding = ShardConfig(devices=4, mode="dp")
+        bare = runtime(sharding, COMPUTE_CHAOS, numerics=True).run(t)
+        observed = runtime(
+            sharding, COMPUTE_CHAOS, numerics=True, telemetry=Telemetry()
+        ).run(t)
+        assert bare.outcome_log() == observed.outcome_log()
+        assert bare.makespan_us == observed.makespan_us
+        for rid in bare.outputs:
+            assert np.array_equal(bare.outputs[rid], observed.outputs[rid])
+
+    def test_trace_gets_per_device_and_interconnect_lanes(self):
+        t = trace(32, mean_interarrival_us=1.0)
+        tel = Telemetry()
+        runtime(ShardConfig(devices=4, mode="dp"), telemetry=tel).run(t)
+        events = telemetry_chrome_trace(tel)["traceEvents"]
+        thread_names = {
+            e["args"]["name"]
+            for e in events
+            if e["name"] == "thread_name"
+        }
+        assert {"kernels d0", "kernels d1", "kernels d2", "kernels d3",
+                "interconnect"} <= thread_names
+
+    def test_collectives_land_on_the_interconnect_lane(self):
+        t = trace()
+        tel = Telemetry()
+        runtime(ShardConfig(devices=2, mode="tp"), telemetry=tel).run(t)
+        doc = telemetry_chrome_trace(tel)
+        by_tid = {
+            e["tid"]: e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["name"] == "thread_name"
+        }
+        comm = [
+            e
+            for e in doc["traceEvents"]
+            if e.get("cat") == "collective" and e["ph"] == "X"
+        ]
+        assert comm, "tp replay priced no collectives into the trace"
+        assert {by_tid[e["tid"]] for e in comm} == {"interconnect"}
+
+    def test_single_device_trace_keeps_the_legacy_layout(self):
+        t = trace(16)
+        tel = Telemetry()
+        runtime(telemetry=tel).run(t)
+        events = telemetry_chrome_trace(tel)["traceEvents"]
+        thread_names = {
+            e["args"]["name"]
+            for e in events
+            if e["name"] == "thread_name"
+        }
+        assert thread_names == {"stages", "kernels"}
+        kernel_events = [
+            e for e in events if str(e.get("cat", "")).startswith("gemm")
+        ]
+        assert kernel_events
+        assert {e["tid"] for e in kernel_events} == {1}

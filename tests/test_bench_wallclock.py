@@ -287,3 +287,41 @@ def test_arena_overflow_gate(result):
 
 def test_summary_mentions_host_parallel(result):
     assert "host-par" in format_summary(result)
+
+
+def test_sharded_serving_section(result):
+    sharded = result["sections"]["sharded_serving"]
+    points = sharded["scaling"]["points"]
+    assert [p["devices"] for p in points] == [2, 4, 8]
+    for point in points:
+        assert point["served"] == 384
+        # dp floors are hard: the modelled clock is deterministic
+        assert point["speedup_vs_single_device"] >= point["floor"]
+    assert points[-1]["floor"] == 6.5  # the 8-device acceptance bar
+    for name, leg in sharded["bitwise"].items():
+        assert leg["served"] > 0, name
+        assert leg["outputs_bitwise_equal"] is True, name
+    chaos_leg = sharded["bitwise"]["tp_collective_chaos"]
+    assert chaos_leg["collective_faults_injected"] >= 1
+    rows = sharded["crossover"]["rows"]
+    assert rows and all(0.0 < r["comm_fraction"] < 1.0 for r in rows)
+    # at a fixed tile, more tensor-parallel ranks shift the balance
+    # toward communication: more all-reduce hops, less compute per rank
+    for tile in {r["tile"] for r in rows}:
+        fracs = [r["comm_fraction"] for r in rows if r["tile"] == tile]
+        assert fracs == sorted(fracs)
+
+
+def test_sharded_floor_breach_fails_check(result):
+    broken = json.loads(json.dumps(result))  # deep copy
+    point = broken["sections"]["sharded_serving"]["scaling"]["points"][-1]
+    point["speedup_vs_single_device"] = 1.0
+    failures = check_invariants(broken)
+    assert any("sharded serving" in f and "floor" in f for f in failures)
+    missed = json.loads(json.dumps(result))
+    missed["sections"]["sharded_serving"]["bitwise"]["tp_collective_chaos"][
+        "collective_faults_injected"
+    ] = 0
+    assert any(
+        "collective" in f for f in check_invariants(missed)
+    )

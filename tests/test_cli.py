@@ -153,6 +153,25 @@ class TestServeChaos:
         assert "serving report: 30 requests" in out
         assert "injected faults: none" in out
 
+    def test_sharded_replay_prints_per_device_accounting(self, capsys):
+        rc = main(
+            self._args(
+                "--devices", "4", "--shard", "dp",
+                "--batcher", "continuous",
+            )
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "4 devices (dp)" in out
+        assert "imbalance" in out and "steals" in out
+
+    def test_indivisible_shard_group_rejected(self, capsys):
+        # 'both' uses tp groups of 2, which cannot tile 3 devices
+        assert main(self._args("--devices", "3", "--shard", "both")) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
     def test_chaos_replay_reports_faults_and_transitions(self, capsys):
         rc = main(
             self._args(
