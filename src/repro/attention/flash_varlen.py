@@ -33,6 +33,11 @@ from repro.gpusim.stream import ExecutionContext, resolve_context
 
 #: query-row tile per CTA
 VARLEN_TILE_Q = 64
+#: sustained efficiency of the paged decode-attention kernel's math — it
+#: is a batch of skinny GEMVs, bandwidth-bound on KV block reads, same
+#: calibration point as the packed decode kernel in
+#: :mod:`repro.decoder.generation`
+DECODE_GEMV_EFFICIENCY = 0.05
 #: sustained efficiency of a 2022-era (FlashAttention-1) kernel, kept at
 #: the same calibration point as the other hand-written fused kernels
 FA1_EFFICIENCY = 0.10
@@ -74,6 +79,57 @@ def flash_varlen_launch(
         shared_mem_per_block=4 * VARLEN_TILE_Q * (head_size + 8)
         * BYTES_PER_ELEMENT,
         regs_per_thread=128,
+    )
+
+
+def flash_varlen_decode_launch(
+    context_lens: np.ndarray,
+    num_heads: int,
+    head_size: int,
+    *,
+    block_tokens: int,
+    category: str = "decode_attention",
+    efficiency: float = DECODE_GEMV_EFFICIENCY,
+) -> KernelLaunch:
+    """Cost descriptor: batched varlen decode attention over paged KV.
+
+    One query row per sequence, each attending to its own ragged context
+    read *through a block table*: K/V traffic is block-granular (every
+    touched block streams whole, so each context rounds up to a multiple
+    of ``block_tokens`` — the read amplification a paged cache pays for
+    O(1) allocation), plus the int32 block-table indirection itself.
+    FLOPs count only valid context rows, like every packed kernel here.
+    The grid is one CTA per (sequence, head, KV block tile) — the
+    ``flash_varlen`` launch shape with the KV axis tiled at the block
+    size instead of the query axis.
+    """
+    if block_tokens <= 0:
+        raise ValueError(f"block_tokens must be positive, got {block_tokens}")
+    lens = [int(v) for v in context_lens]
+    if any(length <= 0 for length in lens):
+        raise ValueError(f"context lengths must be positive, got {lens}")
+    batch = len(lens)
+    hidden = num_heads * head_size
+    valid = sum(lens)
+    blocks = sum(-(-length // block_tokens) for length in lens)
+    grid = num_heads * blocks
+    # per valid context row and head: qk dot (2d) + pv accumulate (2d),
+    # plus the online-softmax rescale per score
+    flops = 4.0 * valid * hidden + 8.0 * valid * num_heads
+    cache_bytes = 2.0 * blocks * block_tokens * hidden * BYTES_PER_ELEMENT
+    table_bytes = blocks * BYTES_PER_FP32
+    io_rows = 2.0 * batch * hidden * BYTES_PER_ELEMENT  # q in, out row out
+    return KernelLaunch(
+        name="paged_decode_attention",
+        category=category,
+        grid=max(1, grid),
+        block_threads=128,
+        flops=flops,
+        dram_bytes=cache_bytes + table_bytes + io_rows,
+        compute_unit=ComputeUnit.FP16,
+        compute_efficiency=efficiency,
+        shared_mem_per_block=2 * block_tokens * head_size * BYTES_PER_ELEMENT,
+        regs_per_thread=64,
     )
 
 

@@ -36,6 +36,13 @@ Three measurements are reported:
   served token (cost plane) and the steady-state graph-cache hit rate
   of the tile-quantized megabatch path (second trace run, so warm-up
   captures don't dilute the rate).
+* ``decode_serving`` — mixed prefill/decode continuous batching
+  (paged KV arena + batched varlen decode attention) vs a naive serial
+  prefill-then-decode baseline on the same generation trace: modelled
+  µs per generated token, steady-state ``decode``-kind graph hit rate,
+  zero KV overflow allocations, and bitwise oracle legs (clean and
+  chaos with forced eviction/resume) — all hard ``--check`` gates,
+  because every number is modelled-clock deterministic.
 * ``host_parallel`` — the Amdahl-cap breaker: one tile-quantized
   megabatch run serially vs under the configured executor (process
   workers fork over contiguous segment chunks and mutate a
@@ -235,6 +242,150 @@ def _continuous_serving_section(
         ),
         "floor": 1.0,
         "hit_rate_floor": 0.9,
+    }
+
+
+def _decode_serving_section(
+    config: BertConfig,
+    max_seq_len: int,
+    seed: int,
+    num_requests: int,
+    decode_tokens: int,
+) -> dict[str, Any]:
+    """Mixed prefill/decode serving vs naive serial prefill-then-decode.
+
+    The baseline serves the same generation trace one request at a time:
+    a looped prefill round, then one single-request decode round per
+    generated token — no cross-request batching anywhere, which is what
+    a per-request serving loop without continuous batching would price.
+    The mixed side is :class:`~repro.serving.generation.GenerationRuntime`
+    (paged KV arena + :class:`MixedContinuousBatcher` + the batched
+    varlen decode estimator) on the same trace, warm-run first so the
+    reported numbers are the steady state: graph captures done, every
+    round replayed from the ``decode``-kind graph keys.
+
+    Both clocks are modelled (deterministic), so the speedup floor and
+    the steady-state hit-rate floor are hard ``--check`` gates, as is
+    zero KV-arena overflow allocations.  Two small bitwise legs ride
+    along on the numeric plane: every *served* output must be
+    byte-identical to the per-request oracle, clean and under seeded
+    chaos with a KV arena tight enough to force eviction/resume.
+    """
+    from repro.decoder import estimate_decode_round_looped, max_decode_steps
+    from repro.gpusim.device import A100_SPEC
+    from repro.serving.faults import FaultSpec
+    from repro.serving.generation import (
+        GenerationRuntime,
+        generate_reference_outputs,
+    )
+    from repro.workloads.serving import make_generation_trace
+
+    # interarrival far below per-round service time, so requests overlap
+    # and the batcher actually mixes prefills with in-flight decodes
+    trace = make_generation_trace(
+        num_requests,
+        max_seq_len,
+        decode_tokens=decode_tokens,
+        mean_interarrival_us=25.0,
+        seed=seed,
+    )
+
+    # ---- baseline: serial per-request prefill-then-decode ------------
+    base_ctx = ExecutionContext(A100_SPEC)
+    empty = np.asarray([], dtype=np.int64)
+    base_tokens = 0
+    for r in trace.requests:
+        steps = max_decode_steps(r.seq_len, r.decode_tokens, max_seq_len)
+        estimate_decode_round_looped(
+            base_ctx, config, np.asarray([r.seq_len], dtype=np.int64), empty
+        )
+        for s in range(1, steps):
+            estimate_decode_round_looped(
+                base_ctx,
+                config,
+                empty,
+                np.asarray([r.seq_len + s], dtype=np.int64),
+            )
+        base_tokens += steps
+    base_us = base_ctx.elapsed_us()
+
+    # ---- mixed continuous batching, steady state ---------------------
+    rt = GenerationRuntime(config, seed=seed, compute_outputs=False)
+    rt.run(trace)  # warm-up: decode-graph captures + tile captures
+    hits0, misses0 = rt.graph_cache.hits, rt.graph_cache.misses
+    report = rt.run(trace)
+    d_hits = rt.graph_cache.hits - hits0
+    d_lookups = d_hits + rt.graph_cache.misses - misses0
+    mixed = {
+        "gpu_busy_us": report.gpu_busy_us,
+        "generated_tokens": report.generated_tokens,
+        "rounds": report.rounds,
+        "us_per_token": report.us_per_token,
+        "steady_hit_rate": d_hits / max(1, d_lookups),
+        "graph_kinds": rt.graph_cache.kind_counts(),
+        "kv": report.kv_stats,
+    }
+
+    # ---- numeric-plane bitwise legs (small shapes) -------------------
+    def bitwise_leg(
+        faults: FaultSpec, kv_capacity_tokens: int | None
+    ) -> dict[str, Any]:
+        leg_msl = min(64, max_seq_len)
+        leg_trace = make_generation_trace(
+            8,
+            leg_msl,
+            decode_tokens=8,
+            mean_interarrival_us=5.0,
+            seed=seed + 1,
+        )
+        leg_rt = GenerationRuntime(
+            config,
+            seed=seed,
+            faults=faults,
+            kv_capacity_tokens=kv_capacity_tokens,
+        )
+        leg_report = leg_rt.run(leg_trace)
+        oracle = generate_reference_outputs(leg_rt, leg_trace)
+        equal = bool(leg_report.outputs) and all(
+            np.array_equal(out, oracle[rid])
+            for rid, out in leg_report.outputs.items()
+        )
+        return {
+            "served": len(leg_report.outputs),
+            "outputs_bitwise_equal": equal,
+            "evictions": int(leg_report.kv_stats["evictions"]),
+            "injected_faults": len(leg_report.injected_faults),
+        }
+
+    bitwise = {
+        "clean": bitwise_leg(FaultSpec(), None),
+        # arena below the concurrent working set => forced preemption,
+        # plus seeded launch chaos on top of the swap traffic
+        "chaos_evict": bitwise_leg(
+            FaultSpec(launch_failure_rate=0.05, transient_oom_rate=0.02),
+            128,
+        ),
+    }
+
+    return {
+        "trace": {
+            "requests": num_requests,
+            "max_seq_len": max_seq_len,
+            "decode_tokens": decode_tokens,
+        },
+        "baseline": {
+            "modelled_us": base_us,
+            "generated_tokens": base_tokens,
+            "us_per_token": base_us / base_tokens,
+        },
+        "mixed": mixed,
+        # lower modelled µs per generated token => speedup > 1
+        "speedup_vs_reference": (
+            (base_us / base_tokens) / mixed["us_per_token"]
+        ),
+        "floor": 1.5,
+        "hit_rate_floor": 0.9,
+        "bitwise": bitwise,
     }
 
 
@@ -934,6 +1085,13 @@ def run_wallclock_bench(
                 serve_requests,
                 telemetry=telemetry,
             ),
+            "decode_serving": _decode_serving_section(
+                config,
+                max_seq_len,
+                seed,
+                serve_requests,
+                decode_tokens=max(16, max_seq_len // 8),
+            ),
         },
         "invariants": {
             "outputs_match_atol_1e-6": outputs_match,
@@ -1066,6 +1224,22 @@ def format_summary(result: dict[str, Any]) -> str:
             f"rate {cont['steady_hit_rate']:.3f} "
             f"(tile budget {serving['token_budget']})"
         )
+    decode = result["sections"].get("decode_serving")
+    if decode is not None:
+        mixed = decode["mixed"]
+        base = decode["baseline"]
+        bitwise_ok = all(
+            leg["outputs_bitwise_equal"]
+            for leg in decode["bitwise"].values()
+        )
+        lines.append(
+            f"  decode    : {mixed['us_per_token']:9.3f} modelled us/token "
+            f"mixed vs {base['us_per_token']:9.3f} serial "
+            f"({decode['speedup_vs_reference']:.2f}x); steady graph hit "
+            f"rate {mixed['steady_hit_rate']:.3f}; oracle "
+            f"bitwise={bitwise_ok} "
+            f"({decode['bitwise']['chaos_evict']['evictions']} evictions)"
+        )
     inv = result["invariants"]
     lines.append(
         f"  invariants: outputs_match={inv['outputs_match_atol_1e-6']} "
@@ -1140,6 +1314,33 @@ def check_invariants(result: dict[str, Any]) -> list[str]:
             failures.append(
                 f"continuous serving steady-state graph hit rate "
                 f"{hit_rate:.3f} below floor {serving['hit_rate_floor']}"
+            )
+    decode = result["sections"].get("decode_serving")
+    if decode is not None:
+        hit_rate = decode["mixed"]["steady_hit_rate"]
+        if hit_rate < decode["hit_rate_floor"]:
+            failures.append(
+                f"decode serving steady-state graph hit rate "
+                f"{hit_rate:.3f} below floor {decode['hit_rate_floor']}"
+            )
+        overflow = decode["mixed"]["kv"]["overflow_allocs"]
+        if overflow != 0:
+            failures.append(
+                f"paged KV arena performed {overflow:.0f} overflow "
+                "allocations (plan-driven pre-sizing should leave zero)"
+            )
+        for name, leg in decode["bitwise"].items():
+            if leg["served"] == 0:
+                failures.append(f"decode bitwise leg {name}: nothing served")
+            if not leg["outputs_bitwise_equal"]:
+                failures.append(
+                    f"decode bitwise leg {name}: served generations != "
+                    "per-request oracle"
+                )
+        if decode["bitwise"]["chaos_evict"]["evictions"] < 1:
+            failures.append(
+                "decode chaos leg evicted nothing: KV pressure path "
+                "never exercised preempt/resume"
             )
     if not inv["outputs_match_atol_1e-6"]:
         failures.append(

@@ -18,6 +18,14 @@ Commands:
   parallel); prints the cache hit/miss/eviction table and the SLO
   summary, and can export the observed replay (``--trace-out`` Chrome
   trace, ``--metrics-out`` JSONL);
+* ``generate`` — serve autoregressive generation streams (synthetic
+  traffic or ``--prompt-file``, one whitespace-tokenised prompt per
+  line) through the mixed prefill/decode runtime: paged KV arena,
+  continuous batching with a decode-priority knob, optional kernel
+  chaos.  Prints the per-token latency table (TTFT + inter-token gaps);
+  ``--check`` gates conservation, zero KV overflow allocations and
+  bitwise equality of every served stream against the per-request
+  decode loop; ``--out`` writes the report JSON for CI artifacts;
 * ``metrics`` — replay a small serving trace with telemetry on and emit
   the metrics registry (``--format prom|json|text``, ``--check`` parses
   the Prometheus exposition back);
@@ -715,6 +723,213 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_generate(args: argparse.Namespace) -> int:
+    """Serve an autoregressive generation trace through the decode runtime."""
+    import json
+    from pathlib import Path
+
+    from repro.serving import FaultSpec, RetryPolicy
+    from repro.serving.generation import (
+        GenerationRuntime,
+        generate_reference_outputs,
+    )
+    from repro.workloads.batching import MixedContinuousBatcher
+    from repro.workloads.serving import (
+        GenerationRequest,
+        ServingTrace,
+        make_generation_trace,
+    )
+
+    if args.quick:
+        # CI smoke shape: a dozen short streams on a tiny model
+        args.requests = min(args.requests, 12)
+        args.layers = min(args.layers, 2)
+        args.max_seq_len = min(args.max_seq_len, 64)
+        args.decode_tokens = min(args.decode_tokens, 8)
+    if args.requests <= 0:
+        raise ValueError(f"--requests must be positive, got {args.requests}")
+    if args.decode_tokens < 1:
+        raise ValueError(
+            f"--decode-tokens must be >= 1, got {args.decode_tokens}"
+        )
+    deadline = args.deadline_us if args.deadline_us > 0 else None
+    if args.prompt_file:
+        path = Path(args.prompt_file)
+        if not path.is_file():
+            raise ValueError(f"prompt file not found: {path}")
+        prompts = [
+            line for line in path.read_text().splitlines() if line.strip()
+        ]
+        if not prompts:
+            raise ValueError(f"prompt file {path} has no non-empty lines")
+        lens = [len(line.split()) for line in prompts]
+        for i, n in enumerate(lens):
+            if n > args.max_seq_len:
+                raise ValueError(
+                    f"prompt line {i + 1} has {n} tokens "
+                    f"> --max-seq-len {args.max_seq_len}"
+                )
+        rng = np.random.default_rng(args.seed)
+        arrivals = np.cumsum(
+            rng.exponential(args.mean_interarrival_us, size=len(lens))
+        )
+        trace = ServingTrace(
+            requests=tuple(
+                GenerationRequest(
+                    request_id=i,
+                    arrival_us=float(arrivals[i]),
+                    seq_len=lens[i],
+                    deadline_us=deadline,
+                    decode_tokens=args.decode_tokens,
+                )
+                for i in range(len(lens))
+            ),
+            max_seq_len=args.max_seq_len,
+        )
+    else:
+        trace = make_generation_trace(
+            args.requests,
+            args.max_seq_len,
+            decode_tokens=args.decode_tokens,
+            alpha=args.alpha,
+            mean_interarrival_us=args.mean_interarrival_us,
+            seed=args.seed,
+            deadline_us=deadline,
+        )
+    runtime = GenerationRuntime(
+        BertConfig(num_layers=args.layers),
+        batcher=MixedContinuousBatcher(
+            token_budget=args.token_budget,
+            decode_priority=args.decode_priority,
+        ),
+        retry=RetryPolicy(max_retries=args.max_retries),
+        faults=FaultSpec(
+            launch_failure_rate=args.fault_rate / 2.0,
+            transient_oom_rate=args.fault_rate / 2.0,
+            # by default only the batched decode-attention kernel is
+            # flaky, so stepping the ladder to the looped path escapes
+            target_prefixes=(
+                tuple(args.target) if args.target else ("paged_decode",)
+            ),
+        ),
+        device=DEVICES[args.device],
+        seed=args.seed,
+        kv_block_tokens=args.kv_block,
+        kv_capacity_tokens=(
+            args.kv_capacity_tokens if args.kv_capacity_tokens > 0 else None
+        ),
+    )
+    print(
+        f"generate: {trace.num_requests} streams "
+        f"({'prompt file' if args.prompt_file else 'synthetic'}), "
+        f"~{args.decode_tokens} tokens each, fault rate "
+        f"{args.fault_rate:.0%}, seed {args.seed}"
+    )
+    report = runtime.run(trace)
+    print(report.render_text())
+
+    # -- per-token latency table ---------------------------------------
+    by_id = {r.request_id: r for r in trace.requests}
+    print("== per-token latency ==")
+    print(
+        f"  {'req':>4}{'prompt':>8}{'tokens':>8}{'ttft ms':>9}"
+        f"{'itl us':>9}  outcome"
+    )
+    itl_all: list[float] = []
+    ttft_all: list[float] = []
+    for outcome in report.outcomes:
+        rid = outcome.request_id
+        times = report.token_times.get(rid, ())
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        itl_all.extend(gaps)
+        ttft = report.ttft_us(rid, by_id[rid].arrival_us)
+        if ttft is not None:
+            ttft_all.append(ttft)
+        print(
+            f"  {rid:>4}{by_id[rid].seq_len:>8}{len(times):>8}"
+            + (f"{ttft / 1000:>9.2f}" if ttft is not None else f"{'-':>9}")
+            + (
+                f"{sum(gaps) / len(gaps):>9.1f}"
+                if gaps
+                else f"{'-':>9}"
+            )
+            + f"  {outcome.outcome.value}"
+            + (f" ({outcome.reason})" if outcome.reason else "")
+        )
+    if ttft_all:
+        print(
+            f"  ttft p50/p99: {np.percentile(ttft_all, 50) / 1000:.2f}/"
+            f"{np.percentile(ttft_all, 99) / 1000:.2f} ms"
+            + (
+                f"; itl p50/p99: {np.percentile(itl_all, 50):.1f}/"
+                f"{np.percentile(itl_all, 99):.1f} us"
+                if itl_all
+                else ""
+            )
+        )
+
+    # -- gates ----------------------------------------------------------
+    failures: list[str] = []
+    counts = report.counts()
+    settled = sum(counts.values())
+    if settled != trace.num_requests:
+        failures.append(
+            f"conservation: {settled} settled of {trace.num_requests}"
+        )
+    overflow = int(report.kv_stats.get("overflow_allocs", 0))
+    if overflow:
+        failures.append(f"paged KV arena made {overflow} overflow allocs")
+    oracle_checked = 0
+    if args.check:
+        oracle = generate_reference_outputs(runtime, trace)
+        for rid in sorted(report.outputs):
+            if not np.array_equal(report.outputs[rid], oracle[rid]):
+                failures.append(
+                    f"request {rid}: generated tokens != per-request oracle"
+                )
+                break
+            oracle_checked += 1
+        print(
+            f"oracle: {oracle_checked}/{len(report.outputs)} served streams "
+            "bitwise-equal to the per-request decode loop"
+        )
+    if args.out:
+        payload = {
+            "seed": args.seed,
+            "streams": trace.num_requests,
+            "totals": counts,
+            "generated_tokens": report.generated_tokens,
+            "rounds": report.rounds,
+            "us_per_token": report.us_per_token,
+            "graph_hit_rate": report.graph_hit_rate,
+            "kv_stats": report.kv_stats,
+            "ttft_p50_us": (
+                float(np.percentile(ttft_all, 50)) if ttft_all else None
+            ),
+            "ttft_p99_us": (
+                float(np.percentile(ttft_all, 99)) if ttft_all else None
+            ),
+            "itl_p50_us": (
+                float(np.percentile(itl_all, 50)) if itl_all else None
+            ),
+            "itl_p99_us": (
+                float(np.percentile(itl_all, 99)) if itl_all else None
+            ),
+            "oracle_checked": oracle_checked,
+            "gate_failures": failures,
+        }
+        out = Path(args.out)
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"generation report written to {out}")
+    if args.check:
+        if failures:
+            for failure in failures:
+                print(f"generate gate FAILED: {failure}", file=sys.stderr)
+            return 1
+        print("all generate gates hold")
+    return 0
+
+
 def cmd_metrics(args: argparse.Namespace) -> int:
     """Replay a small serving trace with telemetry on; emit the registry."""
     import json
@@ -1120,6 +1335,105 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the per-tenant SLO report JSON here (CI artifact)",
     )
     p.set_defaults(func=cmd_loadtest)
+
+    p = sub.add_parser(
+        "generate",
+        help="serve autoregressive generation streams through the mixed "
+        "prefill/decode runtime; per-token latency table and CI gates",
+    )
+    p.add_argument(
+        "--requests",
+        type=int,
+        default=32,
+        help="synthetic stream count (ignored with --prompt-file)",
+    )
+    p.add_argument(
+        "--prompt-file",
+        default=None,
+        help="text file, one prompt per line; whitespace token count "
+        "becomes the prompt length (replaces the synthetic trace)",
+    )
+    p.add_argument("--max-seq-len", type=int, default=256)
+    p.add_argument(
+        "--decode-tokens",
+        type=int,
+        default=32,
+        help="tokens to generate per stream (the synthetic trace draws "
+        "per-stream counts around this mean; --prompt-file uses it "
+        "exactly); the context window may truncate a stream earlier",
+    )
+    p.add_argument("--alpha", type=float, default=0.6)
+    p.add_argument("--layers", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--device", choices=sorted(DEVICES), default=A100_SPEC.name
+    )
+    p.add_argument("--mean-interarrival-us", type=float, default=25.0)
+    p.add_argument(
+        "--deadline-us",
+        type=float,
+        default=0.0,
+        help="per-request latency budget in us (0 = no deadlines)",
+    )
+    p.add_argument(
+        "--token-budget",
+        type=int,
+        default=2048,
+        help="valid-token budget per mixed prefill/decode round",
+    )
+    p.add_argument(
+        "--decode-priority",
+        type=float,
+        default=0.75,
+        help="fraction of the round budget reserved for in-flight "
+        "decodes when prefills are waiting",
+    )
+    p.add_argument(
+        "--kv-block",
+        type=int,
+        default=16,
+        help="paged KV arena block size in tokens",
+    )
+    p.add_argument(
+        "--kv-capacity-tokens",
+        type=int,
+        default=0,
+        help="paged KV arena capacity in tokens (0 = size to the trace; "
+        "smaller values force eviction/preemption under pressure)",
+    )
+    p.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="transient fault probability per targeted launch "
+        "(split evenly between launch failures and OOMs)",
+    )
+    p.add_argument(
+        "--target",
+        action="append",
+        help="kernel-name prefix eligible for faults (repeatable; "
+        "default: the batched paged-decode attention kernel, so the "
+        "looped decode rung genuinely escapes)",
+    )
+    p.add_argument("--max-retries", type=int, default=3)
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke shape (caps streams/layers/seq-len/tokens)",
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if any gate fails: conservation, zero KV overflow "
+        "allocs, bitwise equality of every served stream vs the "
+        "per-request decode loop",
+    )
+    p.add_argument(
+        "--out",
+        default=None,
+        help="write the generation report JSON here (CI artifact)",
+    )
+    p.set_defaults(func=cmd_generate)
 
     p = sub.add_parser(
         "metrics",

@@ -641,6 +641,40 @@ def plan_live_megabatch(
     )
 
 
+def plan_paged_kv_arena(
+    hidden: int,
+    capacity_tokens: int,
+    block_tokens: int,
+    *,
+    dtype: np.dtype | type = np.float64,
+) -> ActivationTrace:
+    """Symbolic arena plan for a paged KV-cache block pool.
+
+    The decode-serving KV arena (:class:`repro.decoder.paged_kv.PagedKVArena`)
+    holds one persistent ``[blocks, block_tokens, 2, hidden]`` tensor in a
+    :class:`LiveArena`.  This mirrors that single allocation name for name,
+    the same way :func:`plan_live_megabatch` mirrors the megabatch forward,
+    so the runtime can ``reserve()`` the exact backing bytes up front and
+    the pool is served from the backing from the first ``take`` — zero
+    overflow allocations ever, which the ``decode_serving`` bench gates.
+    """
+    if hidden <= 0:
+        raise ValueError(f"hidden must be positive, got {hidden}")
+    if block_tokens <= 0:
+        raise ValueError(f"block_tokens must be positive, got {block_tokens}")
+    if capacity_tokens < block_tokens:
+        raise ValueError(
+            f"capacity_tokens {capacity_tokens} below one block "
+            f"({block_tokens} tokens)"
+        )
+    blocks = -(-int(capacity_tokens) // int(block_tokens))
+    elem = np.dtype(dtype).itemsize
+    t = ActivationTrace()
+    t.alloc("kv_blocks", blocks * block_tokens * 2 * hidden * elem)
+    t.free_all()
+    return t
+
+
 class ScratchPool:
     """Per-thread reusable scratch for kernel temporaries.
 

@@ -23,13 +23,30 @@ from repro.decoder.causal import (
     causal_strip_problems,
     cross_problems,
 )
+from repro.decoder.estimator import (
+    canonical_decode_contexts,
+    estimate_decode_round,
+    estimate_decode_round_looped,
+    estimate_decode_round_tiled,
+    quantize_pow2,
+)
 from repro.decoder.generation import (
+    DecodeCellWeights,
     PackedKVCache,
+    attend_to_cache,
     decode_attention_launch,
     decode_self_attention_step,
+    generate_cell_reference,
     generation_traffic_ratio,
+    init_decode_cell,
+    max_decode_steps,
 )
 from repro.decoder.layer import decoder_layer_packed
+from repro.decoder.paged_kv import (
+    DEFAULT_KV_BLOCK_TOKENS,
+    KVPressureError,
+    PagedKVArena,
+)
 from repro.decoder.model import Seq2SeqModel
 from repro.decoder.reference import (
     reference_causal_attention,
@@ -48,6 +65,19 @@ __all__ = [
     "decode_attention_launch",
     "decode_self_attention_step",
     "generation_traffic_ratio",
+    "attend_to_cache",
+    "DecodeCellWeights",
+    "init_decode_cell",
+    "generate_cell_reference",
+    "max_decode_steps",
+    "DEFAULT_KV_BLOCK_TOKENS",
+    "KVPressureError",
+    "PagedKVArena",
+    "quantize_pow2",
+    "canonical_decode_contexts",
+    "estimate_decode_round",
+    "estimate_decode_round_looped",
+    "estimate_decode_round_tiled",
     "decoder_layer_packed",
     "Seq2SeqModel",
     "reference_causal_attention",

@@ -21,12 +21,15 @@ the same tokens.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.config import BertConfig
 from repro.gpusim.kernel import ComputeUnit, KernelLaunch
 from repro.gpusim.memory import BYTES_PER_ELEMENT
 from repro.gpusim.stream import ExecutionContext, resolve_context
+from repro.kernels.gemm import gemm
 from repro.kernels.softmax import softmax_reference
 
 #: sustained efficiency of the decode-attention kernel's math (it is
@@ -92,12 +95,30 @@ class PackedKVCache:
 
     @property
     def packed_bytes(self) -> int:
-        """Resident cache bytes in the packed layout (FP16 storage)."""
+        """Resident cache bytes in the packed layout (FP16 storage):
+        K and V, valid context rows only — 0 for an empty cache."""
         return int(2 * self.lengths().sum()) * self.hidden * BYTES_PER_ELEMENT
 
     def padded_bytes(self, max_context: int | None = None) -> int:
-        """What a padded cache would hold for the same state."""
-        cap = int(self.lengths().max()) if max_context is None else max_context
+        """What a padded cache would hold for the same state.
+
+        ``max_context`` is the fixed shape a padded deployment would
+        reserve per sequence; defaulting to the current batch maximum
+        gives the tightest padded competitor.  An explicit cap below the
+        longest resident context is rejected — it would *under*-count
+        the padded layout and flatter the packed/padded comparison the
+        telemetry gauges report.
+        """
+        longest = int(self.lengths().max())
+        if max_context is None:
+            cap = longest
+        else:
+            if max_context < longest:
+                raise ValueError(
+                    f"max_context {max_context} below the longest resident "
+                    f"context {longest}; a padded cache could not hold it"
+                )
+            cap = int(max_context)
         return 2 * self.batch * cap * self.hidden * BYTES_PER_ELEMENT
 
 
@@ -162,23 +183,184 @@ def decode_self_attention_step(
     if hidden % num_heads != 0:
         raise ValueError(f"hidden {hidden} not divisible by {num_heads} heads")
     head_size = hidden // num_heads
-    scale = 1.0 / math.sqrt(head_size)
 
     cache.append(k_step, v_step)
     out = np.empty_like(q_step)
     for b in range(batch):
-        keys = cache.keys(b).reshape(-1, num_heads, head_size)
-        values = cache.values(b).reshape(-1, num_heads, head_size)
-        q = q_step[b].reshape(num_heads, head_size)
-        for h in range(num_heads):
-            scores = (keys[:, h] @ q[h]) * scale
-            probs = softmax_reference(scores[None, :])[0]
-            out[b, h * head_size : (h + 1) * head_size] = probs @ values[:, h]
+        out[b] = attend_to_cache(
+            q_step[b], cache.keys(b), cache.values(b), num_heads
+        )
 
     resolve_context(ctx).launch(
         decode_attention_launch(cache.lengths(), num_heads, head_size)
     )
     return out
+
+
+def attend_to_cache(
+    q_row: np.ndarray,
+    keys: np.ndarray,
+    values: np.ndarray,
+    num_heads: int,
+) -> np.ndarray:
+    """Single-token attention of ``q_row [H]`` over ``[len, H]`` K/V.
+
+    The per-head math every decode path in this repo shares — the looped
+    per-request oracle, the batched serving path reading through paged
+    block tables, and :func:`decode_self_attention_step` all call this
+    with K/V gathered into the same contiguous ``[len, H]`` layout, so
+    their outputs are *bitwise* identical by construction.
+    """
+    hidden = q_row.shape[0]
+    if hidden % num_heads != 0:
+        raise ValueError(f"hidden {hidden} not divisible by {num_heads} heads")
+    head_size = hidden // num_heads
+    scale = 1.0 / math.sqrt(head_size)
+    k3 = keys.reshape(-1, num_heads, head_size)
+    v3 = values.reshape(-1, num_heads, head_size)
+    qh = q_row.reshape(num_heads, head_size)
+    out = np.empty_like(q_row)
+    for h in range(num_heads):
+        scores = (k3[:, h] @ qh[h]) * scale
+        probs = softmax_reference(scores[None, :])[0]
+        out[h * head_size : (h + 1) * head_size] = probs @ v3[:, h]
+    return out
+
+
+# ----------------------------------------------------------------------
+# the decode cell: the minimal autoregressive unit generation serves
+
+
+@dataclass(frozen=True)
+class DecodeCellWeights:
+    """One decode cell: fused QKV projection, cached self-attention,
+    output projection.
+
+    This is the self-attention core of a decoder layer — the part whose
+    cost and memory behaviour the KV cache changes — kept free of the
+    cross-attention/FFN bulk so the generation loop stays cheap enough
+    to run thousands of host-side steps in the bench and tests.
+    """
+
+    qkv_weight: np.ndarray
+    qkv_bias: np.ndarray
+    out_weight: np.ndarray
+    out_bias: np.ndarray
+
+    def __post_init__(self) -> None:
+        hidden = self.qkv_weight.shape[0]
+        expectations = {
+            "qkv_weight": (hidden, 3 * hidden),
+            "qkv_bias": (3 * hidden,),
+            "out_weight": (hidden, hidden),
+            "out_bias": (hidden,),
+        }
+        for name, shape in expectations.items():
+            actual = getattr(self, name).shape
+            if actual != shape:
+                raise ValueError(f"{name} has shape {actual}, expected {shape}")
+
+    @property
+    def hidden_size(self) -> int:
+        return self.qkv_weight.shape[0]
+
+
+def init_decode_cell(config: BertConfig, seed: int = 0) -> DecodeCellWeights:
+    """Deterministic decode-cell weights for ``config``'s hidden size."""
+    rng = np.random.default_rng(seed)
+    h = config.hidden_size
+
+    def w(*shape: int) -> np.ndarray:
+        return rng.normal(0.0, 0.02, size=shape).astype(np.float32)
+
+    return DecodeCellWeights(
+        qkv_weight=w(h, 3 * h),
+        qkv_bias=w(3 * h),
+        out_weight=w(h, h),
+        out_bias=w(h),
+    )
+
+
+def generate_cell_reference(
+    weights: DecodeCellWeights,
+    x_prompt: np.ndarray,
+    steps: int,
+    num_heads: int,
+    *,
+    ctx: ExecutionContext | None = None,
+) -> np.ndarray:
+    """Looped per-request generation — the bitwise oracle.
+
+    One request, one :class:`PackedKVCache`: the prompt is prefilled
+    with a single QKV GEMM, the first token comes from the last prompt
+    position attending over the whole prompt, and every further token
+    feeds the previous output back through the cell one step at a time.
+    Returns the ``[steps, H]`` generated hidden rows.  The serving
+    runtime's batched paged path must reproduce these bytes for every
+    request, however the scheduler interleaved them.
+    """
+    if x_prompt.ndim != 2 or x_prompt.shape[1] != weights.hidden_size:
+        raise ValueError(
+            f"prompt must be [len, {weights.hidden_size}], got "
+            f"{x_prompt.shape}"
+        )
+    if steps <= 0:
+        raise ValueError(f"steps must be positive, got {steps}")
+    hidden = weights.hidden_size
+    prompt_len = x_prompt.shape[0]
+    cache = PackedKVCache(1, hidden)
+
+    qkv = gemm(
+        x_prompt, weights.qkv_weight, bias=weights.qkv_bias,
+        ctx=ctx, name="decode_qkv", category="decode_gemm",
+    )
+    k = qkv[:, hidden : 2 * hidden]
+    v = qkv[:, 2 * hidden :]
+    cache.append_prompt(
+        k[None], v[None], np.asarray([prompt_len], dtype=np.int64)
+    )
+    attn = attend_to_cache(
+        qkv[prompt_len - 1, :hidden], cache.keys(0), cache.values(0),
+        num_heads,
+    )
+    y = gemm(
+        attn[None, :], weights.out_weight, bias=weights.out_bias,
+        ctx=ctx, name="decode_out", category="decode_gemm",
+    )
+    tokens = [y[0]]
+    for _ in range(1, steps):
+        qkv_t = gemm(
+            tokens[-1][None, :], weights.qkv_weight, bias=weights.qkv_bias,
+            ctx=ctx, name="decode_qkv", category="decode_gemm",
+        )
+        attn_t = decode_self_attention_step(
+            qkv_t[:, :hidden],
+            qkv_t[:, hidden : 2 * hidden],
+            qkv_t[:, 2 * hidden :],
+            cache,
+            num_heads,
+            ctx=ctx,
+        )
+        y = gemm(
+            attn_t, weights.out_weight, bias=weights.out_bias,
+            ctx=ctx, name="decode_out", category="decode_gemm",
+        )
+        tokens.append(y[0])
+    return np.stack(tokens)
+
+
+def max_decode_steps(prompt_len: int, decode_tokens: int, max_context: int) -> int:
+    """Decode steps a request actually gets before hitting the context cap.
+
+    The first token costs no cache growth beyond the prompt; each later
+    token appends one KV row, so the cache after ``s`` steps holds
+    ``prompt_len + s - 1`` rows and the cap admits at most
+    ``max_context - prompt_len + 1`` steps.  Returns 0 only for a
+    prompt already over the cap (which trace validation rejects).
+    """
+    if prompt_len <= 0 or decode_tokens <= 0:
+        raise ValueError("prompt_len and decode_tokens must be positive")
+    return max(0, min(int(decode_tokens), int(max_context) - prompt_len + 1))
 
 
 def generation_traffic_ratio(

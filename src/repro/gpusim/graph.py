@@ -177,7 +177,8 @@ class GraphCache:
     @staticmethod
     def _kind_of(key: Hashable) -> str:
         """Key kind for the eager/replayed split: the leading string tag
-        of tagged keys (``"estimate"``, ``"tile"``), else ``"model"``."""
+        of tagged keys (``"estimate"``, ``"tile"``, ``"decode"`` for the
+        mixed prefill/decode round keys), else ``"model"``."""
         if isinstance(key, tuple) and key and isinstance(key[0], str):
             return key[0]
         return "model"
@@ -195,7 +196,9 @@ class GraphCache:
         observability for shape quantization: a healthy continuous
         deployment shows a handful of ``tile`` captures (one per live
         tile) against a large replay count, while a per-dispatch batcher
-        scatters captures across unique length signatures.
+        scatters captures across unique length signatures.  Decode
+        serving reports the same shape under the ``decode`` kind (one
+        capture per quantized round shape).
         """
         return {k: dict(v) for k, v in self._kind_counts.items()}
 

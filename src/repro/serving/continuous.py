@@ -42,6 +42,8 @@ from repro.telemetry import current_telemetry
 from repro.workloads.batching import (
     DEFAULT_TILES,
     ContinuousBatcher,
+    DecodeRound,
+    MixedContinuousBatcher,
     TokenBudgetExceededError,
     quantize_tile,
 )
@@ -50,6 +52,8 @@ from repro.workloads.serving import Request
 __all__ = [
     "DEFAULT_TILES",
     "ContinuousBatcher",
+    "DecodeRound",
+    "MixedContinuousBatcher",
     "TokenBudgetExceededError",
     "quantize_tile",
     "build_megabatch",

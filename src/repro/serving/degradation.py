@@ -30,6 +30,10 @@ FAULT = "fault"
 DEADLINE_MISS = "deadline-miss"
 BUDGET_BURN = "budget-burn"
 
+#: decode pricing paths a rung can select: the batched paged varlen
+#: kernel, or the conservative per-request looped chain
+DECODE_PATHS = ("batched", "looped")
+
 
 @dataclass(frozen=True)
 class DegradationLevel:
@@ -47,6 +51,13 @@ class DegradationLevel:
     engine: str
     mha_path: str
     exact_gelu: bool = False
+    #: which decode pricing path the rung uses — ``"batched"`` is the
+    #: paged varlen kernel, ``"looped"`` walks every request through its
+    #: own per-step kernel chain.  Numerics are identical on both (they
+    #: share the per-head attention math); only the cost plane degrades,
+    #: which is exactly what lets a round escape a fault targeting the
+    #: batched kernel.
+    decode_path: str = "batched"
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -56,6 +67,11 @@ class DegradationLevel:
         if self.mha_path not in MHA_PATHS:
             raise ValueError(
                 f"unknown MHA path {self.mha_path!r}; pick one of {MHA_PATHS}"
+            )
+        if self.decode_path not in DECODE_PATHS:
+            raise ValueError(
+                f"unknown decode path {self.decode_path!r}; pick one of "
+                f"{DECODE_PATHS}"
             )
 
 
@@ -68,6 +84,20 @@ DEFAULT_LEVELS: tuple[DegradationLevel, ...] = (
     DegradationLevel("looped-host", LOOPED, "fused", exact_gelu=True),
     DegradationLevel("zeropad-softmax", LOOPED, "zeropad", exact_gelu=True),
     DegradationLevel("unfused-cublas", LOOPED, "cublas", exact_gelu=True),
+)
+
+#: the decode serving ladder: the batched paged-varlen round, then the
+#: per-request looped chain (same bits, conservative pricing, immune to
+#: faults targeting the batched kernel)
+DECODE_LEVELS: tuple[DegradationLevel, ...] = (
+    DegradationLevel("decode-batched", VECTORIZED, "fused"),
+    DegradationLevel(
+        "decode-looped",
+        LOOPED,
+        "fused",
+        exact_gelu=True,
+        decode_path="looped",
+    ),
 )
 
 

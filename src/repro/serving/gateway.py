@@ -154,6 +154,11 @@ class TenantPolicy:
     #: deadline-attainment floor for latency-SLO tenants (checked by
     #: ``repro loadtest --check``)
     attainment_target: float = 0.99
+    #: per-generated-token latency target for decode serving: the
+    #: tenant's inter-token gaps (and TTFT) should land under this.
+    #: ``None`` leaves the tenant without a streaming SLO — encoder
+    #: tenants and pre-decode configs are untouched.
+    decode_slo_us: float | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -174,6 +179,10 @@ class TenantPolicy:
             raise ValueError(
                 f"attainment_target must be in (0, 1], got "
                 f"{self.attainment_target}"
+            )
+        if self.decode_slo_us is not None and self.decode_slo_us <= 0:
+            raise ValueError(
+                f"decode_slo_us must be positive, got {self.decode_slo_us}"
             )
 
     def make_bucket(self) -> TokenBucket | None:

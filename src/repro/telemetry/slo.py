@@ -57,6 +57,18 @@ GATEWAY_RETRY_AFTER_US = "gateway_retry_after_us"
 GATEWAY_RELEASE_WAIT_US = "gateway_release_wait_us"
 EXECUTOR_WORKER_RECOVERIES_TOTAL = "executor_worker_recoveries_total"
 
+# decode serving & the paged KV arena; only populated by the
+# generation runtime, so encoder-only consumers see an unchanged
+# registry
+DECODE_TOKENS_TOTAL = "serving_decode_tokens_total"
+TTFT_US = "serving_ttft_us"
+INTER_TOKEN_US = "serving_inter_token_us"
+TENANT_DECODE_TOKEN_LATENCY_US = "serving_tenant_decode_token_latency_us"
+KV_BYTES_LIVE = "kv_arena_bytes_live"
+KV_BYTES_PEAK = "kv_arena_bytes_peak"
+KV_BLOCK_OCCUPANCY = "kv_arena_block_occupancy"
+KV_EVICTIONS_TOTAL = "kv_arena_evictions_total"
+
 # multi-device sharded serving (labelled by ``device`` where noted);
 # only populated when the runtime runs with > 1 device, so every
 # single-device consumer sees an unchanged registry

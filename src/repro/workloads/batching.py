@@ -439,6 +439,154 @@ class ContinuousBatcher(Batcher):
 
 
 @dataclass(frozen=True)
+class DecodeRound:
+    """One mixed prefill/decode megabatch cut by the mixed batcher.
+
+    ``decode_ids`` are in-flight requests stepping one token each this
+    round; ``prefills`` are newly admitted prompts prefilled in the same
+    packed dispatch.  The total valid-token load of the round is
+    ``prefill_tokens + decode_batch`` (one QKV row per decode step).
+    ``prefill_tile`` is the quantized tile the prefill segment is priced
+    at (0 when the round carries no prefills).
+    """
+
+    decode_ids: tuple[int, ...]
+    prefills: tuple[Request, ...]
+    ready_us: float
+    prefill_tile: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.decode_ids and not self.prefills:
+            raise ValueError("a decode round needs prefill or decode work")
+        if self.prefills and self.prefill_tile < self.prefill_tokens:
+            raise ValueError(
+                f"prefill tile {self.prefill_tile} cannot hold "
+                f"{self.prefill_tokens} prompt tokens"
+            )
+
+    @property
+    def prefill_tokens(self) -> int:
+        return int(sum(r.seq_len for r in self.prefills))
+
+    @property
+    def decode_batch(self) -> int:
+        return len(self.decode_ids)
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prefill_tokens + self.decode_batch
+
+
+@dataclass
+class MixedContinuousBatcher:
+    """Continuous batching with prefills and decode steps in one budget.
+
+    Each round spends the same ``token_budget`` the encoder megabatcher
+    uses, but on two kinds of work: every in-flight request contributes
+    one decode-step row, and the residual budget admits waiting prompts
+    (tightest deadline first, head-of-queue always eligible).  The
+    ``decode_priority`` knob caps how much of the budget decode steps
+    may claim while prompts are waiting — at 1.0 in-flight streams are
+    never slowed by new arrivals (maximum streaming smoothness, worst
+    prompt queueing); lower values admit prompts sooner at the cost of
+    skipped decode steps for some streams.  With nothing waiting, decode
+    always gets the whole budget.
+
+    Unlike the encoder batchers this is not a trace-in/plan-out policy:
+    decode rounds depend on runtime state (which requests are still
+    generating), so the serving runtime calls :meth:`plan_round` once
+    per round with the live picture.
+    """
+
+    token_budget: int = 2048
+    tiles: tuple[int, ...] = DEFAULT_TILES
+    #: budget fraction decode steps may claim while prompts are waiting
+    decode_priority: float = 0.75
+    name: str = "mixed"
+
+    def __post_init__(self) -> None:
+        if self.token_budget <= 0:
+            raise ValueError("token_budget must be positive")
+        if not 0.0 < self.decode_priority <= 1.0:
+            raise ValueError(
+                f"decode_priority must be in (0, 1], got "
+                f"{self.decode_priority}"
+            )
+        if self.tiles and min(self.tiles) <= 0:
+            raise ValueError("tiles must be positive")
+
+    def effective_tiles(self) -> tuple[int, ...]:
+        """Tiles actually used: those under the budget, plus the budget."""
+        under = sorted(t for t in self.tiles if t < self.token_budget)
+        return tuple(under) + (self.token_budget,)
+
+    def plan_round(
+        self,
+        waiting: Sequence[Request],
+        active_decode_ids: Sequence[int],
+        now_us: float,
+    ) -> DecodeRound | None:
+        """Cut one mixed round from the live serving state.
+
+        ``waiting`` are admitted-but-unprefilled requests (any order;
+        arrivals after ``now_us`` are ignored); ``active_decode_ids``
+        are in-flight request ids in activation order — the order is the
+        fairness policy when the decode cap bites.  Returns ``None``
+        when there is nothing to do this round (the empty-round case:
+        the runtime advances its clock to the next arrival instead).
+        """
+        arrived = [r for r in waiting if r.arrival_us <= now_us]
+        for request in arrived:
+            if request.seq_len > self.token_budget:
+                raise TokenBudgetExceededError(
+                    f"request {request.request_id} has {request.seq_len} "
+                    f"prompt tokens, more than the {self.token_budget}-"
+                    "token budget; a prompt cannot be split"
+                )
+        cap = (
+            self.token_budget
+            if not arrived
+            else max(1, round(self.token_budget * self.decode_priority))
+        )
+        decode_ids = tuple(active_decode_ids[:cap])
+        residual = self.token_budget - len(decode_ids)
+        by_deadline = sorted(
+            range(len(arrived)),
+            key=lambda i: (
+                arrived[i].absolute_deadline_us is None,
+                arrived[i].absolute_deadline_us or 0.0,
+                arrived[i].arrival_us,
+                arrived[i].request_id,
+            ),
+        )
+        chosen: list[Request] = []
+        used = 0
+        for i in by_deadline:
+            if used + arrived[i].seq_len <= residual:
+                chosen.append(arrived[i])
+                used += arrived[i].seq_len
+        if not decode_ids and not chosen:
+            return None
+        tile = (
+            quantize_tile(used, self.effective_tiles()) if chosen else 0
+        )
+        round_ = DecodeRound(
+            decode_ids=decode_ids,
+            prefills=tuple(chosen),
+            ready_us=now_us,
+            prefill_tile=tile,
+        )
+        _observe_cut(
+            len(waiting),
+            chosen,
+            now_us,
+            tile=tile or None,
+            fill=round_.total_tokens / self.token_budget,
+        )
+        return round_
+
+
+@dataclass(frozen=True)
 class ReplayResult:
     """Per-request latencies of one (policy, framework) replay."""
 

@@ -40,6 +40,29 @@ class Request:
 
 
 @dataclass(frozen=True)
+class GenerationRequest(Request):
+    """A request that decodes tokens after its prompt is prefilled.
+
+    ``seq_len`` is the prompt length; ``decode_tokens`` is how many
+    tokens the client asked for.  The decode runtime may truncate the
+    stream earlier when the context window fills (see
+    :func:`repro.decoder.generation.max_decode_steps`).  Being a frozen
+    subclass keeps every ``Request`` consumer working unchanged —
+    ``dataclasses.replace`` (gateway re-anchoring) preserves the
+    subclass and the extra field.
+    """
+
+    decode_tokens: int = 1
+
+    def __post_init__(self) -> None:
+        if self.decode_tokens < 1:
+            raise ValueError(
+                f"request {self.request_id} asks for {self.decode_tokens} "
+                "decode tokens; generation needs at least 1"
+            )
+
+
+@dataclass(frozen=True)
 class ServingTrace:
     """A stream of requests plus the padded shape they are served with."""
 
@@ -118,6 +141,54 @@ def make_trace(
             arrival_us=float(arrivals[i]),
             seq_len=int(lens[i]),
             deadline_us=deadline_us,
+        )
+        for i in range(num_requests)
+    )
+    return ServingTrace(requests=requests, max_seq_len=max_seq_len)
+
+
+def make_generation_trace(
+    num_requests: int,
+    max_seq_len: int,
+    *,
+    decode_tokens: int = 16,
+    alpha: float = 0.6,
+    mean_interarrival_us: float = 500.0,
+    distribution: LengthDistribution = LengthDistribution.UNIFORM,
+    seed: int = 0,
+    deadline_us: float | None = None,
+    tenant: str = "",
+) -> ServingTrace:
+    """Generation analogue of :func:`make_trace`.
+
+    Prompt lengths follow the same seeded distributions; each request
+    additionally asks for ``1 + Poisson(decode_tokens - 1)`` output
+    tokens so decode demand is ragged the way prompt lengths are.
+    """
+    if num_requests <= 0:
+        raise ValueError("num_requests must be positive")
+    if decode_tokens < 1:
+        raise ValueError(f"decode_tokens must be >= 1, got {decode_tokens}")
+    rng = np.random.default_rng(seed)
+    if distribution is LengthDistribution.UNIFORM:
+        lens = uniform_lengths(num_requests, max_seq_len, alpha, rng)
+    elif distribution is LengthDistribution.NORMAL:
+        lens = normal_lengths(num_requests, max_seq_len, alpha, rng)
+    elif distribution is LengthDistribution.ZIPF:
+        lens = zipf_lengths(num_requests, max_seq_len, rng)
+    else:
+        raise ValueError(f"unsupported trace distribution {distribution!r}")
+    steps = 1 + rng.poisson(decode_tokens - 1, size=num_requests)
+    gaps = rng.exponential(mean_interarrival_us, size=num_requests)
+    arrivals = np.cumsum(gaps)
+    requests = tuple(
+        GenerationRequest(
+            request_id=i,
+            arrival_us=float(arrivals[i]),
+            seq_len=int(lens[i]),
+            deadline_us=deadline_us,
+            tenant=tenant,
+            decode_tokens=int(steps[i]),
         )
         for i in range(num_requests)
     )

@@ -1,0 +1,125 @@
+"""Mixed prefill/decode round planning: budget, priority, ordering."""
+
+import pytest
+
+from repro.workloads.batching import (
+    DecodeRound,
+    MixedContinuousBatcher,
+    TokenBudgetExceededError,
+)
+from repro.workloads.serving import GenerationRequest, Request
+
+
+def req(rid, seq_len, arrival=0.0, deadline=None):
+    return Request(
+        request_id=rid,
+        arrival_us=arrival,
+        seq_len=seq_len,
+        deadline_us=deadline,
+    )
+
+
+class TestDecodeRound:
+    def test_empty_round_rejected(self):
+        with pytest.raises(ValueError, match="prefill or decode"):
+            DecodeRound(decode_ids=(), prefills=(), ready_us=0.0)
+
+    def test_tile_must_hold_prompt_tokens(self):
+        with pytest.raises(ValueError, match="cannot hold"):
+            DecodeRound(
+                decode_ids=(),
+                prefills=(req(0, 100),),
+                ready_us=0.0,
+                prefill_tile=64,
+            )
+
+    def test_token_accounting(self):
+        round_ = DecodeRound(
+            decode_ids=(4, 5, 6),
+            prefills=(req(0, 40), req(1, 24)),
+            ready_us=1.0,
+            prefill_tile=64,
+        )
+        assert round_.prefill_tokens == 64
+        assert round_.decode_batch == 3
+        assert round_.total_tokens == 67
+
+
+class TestBatcherValidation:
+    def test_budget_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            MixedContinuousBatcher(token_budget=0)
+
+    @pytest.mark.parametrize("priority", (0.0, -0.1, 1.5))
+    def test_priority_range(self, priority):
+        with pytest.raises(ValueError, match="decode_priority"):
+            MixedContinuousBatcher(decode_priority=priority)
+
+    def test_effective_tiles_end_at_budget(self):
+        b = MixedContinuousBatcher(token_budget=512, tiles=(128, 256, 4096))
+        assert b.effective_tiles() == (128, 256, 512)
+
+
+class TestPlanRound:
+    def test_decode_only_gets_full_budget(self):
+        b = MixedContinuousBatcher(token_budget=8, decode_priority=0.5)
+        round_ = b.plan_round([], list(range(20)), now_us=0.0)
+        assert round_.decode_ids == tuple(range(8))
+        assert round_.prefills == ()
+        assert round_.prefill_tile == 0
+
+    def test_waiting_prefills_cap_decode(self):
+        b = MixedContinuousBatcher(token_budget=100, decode_priority=0.6)
+        round_ = b.plan_round(
+            [req(50, 30)], list(range(90)), now_us=0.0
+        )
+        # decode capped at 60% of the budget; residual admits the prompt
+        assert round_.decode_ids == tuple(range(60))
+        assert [r.request_id for r in round_.prefills] == [50]
+
+    def test_future_arrivals_are_invisible(self):
+        b = MixedContinuousBatcher(token_budget=100, decode_priority=0.5)
+        round_ = b.plan_round(
+            [req(0, 10, arrival=500.0)], [1, 2], now_us=0.0
+        )
+        # the unarrived prompt neither caps decode nor joins the round
+        assert round_.decode_ids == (1, 2)
+        assert round_.prefills == ()
+
+    def test_tightest_deadline_first(self):
+        b = MixedContinuousBatcher(token_budget=64)
+        waiting = [
+            req(0, 30, arrival=0.0),  # deadline-free: last resort
+            req(1, 30, arrival=2.0, deadline=50.0),
+            req(2, 30, arrival=1.0, deadline=500.0),
+        ]
+        round_ = b.plan_round(waiting, [], now_us=5.0)
+        # only two 30-token prompts fit 64; the urgent pair wins
+        assert [r.request_id for r in round_.prefills] == [1, 2]
+
+    def test_prefill_tile_quantizes_used_tokens(self):
+        b = MixedContinuousBatcher(token_budget=2048)
+        round_ = b.plan_round([req(0, 100)], [], now_us=0.0)
+        assert round_.prefill_tile >= 100
+        assert round_.prefill_tile in b.effective_tiles()
+
+    def test_nothing_to_do_returns_none(self):
+        b = MixedContinuousBatcher()
+        assert b.plan_round([], [], now_us=0.0) is None
+        assert (
+            b.plan_round([req(0, 10, arrival=99.0)], [], now_us=0.0) is None
+        )
+
+    def test_oversize_prompt_raises(self):
+        b = MixedContinuousBatcher(token_budget=64)
+        with pytest.raises(TokenBudgetExceededError, match="cannot be split"):
+            b.plan_round([req(0, 65)], [], now_us=0.0)
+
+    def test_generation_requests_plan_like_requests(self):
+        b = MixedContinuousBatcher(token_budget=64)
+        g = GenerationRequest(
+            request_id=3, arrival_us=0.0, seq_len=20, decode_tokens=9
+        )
+        round_ = b.plan_round([g], [7], now_us=0.0)
+        assert round_.decode_ids == (7,)
+        assert round_.prefills == (g,)
