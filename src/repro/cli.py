@@ -213,6 +213,22 @@ def _export_telemetry(tel, trace_out, metrics_out, process_name) -> None:
         print(f"telemetry JSONL written to {path}")
 
 
+def _git_sha() -> str:
+    """Short sha of HEAD, or "" outside a git checkout."""
+    import subprocess
+
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return ""
+    return proc.stdout.strip() if proc.returncode == 0 else ""
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     """Wall-clock benchmark: vectorized engine vs looped reference."""
     from repro.bench.wallclock import (
@@ -266,6 +282,28 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if args.out:
         path = write_bench_json(result, args.out)
         print(f"wrote {path}")
+    exit_code = 0
+    if args.baseline is not None:
+        from repro.observe.history import (
+            append_record,
+            baseline_gate,
+            load_history,
+            record_from_result,
+        )
+
+        record = record_from_result(result, git_sha=_git_sha())
+        gate = baseline_gate(
+            record,
+            load_history(args.baseline),
+            k=args.history_k,
+            history_dir=str(args.baseline),
+        )
+        # append before judging: a regressed run is still a data point
+        record_path = append_record(args.baseline, record)
+        print(f"bench history record appended: {record_path}")
+        print(gate.render_text())
+        if not gate.passed:
+            exit_code = 1
     if args.check:
         failures = check_invariants(result)
         for warning in check_warnings(result):
@@ -276,7 +314,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 print(f"invariant FAILED: {failure}", file=sys.stderr)
             return 1
         print("all invariants hold")
-    return 0
+    return exit_code
 
 
 def cmd_serve_chaos(args: argparse.Namespace) -> int:
@@ -410,6 +448,154 @@ def cmd_serve_chaos(args: argparse.Namespace) -> int:
     )
     print(SloReport.from_registry(tel.metrics, policy).render_text())
     _export_telemetry(tel, args.trace_out, args.metrics_out, "serve-chaos")
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Attribute a replay's microseconds: critical path, tail, knobs."""
+    import json
+    from pathlib import Path
+
+    from repro.core.config import BertConfig
+    from repro.gpusim.profiler import ProfileReport
+    from repro.observe import (
+        CriticalPathReport,
+        KnobConfig,
+        format_knob_table,
+        sweep_knobs,
+        tail_forensics,
+    )
+    from repro.serving import FaultSpec, RetryPolicy, ServingRuntime
+    from repro.telemetry import SloPolicy, SloReport, Telemetry
+    from repro.workloads.batching import ContinuousBatcher
+    from repro.workloads.serving import make_trace
+
+    if args.requests <= 0:
+        raise ValueError(f"--requests must be positive, got {args.requests}")
+    if args.quick:
+        args.requests = min(args.requests, 24)
+        args.layers = min(args.layers, 2)
+        args.max_seq_len = min(args.max_seq_len, 64)
+        args.token_budget = min(args.token_budget, 512)
+    trace = make_trace(
+        args.requests,
+        args.max_seq_len,
+        alpha=args.alpha,
+        mean_interarrival_us=args.mean_interarrival_us,
+        seed=args.seed,
+        deadline_us=args.deadline_us if args.deadline_us > 0 else None,
+    )
+    sharding = None
+    if args.devices > 1:
+        from repro.serving.sharded import ShardConfig
+
+        sharding = ShardConfig(devices=args.devices, mode=args.shard)
+    tel = Telemetry()
+    runtime = ServingRuntime(
+        BertConfig(num_layers=args.layers),
+        batcher=ContinuousBatcher(
+            token_budget=args.token_budget, timeout_us=args.timeout_us
+        ),
+        retry=RetryPolicy(max_retries=args.max_retries),
+        faults=FaultSpec(
+            launch_failure_rate=args.fault_rate / 2.0,
+            transient_oom_rate=args.fault_rate / 2.0,
+            target_prefixes=("fused_mha", "fmha_"),
+        ),
+        device=DEVICES[args.device],
+        seed=args.seed,
+        telemetry=tel,
+        sharding=sharding,
+    )
+    print(
+        f"explain: {args.requests} requests, fault rate "
+        f"{args.fault_rate:.0%}, seed {args.seed}"
+        + (
+            f", {args.devices} devices ({args.shard})"
+            if args.devices > 1
+            else ""
+        )
+    )
+    report = runtime.run(trace)
+    cp = CriticalPathReport.from_telemetry(tel)
+    print(cp.render_text(top=args.top))
+    print(
+        ProfileReport.from_segments(tel.kernel_segments).to_table(
+            "kernel profile"
+        )
+    )
+    tail = tail_forensics(cp)
+    print(SloReport.from_registry(tel.metrics, SloPolicy())
+          .with_tail(tail).render_text())
+
+    knob_results = None
+    if args.knobs:
+        cfg = (
+            KnobConfig.quick()
+            if args.quick
+            else KnobConfig(
+                token_budget=args.token_budget, timeout_us=args.timeout_us
+            )
+        )
+        knob_results = sweep_knobs(cfg)
+        print(format_knob_table(knob_results))
+
+    if args.json:
+        payload = {
+            "critical_path": cp.to_json(),
+            "tail": tail.to_dict() if tail is not None else None,
+        }
+        if knob_results is not None:
+            payload["knobs"] = [s.to_dict() for s in knob_results]
+        out = Path(args.json)
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"explain report written to {out}")
+    if args.trace_out:
+        from repro.gpusim.trace import write_telemetry_trace
+
+        path = write_telemetry_trace(
+            tel,
+            args.trace_out,
+            process_name="explain",
+            critical_path=cp.critical_request(),
+        )
+        print(f"telemetry trace written to {path}")
+
+    if args.check:
+        failures: list[str] = []
+        latency = {
+            o.request_id: o.latency_us
+            for o in report.outcomes
+            if o.latency_us is not None
+        }
+        outcomes = {o.request_id: o.outcome.value for o in report.outcomes}
+        paths = {p.request_id: p for p in cp.requests}
+        for rid, outcome in outcomes.items():
+            path = paths.get(rid)
+            if path is None:
+                failures.append(f"request {rid} has no critical path")
+                continue
+            if outcome != "served":
+                continue
+            gap = path.path_us - latency[rid]
+            if gap > 1e-6:
+                failures.append(
+                    f"request {rid}: path {path.path_us:.3f} us exceeds "
+                    f"latency {latency[rid]:.3f} us"
+                )
+            elif path.decomposed and abs(gap) > 1e-6:
+                failures.append(
+                    f"request {rid}: decomposed path {path.path_us:.3f} us "
+                    f"!= latency {latency[rid]:.3f} us"
+                )
+        if failures:
+            for failure in failures:
+                print(f"explain check FAILED: {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"all explain checks hold ({len(outcomes)} request paths "
+            "sum-checked against the serving report)"
+        )
     return 0
 
 
@@ -868,6 +1054,26 @@ def cmd_generate(args: argparse.Namespace) -> int:
             )
         )
 
+    # -- caches (same columns bench/serve-chaos print, incl. the
+    #    decode graph kind) ---------------------------------------------
+    from repro.core.padding import default_packing_cache
+    from repro.gpusim.profiler import CacheStats, format_cache_stats
+
+    stats = [CacheStats.from_cache("packing", default_packing_cache())]
+    if runtime.graph_cache is not None:
+        stats.append(
+            CacheStats.from_cache("launch_graphs", runtime.graph_cache)
+        )
+    print(format_cache_stats(stats))
+    if runtime.graph_cache is not None:
+        kinds = runtime.graph_cache.kind_counts()
+        if kinds:
+            parts = ", ".join(
+                f"{kind}: {c['captures']} captured / {c['replays']} replayed"
+                for kind, c in sorted(kinds.items())
+            )
+            print(f"graph kinds: {parts}")
+
     # -- gates ----------------------------------------------------------
     failures: list[str] = []
     counts = report.counts()
@@ -1119,6 +1325,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the steady run's span/metric JSONL dump here",
     )
+    p.add_argument(
+        "--baseline",
+        nargs="?",
+        const="benchmarks/history",
+        default=None,
+        metavar="DIR",
+        help="gate this run against the bench history in DIR "
+        "(default benchmarks/history) and append it as a new record; "
+        "exits 1 on a hard (modelled-metric) regression",
+    )
+    p.add_argument(
+        "--history-k",
+        type=int,
+        default=5,
+        help="same-shape history records the baseline median uses",
+    )
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(
@@ -1229,6 +1451,90 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the span/metric JSONL dump here",
     )
     p.set_defaults(func=cmd_serve_chaos)
+
+    p = sub.add_parser(
+        "explain",
+        help="attribute a serving replay's microseconds: per-request "
+        "critical path, p99-vs-p50 tail forensics, knob sensitivity",
+    )
+    p.add_argument("--requests", type=int, default=48)
+    p.add_argument("--max-seq-len", type=int, default=256)
+    p.add_argument("--alpha", type=float, default=0.6)
+    p.add_argument("--layers", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--device", choices=sorted(DEVICES), default=A100_SPEC.name
+    )
+    p.add_argument("--mean-interarrival-us", type=float, default=400.0)
+    p.add_argument(
+        "--deadline-us",
+        type=float,
+        default=0.0,
+        help="per-request latency budget in us (0 = no deadlines)",
+    )
+    p.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.1,
+        help="transient fault probability per targeted launch, so the "
+        "report has retry- and ladder-penalty edges to attribute",
+    )
+    p.add_argument(
+        "--token-budget",
+        type=int,
+        default=2048,
+        help="valid-token budget per continuous megabatch",
+    )
+    p.add_argument("--timeout-us", type=float, default=2000.0)
+    p.add_argument("--max-retries", type=int, default=3)
+    p.add_argument(
+        "--devices",
+        type=int,
+        default=1,
+        help="spread the replay over this many simulated devices",
+    )
+    p.add_argument(
+        "--shard",
+        choices=SHARD_MODES,
+        default="dp",
+        help="how --devices shard",
+    )
+    p.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        help="slowest served requests to tabulate",
+    )
+    p.add_argument(
+        "--knobs",
+        action="store_true",
+        help="also sweep the policy knobs and print the ranked "
+        "sensitivity table",
+    )
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke shape (caps requests/layers/seq-len/budget)",
+    )
+    p.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the full attribution report as JSON here",
+    )
+    p.add_argument(
+        "--trace-out",
+        default=None,
+        help="write the Chrome trace with the highlighted "
+        "critical-path lane here",
+    )
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 unless every request's critical path sum-checks "
+        "against its served latency",
+    )
+    p.set_defaults(func=cmd_explain)
 
     p = sub.add_parser(
         "loadtest",

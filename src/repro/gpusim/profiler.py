@@ -42,6 +42,18 @@ class CacheStats:
     def lookups(self) -> int:
         return self.hits + self.misses
 
+    def kind(self, name: str) -> dict:
+        """Capture/replay counters of one key kind (e.g. ``"decode"``).
+
+        Returns ``{"captures": 0, "replays": 0}`` for kinds the cache
+        never saw, so callers can print uniform columns.
+        """
+        counts = self.kind_counts.get(name, {})
+        return {
+            "captures": int(counts.get("captures", 0)),
+            "replays": int(counts.get("replays", 0)),
+        }
+
     @property
     def hit_rate(self) -> float:
         """Hits per lookup; 0.0 for a never-queried cache."""
@@ -117,17 +129,47 @@ class ProfileReport:
 
     categories: dict[str, CategoryProfile] = field(default_factory=dict)
     total_us: float = 0.0
+    #: per-device breakdown, populated by :meth:`from_segments`; empty
+    #: for single-context profiles (:meth:`from_context`)
+    device_categories: dict[int, dict[str, CategoryProfile]] = field(
+        default_factory=dict
+    )
+
+    def _add_record(self, record, device: int | None = None) -> None:
+        cat = record.launch.category
+        profile = self.categories.setdefault(cat, CategoryProfile(cat))
+        profile.add(
+            record.time_us, record.launch.flops, record.launch.dram_bytes
+        )
+        self.total_us += record.time_us
+        if device is not None:
+            per_dev = self.device_categories.setdefault(device, {})
+            per_dev.setdefault(cat, CategoryProfile(cat)).add(
+                record.time_us, record.launch.flops, record.launch.dram_bytes
+            )
 
     @classmethod
     def from_context(cls, ctx: ExecutionContext) -> "ProfileReport":
         report = cls()
         for record in ctx.records:
-            cat = record.launch.category
-            profile = report.categories.setdefault(cat, CategoryProfile(cat))
-            profile.add(
-                record.time_us, record.launch.flops, record.launch.dram_bytes
-            )
-            report.total_us += record.time_us
+            report._add_record(record)
+        return report
+
+    @classmethod
+    def from_segments(cls, segments) -> "ProfileReport":
+        """Aggregate a telemetry run's kernel segments, per device.
+
+        ``segments`` duck-types
+        :class:`~repro.telemetry.context.KernelSegment` (``records`` +
+        ``device``); the global category totals match concatenating the
+        segments into one flat context, and the per-device split feeds
+        the subtotal rows of :meth:`to_table`.
+        """
+        report = cls()
+        for segment in segments:
+            device = int(getattr(segment, "device", 0))
+            for record in segment.records:
+                report._add_record(record, device=device)
         return report
 
     def fraction(self, category: str) -> float:
@@ -156,19 +198,52 @@ class ProfileReport:
         )
 
     def to_table(self, title: str = "profile") -> str:
-        """Render the breakdown as a fixed-width text table."""
+        """Render the breakdown as a fixed-width text table.
+
+        The category column widens to the longest name present, so a
+        timeline mixing ``collective`` with the long decode categories
+        (``decode_attention``) still lines up; every numeric column is
+        exactly as wide as its header.  When the report carries a
+        per-device split (:meth:`from_segments` on a sharded run) one
+        subtotal row per device follows the categories.
+        """
+        width = max(
+            [18] + [len(name) + 2 for name in self.categories]
+        )
         lines = [
             f"== {title} (total {self.total_us:10.1f} us) ==",
-            f"{'category':<18}{'time_us':>12}{'share':>9}"
+            f"{'category':<{width}}{'time_us':>12}{'share':>9}"
             f"{'launches':>10}{'GFLOP':>10}{'MB':>10}",
         ]
-        for profile in self.sorted_categories():
-            lines.append(
-                f"{profile.category:<18}"
+
+        def row(label: str, profile: CategoryProfile, share: float) -> str:
+            return (
+                f"{label:<{width}}"
                 f"{profile.time_us:>12.1f}"
-                f"{self.fraction(profile.category):>8.1%}"
+                f"{share:>9.1%}"
                 f"{profile.launches:>10d}"
                 f"{profile.flops / 1e9:>10.2f}"
                 f"{profile.dram_bytes / 1e6:>10.2f}"
             )
+
+        for profile in self.sorted_categories():
+            lines.append(
+                row(
+                    profile.category,
+                    profile,
+                    self.fraction(profile.category),
+                )
+            )
+        if len(self.device_categories) > 1:
+            for device in sorted(self.device_categories):
+                subtotal = CategoryProfile(f"device {device}")
+                for profile in self.device_categories[device].values():
+                    subtotal.time_us += profile.time_us
+                    subtotal.flops += profile.flops
+                    subtotal.dram_bytes += profile.dram_bytes
+                    subtotal.launches += profile.launches
+                share = (
+                    subtotal.time_us / self.total_us if self.total_us else 0.0
+                )
+                lines.append(row(f"-- device {device}", subtotal, share))
         return "\n".join(lines)

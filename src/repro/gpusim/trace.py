@@ -180,10 +180,60 @@ def to_chrome_trace(
     return {"traceEvents": events, "displayTimeUnit": "ns"}
 
 
+#: Trace-Event reserved colour names per attribution bucket, so the
+#: critical lane reads at a glance (penalty edges in reds)
+_BUCKET_CNAME = {
+    "queue": "grey",
+    "pack": "thread_state_runnable",
+    "gemm": "good",
+    "attention": "vsync_highlight_color",
+    "other": "generic_work",
+    "collective": "yellow",
+    "retry-penalty": "terrible",
+    "ladder-penalty": "bad",
+}
+
+
+def _critical_path_events(path, tid: int) -> list[dict]:
+    """One complete event per critical-path edge (duck-typed
+    :class:`repro.observe.critical_path.RequestPath`)."""
+    events = []
+    for edge in path.edges:
+        dominant = max(
+            edge.buckets, key=edge.buckets.get, default="other"
+        ) if edge.buckets else "other"
+        event = {
+            "name": edge.name,
+            "cat": "critical-path",
+            "ph": "X",
+            "pid": 0,
+            "tid": tid,
+            "ts": edge.start_us,
+            "dur": edge.duration_us,
+            "args": {
+                "request_id": path.request_id,
+                "bucket": dominant,
+                "slack_us": round(edge.slack_us, 3),
+                **{
+                    k: round(v, 3)
+                    for k, v in edge.buckets.items()
+                    if v
+                },
+            },
+        }
+        cname = _BUCKET_CNAME.get(dominant)
+        if cname:
+            event["cname"] = cname
+        events.append(event)
+    return events
+
+
 def telemetry_chrome_trace(
     telemetry,
     process_name: str = "serving",
     device_name: str | None = None,
+    *,
+    critical_path=None,
 ) -> dict:
     """One Chrome/Perfetto trace for a whole observed serving replay.
 
@@ -200,6 +250,14 @@ def telemetry_chrome_trace(
     show up as spans bridging the per-device streams.  A single-device
     replay without collectives emits exactly the legacy two-lane layout,
     byte for byte.
+
+    ``critical_path`` (a
+    :class:`~repro.observe.critical_path.RequestPath`, typically the
+    report's :meth:`~repro.observe.critical_path.CriticalPathReport.
+    critical_request`) adds one highlighted ``critical path`` lane below
+    the kernel rows: one complete event per path edge, coloured by its
+    dominant attribution bucket.  ``None`` (the default) emits the
+    legacy layout byte for byte.
     """
     label = process_name if not device_name else f"{process_name} ({device_name})"
     segments = telemetry.kernel_segments
@@ -236,6 +294,14 @@ def telemetry_chrome_trace(
         interconnect_tid = KERNEL_TID
         events.append(_thread_meta(KERNEL_TID, "kernels"))
     timeline = _span_events(telemetry.tracer.spans)
+    if critical_path is not None:
+        crit_tid = (
+            interconnect_tid + 1 if sharded else KERNEL_TID + 1
+        )
+        events.append(_thread_meta(crit_tid, "critical path"))
+        timeline.extend(
+            _critical_path_events(critical_path, crit_tid)
+        )
     for segment in telemetry.kernel_segments:
         tid = kernel_tid[getattr(segment, "device", 0)]
         timeline.extend(
@@ -272,12 +338,19 @@ def write_telemetry_trace(
     path: str | Path,
     process_name: str = "serving",
     device_name: str | None = None,
+    *,
+    critical_path=None,
 ) -> Path:
     """Write a whole replay's merged span + kernel trace."""
     out = Path(path)
     out.write_text(
         json.dumps(
-            telemetry_chrome_trace(telemetry, process_name, device_name),
+            telemetry_chrome_trace(
+                telemetry,
+                process_name,
+                device_name,
+                critical_path=critical_path,
+            ),
             indent=1,
         )
     )

@@ -58,6 +58,45 @@ class SensitivityResult:
         ) / abs(self.baseline_metric)
 
 
+def value_sensitivity_sweep(
+    name: str,
+    base_value: float,
+    metric_of_value: Callable[[float], float],
+    *,
+    scales: Sequence[float] = (0.5, 0.75, 1.0, 1.5, 2.0),
+    integral: bool = False,
+) -> SensitivityResult:
+    """Scale one scalar input and re-evaluate ``metric_of_value``.
+
+    The generic core behind :func:`sensitivity_sweep` (device constants)
+    and the policy-knob sweeps in :mod:`repro.observe.knobs`: the swept
+    quantity is just a number, and ``metric_of_value`` knows how to turn
+    a perturbed value into a metric.  ``integral`` rounds each perturbed
+    value to an integer (floored at 1) before evaluating, matching how
+    integer device fields and knobs like a token budget behave.
+    """
+    if not scales:
+        raise ValueError("need at least one scale point")
+    baseline_metric = metric_of_value(base_value)
+    points = []
+    for scale in scales:
+        if scale <= 0:
+            raise ValueError(f"scales must be positive, got {scale}")
+        value = base_value * scale
+        if integral:
+            value = max(1, int(round(value)))
+        points.append(
+            SensitivityPoint(
+                scale=scale, value=float(value), metric=metric_of_value(value)
+            )
+        )
+    return SensitivityResult(
+        field=name,
+        baseline_metric=baseline_metric,
+        points=tuple(points),
+    )
+
+
 def sensitivity_sweep(
     field: str,
     metric: Callable[[DeviceSpec], float],
@@ -75,27 +114,20 @@ def sensitivity_sweep(
         raise ValueError(
             f"{field!r} is not sweepable; choose from {SWEEPABLE_FIELDS}"
         )
-    if not scales:
-        raise ValueError("need at least one scale point")
-    baseline_metric = metric(base)
-    points = []
     base_value = getattr(base, field)
-    for scale in scales:
-        if scale <= 0:
-            raise ValueError(f"scales must be positive, got {scale}")
-        value = base_value * scale
-        if isinstance(base_value, int):
-            value = max(1, int(round(value)))
-        device = base.with_overrides(**{field: value})
-        points.append(
-            SensitivityPoint(
-                scale=scale, value=float(value), metric=metric(device)
-            )
-        )
-    return SensitivityResult(
-        field=field,
-        baseline_metric=baseline_metric,
-        points=tuple(points),
+    integral = isinstance(base_value, int)
+
+    def metric_of_value(value: float) -> float:
+        if integral:
+            value = int(value)
+        return metric(base.with_overrides(**{field: value}))
+
+    return value_sensitivity_sweep(
+        field,
+        base_value,
+        metric_of_value,
+        scales=scales,
+        integral=integral,
     )
 
 

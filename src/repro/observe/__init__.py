@@ -1,0 +1,69 @@
+"""Attribution layer over observed replays: where did the microseconds go?
+
+``repro.observe`` is pure post-hoc analysis over the data a replay
+already recorded — the :class:`~repro.telemetry.Telemetry` span tree and
+kernel segments, a bench result dict, a metrics registry.  Nothing in
+this package launches kernels, advances the simulated clock or touches
+an RNG stream, so enabling it is bitwise- and price-neutral by
+construction (the neutrality regression tests assert exactly that).
+
+Three parts:
+
+* :mod:`~repro.observe.critical_path` — walk the span tree + kernel
+  timeline and attribute each request's latency to
+  {queue, pack, gemm, attention, other, collective, retry-penalty,
+  ladder-penalty} with per-edge slack, per request / megabatch / device;
+* :mod:`~repro.observe.tail` — decompose the p99 cohort of a run along
+  that path and diff it against the p50 cohort (the ``SloReport`` tail
+  section);
+* :mod:`~repro.observe.knobs` + :mod:`~repro.observe.history` — the
+  regression observatory: policy-knob sensitivity sweeps and the
+  append-only bench-history records behind ``repro bench --baseline``.
+"""
+
+from repro.observe.critical_path import (
+    BUCKETS,
+    BatchPath,
+    CriticalPathReport,
+    PathEdge,
+    RequestPath,
+    bucket_of_category,
+)
+from repro.observe.history import (
+    GateReport,
+    append_record,
+    baseline_gate,
+    load_history,
+    record_from_result,
+)
+from repro.observe.knobs import (
+    KNOB_NAMES,
+    KnobConfig,
+    KnobSensitivity,
+    format_knob_table,
+    knob_sweep,
+    sweep_knobs,
+)
+from repro.observe.tail import TailForensics, tail_forensics
+
+__all__ = [
+    "BUCKETS",
+    "BatchPath",
+    "CriticalPathReport",
+    "GateReport",
+    "KNOB_NAMES",
+    "KnobConfig",
+    "KnobSensitivity",
+    "PathEdge",
+    "RequestPath",
+    "TailForensics",
+    "append_record",
+    "baseline_gate",
+    "bucket_of_category",
+    "format_knob_table",
+    "knob_sweep",
+    "load_history",
+    "record_from_result",
+    "sweep_knobs",
+    "tail_forensics",
+]

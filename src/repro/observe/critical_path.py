@@ -1,0 +1,585 @@
+"""Critical-path attribution over an observed serving replay.
+
+The serving runtime already records everything needed to *explain* a
+request's latency: the request-root span (arrival → settle), the
+dispatch/attempt/retry span tree with correlation ids, and per-attempt
+kernel segments offset onto the global simulated clock.  This module
+walks that data and rebuilds, per request, the chain of edges the
+request actually waited on:
+
+``queue`` (arrival → first attempt) → ``attempt 0`` → [``backoff`` →
+``attempt 1`` → …] → settle
+
+Each attempt edge's modelled µs are attributed to buckets by kernel
+category; a faulted attempt's partial time and the retry backoffs are
+charged to ``retry-penalty``; an attempt served at a degraded ladder
+rung splits into the top-rung baseline (by category, rescaled) plus a
+``ladder-penalty`` remainder, using the ``service_top_us`` baseline the
+runtime stamps on degraded attempt spans.  The per-edge *slack* is the
+idle gap between an edge and its successor — time the request sat
+between stages that no bucket claims.
+
+The walk is read-only: it never mutates the telemetry it consumes, so
+attribution is bitwise- and price-neutral to the replay it explains.
+
+Invariant (tested): for every request the path's modelled µs sum to at
+most the request latency, with equality for requests the runtime fully
+decomposed — which includes every served encoder request, retried or
+not, since queue + attempts + backoffs tile ``[arrival, settle]``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.gpusim.interconnect import COLLECTIVE_CATEGORY
+from repro.telemetry.spans import REQUEST_CATEGORY, Span
+
+#: attribution buckets, in presentation order
+BUCKETS = (
+    "queue",
+    "pack",
+    "gemm",
+    "attention",
+    "other",
+    "collective",
+    "retry-penalty",
+    "ladder-penalty",
+)
+
+#: float slop for "the path tiles the latency" comparisons
+PATH_EPS_US = 1e-6
+
+
+def bucket_of_category(category: str) -> str:
+    """Map a kernel category onto its attribution bucket.
+
+    ``gemm0``-``gemm3`` and ``decode_gemm`` fold into ``gemm``; fused
+    and decode attention into ``attention``; packing/unpacking and the
+    prefix-sum metadata kernels into ``pack``; collectives keep their
+    own bucket; everything else (layernorm, activation, probes) lands
+    in ``other``.
+    """
+    if category == COLLECTIVE_CATEGORY:
+        return "collective"
+    if "attention" in category:
+        return "attention"
+    if category.startswith("gemm") or category == "decode_gemm":
+        return "gemm"
+    if category == "packing":
+        return "pack"
+    return "other"
+
+
+def _merge(into: dict[str, float], frm: dict[str, float]) -> None:
+    for bucket, us in frm.items():
+        into[bucket] = into.get(bucket, 0.0) + us
+
+
+@dataclass(frozen=True)
+class PathEdge:
+    """One stage on a request's path, with its bucket attribution."""
+
+    name: str
+    start_us: float
+    end_us: float
+    #: modelled µs per attribution bucket inside this edge
+    buckets: dict[str, float]
+    #: replica the edge ran on (``None`` for host-side waits)
+    device: int | None = None
+    #: idle gap between this edge's end and the next edge's start —
+    #: time no bucket claims (0 on a tight path)
+    slack_us: float = 0.0
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "start_us": self.start_us,
+            "end_us": self.end_us,
+            "device": self.device,
+            "slack_us": self.slack_us,
+            "buckets": {k: v for k, v in self.buckets.items() if v},
+        }
+
+
+@dataclass(frozen=True)
+class RequestPath:
+    """One request's latency, decomposed along its critical path."""
+
+    request_id: int
+    tenant: str
+    outcome: str
+    arrival_us: float
+    settle_us: float
+    retries: int
+    batch_id: int | None
+    edges: tuple[PathEdge, ...]
+    #: whether the runtime recorded enough structure to decompose the
+    #: latency (dispatch + attempt spans); ``False`` e.g. for decode
+    #: streams, whose rounds are shared across requests
+    decomposed: bool = True
+
+    @property
+    def latency_us(self) -> float:
+        return self.settle_us - self.arrival_us
+
+    @property
+    def path_us(self) -> float:
+        """Modelled µs on the path (Σ edge durations, slack excluded)."""
+        return sum(e.duration_us for e in self.edges)
+
+    @property
+    def slack_us(self) -> float:
+        return sum(e.slack_us for e in self.edges)
+
+    def bucket_totals(self) -> dict[str, float]:
+        totals: dict[str, float] = {}
+        for edge in self.edges:
+            _merge(totals, edge.buckets)
+        return totals
+
+    def to_dict(self) -> dict:
+        return {
+            "request_id": self.request_id,
+            "tenant": self.tenant,
+            "outcome": self.outcome,
+            "arrival_us": self.arrival_us,
+            "settle_us": self.settle_us,
+            "latency_us": self.latency_us,
+            "path_us": self.path_us,
+            "slack_us": self.slack_us,
+            "retries": self.retries,
+            "batch_id": self.batch_id,
+            "decomposed": self.decomposed,
+            "buckets": {
+                k: v for k, v in self.bucket_totals().items() if v
+            },
+            "edges": [e.to_dict() for e in self.edges],
+        }
+
+
+@dataclass(frozen=True)
+class BatchPath:
+    """One dispatch/megabatch's service chain and fill accounting."""
+
+    batch_id: int
+    name: str
+    device: int
+    tile: int | None
+    start_us: float
+    end_us: float
+    request_ids: tuple[int, ...]
+    #: how long the batch's earliest member waited for the cut
+    fill_wait_us: float
+    #: service-side bucket totals over every attempt/backoff
+    buckets: dict[str, float]
+    #: the served member with the largest latency — the member whose
+    #: path *is* the batch's critical path (``None`` if nothing served)
+    critical_request_id: int | None
+    #: per served member: how much longer it could have taken without
+    #: moving the batch's critical path (critical latency − its own)
+    member_slack_us: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
+
+    def to_dict(self) -> dict:
+        return {
+            "batch_id": self.batch_id,
+            "name": self.name,
+            "device": self.device,
+            "tile": self.tile,
+            "start_us": self.start_us,
+            "end_us": self.end_us,
+            "requests": len(self.request_ids),
+            "fill_wait_us": self.fill_wait_us,
+            "critical_request_id": self.critical_request_id,
+            "buckets": {k: v for k, v in self.buckets.items() if v},
+            "member_slack_us": dict(self.member_slack_us),
+        }
+
+
+def _segment_pool(telemetry) -> dict[tuple[int, float], deque]:
+    """Kernel segments keyed by ``(device, offset)``, FIFO per key, so
+    each attempt span pops exactly the segment its attempt recorded."""
+    pool: dict[tuple[int, float], deque] = {}
+    for seg in getattr(telemetry, "kernel_segments", ()):
+        key = (getattr(seg, "device", 0), seg.offset_us)
+        pool.setdefault(key, deque()).append(seg)
+    return pool
+
+
+def _attempt_edge(span: Span, segments: dict) -> PathEdge:
+    """Bucket one attempt span via its kernel segment."""
+    device = int(span.attrs.get("device", 0))
+    duration = span.duration_us
+    queue = segments.get((device, span.start_us))
+    records = queue.popleft().records if queue else None
+    attempt_no = span.attrs.get("attempt", 0)
+    if span.attrs.get("fault"):
+        # a faulted attempt's partial chain is pure retry overhead:
+        # nothing it computed reached a response
+        return PathEdge(
+            name=f"attempt {attempt_no} (fault)",
+            start_us=span.start_us,
+            end_us=span.end_us,
+            buckets={"retry-penalty": duration} if duration else {},
+            device=device,
+        )
+    buckets: dict[str, float] = {}
+    if records:
+        for record in records:
+            bucket = bucket_of_category(record.launch.category)
+            buckets[bucket] = buckets.get(bucket, 0.0) + record.time_us
+    elif duration:
+        buckets["other"] = duration
+    top_us = span.attrs.get("service_top_us")
+    if top_us is not None and duration > 0:
+        # degraded rung: rescale the category split down to the
+        # top-rung baseline and charge the remainder to the ladder
+        penalty = max(0.0, duration - float(top_us))
+        if penalty:
+            factor = 1.0 - penalty / duration
+            buckets = {k: v * factor for k, v in buckets.items()}
+            buckets["ladder-penalty"] = penalty
+    return PathEdge(
+        name=f"attempt {attempt_no}",
+        start_us=span.start_us,
+        end_us=span.end_us,
+        buckets=buckets,
+        device=device,
+    )
+
+
+def _with_slack(edges: list[PathEdge], horizon_us: float) -> tuple:
+    """Recreate ``edges`` with slack = gap to the successor (the last
+    edge's slack runs to ``horizon_us``)."""
+    out = []
+    for i, edge in enumerate(edges):
+        nxt = edges[i + 1].start_us if i + 1 < len(edges) else horizon_us
+        out.append(
+            PathEdge(
+                name=edge.name,
+                start_us=edge.start_us,
+                end_us=edge.end_us,
+                buckets=edge.buckets,
+                device=edge.device,
+                slack_us=max(0.0, nxt - edge.end_us),
+            )
+        )
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class CriticalPathReport:
+    """Per-request, per-megabatch, per-device latency attribution."""
+
+    requests: tuple[RequestPath, ...]
+    batches: tuple[BatchPath, ...]
+    #: service-side bucket totals per executing device
+    device_buckets: dict[int, dict[str, float]] = field(
+        default_factory=dict
+    )
+
+    @classmethod
+    def from_telemetry(cls, telemetry) -> "CriticalPathReport":
+        """Walk one observed replay's span tree and kernel segments.
+
+        Read-only: the telemetry object is never mutated, so building
+        the report between two replays cannot perturb either of them.
+        """
+        spans = list(telemetry.tracer.spans)
+        roots = {
+            s.request_id: s
+            for s in spans
+            if s.category == REQUEST_CATEGORY and s.end_us is not None
+        }
+        dispatches = [
+            s
+            for s in spans
+            if s.category == "dispatch"
+            and not s.is_instant
+            and s.end_us is not None
+        ]
+        children: dict[int, list[Span]] = {}
+        for s in spans:
+            if s.parent_id is not None:
+                children.setdefault(s.parent_id, []).append(s)
+        segments = _segment_pool(telemetry)
+
+        paths: dict[int, RequestPath] = {}
+        batches: list[BatchPath] = []
+        device_buckets: dict[int, dict[str, float]] = {}
+
+        for dispatch in dispatches:
+            rids = tuple(dispatch.attrs.get("request_ids", ()))
+            shared: list[PathEdge] = []
+            for child in sorted(
+                children.get(dispatch.span_id, ()),
+                key=lambda s: s.start_us,
+            ):
+                if child.end_us is None:
+                    continue
+                if child.category == "attempt":
+                    shared.append(_attempt_edge(child, segments))
+                elif child.category == "retry":
+                    shared.append(
+                        PathEdge(
+                            name=f"backoff {child.attrs.get('attempt', 0)}",
+                            start_us=child.start_us,
+                            end_us=child.end_us,
+                            buckets=(
+                                {"retry-penalty": child.duration_us}
+                                if child.duration_us
+                                else {}
+                            ),
+                            device=(
+                                shared[-1].device if shared else None
+                            ),
+                        )
+                    )
+            shared.sort(key=lambda e: e.start_us)
+
+            batch_buckets: dict[str, float] = {}
+            for edge in shared:
+                _merge(batch_buckets, edge.buckets)
+                if edge.device is not None:
+                    _merge(
+                        device_buckets.setdefault(edge.device, {}),
+                        edge.buckets,
+                    )
+
+            member_roots = [
+                roots[rid] for rid in rids if rid in roots
+            ]
+            arrivals = [r.start_us for r in member_roots]
+            served = [
+                r
+                for r in member_roots
+                if r.attrs.get("outcome") == "served"
+            ]
+            critical = (
+                max(served, key=lambda r: r.end_us - r.start_us)
+                if served
+                else None
+            )
+            batches.append(
+                BatchPath(
+                    batch_id=(
+                        dispatch.batch_id
+                        if dispatch.batch_id is not None
+                        else dispatch.span_id
+                    ),
+                    name=dispatch.name,
+                    device=next(
+                        (
+                            e.device
+                            for e in shared
+                            if e.device is not None
+                        ),
+                        0,
+                    ),
+                    tile=dispatch.attrs.get("tile"),
+                    start_us=dispatch.start_us,
+                    end_us=dispatch.end_us,
+                    request_ids=rids,
+                    fill_wait_us=(
+                        dispatch.start_us - min(arrivals)
+                        if arrivals
+                        else 0.0
+                    ),
+                    buckets=batch_buckets,
+                    critical_request_id=(
+                        critical.request_id if critical else None
+                    ),
+                    member_slack_us=(
+                        {
+                            r.request_id: (
+                                (critical.end_us - critical.start_us)
+                                - (r.end_us - r.start_us)
+                            )
+                            for r in served
+                        }
+                        if critical
+                        else {}
+                    ),
+                )
+            )
+
+            for rid in rids:
+                root = roots.get(rid)
+                if root is None:
+                    continue
+                # the request rode every edge that closed before it
+                # settled: alive-sets only shrink, so a request that
+                # settled at t saw exactly the edges with end ≤ t
+                horizon = root.end_us + PATH_EPS_US
+                mine = [e for e in shared if e.end_us <= horizon]
+                queue_end = (
+                    mine[0].start_us if mine else root.end_us
+                )
+                queue_end = max(root.start_us, queue_end)
+                edges = [
+                    PathEdge(
+                        name="queue",
+                        start_us=root.start_us,
+                        end_us=queue_end,
+                        buckets=(
+                            {"queue": queue_end - root.start_us}
+                            if queue_end > root.start_us
+                            else {}
+                        ),
+                    )
+                ]
+                edges.extend(mine)
+                paths[rid] = RequestPath(
+                    request_id=rid,
+                    tenant=str(root.attrs.get("tenant", "")),
+                    outcome=str(root.attrs.get("outcome", "")),
+                    arrival_us=root.start_us,
+                    settle_us=root.end_us,
+                    retries=int(root.attrs.get("retries", 0)),
+                    batch_id=dispatch.batch_id,
+                    edges=_with_slack(edges, root.end_us),
+                )
+
+        # requests that never rode a dispatch: gateway rejects, pre-
+        # dispatch sheds, and decode streams (whose rounds are shared
+        # across requests) — a single undecomposed edge covers them
+        for rid, root in roots.items():
+            if rid in paths:
+                continue
+            outcome = str(root.attrs.get("outcome", ""))
+            name = "service" if outcome == "served" else "queue"
+            bucket = "other" if outcome == "served" else "queue"
+            duration = root.end_us - root.start_us
+            paths[rid] = RequestPath(
+                request_id=rid,
+                tenant=str(root.attrs.get("tenant", "")),
+                outcome=outcome,
+                arrival_us=root.start_us,
+                settle_us=root.end_us,
+                retries=int(root.attrs.get("retries", 0)),
+                batch_id=None,
+                edges=(
+                    PathEdge(
+                        name=name,
+                        start_us=root.start_us,
+                        end_us=root.end_us,
+                        buckets={bucket: duration} if duration else {},
+                    ),
+                ),
+                decomposed=False,
+            )
+
+        return cls(
+            requests=tuple(
+                paths[rid] for rid in sorted(paths)
+            ),
+            batches=tuple(
+                sorted(batches, key=lambda b: b.start_us)
+            ),
+            device_buckets=device_buckets,
+        )
+
+    # ------------------------------------------------------------------
+
+    def request(self, request_id: int) -> RequestPath | None:
+        for path in self.requests:
+            if path.request_id == request_id:
+                return path
+        return None
+
+    def served(self) -> list[RequestPath]:
+        return [p for p in self.requests if p.outcome == "served"]
+
+    def totals(self) -> dict[str, float]:
+        """Bucket totals over every request path (queue included)."""
+        totals: dict[str, float] = {}
+        for path in self.requests:
+            _merge(totals, path.bucket_totals())
+        return totals
+
+    def critical_request(self) -> RequestPath | None:
+        """The slowest served request — the replay's critical path."""
+        served = self.served()
+        if not served:
+            return None
+        return max(served, key=lambda p: p.latency_us)
+
+    def to_json(self) -> dict:
+        return {
+            "buckets": {
+                k: v for k, v in self.totals().items() if v
+            },
+            "device_buckets": {
+                str(dev): {k: v for k, v in b.items() if v}
+                for dev, b in sorted(self.device_buckets.items())
+            },
+            "requests": [p.to_dict() for p in self.requests],
+            "batches": [b.to_dict() for b in self.batches],
+        }
+
+    def render_text(self, top: int = 5) -> str:
+        """Fixed-width report: totals, devices, slowest requests."""
+        totals = self.totals()
+        grand = sum(totals.values())
+        lines = [
+            f"== critical path ({len(self.requests)} requests, "
+            f"{len(self.batches)} dispatches) ==",
+            f"  {'bucket':<16}{'time_us':>12}{'share':>9}",
+        ]
+        for bucket in BUCKETS:
+            us = totals.get(bucket, 0.0)
+            if not us:
+                continue
+            share = us / grand if grand else 0.0
+            lines.append(f"  {bucket:<16}{us:>12.1f}{share:>9.1%}")
+        if len(self.device_buckets) > 1:
+            for dev in sorted(self.device_buckets):
+                sub = sum(self.device_buckets[dev].values())
+                lines.append(
+                    f"  {f'd{dev} service':<16}{sub:>12.1f}"
+                    f"{(sub / grand if grand else 0.0):>9.1%}"
+                )
+        served = sorted(
+            self.served(), key=lambda p: p.latency_us, reverse=True
+        )
+        if served:
+            lines.append(
+                f"  -- slowest served requests (top {min(top, len(served))})"
+                " --"
+            )
+            lines.append(
+                "  "
+                + f"{'req':>5}{'latency':>11}{'queue':>9}{'compute':>9}"
+                + f"{'retry':>9}{'ladder':>9}{'slack':>9}  critical edge"
+            )
+            for path in served[:top]:
+                buckets = path.bucket_totals()
+                compute = sum(
+                    buckets.get(b, 0.0)
+                    for b in ("pack", "gemm", "attention", "other",
+                              "collective")
+                )
+                longest = max(
+                    path.edges, key=lambda e: e.duration_us
+                )
+                lines.append(
+                    "  "
+                    + f"{path.request_id:>5}"
+                    + f"{path.latency_us:>11.1f}"
+                    + f"{buckets.get('queue', 0.0):>9.1f}"
+                    + f"{compute:>9.1f}"
+                    + f"{buckets.get('retry-penalty', 0.0):>9.1f}"
+                    + f"{buckets.get('ladder-penalty', 0.0):>9.1f}"
+                    + f"{path.slack_us:>9.1f}"
+                    + f"  {longest.name}"
+                )
+        return "\n".join(lines)

@@ -1,0 +1,159 @@
+"""Tail forensics: what do the slowest requests spend their time on?
+
+Given a :class:`~repro.observe.critical_path.CriticalPathReport`, split
+the served requests into a p50 cohort (latency at or below the median)
+and a p99 cohort (latency at or above the p99 quantile), average each
+cohort's per-bucket attribution, and diff them — answering questions
+like *"p99 requests spend 72% more in queue-wait under the flash
+crowd"*.  The result is attached to :class:`~repro.telemetry.SloReport`
+(``SloReport.with_tail``) so the SLO verdict and its explanation print
+together, per tenant when the trace is multi-tenant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.observe.critical_path import BUCKETS, CriticalPathReport
+
+
+@dataclass(frozen=True)
+class CohortStats:
+    """Mean per-request attribution of one latency cohort."""
+
+    count: int
+    mean_latency_us: float
+    #: mean modelled µs per request, per bucket
+    buckets: dict[str, float]
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean_latency_us": self.mean_latency_us,
+            "buckets": {k: v for k, v in self.buckets.items() if v},
+        }
+
+
+@dataclass(frozen=True)
+class TailForensics:
+    """p99-vs-p50 cohort diff of one run (optionally one tenant)."""
+
+    tenant: str
+    p50: CohortStats
+    p99: CohortStats
+    p50_latency_us: float
+    p99_latency_us: float
+
+    def inflation(self, bucket: str) -> float | None:
+        """Relative growth of ``bucket`` from the p50 to the p99 cohort
+        (``0.72`` = "p99 requests spend 72% more"); ``None`` when the
+        p50 cohort never touched the bucket."""
+        base = self.p50.buckets.get(bucket, 0.0)
+        if base <= 0.0:
+            return None
+        return self.p99.buckets.get(bucket, 0.0) / base - 1.0
+
+    def dominant_bucket(self) -> str | None:
+        """The bucket with the largest absolute µs growth p50 → p99."""
+        best, best_delta = None, 0.0
+        for bucket in BUCKETS:
+            delta = self.p99.buckets.get(bucket, 0.0) - self.p50.buckets.get(
+                bucket, 0.0
+            )
+            if delta > best_delta:
+                best, best_delta = bucket, delta
+        return best
+
+    def render_lines(self, indent: str = "  ") -> list[str]:
+        lines = [
+            f"{indent}tail: p99 cohort ({self.p99.count} req, mean "
+            f"{self.p99.mean_latency_us / 1000:.2f} ms) vs p50 cohort "
+            f"({self.p50.count} req, mean "
+            f"{self.p50.mean_latency_us / 1000:.2f} ms)"
+        ]
+        for bucket in BUCKETS:
+            hi = self.p99.buckets.get(bucket, 0.0)
+            lo = self.p50.buckets.get(bucket, 0.0)
+            if hi <= 0.0 and lo <= 0.0:
+                continue
+            growth = self.inflation(bucket)
+            verdict = (
+                f"{growth:+.0%}" if growth is not None else "new in p99"
+            )
+            lines.append(
+                f"{indent}  {bucket:<16}{lo:>10.1f} -> {hi:>10.1f} us  "
+                f"({verdict})"
+            )
+        dominant = self.dominant_bucket()
+        if dominant is not None:
+            growth = self.inflation(dominant)
+            how = (
+                f"{growth:.0%} more" if growth is not None else "all its"
+            )
+            lines.append(
+                f"{indent}  p99 requests spend {how} time in "
+                f"{dominant}"
+            )
+        return lines
+
+    def to_dict(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "p50_latency_us": self.p50_latency_us,
+            "p99_latency_us": self.p99_latency_us,
+            "p50": self.p50.to_dict(),
+            "p99": self.p99.to_dict(),
+            "dominant_bucket": self.dominant_bucket(),
+        }
+
+
+def _cohort(paths) -> CohortStats:
+    buckets: dict[str, float] = {}
+    for path in paths:
+        for bucket, us in path.bucket_totals().items():
+            buckets[bucket] = buckets.get(bucket, 0.0) + us
+    n = len(paths)
+    return CohortStats(
+        count=n,
+        mean_latency_us=(
+            sum(p.latency_us for p in paths) / n if n else 0.0
+        ),
+        buckets={k: v / n for k, v in buckets.items()} if n else {},
+    )
+
+
+def tail_forensics(
+    report: CriticalPathReport,
+    tenant: str = "",
+    *,
+    lo_pct: float = 50.0,
+    hi_pct: float = 99.0,
+) -> TailForensics | None:
+    """Cohort-diff the served requests of one run (one tenant if given).
+
+    Returns ``None`` when fewer than two requests were served — a
+    single request has no tail to diff against.
+    """
+    served = [
+        p
+        for p in report.served()
+        if not tenant or p.tenant == tenant
+    ]
+    if len(served) < 2:
+        return None
+    latencies = np.asarray([p.latency_us for p in served])
+    lo_cut = float(np.percentile(latencies, lo_pct))
+    hi_cut = float(np.percentile(latencies, hi_pct))
+    lo_cohort = [p for p in served if p.latency_us <= lo_cut]
+    hi_cohort = [p for p in served if p.latency_us >= hi_cut]
+    if not lo_cohort or not hi_cohort:
+        return None
+    return TailForensics(
+        tenant=tenant,
+        p50=_cohort(lo_cohort),
+        p99=_cohort(hi_cohort),
+        p50_latency_us=lo_cut,
+        p99_latency_us=hi_cut,
+    )

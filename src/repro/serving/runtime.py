@@ -503,6 +503,11 @@ class ServingRuntime:
                         "by tenant",
                         tenant=request.tenant,
                     ).inc()
+        root_attrs: dict = {}
+        if request.tenant:
+            # only multi-tenant traces grow the attr, so single-tenant
+            # span dumps stay byte-identical to earlier releases
+            root_attrs["tenant"] = request.tenant
         tel.tracer.add_span(
             "request",
             category=REQUEST_CATEGORY,
@@ -513,6 +518,7 @@ class ServingRuntime:
             outcome=outcome.value,
             reason=reason,
             retries=retries,
+            **root_attrs,
         )
 
     def _run(self, trace: ServingTrace) -> ServingReport:
@@ -884,6 +890,7 @@ class ServingRuntime:
                         attempt=attempt,
                         level=level.name,
                         batch=len(alive),
+                        device=exec_dev,
                     )
                 try:
                     if dispatch.tile is not None:
@@ -1008,7 +1015,21 @@ class ServingRuntime:
                     )
                 self.ladder.record_success(finish)
                 if tel is not None:
-                    tel.tracer.end(served=len(alive))  # the attempt span
+                    top = self.ladder.levels[0]
+                    attempt_attrs: dict = {"served": len(alive)}
+                    if level is not top:
+                        # ladder-penalty baseline for the critical-path
+                        # walker: the same group priced at the top rung.
+                        # Priced on a hook-free context, so the fault
+                        # plan's ordinal and the replay's launch stream
+                        # are untouched — observation only.
+                        attempt_attrs["service_top_us"] = (
+                            self._estimate_service(
+                                alive, trace.max_seq_len, top,
+                                tile=tile,
+                            )
+                        )
+                    tel.tracer.end(**attempt_attrs)  # the attempt span
                 alive = []
             if tel is not None:
                 tel.tracer.end()  # the dispatch span

@@ -15,9 +15,13 @@ achieved bad fraction divided by that budget (1.0 = exactly spent,
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 from repro.telemetry.metrics import Counter, Histogram, MetricsRegistry
+
+if TYPE_CHECKING:  # avoid the telemetry -> observe -> telemetry cycle
+    from repro.observe.tail import TailForensics
 
 # ----------------------------------------------------------------------
 # canonical serving metric names (what the runtime populates and the
@@ -128,6 +132,10 @@ class SloReport:
     rejected: int = 0
     #: tenant the report covers ("" = the whole replay)
     tenant: str = ""
+    #: optional p99-vs-p50 cohort decomposition (attached by
+    #: :meth:`with_tail`); excluded from equality so reports with and
+    #: without forensics still compare on their SLO verdicts
+    tail: "TailForensics | None" = field(default=None, compare=False)
 
     @classmethod
     def from_registry(
@@ -270,6 +278,10 @@ class SloReport:
             return None
         return self.latency_quantile_us <= self.policy.latency_target_us
 
+    def with_tail(self, tail: "TailForensics | None") -> "SloReport":
+        """The same report with tail forensics attached."""
+        return replace(self, tail=tail)
+
     def render_text(self) -> str:
         """Human-readable SLO summary (printed next to the cache tables)."""
         policy = self.policy
@@ -306,4 +318,6 @@ class SloReport:
                 f"  latency p{policy.latency_quantile:g}: "
                 f"{self.latency_quantile_us / 1000:.2f} ms{verdict}"
             )
+        if self.tail is not None:
+            lines.extend(self.tail.render_lines())
         return "\n".join(lines)

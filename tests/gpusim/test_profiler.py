@@ -74,3 +74,98 @@ class TestRendering:
         table = ProfileReport.from_context(profiled_ctx).to_table()
         # header x2 + one row per category
         assert len(table.splitlines()) == 2 + 3
+
+    def test_columns_align_with_long_category_names(self):
+        # "decode_attention" (16 chars) next to "collective" used to
+        # shear the table: every data line must share one width
+        ctx = ExecutionContext()
+        ctx.launch(launch("decode_attention", flops=2e9))
+        ctx.launch(launch("collective", flops=0.0, dram=4e8))
+        ctx.launch(launch("gemm0", flops=5e9))
+        table = ProfileReport.from_context(ctx).to_table()
+        header, *rows = table.splitlines()[1:]
+        assert len({len(r) for r in rows}) == 1
+        assert all(len(r) == len(header) for r in rows)
+        # category column is wide enough that values never touch names
+        for r in rows:
+            name = r.split()[0]
+            assert r[len(name)] == " "
+
+
+class FakeSegment:
+    def __init__(self, device, records):
+        self.device = device
+        self.records = records
+
+
+def segment(device, *categories):
+    ctx = ExecutionContext()
+    for cat in categories:
+        ctx.launch(launch(cat))
+    return FakeSegment(device, list(ctx.records))
+
+
+class TestPerDevice:
+    def test_from_segments_matches_flat_aggregation(self):
+        segments = [
+            segment(0, "gemm0", "attention"),
+            segment(1, "gemm0"),
+        ]
+        report = ProfileReport.from_segments(segments)
+        flat_time = sum(
+            r.time_us for s in segments for r in s.records
+        )
+        assert report.total_us == pytest.approx(flat_time)
+        assert report.categories["gemm0"].launches == 2
+
+    def test_device_subtotal_rows_rendered(self):
+        report = ProfileReport.from_segments(
+            [segment(0, "gemm0", "attention"), segment(1, "attention")]
+        )
+        table = report.to_table()
+        assert "-- device 0" in table
+        assert "-- device 1" in table
+        # subtotal shares sum to 1 across devices
+        shares = [
+            sum(p.time_us for p in per_dev.values())
+            for per_dev in report.device_categories.values()
+        ]
+        assert sum(shares) == pytest.approx(report.total_us)
+
+    def test_single_device_report_has_no_subtotal_rows(self):
+        report = ProfileReport.from_segments([segment(0, "gemm0")])
+        assert "-- device" not in report.to_table()
+
+    def test_from_context_leaves_device_split_empty(self, profiled_ctx):
+        report = ProfileReport.from_context(profiled_ctx)
+        assert report.device_categories == {}
+
+
+class TestCacheKinds:
+    def test_kind_accessor_defaults_to_zero(self):
+        from repro.gpusim.profiler import CacheStats
+
+        stats = CacheStats(
+            name="graph", hits=3, misses=1, evictions=0, size=1,
+            captures=2, replays=10,
+            kind_counts={"tile": {"captures": 2, "replays": 10}},
+        )
+        assert stats.kind("tile") == {"captures": 2, "replays": 10}
+        assert stats.kind("decode") == {"captures": 0, "replays": 0}
+
+    def test_decode_graph_cache_reports_decode_kind(self):
+        from repro.core.config import BertConfig
+        from repro.gpusim.profiler import CacheStats
+        from repro.serving.generation import GenerationRuntime
+        from repro.workloads.serving import make_generation_trace
+
+        runtime = GenerationRuntime(
+            BertConfig(num_heads=4, head_size=16, num_layers=2),
+            seed=3,
+            compute_outputs=False,
+        )
+        runtime.run(make_generation_trace(4, 64, decode_tokens=4, seed=3))
+        stats = CacheStats.from_cache("graph", runtime.graph_cache)
+        decode = stats.kind("decode")
+        assert decode["captures"] >= 1
+        assert decode["replays"] >= 1

@@ -9,7 +9,7 @@ from repro.gpusim.roofline import Bound, classify_record, roofline_report
 def launch(flops=0.0, dram=0.0, grid=1024, **kw):
     return KernelLaunch(
         name=kw.pop("name", "k"),
-        category="c",
+        category=kw.pop("category", "c"),
         grid=grid,
         block_threads=256,
         flops=flops,
@@ -48,6 +48,55 @@ class TestClassification:
         assert k.time_us == pytest.approx(
             max(k.compute_us, k.memory_us) + k.overhead_us
         )
+
+
+class TestBoundaries:
+    """Degenerate launches must still classify sanely."""
+
+    def test_tiny_kernel_is_launch_bound_with_full_decomposition(self):
+        # a one-block kernel doing almost nothing: overhead dominates,
+        # but the decomposition still tiles the modelled time exactly
+        ctx = ExecutionContext()
+        record = ctx.launch(launch(flops=1.0, dram=1.0, grid=1))
+        k = classify_record(record, ctx.device)
+        assert k.bound is Bound.LAUNCH
+        assert k.time_us == pytest.approx(
+            max(k.compute_us, k.memory_us) + k.overhead_us
+        )
+        assert k.overhead_us >= max(k.compute_us, k.memory_us)
+
+    def test_zero_flop_collective_is_never_compute_bound(self):
+        # collectives move bytes without FLOPs; the roofline must not
+        # divide by a zero compute peak or call them compute-bound
+        ctx = ExecutionContext()
+        record = ctx.launch(
+            launch(flops=0.0, dram=4e8, name="allreduce",
+                   category="collective")
+        )
+        k = classify_record(record, ctx.device)
+        assert k.compute_us == 0.0
+        assert k.bound is Bound.MEMORY
+        assert k.memory_us > 0.0
+
+    def test_zero_flop_zero_byte_probe_is_pure_launch(self):
+        ctx = ExecutionContext()
+        record = ctx.launch(launch(name="probe"))
+        k = classify_record(record, ctx.device)
+        assert k.bound is Bound.LAUNCH
+        assert k.compute_us == 0.0 and k.memory_us == 0.0
+        assert k.time_us == pytest.approx(k.overhead_us)
+
+    def test_report_shares_survive_degenerate_mix(self):
+        ctx = ExecutionContext()
+        ctx.launch(launch(name="probe"))
+        ctx.launch(
+            launch(flops=0.0, dram=4e8, name="allreduce",
+                   category="collective")
+        )
+        report = roofline_report(ctx)
+        assert sum(report.share(b) for b in Bound) == pytest.approx(1.0)
+        assert report.count(Bound.LAUNCH) == 1
+        assert report.count(Bound.MEMORY) == 1
 
 
 class TestReport:

@@ -10,6 +10,7 @@ from repro.gpusim.whatif import (
     SWEEPABLE_FIELDS,
     format_sweep,
     sensitivity_sweep,
+    value_sensitivity_sweep,
 )
 
 CFG = BertConfig(num_layers=2)
@@ -57,6 +58,55 @@ class TestSweepMechanics:
         )
         text = format_sweep(result)
         assert "sensitivity" in text and "metric range" in text
+
+
+class TestValueSweepCore:
+    """The generic scalar core shared with the policy-knob sweeps."""
+
+    def test_sweeps_arbitrary_scalar(self):
+        result = value_sensitivity_sweep(
+            "budget", 100.0, lambda v: v * 2.0, scales=(0.5, 1.0, 2.0)
+        )
+        assert result.field == "budget"
+        assert result.baseline_metric == 200.0
+        assert [p.metric for p in result.points] == [100.0, 200.0, 400.0]
+
+    def test_single_point_sweep_is_degenerate_but_valid(self):
+        result = value_sensitivity_sweep(
+            "x", 10.0, lambda v: v, scales=(1.0,)
+        )
+        lo, hi = result.metric_range
+        assert lo == hi == result.baseline_metric
+        assert result.max_relative_change() == pytest.approx(0.0)
+
+    def test_integral_rounds_and_floors_at_one(self):
+        seen = []
+
+        def metric(v):
+            seen.append(v)
+            return float(v)
+
+        result = value_sensitivity_sweep(
+            "n", 3, metric, scales=(0.1, 0.5, 1.0), integral=True
+        )
+        # 0.3 -> 1 (floored), 1.5 -> 2 (rounded), 3.0 -> 3
+        assert [p.value for p in result.points] == [1.0, 2.0, 3.0]
+        assert all(v == int(v) for v in seen[1:])
+
+    def test_empty_scales_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            value_sensitivity_sweep("x", 1.0, lambda v: v, scales=())
+
+    def test_nonpositive_scale_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            value_sensitivity_sweep("x", 1.0, lambda v: v, scales=(0.0,))
+
+    def test_zero_baseline_metric_has_no_relative_change(self):
+        result = value_sensitivity_sweep(
+            "x", 1.0, lambda v: v - 1.0, scales=(1.0, 2.0)
+        )
+        with pytest.raises(ValueError, match="baseline metric is zero"):
+            result.max_relative_change()
 
 
 class TestRobustness:

@@ -1,0 +1,80 @@
+"""Policy-knob sensitivity sweeps and their ranking."""
+
+import pytest
+
+from repro.observe import (
+    KNOB_NAMES,
+    KnobConfig,
+    format_knob_table,
+    knob_sweep,
+    sweep_knobs,
+)
+
+
+class TestMechanics:
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(ValueError, match="not a known knob"):
+            knob_sweep("warp_size")
+
+    def test_all_knobs_enumerable(self):
+        assert "token_budget" in KNOB_NAMES
+        assert "head_timeout_us" in KNOB_NAMES
+        assert "decode_priority" in KNOB_NAMES
+        assert "tp_degree" in KNOB_NAMES and "dp_degree" in KNOB_NAMES
+
+    def test_integral_knob_sweeps_integer_values(self):
+        swept = knob_sweep(
+            "token_budget", KnobConfig.quick(), scales=(0.5, 1.0)
+        )
+        for point in swept.result.points:
+            assert point.value == int(point.value)
+
+    def test_single_point_sweep_is_degenerate_but_valid(self):
+        swept = knob_sweep("token_budget", KnobConfig.quick(), scales=(1.0,))
+        lo, hi = swept.result.metric_range
+        assert lo == hi
+        assert swept.max_relative_change == pytest.approx(0.0)
+
+    def test_sweep_is_deterministic(self):
+        a = knob_sweep("token_budget", KnobConfig.quick(), scales=(0.5, 1.0))
+        b = knob_sweep("token_budget", KnobConfig.quick(), scales=(0.5, 1.0))
+        assert a == b
+
+
+class TestRanking:
+    def test_token_budget_outranks_head_timeout_on_standard_shape(self):
+        """The PR-4 measured effect: under saturated steady-state
+        arrivals the budget sets the dispatch tile directly while the
+        head timeout is a rarely-binding backstop."""
+        swept = sweep_knobs(
+            KnobConfig(), knobs=("head_timeout_us", "token_budget")
+        )
+        assert [s.knob for s in swept] == ["token_budget", "head_timeout_us"]
+        assert swept[0].max_relative_change > swept[1].max_relative_change
+
+    def test_ranked_descending(self):
+        swept = sweep_knobs(
+            KnobConfig.quick(),
+            knobs=("token_budget", "head_timeout_us", "dp_degree"),
+        )
+        changes = [s.max_relative_change for s in swept]
+        assert changes == sorted(changes, reverse=True)
+
+
+class TestRendering:
+    def test_table_lists_knobs_and_winner(self):
+        swept = sweep_knobs(
+            KnobConfig.quick(), knobs=("token_budget", "head_timeout_us")
+        )
+        table = format_knob_table(swept)
+        assert "knob sensitivity" in table
+        assert "token_budget" in table
+        assert "most sensitive:" in table
+
+    def test_to_dict_serialisable(self):
+        import json
+
+        swept = knob_sweep("dp_degree", KnobConfig.quick())
+        payload = json.loads(json.dumps(swept.to_dict()))
+        assert payload["knob"] == "dp_degree"
+        assert len(payload["points"]) == 3

@@ -1,0 +1,101 @@
+"""Tail forensics: p99-vs-p50 cohort decomposition."""
+
+import pytest
+
+from repro.core.config import BertConfig
+from repro.observe import CriticalPathReport, tail_forensics
+from repro.serving import FaultSpec, ServingRuntime
+from repro.telemetry import SloPolicy, SloReport, Telemetry
+from repro.workloads.batching import ContinuousBatcher
+from repro.workloads.serving import make_trace
+
+CONFIG = BertConfig(num_heads=4, head_size=16, num_layers=2)
+
+
+def observed(num_requests=32, seed=5):
+    tel = Telemetry()
+    runtime = ServingRuntime(
+        CONFIG,
+        batcher=ContinuousBatcher(token_budget=1024),
+        faults=FaultSpec(
+            launch_failure_rate=0.06,
+            transient_oom_rate=0.04,
+            target_prefixes=("fused_mha", "fmha_"),
+        ),
+        seed=11,
+        telemetry=tel,
+    )
+    runtime.run(
+        make_trace(num_requests, 96, mean_interarrival_us=250.0, seed=seed)
+    )
+    return tel, CriticalPathReport.from_telemetry(tel)
+
+
+@pytest.fixture(scope="module")
+def forensics():
+    tel, cp = observed()
+    tail = tail_forensics(cp)
+    assert tail is not None
+    return tel, cp, tail
+
+
+class TestCohorts:
+    def test_p99_cohort_is_slower(self, forensics):
+        _, _, tail = forensics
+        assert tail.p99.mean_latency_us >= tail.p50.mean_latency_us
+        assert tail.p99_latency_us >= tail.p50_latency_us
+        assert tail.p50.count >= 1 and tail.p99.count >= 1
+
+    def test_cohort_buckets_are_mean_per_request(self, forensics):
+        _, cp, tail = forensics
+        served = cp.served()
+        lo = [p for p in served if p.latency_us <= tail.p50_latency_us]
+        queue = sum(
+            p.bucket_totals().get("queue", 0.0) for p in lo
+        ) / len(lo)
+        assert tail.p50.buckets.get("queue", 0.0) == pytest.approx(queue)
+
+    def test_dominant_bucket_has_largest_absolute_growth(self, forensics):
+        _, _, tail = forensics
+        dominant = tail.dominant_bucket()
+        assert dominant is not None
+        growth = (
+            tail.p99.buckets.get(dominant, 0.0)
+            - tail.p50.buckets.get(dominant, 0.0)
+        )
+        for bucket, hi in tail.p99.buckets.items():
+            assert growth >= hi - tail.p50.buckets.get(bucket, 0.0) - 1e-9
+
+    def test_inflation_none_for_untouched_bucket(self, forensics):
+        _, _, tail = forensics
+        assert tail.inflation("collective") is None
+
+
+class TestDegenerate:
+    def test_single_served_request_has_no_tail(self):
+        _, cp = observed(num_requests=1)
+        assert tail_forensics(cp) is None
+
+    def test_unknown_tenant_has_no_tail(self, forensics):
+        _, cp, _ = forensics
+        assert tail_forensics(cp, tenant="nobody") is None
+
+
+class TestSloIntegration:
+    def test_with_tail_renders_and_keeps_equality(self, forensics):
+        tel, _, tail = forensics
+        report = SloReport.from_registry(tel.metrics, SloPolicy())
+        tailed = report.with_tail(tail)
+        assert tailed == report  # tail excluded from comparisons
+        text = tailed.render_text()
+        assert "tail: p99 cohort" in text
+        assert "p99 requests spend" in text
+        assert "tail:" not in report.render_text()
+
+    def test_to_dict_serialisable(self, forensics):
+        import json
+
+        _, _, tail = forensics
+        payload = json.loads(json.dumps(tail.to_dict()))
+        assert payload["p50"]["count"] >= 1
+        assert payload["dominant_bucket"] == tail.dominant_bucket()

@@ -123,6 +123,68 @@ def test_numeric_plane_outputs_bitwise_neutral():
     )
 
 
+@pytest.mark.parametrize(
+    "distribution",
+    [
+        LengthDistribution.UNIFORM,
+        LengthDistribution.NORMAL,
+        LengthDistribution.ZIPF,
+    ],
+)
+@pytest.mark.parametrize("faults", [NO_FAULTS, CHAOS], ids=["clean", "chaos"])
+def test_observe_attribution_neutral_over_length_matrix(distribution, faults):
+    """Building every repro.observe report over a replay's telemetry is
+    pure post-hoc: outputs, modelled µs and the fault/ladder streams
+    match the telemetry-off replay exactly, and a fresh observed replay
+    after report-building is still bit-identical (report construction
+    leaked no state into caches or RNG streams)."""
+    from repro.gpusim.profiler import ProfileReport
+    from repro.gpusim.trace import telemetry_chrome_trace
+    from repro.observe import CriticalPathReport, tail_forensics
+
+    trace = make_trace(
+        32,
+        96,
+        alpha=0.6,
+        distribution=distribution,
+        mean_interarrival_us=250.0,
+        seed=3,
+        deadline_us=50_000.0,
+    )
+    make_batcher = lambda: ContinuousBatcher(token_budget=1024)  # noqa: E731
+    make_numerics = lambda: BertEncoderModel(CONFIG, seed=11)  # noqa: E731
+    off = run_replay(
+        trace, batcher=make_batcher(), faults=faults,
+        telemetry=None, numerics=make_numerics(),
+    )
+    tel = Telemetry()
+    on = run_replay(
+        trace, batcher=make_batcher(), faults=faults,
+        telemetry=tel, numerics=make_numerics(),
+    )
+    # build the full attribution stack over the observed run
+    cp = CriticalPathReport.from_telemetry(tel)
+    tail_forensics(cp)
+    ProfileReport.from_segments(tel.kernel_segments)
+    telemetry_chrome_trace(tel, critical_path=cp.critical_request())
+
+    again = run_replay(
+        trace, batcher=make_batcher(), faults=faults,
+        telemetry=Telemetry(), numerics=make_numerics(),
+    )
+    for observed in (on, again):
+        assert observed.outcome_log() == off.outcome_log()
+        assert observed.gpu_busy_us == off.gpu_busy_us
+        assert observed.makespan_us == off.makespan_us
+        assert observed.injected_faults == off.injected_faults
+        assert observed.transitions == off.transitions
+        assert set(observed.outputs) == set(off.outputs)
+        for rid in off.outputs:
+            assert np.array_equal(observed.outputs[rid], off.outputs[rid])
+    # the attribution actually decomposed the replay it observed
+    assert cp.requests and cp.batches
+
+
 def test_telemetry_actually_observed_something():
     # guard against the trivial way to pass neutrality: not recording
     trace = make_trace(24, 96, mean_interarrival_us=250.0, seed=5)

@@ -258,6 +258,88 @@ class TestLoadtest:
         assert "Traceback" not in err
 
 
+class TestExplain:
+    def _args(self, *extra):
+        return ["explain", "--quick", "--seed", "7", *extra]
+
+    def test_quick_check_holds(self, capsys):
+        rc = main(self._args("--check"))
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "critical path" in out
+        assert "kernel profile" in out
+        assert "all explain checks hold" in out
+
+    def test_knobs_and_json_export(self, capsys, tmp_path):
+        report = tmp_path / "explain.json"
+        rc = main(self._args("--knobs", "--json", str(report)))
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "knob sensitivity" in out
+        assert "most sensitive:" in out
+        payload = json.loads(report.read_text())
+        assert payload["critical_path"]["requests"]
+        assert [k["knob"] for k in payload["knobs"]]
+
+    def test_trace_out_carries_critical_lane(self, capsys, tmp_path):
+        trace = tmp_path / "explain-trace.json"
+        rc = main(self._args("--trace-out", str(trace)))
+        capsys.readouterr()
+        assert rc == 0
+        events = json.loads(trace.read_text())["traceEvents"]
+        assert any(e.get("cat") == "critical-path" for e in events)
+
+    def test_zero_requests_rejected(self, capsys):
+        assert main(["explain", "--requests", "0"]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+
+class TestBenchBaseline:
+    def _run(self, history):
+        return ["bench", "--quick", "--baseline", str(history)]
+
+    def test_baseline_lifecycle_and_injected_regression(
+        self, capsys, tmp_path
+    ):
+        history = tmp_path / "history"
+        # run 1: no history yet -> record appended, vacuous pass
+        rc = main(self._run(history))
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "bench history record appended" in out
+        assert "baseline gate: PASS" in out
+        records = sorted(history.glob("record-*.json"))
+        assert [p.name for p in records] == ["record-0000.json"]
+
+        # run 2: same seed, same shape -> gated against run 1, passes
+        rc = main(self._run(history))
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "baseline gate: PASS" in out
+        assert len(sorted(history.glob("record-*.json"))) == 2
+
+        # inject a synthetic regression: rewrite history so every prior
+        # run looks 2x faster than reality on a hard metric
+        for path in history.glob("record-*.json"):
+            rec = json.loads(path.read_text())
+            rec["metrics"]["modelled_us"] *= 0.5
+            path.write_text(json.dumps(rec))
+        rc = main(self._run(history))
+        out = capsys.readouterr().out
+        assert rc == 1, out
+        assert "baseline gate: FAIL" in out
+        assert "FAIL modelled_us" in out
+        # the regressed run is still recorded as a data point
+        assert len(sorted(history.glob("record-*.json"))) == 3
+
+    def test_invalid_history_k_rejected(self, capsys, tmp_path):
+        rc = main(
+            self._run(tmp_path / "h") + ["--history-k", "0"]
+        )
+        assert rc == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+
 class TestMetrics:
     def test_prometheus_exposition_checked(self, capsys):
         assert main(["metrics", "--quick", "--check"]) == 0
